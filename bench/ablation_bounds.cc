@@ -1,0 +1,16 @@
+// Theorem 3 / Theorem 7 ablation: measured approximation and competitive
+// ratios against the proven bounds W·Ξ and αβ/(β−1). Expected: every
+// measurement within its bound ("all_within_bound" = yes).
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto cfg = ecrs::bench::sweep_from_flags(f, 15);
+  ecrs::bench::emit(f, "Ablation: measured ratios vs proven bounds",
+                    ecrs::harness::ablation_bounds(cfg));
+  ecrs::bench::emit(
+      f, "Ablation: capacity-aware price scaling (Algorithm 2) vs myopic",
+      ecrs::harness::ablation_scaling(
+          ecrs::bench::sweep_from_flags(f, 5)));
+  return 0;
+}

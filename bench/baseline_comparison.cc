@@ -1,0 +1,12 @@
+// §I motivation: auction vs posted-price repurchasing. Expected shape: the
+// auction always procures (feasible_frac = 1) at market-driven cost, while
+// posted prices either fail to procure (too low) or overpay (too high).
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto cfg = ecrs::bench::sweep_from_flags(f, 20);
+  ecrs::bench::emit(f, "Baseline: SSAM auction vs posted-price repurchasing",
+                    ecrs::harness::baseline_comparison(cfg));
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared scaffolding for the figure-reproduction bench binaries: flag
+// parsing, table printing, and optional CSV export.
+//
+// Every binary accepts:
+//   --trials=N   instances averaged per data point
+//   --seed=N     master seed
+//   --csv=PATH   also write the table as CSV
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "harness/experiments.h"
+
+namespace ecrs::bench {
+
+inline harness::sweep_config sweep_from_flags(const flags& f,
+                                              std::size_t default_trials) {
+  harness::sweep_config cfg;
+  cfg.trials = static_cast<std::size_t>(
+      f.get_int("trials", static_cast<long long>(default_trials)));
+  cfg.seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
+  cfg.demanders =
+      static_cast<std::size_t>(f.get_int("demanders", 5));
+  return cfg;
+}
+
+inline void emit(const flags& f, const std::string& title, const table& t) {
+  std::printf("=== %s ===\n%s\n", title.c_str(), t.to_ascii().c_str());
+  const std::string csv = f.get_string("csv", "");
+  if (!csv.empty()) {
+    t.write_csv(csv);
+    std::printf("(wrote %s)\n", csv.c_str());
+  }
+}
+
+}  // namespace ecrs::bench

@@ -1,0 +1,19 @@
+// §V-A setup validation: the full workload → edge queueing → demand
+// estimation pipeline (300 users, 25 microservices, 10 edge clouds,
+// Poisson 5/10 workloads). Expected shape: overloaded microservices score
+// visibly higher estimated demand than idle ones.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
+  const auto rounds = static_cast<std::size_t>(f.get_int("rounds", 12));
+  const auto users = static_cast<std::size_t>(f.get_int("users", 300));
+  const auto services =
+      static_cast<std::size_t>(f.get_int("microservices", 25));
+  const auto clouds = static_cast<std::size_t>(f.get_int("clouds", 10));
+  ecrs::bench::emit(f, "Demand estimation pipeline (paper Sec. III + V-A)",
+                    ecrs::harness::demand_estimation_pipeline(
+                        seed, rounds, users, services, clouds));
+  return 0;
+}

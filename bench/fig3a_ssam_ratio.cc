@@ -1,0 +1,13 @@
+// Figure 3(a): SSAM performance ratio vs number of microservices, J ∈ {1,2}.
+// Paper shape: ratio ≈ 1 for small instances with one bid per seller, and
+// grows with both the seller count and the bids-per-seller count.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto cfg = ecrs::bench::sweep_from_flags(f, 10);
+  ecrs::bench::emit(
+      f, "Figure 3(a): SSAM performance ratio vs #microservices",
+      ecrs::harness::fig3a_ssam_ratio(cfg));
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 3(b): SSAM social cost, payment and optimal cost vs number of
+// microservices under request loads 100 and 200. Paper shape: payments ≥
+// social cost ≥ optimum; higher load ⇒ higher cost.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto cfg = ecrs::bench::sweep_from_flags(f, 10);
+  ecrs::bench::emit(f,
+                    "Figure 3(b): SSAM social cost / payment / optimum",
+                    ecrs::harness::fig3b_ssam_cost(cfg));
+  return 0;
+}

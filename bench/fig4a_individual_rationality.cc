@@ -1,0 +1,14 @@
+// Figure 4(a): per-winner payment vs actual bid price for one default
+// auction round. Paper shape: every payment lies above its price
+// (individual rationality).
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
+  const auto sellers = static_cast<std::size_t>(f.get_int("sellers", 25));
+  ecrs::bench::emit(
+      f, "Figure 4(a): payment vs actual price per winning bid",
+      ecrs::harness::fig4a_individual_rationality(seed, sellers));
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 4(b): SSAM running time vs instance size, request loads 100/200.
+// Paper shape: below 100 ms even at the largest sizes, growing
+// polynomially (near-linearly) in the instance size.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto cfg = ecrs::bench::sweep_from_flags(f, 10);
+  ecrs::bench::emit(f, "Figure 4(b): SSAM running time",
+                    ecrs::harness::fig4b_runtime(cfg));
+  return 0;
+}

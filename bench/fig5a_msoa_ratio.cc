@@ -1,0 +1,17 @@
+// Figure 5(a)/(b): MSOA performance ratio vs number of microservices and vs
+// request load, for the four variants (MSOA, MSOA-DA, MSOA-RC, MSOA-OA).
+// Denominator: certified offline LP lower bound. Paper shape: ratios
+// slightly above SSAM's, decreasing with more microservices/requests;
+// MSOA-DA (perfect demand estimation) below the noisy base.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto cfg = ecrs::bench::sweep_from_flags(f, 5);
+  ecrs::bench::emit(
+      f, "Figure 5(a): MSOA performance ratio vs #microservices",
+      ecrs::harness::fig5a_msoa_ratio_vs_sellers(cfg));
+  ecrs::bench::emit(f, "Figure 5(b): MSOA performance ratio vs request load",
+                    ecrs::harness::fig5b_msoa_ratio_vs_requests(cfg));
+  return 0;
+}

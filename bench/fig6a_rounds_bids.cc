@@ -1,0 +1,12 @@
+// Figure 6(a): MSOA performance ratio vs number of rounds T for J ∈
+// {1,2,4} bids per seller. Paper shape: more rounds and more alternative
+// bids per seller both degrade the ratio.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto cfg = ecrs::bench::sweep_from_flags(f, 5);
+  ecrs::bench::emit(f, "Figure 6(a): MSOA ratio vs rounds and bids per seller",
+                    ecrs::harness::fig6a_rounds_bids(cfg));
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 6(b): MSOA social cost, total payment and offline bound vs number
+// of microservices for request loads 100 and 200. Paper shape: payment ≥
+// social cost ≥ offline bound; doubling the load raises all three.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto cfg = ecrs::bench::sweep_from_flags(f, 5);
+  ecrs::bench::emit(f, "Figure 6(b): MSOA social cost / payment / bound",
+                    ecrs::harness::fig6b_msoa_cost(cfg));
+  return 0;
+}

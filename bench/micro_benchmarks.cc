@@ -1,0 +1,193 @@
+// Google-benchmark microbenchmarks for the performance-critical kernels:
+// SSAM winner selection (Theorem 2's polynomial-time claim, paper Fig. 4b),
+// the exact reference solvers, the simplex, the DES core, and the workload
+// generator.
+#include <benchmark/benchmark.h>
+
+#include "auction/exact.h"
+#include "auction/instance_gen.h"
+#include "auction/local_search.h"
+#include "auction/msoa.h"
+#include "auction/ssam.h"
+#include "common/rng.h"
+#include "demand/estimator.h"
+#include "des/simulator.h"
+#include "edge/fair_share.h"
+#include "lp/simplex.h"
+#include "workload/generator.h"
+
+namespace {
+
+ecrs::auction::single_stage_instance make_instance(std::size_t sellers,
+                                                   std::size_t demanders,
+                                                   std::size_t bids) {
+  ecrs::rng gen(42);
+  ecrs::auction::instance_config cfg;
+  cfg.sellers = sellers;
+  cfg.demanders = demanders;
+  cfg.bids_per_seller = bids;
+  return ecrs::auction::random_instance(cfg, gen);
+}
+
+void BM_SsamSelection(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::greedy_selection(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SsamSelection)->RangeMultiplier(2)->Range(25, 400)->Complexity();
+
+void BM_LazyGreedySelection(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::lazy_greedy_selection(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LazyGreedySelection)->RangeMultiplier(2)->Range(25, 400)->Complexity();
+
+void BM_LocalSearchImprovement(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::improve_selection(inst));
+  }
+}
+BENCHMARK(BM_LocalSearchImprovement)->Arg(25)->Arg(100);
+
+void BM_SsamFullMechanism(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::run_ssam(inst));
+  }
+}
+BENCHMARK(BM_SsamFullMechanism)->Arg(25)->Arg(100)->Arg(400);
+
+void BM_SsamCriticalValuePayments(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 3, 2);
+  ecrs::auction::ssam_options opts;
+  opts.rule = ecrs::auction::payment_rule::critical_value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::run_ssam(inst, opts));
+  }
+}
+BENCHMARK(BM_SsamCriticalValuePayments)->Arg(10)->Arg(25);
+
+void BM_ExactDp(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::solve_exact(inst));
+  }
+}
+BENCHMARK(BM_ExactDp)->Arg(10)->Arg(25)->Arg(50);
+
+void BM_ExactBranchAndBound(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::solve_exact(inst));
+  }
+}
+BENCHMARK(BM_ExactBranchAndBound)->Arg(8)->Arg(12);
+
+void BM_LpBound(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::lp_bound(inst));
+  }
+}
+BENCHMARK(BM_LpBound)->Arg(25)->Arg(75);
+
+void BM_MsoaHorizon(benchmark::State& state) {
+  ecrs::rng gen(7);
+  ecrs::auction::online_config cfg;
+  cfg.stage.sellers = 25;
+  cfg.stage.demanders = 5;
+  cfg.rounds = static_cast<std::size_t>(state.range(0));
+  const auto inst = ecrs::auction::random_online_instance(cfg, gen);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::run_msoa(inst));
+  }
+}
+BENCHMARK(BM_MsoaHorizon)->Arg(5)->Arg(10)->Arg(15);
+
+void BM_SimplexRandomCover(benchmark::State& state) {
+  ecrs::rng gen(3);
+  ecrs::lp::model m;
+  const auto vars = static_cast<std::size_t>(state.range(0));
+  for (std::size_t v = 0; v < vars; ++v) {
+    m.add_variable(gen.uniform_real(1.0, 10.0));
+  }
+  for (std::size_t r = 0; r < vars / 2; ++r) {
+    std::vector<std::pair<std::size_t, double>> row;
+    for (std::size_t v = 0; v < vars; ++v) {
+      if (gen.bernoulli(0.3)) row.emplace_back(v, gen.uniform_real(0.5, 2.0));
+    }
+    if (row.empty()) row.emplace_back(0, 1.0);
+    m.add_constraint(row, ecrs::lp::row_sense::ge, gen.uniform_real(1.0, 5.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::lp::solve(m));
+  }
+}
+BENCHMARK(BM_SimplexRandomCover)->Arg(50)->Arg(200);
+
+void BM_DesEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    ecrs::des::simulator sim;
+    ecrs::rng gen(1);
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_at(gen.uniform_real(0.0, 1000.0), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+}
+BENCHMARK(BM_DesEventThroughput);
+
+void BM_WorkloadRound(benchmark::State& state) {
+  ecrs::workload::generator_config cfg;
+  cfg.users = 300;
+  cfg.microservices = 25;
+  ecrs::workload::generator gen(cfg);
+  double now = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.round(now, 600.0));
+    now += 600.0;
+  }
+}
+BENCHMARK(BM_WorkloadRound);
+
+void BM_MaxMinFairShare(benchmark::State& state) {
+  ecrs::rng gen(5);
+  std::vector<double> demands(static_cast<std::size_t>(state.range(0)));
+  for (double& d : demands) d = gen.uniform_real(0.0, 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::edge::max_min_fair_share(demands, 100.0));
+  }
+}
+BENCHMARK(BM_MaxMinFairShare)->Arg(10)->Arg(1000);
+
+void BM_DemandEstimatorRound(benchmark::State& state) {
+  ecrs::demand::estimator est(ecrs::demand::make_default_config());
+  std::vector<ecrs::edge::round_stats> stats(25);
+  for (std::size_t s = 0; s < stats.size(); ++s) {
+    stats[s].microservice = static_cast<std::uint32_t>(s);
+    stats[s].round = 1;
+    stats[s].received = 100;
+    stats[s].served = 90;
+    stats[s].arrived_work = 100.0;
+    stats[s].served_work = 90.0;
+    stats[s].backlog_work = 10.0;
+    stats[s].allocation = 1.0 + static_cast<double>(s);
+    stats[s].utilization = 0.7;
+    stats[s].cloud_population = 3;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.estimate_round(stats));
+  }
+}
+BENCHMARK(BM_DemandEstimatorRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

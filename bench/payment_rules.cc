@@ -1,0 +1,15 @@
+// Mechanism comparison: efficiency (cost / exact optimum) vs frugality
+// (payment / exact optimum) for SSAM (both payment rules, budgeted), the
+// reserve-price VCG, pay-as-bid and random selection, on identical
+// instances. Expected shape: VCG is efficient (cost ratio 1) but pays a
+// premium; SSAM trades a small efficiency loss for polynomial time;
+// pay-as-bid pays the least but is not truthful; random is dominated.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto cfg = ecrs::bench::sweep_from_flags(f, 15);
+  ecrs::bench::emit(f, "Mechanism comparison: efficiency vs frugality",
+                    ecrs::harness::payment_rules(cfg));
+  return 0;
+}

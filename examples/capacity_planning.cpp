@@ -1,0 +1,51 @@
+// Capacity planning: how seller capacity Θ shapes the online guarantee.
+//
+// Theorem 7 says MSOA is αβ/(β−1)-competitive with β = min_i Θ_i/|S_ij|:
+// generous capacities (large β) give a bound close to α, while capacities
+// barely above one winning bid (β → 1) make the guarantee collapse. This
+// example sweeps a capacity multiplier over the same ground-truth market
+// and reports the realized social cost, the certified offline LP bound, and
+// the theoretical guarantee — the operator's tradeoff between reserving
+// resources and online efficiency.
+//
+//   ./build/examples/capacity_planning [--seed=N] [--rounds=N] [--sellers=N]
+#include <cstdio>
+
+#include "auction/exact.h"
+#include "auction/instance_gen.h"
+#include "auction/msoa.h"
+#include "common/flags.h"
+#include "common/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace ecrs;
+  const flags f(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(f.get_int("seed", 3));
+  const auto rounds = static_cast<std::size_t>(f.get_int("rounds", 8));
+  const auto sellers = static_cast<std::size_t>(f.get_int("sellers", 20));
+
+  std::printf("capacity | feasible | social cost | offline bound | realized "
+              "ratio | guarantee (a*b/(b-1))\n");
+  for (const double factor : {1.0, 1.5, 2.0, 3.0, 5.0}) {
+    rng gen(seed);  // same seed: the market differs only in capacities
+    auction::online_config cfg;
+    cfg.stage.sellers = sellers;
+    cfg.stage.demanders = 4;
+    cfg.stage.bids_per_seller = 2;
+    cfg.rounds = rounds;
+    cfg.capacity_lo = static_cast<auction::units>(2.0 * factor);
+    cfg.capacity_hi = static_cast<auction::units>(4.0 * factor);
+    const auto market = auction::random_online_instance(cfg, gen);
+
+    const auto result = auction::run_msoa(market);
+    const double offline = auction::offline_lp_bound(market);
+    std::printf("%8.1f | %8s | %11.1f | %13.1f | %14.3f | %.2f\n", factor,
+                result.feasible ? "yes" : "NO", result.social_cost, offline,
+                offline > 0.0 ? result.social_cost / offline : 0.0,
+                result.competitive_bound);
+  }
+  std::printf("\nreading: larger capacities raise beta, tightening the "
+              "worst-case guarantee\ntoward alpha while the realized ratio "
+              "stays far below it.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Queueing validation: the simulated microservice against M/M/1 theory,
+// and Erlang-C capacity planning for an edge cloud.
+//
+// Part 1 drives a single microservice with Poisson arrivals and exponential
+// service demands at several loads and compares the measured mean sojourn
+// time with the closed-form M/M/1 value 1/(μ−λ) — the calibration that
+// justifies trusting the demand-estimation pipeline built on this queue.
+//
+// Part 2 answers an operator question with the analytic M/M/c machinery:
+// how many resource units must an edge cloud hold so that requests wait at
+// most 100 ms on average at a given arrival rate?
+//
+//   ./build/examples/queueing_validation [--seed=N]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "edge/microservice.h"
+#include "edge/queueing.h"
+#include "workload/request.h"
+
+namespace {
+
+// Simulate an M/M/1 queue on the microservice substrate; returns the mean
+// sojourn time of completed requests.
+double simulate_sojourn(double lambda, double mu, double horizon,
+                        std::uint64_t seed) {
+  using namespace ecrs;
+  edge::microservice svc(0, workload::qos_class::delay_sensitive);
+  svc.set_allocation(1.0);  // work served at 1 unit/s; demand mean = 1/μ
+  rng gen(seed);
+  double now = 0.0;
+  double last = 0.0;
+  std::uint64_t next_id = 1;
+  while (now < horizon) {
+    now += gen.exponential(lambda);
+    if (now >= horizon) break;
+    svc.advance(last, now - last);
+    last = now;
+    workload::request r;
+    r.id = next_id++;
+    r.microservice = 0;
+    r.arrival_time = now;
+    r.service_demand = gen.exponential(mu);
+    svc.enqueue(r);
+  }
+  svc.advance(last, horizon);  // drain
+  const auto stats = svc.end_round(1, horizon, 1);
+  return stats.mean_wait;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ecrs;
+  const flags f(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(f.get_int("seed", 42));
+
+  std::printf("part 1: simulated microservice vs M/M/1 theory (mu = 1)\n");
+  std::printf("  rho  | theory W | simulated W | error\n");
+  for (const double lambda : {0.3, 0.5, 0.7, 0.85}) {
+    const double theory = edge::mm1_sojourn_time(lambda, 1.0);
+    const double sim = simulate_sojourn(lambda, 1.0, 100000.0, seed);
+    std::printf("  %.2f | %8.3f | %11.3f | %+.1f%%\n", lambda, theory, sim,
+                100.0 * (sim - theory) / theory);
+  }
+
+  std::printf("\npart 2: Erlang-C capacity planning\n");
+  std::printf("  target: mean queueing delay <= 0.1 s at service rate 1/s\n");
+  std::printf("  arrival rate | servers needed | achieved Wq\n");
+  for (const double lambda : {2.0, 5.0, 10.0, 20.0, 50.0}) {
+    const std::size_t c = edge::servers_for_waiting_time(lambda, 1.0, 0.1);
+    std::printf("  %12.0f | %14zu | %.4f s\n", lambda, c,
+                edge::mmc_waiting_time(lambda, 1.0, c));
+  }
+  std::printf("\nreading: pooling pays — 25x the traffic needs only ~'lambda"
+              " + a few' servers,\nnot 25x the slack of the small cloud.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "ahp/ahp.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ecrs::ahp {
+
+comparison_matrix::comparison_matrix(std::size_t n)
+    : n_(n), data_(n * n, 1.0) {
+  ECRS_CHECK_MSG(n >= 1, "comparison matrix needs at least one criterion");
+}
+
+void comparison_matrix::set_judgment(std::size_t i, std::size_t j,
+                                     double value) {
+  ECRS_CHECK(i < n_ && j < n_);
+  ECRS_CHECK_MSG(i != j, "diagonal judgments are fixed at 1");
+  ECRS_CHECK_MSG(value > 0.0, "judgments must be positive ratios");
+  data_[i * n_ + j] = value;
+  data_[j * n_ + i] = 1.0 / value;
+}
+
+double comparison_matrix::at(std::size_t i, std::size_t j) const {
+  ECRS_CHECK(i < n_ && j < n_);
+  return data_[i * n_ + j];
+}
+
+bool comparison_matrix::is_reciprocal(double tol) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (std::abs(at(i, i) - 1.0) > tol) return false;
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      if (std::abs(at(i, j) * at(j, i) - 1.0) > tol) return false;
+    }
+  }
+  return true;
+}
+
+double random_consistency_index(std::size_t n) {
+  // Saaty's published RI values for orders 1..15.
+  static constexpr double kRi[] = {0.0,  0.0,  0.0,  0.58, 0.90, 1.12,
+                                   1.24, 1.32, 1.41, 1.45, 1.49, 1.51,
+                                   1.48, 1.56, 1.57, 1.59};
+  if (n == 0) return 0.0;
+  if (n > 15) return kRi[15];
+  return kRi[n];
+}
+
+ahp_result derive_weights(const comparison_matrix& m,
+                          std::size_t max_iterations, double tolerance) {
+  ECRS_CHECK_MSG(m.is_reciprocal(),
+                 "AHP requires a reciprocal comparison matrix");
+  const std::size_t n = m.size();
+  ahp_result result;
+  result.weights.assign(n, 1.0 / static_cast<double>(n));
+
+  std::vector<double> next(n, 0.0);
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // next = M * weights
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) acc += m.at(i, j) * result.weights[j];
+      next[i] = acc;
+    }
+    double norm = 0.0;
+    for (double v : next) norm += v;
+    ECRS_CHECK_MSG(norm > 0.0, "degenerate comparison matrix");
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] /= norm;
+      delta += std::abs(next[i] - result.weights[i]);
+    }
+    result.weights.swap(next);
+    result.iterations = iter + 1;
+    if (delta < tolerance) break;
+  }
+
+  // Rayleigh-quotient estimate of λmax: mean of (M·w)_i / w_i.
+  double lambda = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += m.at(i, j) * result.weights[j];
+    lambda += acc / result.weights[i];
+  }
+  result.lambda_max = lambda / static_cast<double>(n);
+
+  if (n > 1) {
+    result.consistency_index =
+        (result.lambda_max - static_cast<double>(n)) /
+        (static_cast<double>(n) - 1.0);
+    const double ri = random_consistency_index(n);
+    result.consistency_ratio =
+        ri > 0.0 ? result.consistency_index / ri : 0.0;
+  }
+  return result;
+}
+
+comparison_matrix default_demand_judgments() {
+  // Order: waiting time (0), processing-rate slack (1), request rate (2).
+  // Request rate is 2x waiting time and 4x processing slack; waiting time is
+  // 2x processing slack. Perfectly consistent (it is a ratio scale), so the
+  // derived weights are exactly (2/7, 1/7, 4/7).
+  comparison_matrix m(3);
+  m.set_judgment(2, 0, 2.0);
+  m.set_judgment(2, 1, 4.0);
+  m.set_judgment(0, 1, 2.0);
+  return m;
+}
+
+}  // namespace ecrs::ahp

@@ -1,0 +1,66 @@
+// Analytic Hierarchy Process (Saaty).
+//
+// The paper (§III) states that the demand-estimation scaling factors
+// 1/w_γ, 1/w_ℝ, 1/w_𝕋 "can be decided by the analytical hierarchy process".
+// This module implements AHP in full: a reciprocal pairwise-comparison
+// matrix, its principal eigenvector (the criterion weights) computed by
+// power iteration, and Saaty's consistency index / ratio to validate the
+// judgments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ecrs::ahp {
+
+// Square reciprocal matrix of pairwise judgments a_ij ("criterion i is a_ij
+// times as important as criterion j"); a_ji = 1/a_ij, a_ii = 1.
+class comparison_matrix {
+ public:
+  explicit comparison_matrix(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  // Set the judgment for (i, j), i != j; the reciprocal entry is maintained
+  // automatically. value must be positive (Saaty scale is 1/9 .. 9 but any
+  // positive ratio is accepted).
+  void set_judgment(std::size_t i, std::size_t j, double value);
+
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const;
+
+  // True if every entry satisfies a_ij * a_ji == 1 (within tolerance) and
+  // the diagonal is 1.
+  [[nodiscard]] bool is_reciprocal(double tol = 1e-9) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+struct ahp_result {
+  std::vector<double> weights;   // principal eigenvector, normalized to sum 1
+  double lambda_max = 0.0;       // principal eigenvalue
+  double consistency_index = 0.0;   // CI = (λmax − n) / (n − 1)
+  double consistency_ratio = 0.0;   // CR = CI / RI(n)
+  std::size_t iterations = 0;       // power-iteration steps used
+};
+
+// Saaty's random consistency index RI for matrix order n (n <= 15; larger
+// orders reuse the n = 15 value). A CR below 0.10 is conventionally
+// "consistent enough".
+[[nodiscard]] double random_consistency_index(std::size_t n);
+
+// Derive weights from a comparison matrix via power iteration.
+// Throws ecrs::check_error if the matrix is not reciprocal.
+[[nodiscard]] ahp_result derive_weights(const comparison_matrix& m,
+                                        std::size_t max_iterations = 1000,
+                                        double tolerance = 1e-12);
+
+// The paper's three demand criteria in a fixed order: waiting time,
+// processing-rate slack, request rate. These defaults encode "request rate
+// matters most, waiting time comes second" — the qualitative ordering implied
+// by §III ("higher request rate, larger demand" is the only factor with a
+// dedicated scaling model). The matrix is consistent (CR = 0).
+[[nodiscard]] comparison_matrix default_demand_judgments();
+
+}  // namespace ecrs::ahp

@@ -1,0 +1,97 @@
+#include "auction/baselines.h"
+
+#include <algorithm>
+#include <map>
+
+#include "auction/ssam.h"
+#include "common/check.h"
+
+namespace ecrs::auction {
+
+baseline_result fixed_price_mechanism(const single_stage_instance& instance,
+                                      double unit_price) {
+  instance.validate();
+  ECRS_CHECK_MSG(unit_price >= 0.0, "posted price must be non-negative");
+  baseline_result result;
+  coverage_state state(instance.requirements);
+
+  // Each seller's cheapest bid whose per-unit cost clears the posted price.
+  std::map<seller_id, std::size_t> accepted;
+  for (std::size_t idx = 0; idx < instance.bids.size(); ++idx) {
+    const bid& b = instance.bids[idx];
+    const double potential = static_cast<double>(
+        b.amount * static_cast<units>(b.coverage.size()));
+    if (b.price > unit_price * potential) continue;  // seller declines
+    const auto it = accepted.find(b.seller);
+    if (it == accepted.end() ||
+        instance.bids[it->second].price > b.price) {
+      accepted[b.seller] = idx;
+    }
+  }
+
+  for (const auto& [seller, idx] : accepted) {
+    (void)seller;
+    if (state.satisfied()) break;
+    const units used = state.marginal_utility(instance.bids[idx]);
+    if (used <= 0) continue;
+    state.apply(instance.bids[idx]);
+    result.winners.push_back(idx);
+    result.social_cost += instance.bids[idx].price;
+    result.total_payment += unit_price * static_cast<double>(used);
+  }
+  result.feasible = state.satisfied();
+  return result;
+}
+
+baseline_result pay_as_bid_greedy(const single_stage_instance& instance) {
+  instance.validate();
+  baseline_result result;
+  result.winners = greedy_selection(instance);
+  coverage_state state(instance.requirements);
+  for (std::size_t idx : result.winners) {
+    state.apply(instance.bids[idx]);
+    result.social_cost += instance.bids[idx].price;
+    result.total_payment += instance.bids[idx].price;
+  }
+  result.feasible = state.satisfied();
+  return result;
+}
+
+baseline_result random_selection(const single_stage_instance& instance,
+                                 rng& gen) {
+  instance.validate();
+  baseline_result result;
+  coverage_state state(instance.requirements);
+
+  // Sellers in random order; for each, a random useful bid.
+  std::map<seller_id, std::vector<std::size_t>> groups;
+  for (std::size_t idx = 0; idx < instance.bids.size(); ++idx) {
+    groups[instance.bids[idx].seller].push_back(idx);
+  }
+  std::vector<seller_id> order;
+  order.reserve(groups.size());
+  for (const auto& [seller, bids] : groups) {
+    (void)bids;
+    order.push_back(seller);
+  }
+  gen.shuffle(order);
+
+  for (seller_id seller : order) {
+    if (state.satisfied()) break;
+    std::vector<std::size_t> useful;
+    for (std::size_t idx : groups[seller]) {
+      if (state.marginal_utility(instance.bids[idx]) > 0) useful.push_back(idx);
+    }
+    if (useful.empty()) continue;
+    const std::size_t pick = useful[static_cast<std::size_t>(gen.uniform_int(
+        0, static_cast<std::int64_t>(useful.size()) - 1))];
+    state.apply(instance.bids[pick]);
+    result.winners.push_back(pick);
+    result.social_cost += instance.bids[pick].price;
+    result.total_payment += instance.bids[pick].price;
+  }
+  result.feasible = state.satisfied();
+  return result;
+}
+
+}  // namespace ecrs::auction

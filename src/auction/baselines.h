@@ -1,0 +1,44 @@
+// Baseline mechanisms the paper argues against (§I) or that serve as
+// comparison points in the benches:
+//
+//  - fixed_price:   the "pricing" alternative from the introduction — the
+//                   platform posts a flat per-unit repurchase price; sellers
+//                   whose unit cost is below it accept; no market feedback.
+//  - pay_as_bid:    the SSAM greedy selection but paying winners exactly
+//                   their reported price (first-price; not truthful).
+//  - random_select: pick bids uniformly at random (one per seller) until
+//                   requirements are covered; pays reported prices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "auction/bid.h"
+#include "common/rng.h"
+
+namespace ecrs::auction {
+
+struct baseline_result {
+  std::vector<std::size_t> winners;  // bid indices, selection order
+  bool feasible = false;
+  double social_cost = 0.0;   // sum of winners' true prices
+  double total_payment = 0.0; // what the platform pays out
+};
+
+// Posted-price repurchasing at `unit_price` per resource unit. A seller
+// accepts (its cheapest qualifying bid) iff price <= unit_price * potential
+// units; accepting sellers are taken in index order until coverage. Payment
+// per winner: unit_price * units actually used.
+[[nodiscard]] baseline_result fixed_price_mechanism(
+    const single_stage_instance& instance, double unit_price);
+
+// Greedy selection identical to SSAM, but first-price payments.
+[[nodiscard]] baseline_result pay_as_bid_greedy(
+    const single_stage_instance& instance);
+
+// Random selection: repeatedly pick a random remaining seller and a random
+// one of its useful bids until requirements are met or sellers run out.
+[[nodiscard]] baseline_result random_selection(
+    const single_stage_instance& instance, rng& gen);
+
+}  // namespace ecrs::auction

@@ -1,0 +1,98 @@
+#include "auction/bid.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ecrs::auction {
+
+std::size_t single_stage_instance::seller_count() const {
+  std::unordered_set<seller_id> sellers;
+  for (const bid& b : bids) sellers.insert(b.seller);
+  return sellers.size();
+}
+
+units single_stage_instance::total_requirement() const {
+  units total = 0;
+  for (units x : requirements) total += x;
+  return total;
+}
+
+void single_stage_instance::validate() const {
+  for (std::size_t k = 0; k < requirements.size(); ++k) {
+    ECRS_CHECK_MSG(requirements[k] >= 0,
+                   "demander " << k << " has negative requirement");
+  }
+  for (std::size_t idx = 0; idx < bids.size(); ++idx) {
+    const bid& b = bids[idx];
+    ECRS_CHECK_MSG(b.amount >= 1, "bid " << idx << " has non-positive amount");
+    ECRS_CHECK_MSG(b.price >= 0.0, "bid " << idx << " has negative price");
+    ECRS_CHECK_MSG(!b.coverage.empty(), "bid " << idx << " covers nothing");
+    ECRS_CHECK_MSG(std::is_sorted(b.coverage.begin(), b.coverage.end()),
+                   "bid " << idx << " coverage not sorted");
+    ECRS_CHECK_MSG(std::adjacent_find(b.coverage.begin(), b.coverage.end()) ==
+                       b.coverage.end(),
+                   "bid " << idx << " coverage has duplicates");
+    ECRS_CHECK_MSG(b.coverage.back() < requirements.size(),
+                   "bid " << idx << " covers unknown demander "
+                          << b.coverage.back());
+  }
+}
+
+bool single_stage_instance::coverable() const {
+  // Per demander, sum each seller's best contribution (largest amount among
+  // its bids covering that demander). See the header for exactness caveats.
+  std::unordered_map<seller_id, std::unordered_map<demander_id, units>> best;
+  for (const bid& b : bids) {
+    auto& per_demander = best[b.seller];
+    for (demander_id k : b.coverage) {
+      auto [it, inserted] = per_demander.emplace(k, b.amount);
+      if (!inserted) it->second = std::max(it->second, b.amount);
+    }
+  }
+  std::vector<units> supply(requirements.size(), 0);
+  for (const auto& [seller, per_demander] : best) {
+    (void)seller;
+    for (const auto& [k, amount] : per_demander) supply[k] += amount;
+  }
+  for (std::size_t k = 0; k < requirements.size(); ++k) {
+    if (supply[k] < requirements[k]) return false;
+  }
+  return true;
+}
+
+coverage_state::coverage_state(const std::vector<units>& requirements)
+    : remaining_(requirements) {
+  for (units r : remaining_) {
+    ECRS_CHECK_MSG(r >= 0, "negative requirement");
+    deficit_ += r;
+  }
+}
+
+units coverage_state::remaining(demander_id k) const {
+  ECRS_CHECK(k < remaining_.size());
+  return remaining_[k];
+}
+
+units coverage_state::marginal_utility(const bid& b) const {
+  units gain = 0;
+  for (demander_id k : b.coverage) {
+    ECRS_DCHECK(k < remaining_.size());
+    gain += std::min(b.amount, remaining_[k]);
+  }
+  return gain;
+}
+
+units coverage_state::apply(const bid& b) {
+  units gain = 0;
+  for (demander_id k : b.coverage) {
+    ECRS_CHECK(k < remaining_.size());
+    const units used = std::min(b.amount, remaining_[k]);
+    remaining_[k] -= used;
+    gain += used;
+  }
+  deficit_ -= gain;
+  return gain;
+}
+
+}  // namespace ecrs::auction

@@ -1,0 +1,91 @@
+// Core auction types (paper §IV).
+//
+// A *round* of the reverse auction has:
+//  - demanders: microservices that need resources; demander k requires an
+//    integer number of resource units X_k (the paper's X^t / 𝔾^t entries);
+//  - sellers: microservices with spare resources; seller i submits up to F
+//    alternative bids. Bid (i, j) names a coverage set S_ij of demanders, an
+//    amount a_ij of units it contributes to each covered demander, and an
+//    asking price J_ij for the whole bid.
+//
+// Constraint (10) is linear: for every demander k,
+//   sum over winning bids covering k of a_ij  >=  X_k.
+// Setting a_ij = 1 recovers the paper's set-multicover form; a single
+// demander recovers the scalar knapsack-cover constraint (13). At most one
+// bid per seller wins per round (constraint (9)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecrs::auction {
+
+using seller_id = std::uint32_t;
+using demander_id = std::uint32_t;
+using units = std::int64_t;
+
+struct bid {
+  seller_id seller = 0;
+  std::uint32_t index = 0;                // j: bid number within the seller
+  std::vector<demander_id> coverage;      // S_ij, sorted unique
+  units amount = 1;                       // a_ij >= 1
+  double price = 0.0;                     // J_ij >= 0 (true cost if truthful)
+
+  // Participation weight |S_ij| used by capacity accounting and MSOA.
+  [[nodiscard]] std::size_t coverage_size() const { return coverage.size(); }
+};
+
+// One single-stage winner selection problem.
+struct single_stage_instance {
+  std::vector<units> requirements;  // X_k per demander, index = demander id
+  std::vector<bid> bids;
+
+  [[nodiscard]] std::size_t demanders() const { return requirements.size(); }
+
+  // Number of distinct sellers appearing in `bids`.
+  [[nodiscard]] std::size_t seller_count() const;
+
+  // Sum of all requirements (units).
+  [[nodiscard]] units total_requirement() const;
+
+  // Throws ecrs::check_error if ids are out of range, coverage sets are not
+  // sorted/unique, amounts are not positive, prices are negative, or any
+  // requirement is negative.
+  void validate() const;
+
+  // Cheap NECESSARY feasibility condition: per demander, the sum over
+  // sellers of each seller's best contribution (max amount among its bids
+  // covering that demander) must reach the requirement. It is not
+  // sufficient in general — a chosen bid serves all its covered demanders
+  // at once — but it is exact for the seller-fixed coverage structure the
+  // generators produce (every bid of a seller covers the same set; see
+  // DESIGN.md §2).
+  [[nodiscard]] bool coverable() const;
+};
+
+// Remaining requirement tracking shared by the greedy, the exact solvers and
+// the property checkers.
+class coverage_state {
+ public:
+  explicit coverage_state(const std::vector<units>& requirements);
+
+  [[nodiscard]] bool satisfied() const { return deficit_ == 0; }
+  [[nodiscard]] units deficit() const { return deficit_; }
+  [[nodiscard]] units remaining(demander_id k) const;
+
+  // Marginal useful coverage of `b`: sum over covered demanders of
+  // min(amount, remaining_k). This is the paper's U_ij(E) (Eq. 19)
+  // generalized to amounts.
+  [[nodiscard]] units marginal_utility(const bid& b) const;
+
+  // Apply a winning bid; returns its marginal utility.
+  units apply(const bid& b);
+
+ private:
+  std::vector<units> remaining_;
+  units deficit_ = 0;
+};
+
+}  // namespace ecrs::auction

@@ -1,0 +1,103 @@
+#include "auction/dual_certificate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/statistics.h"
+
+namespace ecrs::auction {
+
+dual_certificate build_dual_certificate(const single_stage_instance& instance,
+                                        const ssam_result& result) {
+  instance.validate();
+  dual_certificate cert;
+  cert.y.assign(instance.requirements.size(), 0.0);
+
+  // Replay the winners to attribute each covered unit's price share to its
+  // demander; Λ(k) is the largest share any of k's units paid.
+  coverage_state state(instance.requirements);
+  std::vector<double> lambda(instance.requirements.size(), 0.0);
+  units total_units = 0;
+  double share_min = 0.0;
+  double share_max = 0.0;
+  bool first_share = true;
+  for (const winning_bid& w : result.winners) {
+    const bid& b = instance.bids[w.bid_index];
+    const double share = w.ratio_at_selection;
+    for (demander_id k : b.coverage) {
+      const units used = std::min(b.amount, state.remaining(k));
+      if (used <= 0) continue;
+      lambda[k] = std::max(lambda[k], share);
+      total_units += used;
+      if (first_share) {
+        share_min = share;
+        share_max = share;
+        first_share = false;
+      } else {
+        share_min = std::min(share_min, share);
+        share_max = std::max(share_max, share);
+      }
+    }
+    state.apply(b);
+  }
+
+  // Theorem 3 scale: 1/(W·Ξ) with W = H(total covered units), Ξ the share
+  // spread. Degenerate (no winners) certificates are all-zero.
+  const double xi = share_min > 0.0 ? share_max / share_min : 1.0;
+  const double w_factor =
+      harmonic_number(static_cast<std::size_t>(std::max<units>(0, total_units)));
+  const double denom = std::max(1.0, w_factor * xi);
+  cert.scale = 1.0 / denom;
+  for (std::size_t k = 0; k < lambda.size(); ++k) {
+    cert.y[k] = lambda[k] * cert.scale;
+  }
+
+  // Lift z to absorb any residual violation so (y, z) is feasible for every
+  // bid, won or lost.
+  for (const bid& b : instance.bids) {
+    double lhs = 0.0;
+    for (demander_id k : b.coverage) {
+      lhs += static_cast<double>(b.amount) * cert.y[k];
+    }
+    const double violation = lhs - b.price;
+    if (violation > 0.0) {
+      auto [it, inserted] = cert.z.emplace(b.seller, violation);
+      if (!inserted) it->second = std::max(it->second, violation);
+    }
+  }
+
+  cert.objective = 0.0;
+  for (std::size_t k = 0; k < cert.y.size(); ++k) {
+    cert.objective +=
+        static_cast<double>(instance.requirements[k]) * cert.y[k];
+  }
+  for (const auto& [seller, zs] : cert.z) {
+    (void)seller;
+    cert.objective -= zs;
+  }
+  return cert;
+}
+
+bool dual_feasible(const single_stage_instance& instance,
+                   const dual_certificate& cert, double tol) {
+  ECRS_CHECK(cert.y.size() == instance.requirements.size());
+  for (double yk : cert.y) {
+    if (yk < -tol) return false;
+  }
+  for (const auto& [seller, zs] : cert.z) {
+    (void)seller;
+    if (zs < -tol) return false;
+  }
+  for (const bid& b : instance.bids) {
+    double lhs = 0.0;
+    for (demander_id k : b.coverage) {
+      lhs += static_cast<double>(b.amount) * cert.y[k];
+    }
+    const auto it = cert.z.find(b.seller);
+    const double zs = it == cert.z.end() ? 0.0 : it->second;
+    if (lhs - zs > b.price + tol) return false;
+  }
+  return true;
+}
+
+}  // namespace ecrs::auction

@@ -1,0 +1,540 @@
+#include "auction/exact.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "auction/ssam.h"
+#include "common/check.h"
+#include "lp/simplex.h"
+
+namespace ecrs::auction {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------- DP (m=1)
+
+reference_solution dp_single_demander(const single_stage_instance& instance) {
+  const units target = instance.requirements[0];
+  reference_solution result;
+  if (target == 0) {
+    result.feasible = true;
+    result.exact = true;
+    return result;
+  }
+
+  // Group bid indices by seller.
+  std::map<seller_id, std::vector<std::size_t>> groups;
+  for (std::size_t idx = 0; idx < instance.bids.size(); ++idx) {
+    groups[instance.bids[idx].seller].push_back(idx);
+  }
+
+  const auto width = static_cast<std::size_t>(target) + 1;
+  std::vector<double> dp(width, kInf);
+  dp[0] = 0.0;
+  // choice[g][u]: bid taken by group g to first reach coverage u (or npos).
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<std::vector<std::size_t>> choice;
+  choice.reserve(groups.size());
+
+  for (const auto& [seller, bid_indices] : groups) {
+    (void)seller;
+    std::vector<double> next = dp;  // option: seller sells nothing
+    std::vector<std::size_t> pick(width, kNone);
+    for (std::size_t idx : bid_indices) {
+      const bid& b = instance.bids[idx];
+      // Contribution to the single demander is its amount (coverage is {0}).
+      const units gain = b.amount;
+      for (std::size_t u = 0; u < width; ++u) {
+        if (dp[u] == kInf) continue;
+        const auto v = static_cast<std::size_t>(
+            std::min<units>(target, static_cast<units>(u) + gain));
+        const double cost = dp[u] + b.price;
+        if (cost < next[v]) {
+          next[v] = cost;
+          pick[v] = idx;
+        }
+      }
+    }
+    dp.swap(next);
+    choice.push_back(std::move(pick));
+  }
+
+  if (dp[width - 1] == kInf) {
+    result.feasible = false;
+    result.exact = true;
+    result.cost = 0.0;
+    return result;
+  }
+  result.feasible = true;
+  result.exact = true;
+  result.cost = dp[width - 1];
+  result.lower_bound = result.cost;
+
+  // Reconstruct by replaying groups backwards.
+  // Rebuild the dp tables per layer to walk back (cheap: redo forward pass
+  // storing layer snapshots).
+  std::vector<std::vector<double>> layers;
+  layers.reserve(groups.size() + 1);
+  std::vector<double> cur(width, kInf);
+  cur[0] = 0.0;
+  layers.push_back(cur);
+  std::size_t g = 0;
+  for (const auto& [seller, bid_indices] : groups) {
+    (void)seller;
+    std::vector<double> next = cur;
+    for (std::size_t idx : bid_indices) {
+      const bid& b = instance.bids[idx];
+      const units gain = b.amount;
+      for (std::size_t u = 0; u < width; ++u) {
+        if (cur[u] == kInf) continue;
+        const auto v = static_cast<std::size_t>(
+            std::min<units>(target, static_cast<units>(u) + gain));
+        next[v] = std::min(next[v], cur[u] + b.price);
+      }
+    }
+    cur.swap(next);
+    layers.push_back(cur);
+    ++g;
+  }
+
+  std::size_t u = width - 1;
+  for (std::size_t layer = groups.size(); layer-- > 0;) {
+    // Did layer `layer` keep u unchanged (seller sold nothing)?
+    if (layers[layer][u] == layers[layer + 1][u]) continue;
+    const std::size_t idx = choice[layer][u];
+    ECRS_CHECK_MSG(idx != kNone, "DP reconstruction lost a choice");
+    result.chosen.push_back(idx);
+    const bid& b = instance.bids[idx];
+    // Find the predecessor state.
+    bool found = false;
+    for (std::size_t prev = 0; prev < width && !found; ++prev) {
+      if (layers[layer][prev] == kInf) continue;
+      const auto v = static_cast<std::size_t>(
+          std::min<units>(target, static_cast<units>(prev) + b.amount));
+      if (v == u &&
+          std::abs(layers[layer][prev] + b.price - layers[layer + 1][u]) <
+              1e-9) {
+        u = prev;
+        found = true;
+      }
+    }
+    ECRS_CHECK_MSG(found, "DP reconstruction failed");
+  }
+  std::reverse(result.chosen.begin(), result.chosen.end());
+  return result;
+}
+
+// -------------------------------------------------------- B&B (general m)
+
+struct seller_group {
+  seller_id seller = 0;
+  std::vector<std::size_t> bid_indices;
+  double cheapest_ppu = kInf;  // optimistic price per useful unit
+};
+
+class branch_and_bound {
+ public:
+  branch_and_bound(const single_stage_instance& instance,
+                   std::size_t node_limit)
+      : instance_(instance), node_limit_(node_limit) {
+    build_groups();
+  }
+
+  reference_solution run() {
+    reference_solution result;
+    // Incumbent from the greedy (never worse than nothing).
+    const std::vector<std::size_t> greedy = greedy_selection(instance_);
+    {
+      coverage_state state(instance_.requirements);
+      double cost = 0.0;
+      for (std::size_t idx : greedy) {
+        state.apply(instance_.bids[idx]);
+        cost += instance_.bids[idx].price;
+      }
+      if (state.satisfied()) {
+        best_cost_ = cost;
+        best_chosen_ = greedy;
+      }
+    }
+
+    std::vector<units> supply(instance_.requirements.size(), 0);
+    std::vector<std::size_t> chosen;
+    dfs(0, supply, 0.0, chosen);
+
+    result.nodes = nodes_;
+    result.exact = nodes_ <= node_limit_;
+    result.feasible = best_cost_ < kInf;
+    result.cost = result.feasible ? best_cost_ : 0.0;
+    result.chosen = best_chosen_;
+    if (result.feasible && result.exact) {
+      result.lower_bound = result.cost;
+    }
+    return result;
+  }
+
+ private:
+  void build_groups() {
+    std::map<seller_id, seller_group> by_seller;
+    for (std::size_t idx = 0; idx < instance_.bids.size(); ++idx) {
+      const bid& b = instance_.bids[idx];
+      seller_group& grp = by_seller[b.seller];
+      grp.seller = b.seller;
+      grp.bid_indices.push_back(idx);
+      const double ppu =
+          b.price / static_cast<double>(b.amount *
+                                        static_cast<units>(b.coverage.size()));
+      grp.cheapest_ppu = std::min(grp.cheapest_ppu, ppu);
+    }
+    for (auto& [seller, grp] : by_seller) {
+      (void)seller;
+      // Cheapest bids first: finds good incumbents early.
+      std::sort(grp.bid_indices.begin(), grp.bid_indices.end(),
+                [&](std::size_t a, std::size_t b2) {
+                  return instance_.bids[a].price < instance_.bids[b2].price;
+                });
+      groups_.push_back(std::move(grp));
+    }
+    // Most cost-effective sellers first.
+    std::sort(groups_.begin(), groups_.end(),
+              [](const seller_group& a, const seller_group& b) {
+                return a.cheapest_ppu < b.cheapest_ppu;
+              });
+
+    // Suffix structures for pruning.
+    const std::size_t g = groups_.size();
+    const std::size_t m = instance_.requirements.size();
+    suffix_supply_.assign(g + 1, std::vector<units>(m, 0));
+    suffix_ppu_.assign(g + 1, kInf);
+    for (std::size_t rank = g; rank-- > 0;) {
+      suffix_supply_[rank] = suffix_supply_[rank + 1];
+      suffix_ppu_[rank] =
+          std::min(suffix_ppu_[rank + 1], groups_[rank].cheapest_ppu);
+      // Seller's best possible contribution per demander (over its bids).
+      std::vector<units> best(m, 0);
+      for (std::size_t idx : groups_[rank].bid_indices) {
+        const bid& b = instance_.bids[idx];
+        for (demander_id k : b.coverage) {
+          best[k] = std::max(best[k], b.amount);
+        }
+      }
+      for (std::size_t k = 0; k < m; ++k) suffix_supply_[rank][k] += best[k];
+    }
+  }
+
+  [[nodiscard]] units total_deficit(const std::vector<units>& supply) const {
+    units deficit = 0;
+    for (std::size_t k = 0; k < supply.size(); ++k) {
+      deficit += std::max<units>(0, instance_.requirements[k] - supply[k]);
+    }
+    return deficit;
+  }
+
+  void dfs(std::size_t rank, std::vector<units>& supply, double cost,
+           std::vector<std::size_t>& chosen) {
+    if (nodes_ > node_limit_) return;
+    ++nodes_;
+
+    const units deficit = total_deficit(supply);
+    if (deficit == 0) {
+      if (cost < best_cost_) {
+        best_cost_ = cost;
+        best_chosen_ = chosen;
+      }
+      return;
+    }
+    if (rank == groups_.size()) return;
+
+    // Feasibility prune: even taking every remaining seller's best bid per
+    // demander cannot close the gap.
+    for (std::size_t k = 0; k < supply.size(); ++k) {
+      if (supply[k] + suffix_supply_[rank][k] < instance_.requirements[k]) {
+        return;
+      }
+    }
+    // Optimistic cost prune.
+    if (suffix_ppu_[rank] < kInf &&
+        cost + static_cast<double>(deficit) * suffix_ppu_[rank] >=
+            best_cost_ - 1e-12) {
+      return;
+    }
+
+    const seller_group& grp = groups_[rank];
+    // Option A: take one of the seller's bids.
+    for (std::size_t idx : grp.bid_indices) {
+      const bid& b = instance_.bids[idx];
+      if (cost + b.price >= best_cost_ - 1e-12) continue;
+      for (demander_id k : b.coverage) supply[k] += b.amount;
+      chosen.push_back(idx);
+      dfs(rank + 1, supply, cost + b.price, chosen);
+      chosen.pop_back();
+      for (demander_id k : b.coverage) supply[k] -= b.amount;
+    }
+    // Option B: the seller sells nothing.
+    dfs(rank + 1, supply, cost, chosen);
+  }
+
+  const single_stage_instance& instance_;
+  std::size_t node_limit_;
+  std::vector<seller_group> groups_;
+  std::vector<std::vector<units>> suffix_supply_;
+  std::vector<double> suffix_ppu_;
+  double best_cost_ = kInf;
+  std::vector<std::size_t> best_chosen_;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace
+
+reference_solution solve_exact(const single_stage_instance& instance,
+                               std::size_t node_limit) {
+  instance.validate();
+  if (instance.requirements.size() == 1) {
+    return dp_single_demander(instance);
+  }
+  branch_and_bound solver(instance, node_limit);
+  reference_solution result = solver.run();
+  if (!result.exact && result.feasible) {
+    // Budget exhausted: certify with the LP bound instead.
+    result.lower_bound = lp_bound(instance);
+  }
+  return result;
+}
+
+double lp_bound(const single_stage_instance& instance) {
+  instance.validate();
+  lp::model m;
+  for (const bid& b : instance.bids) {
+    m.add_variable(b.price);
+  }
+  // At most one bid per seller.
+  std::map<seller_id, std::vector<std::size_t>> groups;
+  for (std::size_t idx = 0; idx < instance.bids.size(); ++idx) {
+    groups[instance.bids[idx].seller].push_back(idx);
+  }
+  for (const auto& [seller, bid_indices] : groups) {
+    (void)seller;
+    std::vector<std::pair<std::size_t, double>> row;
+    row.reserve(bid_indices.size());
+    for (std::size_t idx : bid_indices) row.emplace_back(idx, 1.0);
+    m.add_constraint(row, lp::row_sense::le, 1.0);
+  }
+  // Coverage per demander.
+  for (std::size_t k = 0; k < instance.requirements.size(); ++k) {
+    if (instance.requirements[k] == 0) continue;
+    std::vector<std::pair<std::size_t, double>> row;
+    for (std::size_t idx = 0; idx < instance.bids.size(); ++idx) {
+      const bid& b = instance.bids[idx];
+      if (std::binary_search(b.coverage.begin(), b.coverage.end(),
+                             static_cast<demander_id>(k))) {
+        row.emplace_back(idx, static_cast<double>(b.amount));
+      }
+    }
+    m.add_constraint(row, lp::row_sense::ge,
+                     static_cast<double>(instance.requirements[k]));
+  }
+  const lp::solution sol = lp::solve(m);
+  ECRS_CHECK_MSG(sol.status == lp::solve_status::optimal,
+                 "LP relaxation not optimal: " << lp::to_string(sol.status));
+  return sol.objective;
+}
+
+double offline_lp_bound(const online_instance& instance) {
+  instance.validate();
+  lp::model m;
+  // Variable per (round, bid) with the seller in its window.
+  struct var_key {
+    std::size_t round;
+    std::size_t bid_index;
+  };
+  std::vector<var_key> vars;
+  std::vector<std::vector<std::size_t>> var_of_round(instance.rounds.size());
+  for (std::size_t t = 0; t < instance.rounds.size(); ++t) {
+    var_of_round[t].assign(instance.rounds[t].bids.size(),
+                           static_cast<std::size_t>(-1));
+    for (std::size_t idx = 0; idx < instance.rounds[t].bids.size(); ++idx) {
+      const bid& b = instance.rounds[t].bids[idx];
+      if (!instance.in_window(b.seller, static_cast<std::uint32_t>(t + 1))) {
+        continue;
+      }
+      var_of_round[t][idx] = m.add_variable(b.price);
+      vars.push_back(var_key{t, idx});
+    }
+  }
+
+  // Per (round, seller): at most one bid.
+  for (std::size_t t = 0; t < instance.rounds.size(); ++t) {
+    std::map<seller_id, std::vector<std::size_t>> groups;
+    for (std::size_t idx = 0; idx < instance.rounds[t].bids.size(); ++idx) {
+      if (var_of_round[t][idx] == static_cast<std::size_t>(-1)) continue;
+      groups[instance.rounds[t].bids[idx].seller].push_back(
+          var_of_round[t][idx]);
+    }
+    for (const auto& [seller, vs] : groups) {
+      (void)seller;
+      std::vector<std::pair<std::size_t, double>> row;
+      for (std::size_t v : vs) row.emplace_back(v, 1.0);
+      m.add_constraint(row, lp::row_sense::le, 1.0);
+    }
+    // Per (round, demander): coverage.
+    for (std::size_t k = 0; k < instance.rounds[t].requirements.size(); ++k) {
+      if (instance.rounds[t].requirements[k] == 0) continue;
+      std::vector<std::pair<std::size_t, double>> row;
+      for (std::size_t idx = 0; idx < instance.rounds[t].bids.size(); ++idx) {
+        if (var_of_round[t][idx] == static_cast<std::size_t>(-1)) continue;
+        const bid& b = instance.rounds[t].bids[idx];
+        if (std::binary_search(b.coverage.begin(), b.coverage.end(),
+                               static_cast<demander_id>(k))) {
+          row.emplace_back(var_of_round[t][idx],
+                           static_cast<double>(b.amount));
+        }
+      }
+      m.add_constraint(row, lp::row_sense::ge,
+                       static_cast<double>(instance.rounds[t].requirements[k]));
+    }
+  }
+
+  // Per seller: lifetime participation capacity (constraint (11)).
+  for (std::size_t s = 0; s < instance.sellers.size(); ++s) {
+    std::vector<std::pair<std::size_t, double>> row;
+    for (std::size_t t = 0; t < instance.rounds.size(); ++t) {
+      for (std::size_t idx = 0; idx < instance.rounds[t].bids.size(); ++idx) {
+        if (var_of_round[t][idx] == static_cast<std::size_t>(-1)) continue;
+        const bid& b = instance.rounds[t].bids[idx];
+        if (b.seller == s) {
+          row.emplace_back(var_of_round[t][idx],
+                           static_cast<double>(b.coverage_size()));
+        }
+      }
+    }
+    if (!row.empty()) {
+      m.add_constraint(row, lp::row_sense::le,
+                       static_cast<double>(instance.sellers[s].capacity));
+    }
+  }
+
+  const lp::solution sol = lp::solve(m);
+  ECRS_CHECK_MSG(sol.status == lp::solve_status::optimal,
+                 "offline LP relaxation not optimal: "
+                     << lp::to_string(sol.status));
+  return sol.objective;
+}
+
+namespace {
+
+// Exhaustive offline search for small instances: per round, per seller in
+// window, choose one bid or none, subject to capacities; prune on cost.
+class offline_search {
+ public:
+  offline_search(const online_instance& instance, std::size_t node_limit)
+      : instance_(instance), node_limit_(node_limit) {
+    capacity_left_.reserve(instance_.sellers.size());
+    for (const seller_profile& p : instance_.sellers) {
+      capacity_left_.push_back(p.capacity);
+    }
+    // Precompute, per round, the sellers present and their bid indices.
+    round_groups_.resize(instance_.rounds.size());
+    for (std::size_t t = 0; t < instance_.rounds.size(); ++t) {
+      std::map<seller_id, std::vector<std::size_t>> groups;
+      for (std::size_t idx = 0; idx < instance_.rounds[t].bids.size(); ++idx) {
+        const bid& b = instance_.rounds[t].bids[idx];
+        if (instance_.in_window(b.seller, static_cast<std::uint32_t>(t + 1))) {
+          groups[b.seller].push_back(idx);
+        }
+      }
+      for (auto& [seller, idxs] : groups) {
+        round_groups_[t].push_back({seller, std::move(idxs)});
+      }
+    }
+  }
+
+  reference_solution run() {
+    std::vector<std::size_t> chosen;
+    descend_round(0, 0.0, chosen);
+    reference_solution result;
+    result.nodes = nodes_;
+    result.exact = nodes_ <= node_limit_;
+    result.feasible = best_cost_ < kInf;
+    result.cost = result.feasible ? best_cost_ : 0.0;
+    result.lower_bound = result.exact && result.feasible ? best_cost_ : 0.0;
+    result.chosen = best_chosen_;
+    return result;
+  }
+
+ private:
+  struct group {
+    seller_id seller;
+    std::vector<std::size_t> bids;
+  };
+
+  void descend_round(std::size_t t, double cost,
+                     std::vector<std::size_t>& chosen) {
+    if (nodes_ > node_limit_) return;
+    if (t == instance_.rounds.size()) {
+      if (cost < best_cost_) {
+        best_cost_ = cost;
+        best_chosen_ = chosen;
+      }
+      return;
+    }
+    std::vector<units> supply(instance_.rounds[t].requirements.size(), 0);
+    descend_seller(t, 0, supply, cost, chosen);
+  }
+
+  void descend_seller(std::size_t t, std::size_t g, std::vector<units>& supply,
+                      double cost, std::vector<std::size_t>& chosen) {
+    if (nodes_ > node_limit_) return;
+    ++nodes_;
+    if (cost >= best_cost_ - 1e-12) return;
+    if (g == round_groups_[t].size()) {
+      // Round complete: all requirements must be covered.
+      const auto& req = instance_.rounds[t].requirements;
+      for (std::size_t k = 0; k < req.size(); ++k) {
+        if (supply[k] < req[k]) return;
+      }
+      descend_round(t + 1, cost, chosen);
+      return;
+    }
+    const group& grp = round_groups_[t][g];
+    // Take one of the bids (capacity permitting).
+    for (std::size_t idx : grp.bids) {
+      const bid& b = instance_.rounds[t].bids[idx];
+      const auto weight = static_cast<units>(b.coverage_size());
+      if (capacity_left_[b.seller] < weight) continue;
+      capacity_left_[b.seller] -= weight;
+      for (demander_id k : b.coverage) supply[k] += b.amount;
+      chosen.push_back(t * kRoundStride + idx);
+      descend_seller(t, g + 1, supply, cost + b.price, chosen);
+      chosen.pop_back();
+      for (demander_id k : b.coverage) supply[k] -= b.amount;
+      capacity_left_[b.seller] += weight;
+    }
+    // Or sell nothing this round.
+    descend_seller(t, g + 1, supply, cost, chosen);
+  }
+
+  const online_instance& instance_;
+  std::size_t node_limit_;
+  std::vector<units> capacity_left_;
+  std::vector<std::vector<group>> round_groups_;
+  double best_cost_ = kInf;
+  std::vector<std::size_t> best_chosen_;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace
+
+reference_solution offline_exact(const online_instance& instance,
+                                 std::size_t node_limit) {
+  instance.validate();
+  offline_search solver(instance, node_limit);
+  reference_solution result = solver.run();
+  if (!result.exact && result.feasible) {
+    result.lower_bound = offline_lp_bound(instance);
+  }
+  return result;
+}
+
+}  // namespace ecrs::auction

@@ -1,0 +1,59 @@
+// Reference solvers for the winner selection problem.
+//
+// These provide the "offline optimum" denominators of every performance-
+// ratio figure, and ground truth for the property tests:
+//
+//  - solve_exact()       exact single-stage optimum. Dynamic programming for
+//                        one demander (pseudo-polynomial, always exact);
+//                        depth-first branch-and-bound over sellers
+//                        otherwise. `exact` is false only if the node budget
+//                        was exhausted, in which case `cost` is the best
+//                        incumbent and `lower_bound` still certifies.
+//  - lp_bound()          LP-relaxation lower bound via ecrs::lp (certified
+//                        for any size).
+//  - offline_exact()     exact multi-stage offline optimum (small instances;
+//                        branch-and-bound over rounds×sellers).
+//  - offline_lp_bound()  LP relaxation of the full multi-stage ILP (7)–(11).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "auction/bid.h"
+#include "auction/online.h"
+
+namespace ecrs::auction {
+
+struct reference_solution {
+  double cost = 0.0;          // best integral objective found
+  double lower_bound = 0.0;   // certified bound (<= optimum)
+  bool feasible = false;      // an integral solution exists / was found
+  bool exact = true;          // cost is provably optimal
+  std::vector<std::size_t> chosen;  // winning bid indices (single-stage) or
+                                    // flattened (round, bid) pairs encoded as
+                                    // round * stride + index (multi-stage)
+  std::size_t nodes = 0;      // search nodes explored
+};
+
+// Exact single-stage optimum. node_limit bounds the branch-and-bound search
+// (ignored by the single-demander DP).
+[[nodiscard]] reference_solution solve_exact(
+    const single_stage_instance& instance, std::size_t node_limit = 4000000);
+
+// LP-relaxation lower bound of the single-stage ILP (12)-(15).
+// Returns 0 for instances whose relaxation is infeasible? No: throws if the
+// relaxation is infeasible (the caller should check coverable() first).
+[[nodiscard]] double lp_bound(const single_stage_instance& instance);
+
+// Exact offline multi-stage optimum of ILP (7)-(11) for small instances.
+[[nodiscard]] reference_solution offline_exact(const online_instance& instance,
+                                               std::size_t node_limit = 4000000);
+
+// LP-relaxation lower bound of the full multi-stage ILP.
+[[nodiscard]] double offline_lp_bound(const online_instance& instance);
+
+// Stride used to encode (round, bid_index) pairs in
+// reference_solution::chosen for multi-stage solutions.
+constexpr std::size_t kRoundStride = 1u << 20;
+
+}  // namespace ecrs::auction

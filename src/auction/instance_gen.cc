@@ -1,0 +1,226 @@
+#include "auction/instance_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace ecrs::auction {
+namespace {
+
+// Clamp requirements so that EVERY greedy path of SSAM completes: per
+// demander, the guaranteed supply is the sum over covering sellers of the
+// seller's MINIMUM bid amount (whatever bid of a seller wins contributes at
+// least that much). See DESIGN.md §2: all bids of a seller share one
+// coverage set, so the instance stays satisfiable no matter which
+// alternative bid is selected.
+void clamp_to_guaranteed_supply(single_stage_instance& instance,
+                                double margin,
+                                const std::vector<bool>* seller_present) {
+  std::map<seller_id, units> min_amount;
+  std::map<seller_id, const std::vector<demander_id>*> coverage_of;
+  for (const bid& b : instance.bids) {
+    if (seller_present != nullptr &&
+        (b.seller >= seller_present->size() || !(*seller_present)[b.seller])) {
+      continue;
+    }
+    auto [it, inserted] = min_amount.emplace(b.seller, b.amount);
+    if (!inserted) it->second = std::min(it->second, b.amount);
+    coverage_of[b.seller] = &b.coverage;
+  }
+  std::vector<units> supply(instance.requirements.size(), 0);
+  for (const auto& [seller, amount] : min_amount) {
+    for (demander_id k : *coverage_of[seller]) supply[k] += amount;
+  }
+  for (std::size_t k = 0; k < instance.requirements.size(); ++k) {
+    const auto cap = static_cast<units>(
+        std::floor(margin * static_cast<double>(supply[k])));
+    instance.requirements[k] =
+        std::max<units>(0, std::min(instance.requirements[k], cap));
+  }
+}
+
+}  // namespace
+
+single_stage_instance random_instance(const instance_config& config,
+                                      rng& gen) {
+  ECRS_CHECK_MSG(config.sellers >= 1, "need at least one seller");
+  ECRS_CHECK_MSG(config.demanders >= 1, "need at least one demander");
+  ECRS_CHECK_MSG(config.bids_per_seller >= 1, "need at least one bid");
+  ECRS_CHECK_MSG(config.price_lo >= 0.0 && config.price_hi >= config.price_lo,
+                 "bad price range");
+  ECRS_CHECK_MSG(
+      config.requirement_lo >= 0 &&
+          config.requirement_hi >= config.requirement_lo,
+      "bad requirement range");
+  ECRS_CHECK_MSG(config.amount_lo >= 1 && config.amount_hi >= config.amount_lo,
+                 "bad amount range");
+  ECRS_CHECK_MSG(
+      config.coverage_fraction > 0.0 && config.coverage_fraction <= 1.0,
+      "coverage fraction out of (0,1]");
+  ECRS_CHECK_MSG(config.supply_margin > 0.0 && config.supply_margin <= 1.0,
+                 "supply margin out of (0,1]");
+
+  single_stage_instance instance;
+  instance.requirements.resize(config.demanders);
+  for (units& x : instance.requirements) {
+    x = gen.uniform_int(config.requirement_lo, config.requirement_hi);
+  }
+
+  auto max_cover = static_cast<std::size_t>(std::max(
+      1.0, config.coverage_fraction * static_cast<double>(config.demanders)));
+  if (config.max_coverage > 0) {
+    max_cover = std::min(max_cover, config.max_coverage);
+  }
+  max_cover = std::min(max_cover, config.demanders);
+  for (std::size_t s = 0; s < config.sellers; ++s) {
+    // One coverage set per seller; its alternative bids are different
+    // (amount, price) offers for the same set of demanders.
+    const auto cover_n = static_cast<std::size_t>(
+        gen.uniform_int(1, static_cast<std::int64_t>(max_cover)));
+    std::vector<demander_id> coverage;
+    coverage.reserve(cover_n);
+    for (std::size_t k : gen.sample_without_replacement(config.demanders,
+                                                        cover_n)) {
+      coverage.push_back(static_cast<demander_id>(k));
+    }
+    std::sort(coverage.begin(), coverage.end());
+
+    for (std::size_t j = 0; j < config.bids_per_seller; ++j) {
+      bid b;
+      b.seller = static_cast<seller_id>(s);
+      b.index = static_cast<std::uint32_t>(j);
+      b.coverage = coverage;
+      b.amount = gen.uniform_int(config.amount_lo, config.amount_hi);
+      b.price = gen.uniform_real(config.price_lo, config.price_hi);
+      instance.bids.push_back(std::move(b));
+    }
+  }
+
+  clamp_to_guaranteed_supply(instance, config.supply_margin, nullptr);
+  instance.validate();
+  return instance;
+}
+
+online_instance random_online_instance(const online_config& config, rng& gen) {
+  ECRS_CHECK_MSG(config.rounds >= 1, "need at least one round");
+  ECRS_CHECK_MSG(
+      config.windowed_fraction >= 0.0 && config.windowed_fraction <= 1.0,
+      "windowed fraction out of [0,1]");
+  ECRS_CHECK_MSG(
+      config.seller_price_bias >= 0.0 && config.seller_price_bias < 1.0,
+      "seller price bias out of [0,1)");
+
+  online_instance instance;
+  const auto t_max = static_cast<std::uint32_t>(config.rounds);
+
+  // Seller profiles.
+  const std::size_t n = config.stage.sellers;
+  instance.sellers.resize(n);
+  // Auto capacity: enough participation units to win with an average-size
+  // coverage set in most rounds of the horizon — binding occasionally, but
+  // rarely enough to starve coverage (see DESIGN.md §2).
+  const double avg_cover = std::max(
+      1.0, 0.5 * (1.0 + config.stage.coverage_fraction *
+                            static_cast<double>(config.stage.demanders)));
+  units cap_lo = config.capacity_lo;
+  units cap_hi = config.capacity_hi;
+  if (cap_lo == 0 && cap_hi == 0) {
+    cap_lo = static_cast<units>(
+        std::ceil(avg_cover * static_cast<double>(config.rounds) * 0.5));
+    cap_hi = static_cast<units>(
+        std::ceil(avg_cover * static_cast<double>(config.rounds) * 1.0));
+  }
+  ECRS_CHECK_MSG(cap_lo >= 1 && cap_hi >= cap_lo, "bad capacity range");
+
+  for (std::size_t s = 0; s < n; ++s) {
+    seller_profile& p = instance.sellers[s];
+    p.capacity = gen.uniform_int(cap_lo, cap_hi);
+    if (gen.bernoulli(config.windowed_fraction) && t_max > 1) {
+      const auto a = static_cast<std::uint32_t>(gen.uniform_int(1, t_max));
+      const auto b = static_cast<std::uint32_t>(gen.uniform_int(1, t_max));
+      p.t_arrive = std::min(a, b);
+      p.t_depart = std::max(a, b);
+    } else {
+      p.t_arrive = 1;
+      p.t_depart = t_max;
+    }
+  }
+
+  // Persistent per-seller price levels (see online_config).
+  std::vector<double> price_factor(n, 1.0);
+  if (config.seller_price_bias > 0.0) {
+    for (double& factor : price_factor) {
+      factor = gen.uniform_real(1.0 - config.seller_price_bias,
+                                1.0 + config.seller_price_bias);
+    }
+  }
+
+  // Per-round instances, clamped against the guaranteed supply of sellers
+  // present in that round.
+  instance.rounds.reserve(config.rounds);
+  for (std::uint32_t t = 1; t <= t_max; ++t) {
+    single_stage_instance round = random_instance(config.stage, gen);
+    for (bid& b : round.bids) b.price *= price_factor[b.seller];
+    std::vector<bool> present(n, false);
+    for (std::size_t s = 0; s < n; ++s) {
+      present[s] = t >= instance.sellers[s].t_arrive &&
+                   t <= instance.sellers[s].t_depart;
+    }
+    clamp_to_guaranteed_supply(round, config.stage.supply_margin, &present);
+    instance.rounds.push_back(std::move(round));
+  }
+
+  // Capacity-aware repair: simulate a feasible assignment round by round;
+  // wherever even the repair greedy cannot cover, lower the requirement to
+  // what it achieved. Guarantees the offline ILP (and its LP relaxation)
+  // are feasible.
+  std::vector<units> capacity_left;
+  capacity_left.reserve(n);
+  for (const seller_profile& p : instance.sellers) {
+    capacity_left.push_back(p.capacity);
+  }
+  for (std::uint32_t t = 1; t <= t_max; ++t) {
+    single_stage_instance& round = instance.rounds[t - 1];
+    coverage_state state(round.requirements);
+    std::vector<bool> seller_used(n, false);
+    while (!state.satisfied()) {
+      // Pick the admissible bid with maximal marginal utility; ties favour
+      // sellers with more remaining capacity (preserve future rounds).
+      std::size_t best = round.bids.size();
+      units best_gain = 0;
+      units best_cap = -1;
+      for (std::size_t idx = 0; idx < round.bids.size(); ++idx) {
+        const bid& b = round.bids[idx];
+        if (seller_used[b.seller]) continue;
+        if (!instance.in_window(b.seller, t)) continue;
+        const auto weight = static_cast<units>(b.coverage_size());
+        if (capacity_left[b.seller] < weight) continue;
+        const units gain = state.marginal_utility(b);
+        if (gain > best_gain ||
+            (gain == best_gain && gain > 0 &&
+             capacity_left[b.seller] > best_cap)) {
+          best = idx;
+          best_gain = gain;
+          best_cap = capacity_left[b.seller];
+        }
+      }
+      if (best == round.bids.size() || best_gain == 0) break;  // stuck
+      const bid& b = round.bids[best];
+      state.apply(b);
+      seller_used[b.seller] = true;
+      capacity_left[b.seller] -= static_cast<units>(b.coverage_size());
+    }
+    if (!state.satisfied()) {
+      for (std::size_t k = 0; k < round.requirements.size(); ++k) {
+        round.requirements[k] -= state.remaining(static_cast<demander_id>(k));
+      }
+    }
+  }
+
+  instance.validate();
+  return instance;
+}
+
+}  // namespace ecrs::auction

@@ -1,0 +1,64 @@
+// Random auction-instance generators following the paper's parameter
+// settings (§V-A): bid prices uniform in [10, 35], requirements 𝔾^t uniform
+// in [10, 40], J bids per seller (default 2), sellers drawn from the
+// microservices of the edge clouds. Generated instances are always
+// satisfiable: requirements are clamped to the available supply with a
+// safety margin.
+#pragma once
+
+#include <cstddef>
+
+#include "auction/bid.h"
+#include "auction/online.h"
+#include "common/rng.h"
+
+namespace ecrs::auction {
+
+struct instance_config {
+  std::size_t sellers = 25;          // |S| microservices with spare resources
+  std::size_t demanders = 5;         // |Ŝ| microservices in need
+  std::size_t bids_per_seller = 2;   // F / J, alternative bids
+  double price_lo = 10.0;            // paper: U[10, 35]
+  double price_hi = 35.0;
+  units requirement_lo = 10;         // paper: 𝔾^t in [10, 40]
+  units requirement_hi = 40;
+  units amount_lo = 1;               // a_ij: units offered per demander
+  units amount_hi = 10;
+  // Each bid covers a uniform number of demanders in
+  // [1, max(1, coverage_fraction * demanders)] ...
+  double coverage_fraction = 0.6;
+  // ... unless max_coverage > 0, which caps the coverage size at an
+  // absolute count regardless of how many demanders exist (used when
+  // sweeping the demander count so per-bid supply stays comparable).
+  std::size_t max_coverage = 0;
+  // Requirements are clamped to this fraction of the achievable supply so
+  // every generated instance is satisfiable.
+  double supply_margin = 0.8;
+};
+
+[[nodiscard]] single_stage_instance random_instance(
+    const instance_config& config, rng& gen);
+
+struct online_config {
+  instance_config stage;
+  std::size_t rounds = 10;  // T (paper default 10, swept 1..15)
+  // Seller lifetime capacity Θ_i in participation units, uniform in
+  // [capacity_lo, capacity_hi]. 0,0 = auto: enough for roughly half the
+  // horizon (keeps capacity binding but feasible).
+  units capacity_lo = 0;
+  units capacity_hi = 0;
+  // Fraction of sellers whose [t-, t+] window is a strict sub-interval of
+  // the horizon (the rest are present throughout).
+  double windowed_fraction = 0.5;
+  // Persistent per-seller price level: each seller draws a multiplicative
+  // factor uniform in [1-bias, 1+bias] once, applied to all its bids in
+  // every round. 0 = prices iid across rounds (no consistently cheap
+  // sellers); > 0 makes capacity protection matter (some sellers stay cheap
+  // for the whole horizon — the situation Algorithm 2's ψ-scaling targets).
+  double seller_price_bias = 0.0;
+};
+
+[[nodiscard]] online_instance random_online_instance(
+    const online_config& config, rng& gen);
+
+}  // namespace ecrs::auction

@@ -1,0 +1,163 @@
+#include "auction/io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ecrs::auction {
+namespace {
+
+constexpr const char* kInstanceHeader = "ecrs-instance v1";
+constexpr const char* kOnlineHeader = "ecrs-online v1";
+
+void expect_token(std::istream& in, const std::string& expected) {
+  std::string token;
+  ECRS_CHECK_MSG(in >> token, "unexpected end of input, wanted '" << expected
+                                                                  << "'");
+  ECRS_CHECK_MSG(token == expected,
+                 "expected '" << expected << "', found '" << token << "'");
+}
+
+void expect_header(std::istream& in, const std::string& header) {
+  std::string line;
+  // Skip blank lines between blocks.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) break;
+  }
+  ECRS_CHECK_MSG(line == header,
+                 "expected header '" << header << "', found '" << line << "'");
+}
+
+}  // namespace
+
+void write_instance(std::ostream& out,
+                    const single_stage_instance& instance) {
+  instance.validate();
+  out << kInstanceHeader << '\n';
+  out << "requirements " << instance.requirements.size();
+  for (units x : instance.requirements) out << ' ' << x;
+  out << '\n';
+  out << "bids " << instance.bids.size() << '\n';
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const bid& b : instance.bids) {
+    out << b.seller << ' ' << b.index << ' ' << b.amount << ' '
+        << std::hexfloat << b.price << std::defaultfloat << ' '
+        << b.coverage.size();
+    for (demander_id k : b.coverage) out << ' ' << k;
+    out << '\n';
+  }
+}
+
+single_stage_instance read_instance(std::istream& in) {
+  expect_header(in, kInstanceHeader);
+  single_stage_instance instance;
+
+  expect_token(in, "requirements");
+  std::size_t m = 0;
+  ECRS_CHECK_MSG(in >> m, "malformed requirements count");
+  instance.requirements.resize(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    ECRS_CHECK_MSG(in >> instance.requirements[k],
+                   "malformed requirement " << k);
+  }
+
+  expect_token(in, "bids");
+  std::size_t count = 0;
+  ECRS_CHECK_MSG(in >> count, "malformed bid count");
+  instance.bids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bid b;
+    std::size_t cover = 0;
+    std::string price_token;
+    ECRS_CHECK_MSG(in >> b.seller >> b.index >> b.amount >> price_token >>
+                       cover,
+                   "malformed bid " << i);
+    // strtod parses hexfloat portably; istream >> double does not.
+    char* end = nullptr;
+    b.price = std::strtod(price_token.c_str(), &end);
+    ECRS_CHECK_MSG(end != price_token.c_str() && *end == '\0',
+                   "malformed price in bid " << i << ": " << price_token);
+    b.coverage.resize(cover);
+    for (std::size_t c = 0; c < cover; ++c) {
+      ECRS_CHECK_MSG(in >> b.coverage[c],
+                     "malformed coverage in bid " << i);
+    }
+    instance.bids.push_back(std::move(b));
+  }
+  // Consume the trailing newline so block readers can continue.
+  in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  instance.validate();
+  return instance;
+}
+
+void write_online_instance(std::ostream& out, const online_instance& instance) {
+  instance.validate();
+  out << kOnlineHeader << '\n';
+  out << "sellers " << instance.sellers.size() << '\n';
+  for (const seller_profile& p : instance.sellers) {
+    out << p.capacity << ' ' << p.t_arrive << ' ' << p.t_depart << '\n';
+  }
+  out << "rounds " << instance.rounds.size() << '\n';
+  for (const single_stage_instance& round : instance.rounds) {
+    write_instance(out, round);
+  }
+}
+
+online_instance read_online_instance(std::istream& in) {
+  expect_header(in, kOnlineHeader);
+  online_instance instance;
+
+  expect_token(in, "sellers");
+  std::size_t n = 0;
+  ECRS_CHECK_MSG(in >> n, "malformed seller count");
+  instance.sellers.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    seller_profile& p = instance.sellers[s];
+    ECRS_CHECK_MSG(in >> p.capacity >> p.t_arrive >> p.t_depart,
+                   "malformed seller profile " << s);
+  }
+
+  expect_token(in, "rounds");
+  std::size_t t_max = 0;
+  ECRS_CHECK_MSG(in >> t_max, "malformed round count");
+  in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  instance.rounds.reserve(t_max);
+  for (std::size_t t = 0; t < t_max; ++t) {
+    instance.rounds.push_back(read_instance(in));
+  }
+  instance.validate();
+  return instance;
+}
+
+void write_instance_file(const std::string& path,
+                         const single_stage_instance& instance) {
+  std::ofstream out(path);
+  ECRS_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_instance(out, instance);
+}
+
+single_stage_instance read_instance_file(const std::string& path) {
+  std::ifstream in(path);
+  ECRS_CHECK_MSG(in.good(), "cannot open " << path);
+  return read_instance(in);
+}
+
+void write_online_instance_file(const std::string& path,
+                                const online_instance& instance) {
+  std::ofstream out(path);
+  ECRS_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write_online_instance(out, instance);
+}
+
+online_instance read_online_instance_file(const std::string& path) {
+  std::ifstream in(path);
+  ECRS_CHECK_MSG(in.good(), "cannot open " << path);
+  return read_online_instance(in);
+}
+
+}  // namespace ecrs::auction

@@ -1,0 +1,43 @@
+// Auction-instance serialization: a line-oriented text format so that
+// experiment inputs can be archived, diffed, and replayed bit-identically
+// (prices round-trip at full double precision).
+//
+// Single-stage format:
+//   ecrs-instance v1
+//   requirements <m> <x_1> ... <x_m>
+//   bids <count>
+//   <seller> <index> <amount> <price-hex> <|coverage|> <k_1> ... <k_c>
+//
+// Online format:
+//   ecrs-online v1
+//   sellers <n>
+//   <capacity> <t_arrive> <t_depart>     (n lines)
+//   rounds <T>
+//   ...T single-stage blocks...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "auction/bid.h"
+#include "auction/online.h"
+
+namespace ecrs::auction {
+
+void write_instance(std::ostream& out, const single_stage_instance& instance);
+[[nodiscard]] single_stage_instance read_instance(std::istream& in);
+
+void write_online_instance(std::ostream& out, const online_instance& instance);
+[[nodiscard]] online_instance read_online_instance(std::istream& in);
+
+void write_instance_file(const std::string& path,
+                         const single_stage_instance& instance);
+[[nodiscard]] single_stage_instance read_instance_file(
+    const std::string& path);
+
+void write_online_instance_file(const std::string& path,
+                                const online_instance& instance);
+[[nodiscard]] online_instance read_online_instance_file(
+    const std::string& path);
+
+}  // namespace ecrs::auction

@@ -1,0 +1,125 @@
+#include "auction/local_search.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "auction/ssam.h"
+#include "common/check.h"
+
+namespace ecrs::auction {
+namespace {
+
+// Is the selection (bid indices) feasible for the instance?
+bool covers(const single_stage_instance& instance,
+            const std::vector<std::size_t>& selection) {
+  coverage_state state(instance.requirements);
+  for (std::size_t idx : selection) state.apply(instance.bids[idx]);
+  return state.satisfied();
+}
+
+double cost_of(const single_stage_instance& instance,
+               const std::vector<std::size_t>& selection) {
+  double total = 0.0;
+  for (std::size_t idx : selection) total += instance.bids[idx].price;
+  return total;
+}
+
+}  // namespace
+
+local_search_result improve_selection(const single_stage_instance& instance,
+                                      std::vector<std::size_t> initial,
+                                      const local_search_options& options) {
+  instance.validate();
+  if (initial.empty()) initial = greedy_selection(instance);
+
+  local_search_result result;
+  result.winners = std::move(initial);
+  result.feasible = covers(instance, result.winners);
+  result.cost = cost_of(instance, result.winners);
+  if (!result.feasible) return result;  // nothing to improve from
+
+  std::set<seller_id> used;
+  for (std::size_t idx : result.winners) {
+    const bool inserted = used.insert(instance.bids[idx].seller).second;
+    ECRS_CHECK_MSG(inserted, "initial selection has two bids of one seller");
+  }
+
+  // Bids per seller, for swap moves.
+  std::map<seller_id, std::vector<std::size_t>> by_seller;
+  for (std::size_t idx = 0; idx < instance.bids.size(); ++idx) {
+    by_seller[instance.bids[idx].seller].push_back(idx);
+  }
+
+  bool improved = true;
+  while (improved && result.iterations < options.max_iterations) {
+    improved = false;
+
+    // drop: remove redundant winners (most expensive first).
+    std::vector<std::size_t> order(result.winners.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return instance.bids[result.winners[a]].price >
+             instance.bids[result.winners[b]].price;
+    });
+    for (std::size_t pos : order) {
+      std::vector<std::size_t> trial = result.winners;
+      trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(pos));
+      if (covers(instance, trial)) {
+        used.erase(instance.bids[result.winners[pos]].seller);
+        result.winners = std::move(trial);
+        result.cost = cost_of(instance, result.winners);
+        ++result.iterations;
+        improved = true;
+        break;
+      }
+    }
+    if (improved) continue;
+
+    // swap: cheaper alternative bid of the same seller that stays feasible.
+    for (std::size_t pos = 0; pos < result.winners.size() && !improved;
+         ++pos) {
+      const std::size_t current = result.winners[pos];
+      for (std::size_t alt : by_seller[instance.bids[current].seller]) {
+        if (alt == current) continue;
+        if (instance.bids[alt].price >= instance.bids[current].price) continue;
+        std::vector<std::size_t> trial = result.winners;
+        trial[pos] = alt;
+        if (covers(instance, trial)) {
+          result.winners = std::move(trial);
+          result.cost = cost_of(instance, result.winners);
+          ++result.iterations;
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (improved) continue;
+
+    // replace: swap one winner for a bid of an unused seller at lower cost.
+    for (std::size_t pos = 0; pos < result.winners.size() && !improved;
+         ++pos) {
+      const double removed_price =
+          instance.bids[result.winners[pos]].price;
+      for (std::size_t alt = 0; alt < instance.bids.size() && !improved;
+           ++alt) {
+        const bid& b = instance.bids[alt];
+        if (used.count(b.seller) > 0) continue;
+        if (b.price >= removed_price) continue;
+        std::vector<std::size_t> trial = result.winners;
+        trial[pos] = alt;
+        if (covers(instance, trial)) {
+          used.erase(instance.bids[result.winners[pos]].seller);
+          used.insert(b.seller);
+          result.winners = std::move(trial);
+          result.cost = cost_of(instance, result.winners);
+          ++result.iterations;
+          improved = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ecrs::auction

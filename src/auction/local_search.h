@@ -1,0 +1,41 @@
+// Local-search improvement heuristic for the winner selection problem.
+//
+// Not a mechanism (it ignores incentives): a cost-only optimizer used as an
+// efficiency reference between the greedy and the exact solvers when the
+// exact search is too slow. Starts from a feasible selection (the greedy's
+// by default) and applies first-improvement moves until a local optimum:
+//
+//   drop:    remove a winner whose coverage is redundant;
+//   swap:    replace a winner's bid with a cheaper bid of the same seller
+//            that keeps the selection feasible;
+//   replace: remove one winner and add one bid from an unused seller at
+//            lower total cost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "auction/bid.h"
+
+namespace ecrs::auction {
+
+struct local_search_result {
+  std::vector<std::size_t> winners;  // bid indices (unordered)
+  double cost = 0.0;
+  bool feasible = false;
+  std::size_t iterations = 0;  // improving moves applied
+};
+
+struct local_search_options {
+  std::size_t max_iterations = 10000;
+};
+
+// Improve `initial` (must be a feasible selection with at most one bid per
+// seller; pass the greedy's winners). If `initial` is empty, the greedy
+// selection is computed internally.
+[[nodiscard]] local_search_result improve_selection(
+    const single_stage_instance& instance,
+    std::vector<std::size_t> initial = {},
+    const local_search_options& options = {});
+
+}  // namespace ecrs::auction

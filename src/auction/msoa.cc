@@ -1,0 +1,189 @@
+#include "auction/msoa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ecrs::auction {
+
+msoa_session::msoa_session(std::vector<seller_profile> sellers,
+                           msoa_options options)
+    : profiles_(std::move(sellers)),
+      options_(options),
+      alpha_(options.alpha),
+      psi_(profiles_.size(), 0.0),
+      used_(profiles_.size(), 0) {
+  ECRS_CHECK_MSG(options_.alpha >= 0.0, "alpha must be non-negative");
+  for (std::size_t s = 0; s < profiles_.size(); ++s) {
+    ECRS_CHECK_MSG(profiles_[s].capacity >= 0,
+                   "seller " << s << " has negative capacity");
+    ECRS_CHECK_MSG(profiles_[s].t_arrive >= 1 &&
+                       profiles_[s].t_arrive <= profiles_[s].t_depart,
+                   "seller " << s << " has an invalid window");
+  }
+}
+
+double msoa_session::psi(seller_id s) const {
+  ECRS_CHECK(s < psi_.size());
+  return psi_[s];
+}
+
+units msoa_session::capacity_used(seller_id s) const {
+  ECRS_CHECK(s < used_.size());
+  return used_[s];
+}
+
+units msoa_session::capacity_left(seller_id s) const {
+  ECRS_CHECK(s < used_.size());
+  return profiles_[s].capacity - used_[s];
+}
+
+double msoa_session::competitive_bound() const {
+  if (beta_ == std::numeric_limits<double>::infinity()) {
+    // No admissible bid ever appeared; the bound degenerates to α.
+    return alpha();
+  }
+  if (beta_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha() * beta_ / (beta_ - 1.0);
+}
+
+msoa_round_outcome msoa_session::run_round(const single_stage_instance& round) {
+  round.validate();
+  const std::uint32_t t = ++round_;
+
+  // Admit bids: window + remaining capacity (Algorithm 2 lines 4-8), and
+  // scale prices with the current ψ.
+  single_stage_instance scaled;
+  scaled.requirements = round.requirements;
+  std::vector<std::size_t> original_index;
+  for (std::size_t idx = 0; idx < round.bids.size(); ++idx) {
+    const bid& b = round.bids[idx];
+    ECRS_CHECK_MSG(b.seller < profiles_.size(),
+                   "bid references unknown seller " << b.seller);
+    if (t < profiles_[b.seller].t_arrive || t > profiles_[b.seller].t_depart) {
+      continue;
+    }
+    const auto weight = static_cast<units>(b.coverage_size());
+    if (used_[b.seller] + weight > profiles_[b.seller].capacity) {
+      continue;  // lines 5-6: exceeds Θ_i, excluded from the candidate set
+    }
+    bid sb = b;
+    sb.price = b.price + static_cast<double>(weight) * psi_[b.seller];
+    scaled.bids.push_back(std::move(sb));
+    original_index.push_back(idx);
+    // β = min Θ_i/|S_ij| over admissible bids (Lemma 4).
+    beta_ = std::min(beta_,
+                     static_cast<double>(profiles_[b.seller].capacity) /
+                         static_cast<double>(weight));
+  }
+
+  msoa_round_outcome outcome;
+  outcome.round = t;
+  outcome.admitted_bids = scaled.bids.size();
+  outcome.stage = run_ssam(scaled, options_.stage);
+  outcome.feasible = outcome.stage.feasible;
+
+  // Freeze α on the first round that actually selected something.
+  if (alpha_ <= 0.0 && !outcome.stage.winners.empty()) {
+    alpha_ = std::max(1.0, outcome.stage.ratio_bound);
+  }
+
+  for (const winning_bid& w : outcome.stage.winners) {
+    const std::size_t orig = original_index[w.bid_index];
+    const bid& b = round.bids[orig];
+    const auto weight = static_cast<units>(b.coverage_size());
+    const double scale_term = static_cast<double>(weight) * psi_[b.seller];
+
+    outcome.winner_bids.push_back(orig);
+    outcome.true_prices.push_back(b.price);
+    // Unscale the payment; never below the true asking price (IR).
+    outcome.payments.push_back(std::max(b.price, w.payment - scale_term));
+    outcome.social_cost += b.price;
+
+    // Algorithm 2 lines 11-12: ψ and χ updates for winners.
+    const double theta = static_cast<double>(profiles_[b.seller].capacity);
+    ECRS_CHECK_MSG(theta > 0.0, "winner with zero capacity");
+    const double a = alpha();
+    psi_[b.seller] =
+        psi_[b.seller] * (1.0 + static_cast<double>(weight) / (a * theta)) +
+        b.price * static_cast<double>(weight) / (a * theta * theta);
+    used_[b.seller] += weight;
+  }
+  return outcome;
+}
+
+msoa_result run_msoa(const online_instance& instance,
+                     const msoa_options& options) {
+  instance.validate();
+  msoa_session session(instance.sellers, options);
+
+  msoa_result result;
+  for (const single_stage_instance& round : instance.rounds) {
+    msoa_round_outcome outcome = session.run_round(round);
+    result.feasible = result.feasible && outcome.feasible;
+    result.social_cost += outcome.social_cost;
+    for (double p : outcome.payments) result.total_payment += p;
+    result.rounds.push_back(std::move(outcome));
+  }
+
+  result.alpha = session.alpha();
+  result.beta = session.beta();
+  result.competitive_bound = session.competitive_bound();
+  result.psi_final.reserve(instance.sellers.size());
+  result.capacity_used.reserve(instance.sellers.size());
+  for (seller_id s = 0; s < instance.sellers.size(); ++s) {
+    result.psi_final.push_back(session.psi(s));
+    result.capacity_used.push_back(session.capacity_used(s));
+  }
+  return result;
+}
+
+const char* to_string(msoa_variant v) {
+  switch (v) {
+    case msoa_variant::base: return "MSOA";
+    case msoa_variant::demand_aware: return "MSOA-DA";
+    case msoa_variant::high_capacity: return "MSOA-RC";
+    case msoa_variant::fully_optimized: return "MSOA-OA";
+  }
+  return "unknown";
+}
+
+online_instance apply_variant(const online_instance& truth,
+                              msoa_variant variant,
+                              const variant_options& options, rng& gen) {
+  ECRS_CHECK_MSG(options.demand_noise >= 0.0 && options.demand_noise < 1.0,
+                 "demand noise must be in [0,1)");
+  ECRS_CHECK_MSG(options.capacity_factor >= 1.0,
+                 "capacity factor must be >= 1");
+  online_instance out = truth;
+
+  const bool noisy_demand = variant == msoa_variant::base ||
+                            variant == msoa_variant::high_capacity;
+  const bool scaled_capacity = variant == msoa_variant::high_capacity ||
+                               variant == msoa_variant::fully_optimized;
+
+  if (noisy_demand) {
+    for (single_stage_instance& round : out.rounds) {
+      for (units& x : round.requirements) {
+        if (x == 0) continue;
+        // Estimation error never under-provisions: the platform rounds the
+        // noisy estimate up so demanders still receive what they need (the
+        // cost of imperfect estimation is buying too much, not starving).
+        const double factor =
+            1.0 + gen.uniform_real(0.0, options.demand_noise);
+        x = static_cast<units>(
+            std::ceil(static_cast<double>(x) * factor));
+      }
+    }
+  }
+  if (scaled_capacity) {
+    for (seller_profile& p : out.sellers) {
+      p.capacity = static_cast<units>(
+          std::ceil(static_cast<double>(p.capacity) * options.capacity_factor));
+    }
+  }
+  return out;
+}
+
+}  // namespace ecrs::auction

@@ -1,0 +1,126 @@
+// MSOA: Multi-Stage Online Auction (paper §IV-E, Algorithm 2).
+//
+// Ties a series of SSAM rounds into an online mechanism without knowledge of
+// future bids or demands. Each seller i carries a dual variable ψ_i that
+// grows as its remaining capacity Θ_i is consumed; round-t bids are priced
+// at the scaled cost ∇ = J + |S_ij|·ψ_i^{t−1}, so sellers close to depletion
+// look expensive and are saved for future rounds. Bids whose participation
+// weight would exceed the remaining capacity are excluded outright
+// (Algorithm 2 lines 5–6). Winners' ψ updates follow line 11:
+//   ψ_i^t = ψ_i^{t−1}·(1 + |S_ij|/(α·Θ_i)) + J_ij·|S_ij|/(α·Θ_i²),
+// with α the SSAM approximation factor. Theorem 7: the mechanism is
+// αβ/(β−1)-competitive in social cost, β = min_i Θ_i/|S_ij|.
+//
+// Payments are computed by SSAM in scaled-price space and unscaled by
+// −|S_ij|·ψ_i^{t−1}, so individual rationality holds against true costs.
+//
+// Two entry points:
+//  - msoa_session: incremental, one run_round() call per auction round —
+//    what an online deployment uses (see examples/edge_marketplace.cpp);
+//  - run_msoa(): convenience wrapper executing a whole online_instance.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "auction/online.h"
+#include "auction/ssam.h"
+#include "common/rng.h"
+
+namespace ecrs::auction {
+
+struct msoa_options {
+  ssam_options stage;  // per-round SSAM configuration
+  // α used in the ψ update. 0 = auto: freeze the first non-trivial round's
+  // realized ratio bound (max(1, W·Ξ)).
+  double alpha = 0.0;
+};
+
+struct msoa_round_outcome {
+  std::uint32_t round = 0;                 // 1-based
+  ssam_result stage;                       // on scaled prices
+  std::vector<std::size_t> winner_bids;    // original bid indices, selection order
+  std::vector<double> true_prices;         // parallel to winner_bids
+  std::vector<double> payments;            // unscaled, parallel to winner_bids
+  double social_cost = 0.0;                // sum of true prices
+  bool feasible = false;
+  std::size_t admitted_bids = 0;           // bids surviving window+capacity
+};
+
+struct msoa_result {
+  std::vector<msoa_round_outcome> rounds;
+  double social_cost = 0.0;
+  double total_payment = 0.0;
+  bool feasible = true;                    // every round feasible
+  double alpha = 1.0;                      // α actually used
+  double beta = std::numeric_limits<double>::infinity();  // min Θ_i/|S_ij|
+  double competitive_bound =
+      std::numeric_limits<double>::infinity();  // αβ/(β−1); inf if β <= 1
+  std::vector<double> psi_final;           // per seller
+  std::vector<units> capacity_used;        // χ_i per seller
+};
+
+// Incremental online mechanism: construct with the seller profiles, then
+// feed one single-stage instance (with TRUE prices) per round. The session
+// owns the ψ/χ state between rounds.
+class msoa_session {
+ public:
+  explicit msoa_session(std::vector<seller_profile> sellers,
+                        msoa_options options = {});
+
+  [[nodiscard]] std::size_t sellers() const { return profiles_.size(); }
+  [[nodiscard]] std::uint32_t rounds_run() const { return round_; }
+  [[nodiscard]] double psi(seller_id s) const;
+  [[nodiscard]] units capacity_used(seller_id s) const;
+  [[nodiscard]] units capacity_left(seller_id s) const;
+  [[nodiscard]] double alpha() const { return alpha_ > 0.0 ? alpha_ : 1.0; }
+  [[nodiscard]] double beta() const { return beta_; }
+  // αβ/(β−1) over the rounds seen so far (α if no bid was ever admitted,
+  // infinity if β <= 1).
+  [[nodiscard]] double competitive_bound() const;
+
+  // Execute the next auction round. Bids must reference sellers known to
+  // the session and carry true (unscaled) prices.
+  msoa_round_outcome run_round(const single_stage_instance& round);
+
+ private:
+  std::vector<seller_profile> profiles_;
+  msoa_options options_;
+  std::uint32_t round_ = 0;  // rounds completed
+  double alpha_ = 0.0;       // 0 until frozen (auto mode)
+  double beta_ = std::numeric_limits<double>::infinity();
+  std::vector<double> psi_;
+  std::vector<units> used_;
+};
+
+// Run a complete online instance through a fresh session.
+[[nodiscard]] msoa_result run_msoa(const online_instance& instance,
+                                   const msoa_options& options = {});
+
+// ---------------------------------------------------------------------------
+// Evaluation variants (paper §V, Figure 5a). The paper compares MSOA against
+// MSOA-DA (optimal demand estimation), MSOA-RC (higher resource capacity)
+// and MSOA-OA (both). We realize them as instance transforms over a ground-
+// truth instance:
+//  - base:            demands perturbed by multiplicative estimation noise;
+//  - demand_aware:    exact demands (perfect estimator);
+//  - high_capacity:   noisy demands, seller capacities scaled up;
+//  - fully_optimized: exact demands and scaled capacities.
+enum class msoa_variant { base, demand_aware, high_capacity, fully_optimized };
+
+[[nodiscard]] const char* to_string(msoa_variant v);
+
+struct variant_options {
+  double demand_noise = 0.3;     // ± relative error of the estimator
+  double capacity_factor = 2.0;  // Θ multiplier for the RC/OA variants
+};
+
+// Produce the transformed instance the named variant runs on. `gen` drives
+// the estimation noise (deterministic given the caller's seed).
+[[nodiscard]] online_instance apply_variant(const online_instance& truth,
+                                            msoa_variant variant,
+                                            const variant_options& options,
+                                            rng& gen);
+
+}  // namespace ecrs::auction

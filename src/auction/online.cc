@@ -1,0 +1,31 @@
+#include "auction/online.h"
+
+#include "common/check.h"
+
+namespace ecrs::auction {
+
+void online_instance::validate() const {
+  ECRS_CHECK_MSG(!rounds.empty(), "online instance has no rounds");
+  for (std::size_t s = 0; s < sellers.size(); ++s) {
+    const seller_profile& p = sellers[s];
+    ECRS_CHECK_MSG(p.capacity >= 0, "seller " << s << " has negative capacity");
+    ECRS_CHECK_MSG(p.t_arrive >= 1, "seller " << s << " arrives before round 1");
+    ECRS_CHECK_MSG(p.t_arrive <= p.t_depart,
+                   "seller " << s << " has an empty window");
+  }
+  for (std::size_t t = 0; t < rounds.size(); ++t) {
+    rounds[t].validate();
+    for (const bid& b : rounds[t].bids) {
+      ECRS_CHECK_MSG(b.seller < sellers.size(),
+                     "round " << (t + 1) << " references unknown seller "
+                              << b.seller);
+    }
+  }
+}
+
+bool online_instance::in_window(seller_id s, std::uint32_t t) const {
+  ECRS_CHECK(s < sellers.size());
+  return t >= sellers[s].t_arrive && t <= sellers[s].t_depart;
+}
+
+}  // namespace ecrs::auction

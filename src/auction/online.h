@@ -1,0 +1,38 @@
+// Multi-round (online) auction instance (paper §IV-E).
+//
+// Seller i is present in rounds [t_arrive, t_depart] (the paper's
+// [t_i^-, t_i^+]) and can sell at most `capacity` participation units over
+// the whole horizon (Θ_i, constraint (11)); each accepted bid consumes
+// |S_ij| units. Rounds are 1-based to match the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "auction/bid.h"
+
+namespace ecrs::auction {
+
+struct seller_profile {
+  units capacity = 1;          // Θ_i, in participation units
+  std::uint32_t t_arrive = 1;  // t_i^- (1-based, inclusive)
+  std::uint32_t t_depart = 1;  // t_i^+ (inclusive)
+};
+
+struct online_instance {
+  // rounds[t-1] is the single-stage instance of round t, with *true* prices.
+  std::vector<single_stage_instance> rounds;
+  // Indexed by seller_id; every seller appearing in any round must exist.
+  std::vector<seller_profile> sellers;
+
+  [[nodiscard]] std::size_t horizon() const { return rounds.size(); }
+
+  // Throws ecrs::check_error on out-of-range seller ids, invalid windows, or
+  // invalid per-round instances.
+  void validate() const;
+
+  // True if seller `s` may bid in 1-based round `t`.
+  [[nodiscard]] bool in_window(seller_id s, std::uint32_t t) const;
+};
+
+}  // namespace ecrs::auction

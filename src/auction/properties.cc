@@ -1,0 +1,121 @@
+#include "auction/properties.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace ecrs::auction {
+
+bool selection_feasible(const single_stage_instance& instance,
+                        const std::vector<std::size_t>& winners) {
+  coverage_state state(instance.requirements);
+  std::unordered_set<seller_id> sellers;
+  for (std::size_t idx : winners) {
+    if (idx >= instance.bids.size()) return false;
+    if (!sellers.insert(instance.bids[idx].seller).second) return false;
+    state.apply(instance.bids[idx]);
+  }
+  return state.satisfied();
+}
+
+ir_audit audit_individual_rationality(const single_stage_instance& instance,
+                                      const ssam_result& result) {
+  ir_audit audit;
+  audit.winners = result.winners.size();
+  audit.min_surplus = std::numeric_limits<double>::infinity();
+  for (std::size_t pos = 0; pos < result.winners.size(); ++pos) {
+    const winning_bid& w = result.winners[pos];
+    const double surplus = w.payment - instance.bids[w.bid_index].price;
+    audit.min_surplus = std::min(audit.min_surplus, surplus);
+    if (surplus < -1e-9) {
+      audit.ok = false;
+      audit.violations.push_back(pos);
+    }
+  }
+  if (result.winners.empty()) audit.min_surplus = 0.0;
+  return audit;
+}
+
+msoa_audit audit_msoa(const online_instance& instance,
+                      const msoa_result& result) {
+  msoa_audit audit;
+  std::vector<units> used(instance.sellers.size(), 0);
+  for (const msoa_round_outcome& round : result.rounds) {
+    const single_stage_instance& stage = instance.rounds[round.round - 1];
+    coverage_state state(stage.requirements);
+    for (std::size_t pos = 0; pos < round.winner_bids.size(); ++pos) {
+      const bid& b = stage.bids[round.winner_bids[pos]];
+      if (!instance.in_window(b.seller, round.round)) {
+        audit.windows_ok = false;
+      }
+      used[b.seller] += static_cast<units>(b.coverage_size());
+      if (used[b.seller] > instance.sellers[b.seller].capacity) {
+        audit.capacity_ok = false;
+      }
+      state.apply(b);
+      if (round.payments[pos] < b.price - 1e-9) {
+        audit.ir_ok = false;
+      }
+    }
+    if (round.feasible && !state.satisfied()) {
+      audit.coverage_ok = false;
+    }
+  }
+  return audit;
+}
+
+double utility_with_report(const single_stage_instance& instance,
+                           const ssam_options& options, std::size_t bid_index,
+                           double report) {
+  ECRS_CHECK(bid_index < instance.bids.size());
+  ECRS_CHECK_MSG(report >= 0.0, "reports must be non-negative");
+  single_stage_instance modified = instance;
+  const double true_price = instance.bids[bid_index].price;
+  modified.bids[bid_index].price = report;
+  const ssam_result result = run_ssam(modified, options);
+  for (const winning_bid& w : result.winners) {
+    if (w.bid_index == bid_index) return w.payment - true_price;
+  }
+  return 0.0;
+}
+
+truthfulness_report probe_truthfulness(const single_stage_instance& instance,
+                                       const ssam_options& options, rng& gen,
+                                       std::size_t trials, double tolerance) {
+  truthfulness_report report;
+  if (instance.bids.empty()) return report;
+
+  double price_hi = 0.0;
+  for (const bid& b : instance.bids) price_hi = std::max(price_hi, b.price);
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto idx = static_cast<std::size_t>(gen.uniform_int(
+        0, static_cast<std::int64_t>(instance.bids.size()) - 1));
+    // Misreports span under-bidding (down to near zero) and over-bidding
+    // (up to 2x the global max price).
+    const double report_price = gen.uniform_real(0.0, 2.0 * price_hi + 1.0);
+    const double truthful =
+        utility_with_report(instance, options, idx, instance.bids[idx].price);
+    const double lying =
+        utility_with_report(instance, options, idx, report_price);
+    const double gain = lying - truthful;
+    ++report.trials;
+    if (gain > tolerance) {
+      ++report.profitable_lies;
+      if (gain > report.max_gain) {
+        report.max_gain = gain;
+        std::ostringstream os;
+        os << "bid " << idx << " (seller " << instance.bids[idx].seller
+           << "): truthful price " << instance.bids[idx].price << " -> report "
+           << report_price << " gains " << gain;
+        report.worst_case = os.str();
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ecrs::auction

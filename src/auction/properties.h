@@ -1,0 +1,72 @@
+// Mechanism-property verification utilities (used by the property tests and
+// the ablation benches): feasibility, individual rationality, truthfulness
+// probing, and budget-balance accounting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "auction/bid.h"
+#include "auction/msoa.h"
+#include "auction/online.h"
+#include "auction/ssam.h"
+#include "common/rng.h"
+
+namespace ecrs::auction {
+
+// Does the winner set satisfy every requirement with at most one bid per
+// seller?
+[[nodiscard]] bool selection_feasible(const single_stage_instance& instance,
+                                      const std::vector<std::size_t>& winners);
+
+struct ir_audit {
+  bool ok = true;
+  std::size_t winners = 0;
+  double min_surplus = 0.0;  // min over winners of payment − price
+  std::vector<std::size_t> violations;  // winner positions with payment < price
+};
+
+// Individual rationality: every winner's payment covers its reported price.
+[[nodiscard]] ir_audit audit_individual_rationality(
+    const single_stage_instance& instance, const ssam_result& result);
+
+// MSOA-level audit: windows respected, capacities respected, per-round
+// feasibility, and IR against *true* prices.
+struct msoa_audit {
+  bool windows_ok = true;
+  bool capacity_ok = true;
+  bool coverage_ok = true;
+  bool ir_ok = true;
+  [[nodiscard]] bool ok() const {
+    return windows_ok && capacity_ok && coverage_ok && ir_ok;
+  }
+};
+
+[[nodiscard]] msoa_audit audit_msoa(const online_instance& instance,
+                                    const msoa_result& result);
+
+// Truthfulness probe: for `trials` random (bid, misreport) pairs, compare
+// the bidder's utility when reporting truthfully vs. misreporting, under
+// the given payment rule. Utility = payment − true price if the bid wins,
+// else 0 (Eq. 3). Records the largest utility gain achieved by lying; a
+// truthful mechanism keeps max_gain <= tolerance.
+struct truthfulness_report {
+  std::size_t trials = 0;
+  std::size_t profitable_lies = 0;
+  double max_gain = 0.0;
+  std::string worst_case;  // human-readable description of the worst lie
+};
+
+[[nodiscard]] truthfulness_report probe_truthfulness(
+    const single_stage_instance& instance, const ssam_options& options,
+    rng& gen, std::size_t trials, double tolerance = 1e-6);
+
+// Utility of `bid_index`'s seller when that bid's reported price is
+// `report` (all else truthful): runs the mechanism on the modified instance
+// and returns payment − true_price if the bid wins, else 0.
+[[nodiscard]] double utility_with_report(const single_stage_instance& instance,
+                                         const ssam_options& options,
+                                         std::size_t bid_index, double report);
+
+}  // namespace ecrs::auction

@@ -1,0 +1,138 @@
+#include "auction/rounding.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/check.h"
+#include "lp/simplex.h"
+
+namespace ecrs::auction {
+namespace {
+
+// Greedy completion: extend `selection` with unused sellers' bids until the
+// requirements are met (or nothing helps).
+void complete_greedily(const single_stage_instance& instance,
+                       std::vector<std::size_t>& selection) {
+  coverage_state state(instance.requirements);
+  std::map<seller_id, bool> used;
+  for (std::size_t idx : selection) {
+    state.apply(instance.bids[idx]);
+    used[instance.bids[idx].seller] = true;
+  }
+  while (!state.satisfied()) {
+    std::size_t best = instance.bids.size();
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t idx = 0; idx < instance.bids.size(); ++idx) {
+      const bid& b = instance.bids[idx];
+      if (used.count(b.seller) > 0) continue;
+      const units gain = state.marginal_utility(b);
+      if (gain <= 0) continue;
+      const double ratio = b.price / static_cast<double>(gain);
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = idx;
+      }
+    }
+    if (best == instance.bids.size()) break;
+    selection.push_back(best);
+    state.apply(instance.bids[best]);
+    used[instance.bids[best].seller] = true;
+  }
+}
+
+}  // namespace
+
+baseline_result randomized_rounding(const single_stage_instance& instance,
+                                    rng& gen,
+                                    const rounding_options& options) {
+  instance.validate();
+  ECRS_CHECK_MSG(options.repetitions >= 1, "need at least one repetition");
+  baseline_result result;
+
+  // Fractional optimum: reuse the lp_bound model by solving it directly.
+  lp::model m;
+  for (const bid& b : instance.bids) m.add_variable(b.price);
+  std::map<seller_id, std::vector<std::size_t>> groups;
+  for (std::size_t idx = 0; idx < instance.bids.size(); ++idx) {
+    groups[instance.bids[idx].seller].push_back(idx);
+  }
+  for (const auto& [seller, bid_indices] : groups) {
+    (void)seller;
+    std::vector<std::pair<std::size_t, double>> row;
+    for (std::size_t idx : bid_indices) row.emplace_back(idx, 1.0);
+    m.add_constraint(row, lp::row_sense::le, 1.0);
+  }
+  for (std::size_t k = 0; k < instance.requirements.size(); ++k) {
+    if (instance.requirements[k] == 0) continue;
+    std::vector<std::pair<std::size_t, double>> row;
+    for (std::size_t idx = 0; idx < instance.bids.size(); ++idx) {
+      const bid& b = instance.bids[idx];
+      if (std::binary_search(b.coverage.begin(), b.coverage.end(),
+                             static_cast<demander_id>(k))) {
+        row.emplace_back(idx, static_cast<double>(b.amount));
+      }
+    }
+    m.add_constraint(row, lp::row_sense::ge,
+                     static_cast<double>(instance.requirements[k]));
+  }
+  const lp::solution frac = lp::solve(m);
+  if (frac.status != lp::solve_status::optimal) {
+    return result;  // relaxation infeasible: the ILP is too
+  }
+
+  // Sample selections; keep the cheapest feasible one.
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> best;
+  std::vector<std::size_t> fallback;  // cheapest sample even if infeasible
+  double fallback_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t rep = 0; rep < options.repetitions; ++rep) {
+    std::vector<std::size_t> selection;
+    for (const auto& [seller, bid_indices] : groups) {
+      (void)seller;
+      // Select at most one bid per seller according to its fractional mass.
+      double point = gen.next_double();
+      for (std::size_t idx : bid_indices) {
+        point -= frac.x[idx];
+        if (point < 0.0) {
+          selection.push_back(idx);
+          break;
+        }
+      }
+    }
+    coverage_state state(instance.requirements);
+    double cost = 0.0;
+    for (std::size_t idx : selection) {
+      state.apply(instance.bids[idx]);
+      cost += instance.bids[idx].price;
+    }
+    if (state.satisfied()) {
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = std::move(selection);
+      }
+    } else if (cost < fallback_cost) {
+      fallback_cost = cost;
+      fallback = std::move(selection);
+    }
+  }
+
+  if (best.empty() && best_cost == std::numeric_limits<double>::infinity()) {
+    // No sample was feasible: complete the cheapest one greedily.
+    best = std::move(fallback);
+    complete_greedily(instance, best);
+  }
+
+  coverage_state state(instance.requirements);
+  result.social_cost = 0.0;
+  for (std::size_t idx : best) {
+    state.apply(instance.bids[idx]);
+    result.social_cost += instance.bids[idx].price;
+  }
+  result.winners = std::move(best);
+  result.feasible = state.satisfied();
+  result.total_payment = result.social_cost;  // cost-only baseline
+  return result;
+}
+
+}  // namespace ecrs::auction

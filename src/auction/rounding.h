@@ -1,0 +1,32 @@
+// LP randomized rounding for the winner selection problem.
+//
+// Solves the LP relaxation of (12)-(15), interprets each seller's fractional
+// bid mass as a probability distribution over its bids ("take bid j with
+// probability x_ij, nothing with probability 1 − Σ_j x_ij"), samples
+// selections independently, and keeps the cheapest feasible sample. Any
+// residual deficit after the configured repetitions is closed greedily, so
+// the result is always feasible when the instance is. A classic
+// O(log n)-approximation recipe for covering ILPs; here it serves as a
+// cost-only baseline next to SSAM's deterministic greedy (no payments, not
+// a mechanism).
+#pragma once
+
+#include <cstddef>
+
+#include "auction/baselines.h"
+#include "auction/bid.h"
+#include "common/rng.h"
+
+namespace ecrs::auction {
+
+struct rounding_options {
+  std::size_t repetitions = 32;  // independent sampling rounds
+};
+
+// Returns the cheapest feasible rounded selection (greedy-completed if
+// needed). `gen` drives the sampling; results are deterministic given it.
+[[nodiscard]] baseline_result randomized_rounding(
+    const single_stage_instance& instance, rng& gen,
+    const rounding_options& options = {});
+
+}  // namespace ecrs::auction

@@ -1,0 +1,44 @@
+#include "auction/settlement.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecrs::auction {
+
+settlement settle_round(const single_stage_instance& instance,
+                        const ssam_result& result, double markup) {
+  instance.validate();
+  ECRS_CHECK_MSG(markup >= 0.0, "markup must be non-negative");
+
+  settlement out;
+  out.charges.assign(instance.requirements.size(), 0.0);
+  out.received.assign(instance.requirements.size(), 0);
+
+  // Replay the winners to attribute delivered units per demander.
+  coverage_state state(instance.requirements);
+  for (const winning_bid& w : result.winners) {
+    const bid& b = instance.bids[w.bid_index];
+    for (demander_id k : b.coverage) {
+      const units used = std::min(b.amount, state.remaining(k));
+      out.received[k] += used;
+    }
+    state.apply(b);
+    out.total_payment += w.payment;
+  }
+
+  units total_units = 0;
+  for (units u : out.received) total_units += u;
+  if (total_units > 0) {
+    const double per_unit =
+        (1.0 + markup) * out.total_payment / static_cast<double>(total_units);
+    for (std::size_t k = 0; k < out.received.size(); ++k) {
+      out.charges[k] = per_unit * static_cast<double>(out.received[k]);
+      out.total_charged += out.charges[k];
+    }
+  }
+  out.platform_balance = out.total_charged - out.total_payment;
+  return out;
+}
+
+}  // namespace ecrs::auction

@@ -1,0 +1,37 @@
+// Buyer-side settlement: who pays for the reclaimed resources.
+//
+// The paper's Definition 5 ("no economic loss") requires that what the
+// platform charges the winning buyers covers what it pays the sellers.
+// This module distributes the platform's outlay over the demanders in
+// proportion to the resource units they actually received, optionally with
+// a platform markup, and audits the no-deficit condition.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "auction/bid.h"
+#include "auction/ssam.h"
+
+namespace ecrs::auction {
+
+struct settlement {
+  std::vector<double> charges;   // per demander (index = demander id)
+  std::vector<units> received;   // units delivered per demander
+  double total_payment = 0.0;    // paid out to sellers
+  double total_charged = 0.0;    // collected from demanders
+  double platform_balance = 0.0; // charged − paid
+  // Definition 5: the platform runs no deficit.
+  [[nodiscard]] bool no_economic_loss(double tol = 1e-9) const {
+    return platform_balance >= -tol;
+  }
+};
+
+// Compute the settlement of a finished round. Each demander is charged
+// (1 + markup) times its received-units share of the total payment;
+// demanders that received nothing pay nothing. markup >= 0.
+[[nodiscard]] settlement settle_round(const single_stage_instance& instance,
+                                      const ssam_result& result,
+                                      double markup = 0.0);
+
+}  // namespace ecrs::auction

@@ -1,0 +1,276 @@
+#include "auction/ssam.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+#include "common/statistics.h"
+
+namespace ecrs::auction {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Cost-effectiveness of a bid given the current coverage state; infinite
+// when the bid adds nothing.
+double ratio_of(const bid& b, double price, const coverage_state& state,
+                units& utility_out) {
+  utility_out = state.marginal_utility(b);
+  if (utility_out <= 0) return kInf;
+  return price / static_cast<double>(utility_out);
+}
+
+// Shared greedy loop. `price_override` (optional) replaces the price of one
+// bid (for critical-value probing). Reports each selection through `on_win`,
+// which may inspect the candidate set via the provided actives/ratios and
+// returns false to veto the selection and stop (budget exhaustion).
+template <typename OnWin>
+void greedy_loop(const single_stage_instance& instance,
+                 std::size_t override_index, double override_price,
+                 OnWin&& on_win) {
+  const std::size_t nbids = instance.bids.size();
+  coverage_state state(instance.requirements);
+  std::vector<bool> active(nbids, true);
+
+  auto price_of = [&](std::size_t idx) {
+    return idx == override_index ? override_price : instance.bids[idx].price;
+  };
+
+  while (!state.satisfied()) {
+    // Pick the active bid with the lowest ratio; ties break on the lowest
+    // bid index for determinism.
+    std::size_t best = nbids;
+    units best_utility = 0;
+    double best_ratio = kInf;
+    for (std::size_t idx = 0; idx < nbids; ++idx) {
+      if (!active[idx]) continue;
+      units utility = 0;
+      const double ratio =
+          ratio_of(instance.bids[idx], price_of(idx), state, utility);
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = idx;
+        best_utility = utility;
+      }
+    }
+    if (best == nbids) break;  // nothing helps: requirements unsatisfiable
+
+    if (!on_win(best, best_utility, best_ratio, state, active)) break;
+
+    state.apply(instance.bids[best]);
+    // Remove every bid of the winning seller (constraint (9)).
+    const seller_id winner_seller = instance.bids[best].seller;
+    for (std::size_t idx = 0; idx < nbids; ++idx) {
+      if (active[idx] && instance.bids[idx].seller == winner_seller) {
+        active[idx] = false;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> greedy_selection(
+    const single_stage_instance& instance) {
+  std::vector<std::size_t> winners;
+  greedy_loop(instance, instance.bids.size(), 0.0,
+              [&](std::size_t idx, units, double, const coverage_state&,
+                  const std::vector<bool>&) {
+                winners.push_back(idx);
+                return true;
+              });
+  return winners;
+}
+
+std::vector<std::size_t> lazy_greedy_selection(
+    const single_stage_instance& instance) {
+  instance.validate();
+  std::vector<std::size_t> winners;
+  const std::size_t nbids = instance.bids.size();
+  coverage_state state(instance.requirements);
+  std::vector<bool> active(nbids, true);
+
+  // Min-heap on (stale ratio, bid index); the index tie-break reproduces
+  // the eager loop's deterministic ordering.
+  using entry = std::pair<double, std::size_t>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap;
+  for (std::size_t idx = 0; idx < nbids; ++idx) {
+    units utility = 0;
+    const double ratio =
+        ratio_of(instance.bids[idx], instance.bids[idx].price, state, utility);
+    if (ratio != kInf) heap.emplace(ratio, idx);
+  }
+
+  while (!state.satisfied() && !heap.empty()) {
+    const auto [stale_ratio, idx] = heap.top();
+    heap.pop();
+    if (!active[idx]) continue;
+    units utility = 0;
+    const double ratio =
+        ratio_of(instance.bids[idx], instance.bids[idx].price, state, utility);
+    if (ratio == kInf) continue;  // no longer contributes
+    // Submodularity: ratio >= stale_ratio. Select only if still no worse
+    // than the next candidate's (lower-bound) key; ties go to the smaller
+    // index, exactly like the eager scan.
+    if (!heap.empty()) {
+      const auto& [next_ratio, next_idx] = heap.top();
+      if (ratio > next_ratio ||
+          (ratio == next_ratio && idx > next_idx)) {
+        heap.emplace(ratio, idx);
+        continue;
+      }
+    }
+    winners.push_back(idx);
+    state.apply(instance.bids[idx]);
+    const seller_id winner_seller = instance.bids[idx].seller;
+    for (std::size_t other = 0; other < nbids; ++other) {
+      if (active[other] && instance.bids[other].seller == winner_seller) {
+        active[other] = false;
+      }
+    }
+  }
+  return winners;
+}
+
+bool wins_with_price(const single_stage_instance& instance,
+                     std::size_t bid_index, double price_report) {
+  ECRS_CHECK(bid_index < instance.bids.size());
+  ECRS_CHECK_MSG(price_report >= 0.0, "price reports must be non-negative");
+  bool won = false;
+  greedy_loop(instance, bid_index, price_report,
+              [&](std::size_t idx, units, double, const coverage_state&,
+                  const std::vector<bool>&) {
+                won = won || idx == bid_index;
+                return true;
+              });
+  return won;
+}
+
+double critical_value_payment(const single_stage_instance& instance,
+                              std::size_t bid_index,
+                              std::size_t search_iterations) {
+  ECRS_CHECK(bid_index < instance.bids.size());
+  const double own_price = instance.bids[bid_index].price;
+  ECRS_CHECK_MSG(wins_with_price(instance, bid_index, own_price),
+                 "critical value requested for a losing bid");
+
+  // Upper probe: a report so high the bid can only win if it faces no
+  // competition at all.
+  double max_price = 1.0;
+  units total_supply = 0;
+  for (const bid& b : instance.bids) {
+    max_price = std::max(max_price, b.price);
+    total_supply += b.amount * static_cast<units>(b.coverage.size());
+  }
+  const double hi_probe =
+      (max_price + 1.0) * static_cast<double>(std::max<units>(total_supply, 1));
+  if (wins_with_price(instance, bid_index, hi_probe)) {
+    // No competition can displace this bid: pay-as-bid fallback.
+    return own_price;
+  }
+
+  double lo = own_price;   // wins
+  double hi = hi_probe;    // loses
+  for (std::size_t it = 0; it < search_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (wins_with_price(instance, bid_index, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+ssam_result run_ssam(const single_stage_instance& instance,
+                     const ssam_options& options) {
+  instance.validate();
+  ECRS_CHECK_MSG(options.payment_budget >= 0.0,
+                 "payment budget must be non-negative");
+  ssam_result result;
+  double budget_spent = 0.0;  // runner-up payment estimates
+
+  greedy_loop(
+      instance, instance.bids.size(), 0.0,
+      [&](std::size_t idx, units utility, double ratio,
+          const coverage_state& state, const std::vector<bool>& active) {
+        winning_bid w;
+        w.bid_index = idx;
+        w.utility_at_selection = utility;
+        w.ratio_at_selection = ratio;
+
+        const bool need_estimate = options.rule == payment_rule::runner_up ||
+                                   options.payment_budget > 0.0;
+        double estimate = instance.bids[idx].price;
+        if (need_estimate) {
+          // Best competing ratio among bids of *other* sellers still active
+          // (Algorithm 1 line 6; see DESIGN.md for why same-seller
+          // alternatives are excluded).
+          const seller_id self = instance.bids[idx].seller;
+          double runner_ratio = kInf;
+          for (std::size_t other = 0; other < instance.bids.size(); ++other) {
+            if (!active[other] || other == idx) continue;
+            if (instance.bids[other].seller == self) continue;
+            units u = 0;
+            const double r = ratio_of(instance.bids[other],
+                                      instance.bids[other].price, state, u);
+            runner_ratio = std::min(runner_ratio, r);
+          }
+          if (runner_ratio != kInf) {
+            estimate = static_cast<double>(utility) * runner_ratio;
+          }
+          // Line 7 pays U·(runner ratio); the winner was selected because
+          // its own ratio is minimal, so payment >= price always.
+          estimate = std::max(estimate, instance.bids[idx].price);
+        }
+        if (options.payment_budget > 0.0 &&
+            budget_spent + estimate > options.payment_budget) {
+          return false;  // W depleted: stop the auction here (paper §IV)
+        }
+        budget_spent += estimate;
+        if (options.rule == payment_rule::runner_up) w.payment = estimate;
+
+        // Theorem 3 accounting: the winning price is distributed over the
+        // `utility` covered units as equal shares f = ratio.
+        for (units u = 0; u < utility; ++u) {
+          result.unit_shares.push_back(ratio);
+        }
+
+        result.winners.push_back(w);
+        result.social_cost += instance.bids[idx].price;
+        return true;
+      });
+
+  if (options.rule == payment_rule::critical_value) {
+    for (winning_bid& w : result.winners) {
+      w.payment = critical_value_payment(instance, w.bid_index,
+                                         options.critical_search_iterations);
+    }
+  }
+
+  for (const winning_bid& w : result.winners) {
+    result.total_payment += w.payment;
+  }
+
+  // Feasibility: replay the winners against a fresh state.
+  coverage_state state(instance.requirements);
+  for (const winning_bid& w : result.winners) {
+    state.apply(instance.bids[w.bid_index]);
+  }
+  result.feasible = state.satisfied();
+
+  // Dual certificate.
+  if (!result.unit_shares.empty()) {
+    const auto [lo_it, hi_it] = std::minmax_element(
+        result.unit_shares.begin(), result.unit_shares.end());
+    result.xi = *lo_it > 0.0 ? *hi_it / *lo_it : 1.0;
+  }
+  result.harmonic = harmonic_number(result.unit_shares.size());
+  result.ratio_bound = std::max(1.0, result.harmonic * result.xi);
+  result.dual_objective = result.social_cost / result.ratio_bound;
+  return result;
+}
+
+}  // namespace ecrs::auction

@@ -1,0 +1,91 @@
+// SSAM: Single-Stage Auction Mechanism (paper §IV-C, Algorithm 1).
+//
+// A greedy primal–dual approximation of the NP-hard winner selection
+// problem: repeatedly accept the bid with the lowest price per unit of
+// *useful* coverage (price / U_ij(E)), at most one bid per seller, until all
+// requirements are met. Winners are paid above their asking price:
+//
+//  - payment_rule::runner_up  — Algorithm 1 lines 6–7: the winner's utility
+//    times the best cost-effectiveness ratio among competing bids at
+//    selection time. Cheap (computed in-loop); always >= the asking price.
+//  - payment_rule::critical_value — Lemma 3 / Myerson: the supremum report
+//    at which the bid still wins, found by binary search over re-runs of the
+//    greedy selection (monotone by Lemma 2). Exactly truthful.
+//
+// The result carries the Theorem 3 dual certificate: per-unit price shares
+// f(i,Ŝ), their spread Ξ, the harmonic factor W, and the ratio bound W·Ξ.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "auction/bid.h"
+
+namespace ecrs::auction {
+
+enum class payment_rule { runner_up, critical_value };
+
+struct ssam_options {
+  payment_rule rule = payment_rule::runner_up;
+  // Binary-search iterations for critical-value payments.
+  std::size_t critical_search_iterations = 60;
+  // Platform payment budget W (paper §IV: the process continues "until the
+  // total budget W is depleted or the last microservice has been
+  // processed"). 0 = unlimited. Enforced against the in-loop runner-up
+  // payment estimates: a bid is not accepted if paying it would exceed W,
+  // and selection stops there; the outcome may then be infeasible.
+  double payment_budget = 0.0;
+};
+
+struct winning_bid {
+  std::size_t bid_index = 0;        // into single_stage_instance::bids
+  double payment = 0.0;             // price space of the input instance
+  units utility_at_selection = 0;   // U_ij(E) when the bid was accepted
+  double ratio_at_selection = 0.0;  // price / U_ij(E)
+};
+
+struct ssam_result {
+  std::vector<winning_bid> winners;  // selection order
+  bool feasible = false;             // all requirements satisfied
+  double social_cost = 0.0;          // sum of winning prices
+  double total_payment = 0.0;        // sum of payments
+
+  // Theorem 3 dual certificate.
+  std::vector<double> unit_shares;   // one f(i,Ŝ) value per covered unit
+  double xi = 1.0;                   // Ξ = max share / min share
+  double harmonic = 0.0;             // W = H(total covered units)
+  double ratio_bound = 1.0;          // α = max(1, W·Ξ)
+  double dual_objective = 0.0;       // social_cost / ratio_bound (<= OPT)
+};
+
+// Run the full mechanism: selection + payments + dual certificate.
+// The instance must validate(); an unsatisfiable instance yields
+// feasible == false with the partial selection that was reachable.
+[[nodiscard]] ssam_result run_ssam(const single_stage_instance& instance,
+                                   const ssam_options& options = {});
+
+// Selection only (no payments): the greedy winner set in selection order.
+[[nodiscard]] std::vector<std::size_t> greedy_selection(
+    const single_stage_instance& instance);
+
+// Same winner set as greedy_selection (bitwise-identical tie-breaking), but
+// computed with a lazy-evaluation heap: U_ij(E) is submodular (marginal
+// utilities only shrink as coverage grows), so a bid's stale ratio is a
+// lower bound and most bids are never re-evaluated. Preferable for large
+// instances; see bench/micro_benchmarks for the crossover.
+[[nodiscard]] std::vector<std::size_t> lazy_greedy_selection(
+    const single_stage_instance& instance);
+
+// Does `bid_index` win the greedy selection if its price is replaced by
+// `price_report` (all other bids unchanged)?
+[[nodiscard]] bool wins_with_price(const single_stage_instance& instance,
+                                   std::size_t bid_index, double price_report);
+
+// The Myerson critical value for a winning bid: the supremum report that
+// still wins. Returns the bid's own price when it faces no competition
+// (pay-as-bid fallback, documented in DESIGN.md).
+[[nodiscard]] double critical_value_payment(
+    const single_stage_instance& instance, std::size_t bid_index,
+    std::size_t search_iterations = 60);
+
+}  // namespace ecrs::auction

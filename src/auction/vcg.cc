@@ -1,0 +1,83 @@
+#include "auction/vcg.h"
+
+#include <algorithm>
+
+#include "auction/exact.h"
+#include "common/check.h"
+
+namespace ecrs::auction {
+
+vcg_result run_vcg(const single_stage_instance& instance,
+                   std::size_t node_limit, double pivotal_reserve) {
+  instance.validate();
+  ECRS_CHECK_MSG(pivotal_reserve >= 0.0,
+                 "pivotal reserve must be non-negative");
+  vcg_result result;
+
+  // Reserve-price admission: bids above the reserve never participate, so a
+  // pivotal winner's payment (the reserve) is independent of its report.
+  single_stage_instance admitted;
+  std::vector<std::size_t> admitted_to_original;
+  const single_stage_instance* solved = &instance;
+  if (pivotal_reserve > 0.0) {
+    admitted.requirements = instance.requirements;
+    for (std::size_t idx = 0; idx < instance.bids.size(); ++idx) {
+      if (instance.bids[idx].price <= pivotal_reserve) {
+        admitted.bids.push_back(instance.bids[idx]);
+        admitted_to_original.push_back(idx);
+      }
+    }
+    solved = &admitted;
+  }
+
+  const reference_solution opt = solve_exact(*solved, node_limit);
+  result.exact = opt.exact;
+  result.feasible = opt.feasible;
+  if (!opt.feasible) return result;
+  result.winners = opt.chosen;
+  if (pivotal_reserve > 0.0) {
+    for (std::size_t& w : result.winners) w = admitted_to_original[w];
+  }
+  result.social_cost = opt.cost;
+
+  result.payments.reserve(result.winners.size());
+  for (std::size_t pos = 0; pos < result.winners.size(); ++pos) {
+    const bid& winner = instance.bids[result.winners[pos]];
+
+    // Optimal cost with the winning seller removed entirely (from the
+    // admitted pool when a reserve is active).
+    single_stage_instance without = *solved;
+    without.bids.clear();
+    for (const bid& b : solved->bids) {
+      if (b.seller != winner.seller) without.bids.push_back(b);
+    }
+    // Reserve fallback for pivotal sellers: report-independent, so
+    // truthfulness survives; see vcg.h.
+    const double pivotal_payment =
+        pivotal_reserve > 0.0 ? pivotal_reserve : winner.price;
+    double payment;
+    if (without.bids.empty()) {
+      payment = pivotal_payment;
+      result.pivotal_monopolists.push_back(pos);
+    } else {
+      const reference_solution opt_without = solve_exact(without, node_limit);
+      result.exact = result.exact && opt_without.exact;
+      if (!opt_without.feasible) {
+        // The seller is pivotal for feasibility: no finite externality.
+        payment = pivotal_payment;
+        result.pivotal_monopolists.push_back(pos);
+      } else {
+        // Clarke pivot: what the rest of the market loses by this seller's
+        // presence, credited on top of the cost it displaces.
+        payment = opt_without.cost - (opt.cost - winner.price);
+        // Guards numerical noise; theory gives payment >= price.
+        payment = std::max(payment, winner.price);
+      }
+    }
+    result.payments.push_back(payment);
+    result.total_payment += payment;
+  }
+  return result;
+}
+
+}  // namespace ecrs::auction

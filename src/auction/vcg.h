@@ -1,0 +1,48 @@
+// VCG (Clarke pivot) reference mechanism for the winner selection problem.
+//
+// Selects the exact cost-minimizing winner set and pays each winning seller
+//   p_i = OPT(without seller i) − (OPT − price_i),
+// the classic externality payment. Truthful and individually rational like
+// SSAM, but it needs the NP-hard optimum (twice per winner), so it only
+// scales to reference sizes — which is exactly its role here: the
+// benchmark SSAM's polynomial-time approximation is traded off against
+// (see bench/payment_rules).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "auction/bid.h"
+
+namespace ecrs::auction {
+
+struct vcg_result {
+  std::vector<std::size_t> winners;   // bid indices of the optimal selection
+  std::vector<double> payments;       // parallel to winners
+  bool feasible = false;              // an optimal selection exists
+  bool exact = true;                  // all solves finished within budget
+  double social_cost = 0.0;           // optimal objective value
+  double total_payment = 0.0;
+  // Winners whose removal makes the instance infeasible (no finite
+  // externality exists); their positions in `winners` are listed here.
+  std::vector<std::size_t> pivotal_monopolists;
+};
+
+// Runs VCG. `node_limit` bounds each exact solve; if any solve is cut off,
+// `exact` is false and payments are computed from the incumbent costs
+// (still >= the asking prices, but no longer provably truthful).
+//
+// Pivotal sellers — those whose removal makes the instance infeasible —
+// have no finite Clarke externality. With `pivotal_reserve` > 0 the
+// mechanism becomes a reserve-price VCG: bids priced above the reserve are
+// rejected up front, and pivotal winners are paid exactly the reserve.
+// That is report-independent, so truthfulness survives (a seller whose
+// true cost is below the reserve can only lose by reporting above it).
+// With pivotal_reserve = 0, pivotal winners are paid their reported price
+// instead — individually rational but NOT truthful, matching the naive
+// textbook fallback; callers should check pivotal_monopolists.
+[[nodiscard]] vcg_result run_vcg(const single_stage_instance& instance,
+                                 std::size_t node_limit = 4000000,
+                                 double pivotal_reserve = 0.0);
+
+}  // namespace ecrs::auction

@@ -1,0 +1,22 @@
+#include "auction/welfare.h"
+
+namespace ecrs::auction {
+
+welfare_breakdown account_welfare(const single_stage_instance& instance,
+                                  const ssam_result& result, double markup) {
+  welfare_breakdown out;
+  const settlement s = settle_round(instance, result, markup);
+
+  out.seller_utility.reserve(result.winners.size());
+  for (const winning_bid& w : result.winners) {
+    const double utility = w.payment - instance.bids[w.bid_index].price;
+    out.seller_utility.push_back(utility);
+    out.total_seller_utility += utility;
+    out.social_cost += instance.bids[w.bid_index].price;
+  }
+  out.platform_utility = s.platform_balance;
+  out.demander_expense = s.total_charged;
+  return out;
+}
+
+}  // namespace ecrs::auction

@@ -1,0 +1,38 @@
+// Social-welfare accounting (paper Definition 4).
+//
+// The social welfare of a round is the aggregate utility of every party:
+// each winning seller earns payment − true cost, the platform earns
+// charges − payments, and the demanders pay their charges. Payments and
+// charges are transfers — they cancel — so the social welfare equals the
+// negated social cost, and maximizing welfare is minimizing Σ J_ij x_ij.
+// This module computes the full breakdown and verifies the identity.
+#pragma once
+
+#include <vector>
+
+#include "auction/bid.h"
+#include "auction/settlement.h"
+#include "auction/ssam.h"
+
+namespace ecrs::auction {
+
+struct welfare_breakdown {
+  std::vector<double> seller_utility;    // per winner position
+  double total_seller_utility = 0.0;     // Σ (payment − cost)
+  double platform_utility = 0.0;         // charges − payments
+  double demander_expense = 0.0;         // Σ charges (utility −expense)
+  double social_cost = 0.0;              // Σ winning true costs
+  // Aggregate utility of all parties; equals −social_cost exactly because
+  // payments and charges are internal transfers (Definition 4).
+  [[nodiscard]] double social_welfare() const {
+    return total_seller_utility + platform_utility - demander_expense;
+  }
+};
+
+// Account one finished round. `result` must come from the same instance;
+// `markup` is forwarded to the settlement (platform margin).
+[[nodiscard]] welfare_breakdown account_welfare(
+    const single_stage_instance& instance, const ssam_result& result,
+    double markup = 0.0);
+
+}  // namespace ecrs::auction

@@ -1,0 +1,55 @@
+// Lightweight runtime-check macros.
+//
+// ECRS_CHECK is always on and throws ecrs::check_error (derived from
+// std::logic_error) so that violated preconditions are testable and never
+// silently corrupt a simulation. ECRS_DCHECK compiles away in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ecrs {
+
+// Error thrown when a runtime check fails.
+class check_error : public std::logic_error {
+ public:
+  explicit check_error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ECRS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw check_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace ecrs
+
+#define ECRS_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::ecrs::detail::check_failed(#expr, __FILE__, __LINE__, "");       \
+  } while (false)
+
+#define ECRS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream ecrs_check_os_;                                 \
+      ecrs_check_os_ << msg;                                             \
+      ::ecrs::detail::check_failed(#expr, __FILE__, __LINE__,            \
+                                   ecrs_check_os_.str());                \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define ECRS_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define ECRS_DCHECK(expr) ECRS_CHECK(expr)
+#endif

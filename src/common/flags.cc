@@ -1,0 +1,68 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace ecrs {
+
+flags::flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+bool flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long flags::get_int(const std::string& name, long long fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(it->second.c_str(), &end, 10);
+  ECRS_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                 "flag --" << name << " is not an integer: " << it->second);
+  return value;
+}
+
+double flags::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  ECRS_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                 "flag --" << name << " is not a number: " << it->second);
+  return value;
+}
+
+bool flags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  ECRS_CHECK_MSG(false, "flag --" << name << " is not a boolean: " << v);
+  return fallback;
+}
+
+}  // namespace ecrs

@@ -1,0 +1,36 @@
+// Minimal command-line flag parser for bench and example binaries.
+//
+// Accepted syntax: --name=value, --name value, and bare --name (boolean
+// true). Unknown positional arguments are collected separately.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ecrs {
+
+class flags {
+ public:
+  flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& name,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ecrs

@@ -1,0 +1,128 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic components of the library draw from ecrs::rng so that every
+// experiment is reproducible from a single 64-bit seed. The engine is
+// xoshiro256** (Blackman & Vigna), seeded through splitmix64; it satisfies
+// std::uniform_random_bit_generator and is much faster than std::mt19937_64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecrs {
+
+// splitmix64: used to expand a single seed into engine state, and useful on
+// its own for hashing stream ids into independent seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** engine with convenience distributions.
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  // Derive an independent generator for a named substream; generators for
+  // different (seed, stream) pairs are statistically independent.
+  [[nodiscard]] rng fork(std::uint64_t stream) const {
+    std::uint64_t mix = state_[0] ^ (stream * 0x9e3779b97f4a7c15ULL);
+    return rng(splitmix64(mix));
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [lo, hi] (inclusive). Unbiased via rejection.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    ECRS_CHECK_MSG(lo <= hi, "uniform_int range [" << lo << "," << hi << "]");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw;
+    do {
+      draw = (*this)();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+  // Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    ECRS_CHECK(lo <= hi);
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) {
+    ECRS_CHECK(p >= 0.0 && p <= 1.0);
+    return next_double() < p;
+  }
+
+  // Exponential with the given rate (lambda).
+  double exponential(double rate);
+
+  // Poisson-distributed count with the given mean. Exact (Knuth) for small
+  // means, normal approximation with continuity correction for large means.
+  std::int64_t poisson(double mean);
+
+  // Sample an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i)));
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  // Sample k distinct values from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ecrs

@@ -1,0 +1,134 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ecrs {
+
+void running_stats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void running_stats::merge(const running_stats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void running_stats::reset() { *this = running_stats{}; }
+
+double running_stats::mean() const {
+  ECRS_CHECK_MSG(count_ > 0, "mean of empty sample");
+  return mean_;
+}
+
+double running_stats::variance() const {
+  ECRS_CHECK_MSG(count_ > 0, "variance of empty sample");
+  return m2_ / static_cast<double>(count_);
+}
+
+double running_stats::sample_variance() const {
+  ECRS_CHECK_MSG(count_ > 1, "sample variance needs >= 2 points");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double running_stats::stddev() const { return std::sqrt(variance()); }
+
+double running_stats::min() const {
+  ECRS_CHECK_MSG(count_ > 0, "min of empty sample");
+  return min_;
+}
+
+double running_stats::max() const {
+  ECRS_CHECK_MSG(count_ > 0, "max of empty sample");
+  return max_;
+}
+
+histogram::histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ECRS_CHECK_MSG(hi > lo, "histogram range must be non-empty");
+  ECRS_CHECK_MSG(bins > 0, "histogram needs at least one bin");
+}
+
+void histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto raw = static_cast<long>(std::floor((x - lo_) / width));
+  raw = std::clamp(raw, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(raw)];
+  ++total_;
+}
+
+std::size_t histogram::bin_count(std::size_t bin) const {
+  ECRS_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double histogram::bin_lower(std::size_t bin) const {
+  ECRS_CHECK(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double histogram::bin_upper(std::size_t bin) const {
+  return bin_lower(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::string histogram::to_ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = counts_[b] * width / peak;
+    os << "[" << bin_lower(b) << ", " << bin_upper(b) << ") ";
+    for (std::size_t i = 0; i < bar; ++i) os << '#';
+    os << ' ' << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+double percentile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return sorted_percentile(values, q);
+}
+
+double sorted_percentile(const std::vector<double>& sorted, double q) {
+  ECRS_CHECK_MSG(!sorted.empty(), "percentile of empty sample");
+  ECRS_CHECK_MSG(q >= 0.0 && q <= 100.0, "percentile q out of [0,100]");
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(std::floor(rank));
+  const auto upper = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lower);
+  return sorted[lower] + frac * (sorted[upper] - sorted[lower]);
+}
+
+double harmonic_number(std::size_t n) {
+  double h = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) h += 1.0 / static_cast<double>(k);
+  return h;
+}
+
+}  // namespace ecrs

@@ -1,0 +1,68 @@
+// Streaming and batch statistics used throughout the evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ecrs {
+
+// Numerically stable streaming moments (Welford's algorithm).
+class running_stats {
+ public:
+  void add(double x);
+  void merge(const running_stats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+// first/last bin so nothing is lost.
+class histogram {
+ public:
+  histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lower(std::size_t bin) const;
+  [[nodiscard]] double bin_upper(std::size_t bin) const;
+
+  // Render as a compact ASCII bar chart (one line per bin).
+  [[nodiscard]] std::string to_ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Percentile of a sample (linear interpolation between order statistics).
+// q in [0, 100]. The input is copied; for repeated queries sort once and use
+// sorted_percentile.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+[[nodiscard]] double sorted_percentile(const std::vector<double>& sorted,
+                                       double q);
+
+// Harmonic number H_n = sum_{k=1..n} 1/k; the paper's W_n factor.
+[[nodiscard]] double harmonic_number(std::size_t n);
+
+}  // namespace ecrs

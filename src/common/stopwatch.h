@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for the runtime experiments (paper Fig. 4b).
+#pragma once
+
+#include <chrono>
+
+namespace ecrs {
+
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  [[nodiscard]] double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ecrs

@@ -1,0 +1,122 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ecrs {
+
+table::table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  ECRS_CHECK_MSG(!columns_.empty(), "a table needs at least one column");
+}
+
+void table::add_row(std::vector<cell> row) {
+  ECRS_CHECK_MSG(row.size() == columns_.size(),
+                 "row has " << row.size() << " cells, table has "
+                            << columns_.size() << " columns");
+  rows_.push_back(std::move(row));
+}
+
+void table::set_precision(int digits) {
+  ECRS_CHECK(digits >= 0 && digits <= 17);
+  precision_ = digits;
+}
+
+std::string table::render(const cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+std::string table::text_at(std::size_t row, std::size_t col) const {
+  ECRS_CHECK(row < rows_.size() && col < columns_.size());
+  return render(rows_[row][col]);
+}
+
+double table::number_at(std::size_t row, std::size_t col) const {
+  ECRS_CHECK(row < rows_.size() && col < columns_.size());
+  const cell& c = rows_[row][col];
+  if (const auto* d = std::get_if<double>(&c)) return *d;
+  if (const auto* i = std::get_if<long long>(&c))
+    return static_cast<double>(*i);
+  return std::stod(std::get<std::string>(c));
+}
+
+std::string table::to_ascii() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << ' ';
+    }
+    os << "|\n";
+  };
+  rule();
+  line(columns_);
+  rule();
+  for (const auto& row : rendered) line(row);
+  rule();
+  return os.str();
+}
+
+std::string table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(render(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  ECRS_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << to_csv();
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace ecrs

@@ -1,0 +1,52 @@
+// Result tables: the common output format of every bench binary.
+//
+// A table has named columns; rows are added cell-by-cell or all at once.
+// Rendering targets: aligned ASCII (for the terminal) and CSV (for plotting).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ecrs {
+
+class table {
+ public:
+  using cell = std::variant<std::string, double, long long>;
+
+  explicit table(std::vector<std::string> columns);
+
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  // Append a full row; the number of cells must match the column count.
+  void add_row(std::vector<cell> row);
+
+  // Access a cell rendered as text (useful in tests).
+  [[nodiscard]] std::string text_at(std::size_t row, std::size_t col) const;
+  [[nodiscard]] double number_at(std::size_t row, std::size_t col) const;
+
+  // Number of significant digits used when rendering doubles (default 4).
+  void set_precision(int digits);
+
+  [[nodiscard]] std::string to_ascii() const;
+  [[nodiscard]] std::string to_csv() const;
+
+  void write_csv(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::string render(const cell& c) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<cell>> rows_;
+  int precision_ = 4;
+};
+
+// Escape a CSV field (quotes fields containing separators or quotes).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace ecrs

@@ -1,0 +1,120 @@
+#include "demand/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ahp/ahp.h"
+#include "common/check.h"
+
+namespace ecrs::demand {
+
+estimator_config make_default_config() {
+  estimator_config cfg;
+  const ahp::ahp_result weights =
+      ahp::derive_weights(ahp::default_demand_judgments());
+  // Eq. (1) multiplies each indicator by 1/w; we store w = 1/weight so the
+  // AHP importance weight is applied directly.
+  cfg.w_waiting = 1.0 / weights.weights[0];
+  cfg.w_processing = 1.0 / weights.weights[1];
+  cfg.w_request_rate = 1.0 / weights.weights[2];
+  return cfg;
+}
+
+estimator::estimator(estimator_config config) : config_(config) {
+  ECRS_CHECK_MSG(config_.w_waiting > 0.0 && config_.w_processing > 0.0 &&
+                     config_.w_request_rate > 0.0,
+                 "criterion weights must be positive");
+  ECRS_CHECK_MSG(config_.smoothing >= 0.0 && config_.smoothing < 1.0,
+                 "smoothing factor must be in [0,1)");
+  ECRS_CHECK_MSG(
+      config_.trend_smoothing >= 0.0 && config_.trend_smoothing < 1.0,
+      "trend smoothing factor must be in [0,1)");
+  ECRS_CHECK_MSG(
+      config_.max_utilization > 0.0 && config_.max_utilization < 1.0,
+      "max utilization must be in (0,1)");
+  ECRS_CHECK_MSG(config_.round_duration > 0.0,
+                 "round duration must be positive");
+}
+
+indicator_values estimator::indicators(const edge::round_stats& s,
+                                       double a_max) const {
+  ECRS_CHECK_MSG(s.round >= 1, "rounds are 1-based");
+  indicator_values v;
+
+  // γ_i^t = ζ·θ_i/π_i. With no arrivals the completion ratio is taken as 1
+  // (nothing is waiting).
+  const double completion =
+      s.received > 0
+          ? static_cast<double>(s.served) / static_cast<double>(s.received)
+          : 1.0;
+  v.waiting = config_.zeta * completion;
+
+  // ℝ_i^t = (ς_i − ϖ_i)/t: the processing-rate gap between what the
+  // microservice needs (clear arrivals + backlog within the round) and what
+  // it achieved, relaxed by the elapsed rounds. Negative gaps (over-served)
+  // clamp to zero.
+  const double needed = s.required_rate(config_.round_duration);
+  const double achieved = s.achieved_rate(config_.round_duration);
+  v.processing =
+      std::max(0.0, needed - achieved) / static_cast<double>(s.round);
+
+  // 𝕋_i^t = Δ·(a_i/a_max)·(L_i·t/V(n̄))·1/(1−L_i), with L clamped below 1
+  // and V(n̄) = co-located microservice count (density of neighbours).
+  const double util = std::clamp(s.utilization, 0.0, config_.max_utilization);
+  const double alloc_ratio = a_max > 0.0 ? s.allocation / a_max : 0.0;
+  const double density = static_cast<double>(std::max(1u, s.cloud_population));
+  v.request_rate = config_.delta * alloc_ratio *
+                   (util * static_cast<double>(s.round) / density) /
+                   (1.0 - util);
+  return v;
+}
+
+double estimator::raw_demand(const edge::round_stats& s, double a_max) const {
+  const indicator_values v = indicators(s, a_max);
+  const double x = v.waiting / config_.w_waiting +
+                   v.processing / config_.w_processing +
+                   v.request_rate / config_.w_request_rate;
+  return std::max(0.0, x);
+}
+
+double estimator::estimate(const edge::round_stats& s, double a_max) {
+  const double raw = raw_demand(s, a_max);
+  holt_state& h = history_[s.microservice];
+  if (!h.initialized) {
+    h.level = raw;
+    h.trend = 0.0;
+    h.initialized = true;
+    return raw;
+  }
+  const double previous_level = h.level;
+  // Level: EWMA of the raw observation around the trend-projected level.
+  h.level = (1.0 - config_.smoothing) * raw +
+            config_.smoothing * (previous_level + h.trend);
+  // Trend (Holt): EWMA of consecutive level differences; 0 keeps it off.
+  if (config_.trend_smoothing > 0.0) {
+    h.trend = config_.trend_smoothing * (h.level - previous_level) +
+              (1.0 - config_.trend_smoothing) * h.trend;
+  }
+  // One-step-ahead forecast, floored at zero (demands are non-negative).
+  return std::max(0.0, h.level + h.trend);
+}
+
+std::vector<double> estimator::estimate_round(
+    const std::vector<edge::round_stats>& stats) {
+  double a_max = 0.0;
+  for (const edge::round_stats& s : stats) a_max = std::max(a_max, s.allocation);
+  std::vector<double> out;
+  out.reserve(stats.size());
+  for (const edge::round_stats& s : stats) out.push_back(estimate(s, a_max));
+  return out;
+}
+
+double estimator::last_estimate(std::uint32_t microservice) const {
+  const auto it = history_.find(microservice);
+  if (it == history_.end() || !it->second.initialized) return 0.0;
+  return std::max(0.0, it->second.level + it->second.trend);
+}
+
+void estimator::reset_history() { history_.clear(); }
+
+}  // namespace ecrs::demand

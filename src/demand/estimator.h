@@ -1,0 +1,93 @@
+// Microservice demand estimation (paper §III).
+//
+// Turns per-round queueing observables into a scalar resource demand
+//   X_i^t = (1/w_γ)·γ_i^t + (1/w_ℝ)·ℝ_i^t + (1/w_𝕋)·𝕋_i^t          (Eq. 1)
+// with
+//   γ_i^t = ζ·θ_i/π_i                       (waiting-time indicator)
+//   ℝ_i^t = (ς_i − ϖ_i)/t                   (processing-rate indicator)
+//   𝕋_i^t = Δ·(a_i/a_max)·(L_i·t/V(n̄))·1/(1−L_i)   (request-rate, Eq. 2)
+// The scaling factors 1/w are derived by AHP (DESIGN.md §2). Since "the
+// demands of all microservices at t−1, t−2, … are more important" (§III),
+// estimates are exponentially smoothed over the round history.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "edge/microservice.h"
+
+namespace ecrs::demand {
+
+struct indicator_values {
+  double waiting = 0.0;      // γ_i^t
+  double processing = 0.0;   // ℝ_i^t
+  double request_rate = 0.0; // 𝕋_i^t
+};
+
+struct estimator_config {
+  double zeta = 1.0;    // ζ: waiting-time scale
+  double delta = 1.0;   // Δ: request-rate scale
+  // Criterion weights w_γ, w_ℝ, w_𝕋; Eq. (1) uses their reciprocals as
+  // importance factors. Defaults come from ahp::default_demand_judgments()
+  // via make_default_config().
+  double w_waiting = 3.5;      // 1/(2/7)
+  double w_processing = 7.0;   // 1/(1/7)
+  double w_request_rate = 1.75;  // 1/(4/7)
+  // EWMA factor on history: estimate = (1−s)·raw + s·previous. s = 0
+  // disables smoothing.
+  double smoothing = 0.4;
+  // Holt double-exponential (level + trend) smoothing factor for the trend
+  // component. 0 = plain EWMA (no trend). With a trend, the estimate
+  // anticipates demand that is still rising — useful for the bursty loads
+  // of §V. Must satisfy 0 <= trend_smoothing < 1.
+  double trend_smoothing = 0.0;
+  // Utilization is clamped to at most this value so the 1/(1−L) term stays
+  // finite under saturation.
+  double max_utilization = 0.95;
+  double round_duration = 600.0;  // paper: 10-minute rounds
+};
+
+// Config with AHP-derived weights (waiting 2/7, processing 1/7, request
+// rate 4/7 — see ahp::default_demand_judgments()).
+[[nodiscard]] estimator_config make_default_config();
+
+class estimator {
+ public:
+  explicit estimator(estimator_config config);
+
+  [[nodiscard]] const estimator_config& config() const { return config_; }
+
+  // The three indicators for one microservice-round. `a_max` is the largest
+  // allocation among all microservices this round (Eq. 2).
+  [[nodiscard]] indicator_values indicators(const edge::round_stats& s,
+                                            double a_max) const;
+
+  // Raw (unsmoothed) Eq. (1) demand; never negative.
+  [[nodiscard]] double raw_demand(const edge::round_stats& s,
+                                  double a_max) const;
+
+  // Smoothed estimate for one microservice; updates its history.
+  double estimate(const edge::round_stats& s, double a_max);
+
+  // Estimate a whole round at once (computes a_max internally). Result is
+  // indexed like `stats`.
+  std::vector<double> estimate_round(const std::vector<edge::round_stats>& stats);
+
+  // Last smoothed estimate for a microservice (0 if never seen).
+  [[nodiscard]] double last_estimate(std::uint32_t microservice) const;
+
+  void reset_history();
+
+ private:
+  struct holt_state {
+    double level = 0.0;
+    double trend = 0.0;
+    bool initialized = false;
+  };
+
+  estimator_config config_;
+  std::unordered_map<std::uint32_t, holt_state> history_;
+};
+
+}  // namespace ecrs::demand

@@ -1,0 +1,91 @@
+#include "des/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ecrs::des {
+
+void simulator::push(sim_time when, event_id id) {
+  heap_.push(heap_entry{when, next_seq_++, id});
+}
+
+event_id simulator::schedule_at(sim_time when, callback fn) {
+  ECRS_CHECK_MSG(when >= now_,
+                 "cannot schedule in the past: " << when << " < " << now_);
+  ECRS_CHECK_MSG(fn != nullptr, "null event callback");
+  const event_id id = next_id_++;
+  records_.emplace(id, record{std::move(fn), 0.0});
+  push(when, id);
+  return id;
+}
+
+event_id simulator::schedule_in(sim_time delay, callback fn) {
+  ECRS_CHECK_MSG(delay >= 0.0, "negative delay: " << delay);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+event_id simulator::schedule_periodic(sim_time period, callback fn) {
+  ECRS_CHECK_MSG(period > 0.0, "periodic events need a positive period");
+  ECRS_CHECK_MSG(fn != nullptr, "null event callback");
+  const event_id id = next_id_++;
+  records_.emplace(id, record{std::move(fn), period});
+  push(now_ + period, id);
+  return id;
+}
+
+bool simulator::cancel(event_id id) { return records_.erase(id) > 0; }
+
+bool simulator::pop_next(heap_entry& out) {
+  while (!heap_.empty()) {
+    heap_entry top = heap_.top();
+    heap_.pop();
+    if (records_.count(top.id) == 0) continue;  // cancelled or stale
+    out = top;
+    return true;
+  }
+  return false;
+}
+
+bool simulator::step() {
+  heap_entry next{};
+  if (!pop_next(next)) return false;
+  now_ = next.when;
+  auto it = records_.find(next.id);
+  ECRS_DCHECK(it != records_.end());
+  ++executed_;
+  if (it->second.period > 0.0) {
+    // Re-arm before running so cancel(id) from inside the callback removes
+    // the record and pop_next discards the re-armed entry.
+    push(now_ + it->second.period, next.id);
+    // Copy: the callback may mutate records_ (schedule/cancel), which can
+    // invalidate `it`.
+    callback fn = it->second.fn;
+    fn();
+  } else {
+    callback fn = std::move(it->second.fn);
+    records_.erase(it);
+    fn();
+  }
+  return true;
+}
+
+void simulator::run_until(sim_time horizon) {
+  ECRS_CHECK_MSG(horizon >= now_, "horizon is in the past");
+  heap_entry next{};
+  while (pop_next(next)) {
+    if (next.when > horizon) {
+      heap_.push(next);  // keep it pending beyond the horizon
+      break;
+    }
+    heap_.push(next);  // step() re-pops; both paths share bookkeeping
+    step();
+  }
+  now_ = std::max(now_, horizon);
+}
+
+void simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace ecrs::des

@@ -1,0 +1,94 @@
+// Discrete-event simulation core.
+//
+// A single-threaded event loop with a virtual clock: events are callbacks
+// scheduled at absolute or relative simulated times and executed in
+// timestamp order (FIFO among equal timestamps). Supports cancellation and
+// periodic processes. The edge-cloud queueing simulation (src/edge) and the
+// workload generators (src/workload) are built on top of this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecrs::des {
+
+using sim_time = double;
+using event_id = std::uint64_t;
+
+class simulator {
+ public:
+  using callback = std::function<void()>;
+
+  simulator() = default;
+  simulator(const simulator&) = delete;
+  simulator& operator=(const simulator&) = delete;
+
+  [[nodiscard]] sim_time now() const { return now_; }
+  [[nodiscard]] std::size_t pending_events() const { return records_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  // Schedule `fn` at absolute time `when` (must be >= now()).
+  event_id schedule_at(sim_time when, callback fn);
+
+  // Schedule `fn` after `delay` (must be >= 0).
+  event_id schedule_in(sim_time delay, callback fn);
+
+  // Schedule `fn` every `period`, starting at now() + period. The returned
+  // id identifies the whole series; cancel(id) stops it (including from
+  // within the callback itself).
+  event_id schedule_periodic(sim_time period, callback fn);
+
+  // Cancel a pending event or periodic series. Returns false if the event
+  // already ran or does not exist (cancelling twice is harmless).
+  bool cancel(event_id id);
+
+  // Run events with timestamp <= horizon, then advance the clock to at
+  // least `horizon` (events beyond it stay pending).
+  void run_until(sim_time horizon);
+
+  // Run all pending events (including those scheduled while running).
+  // Periodic series must be cancelled first or this never returns; prefer
+  // run_until for simulations containing periodic processes.
+  void run();
+
+  // Execute at most one event; returns false if none was pending.
+  bool step();
+
+ private:
+  struct heap_entry {
+    sim_time when;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    event_id id;
+  };
+  struct heap_order {
+    bool operator()(const heap_entry& a, const heap_entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  struct record {
+    callback fn;
+    sim_time period = 0.0;  // > 0 for periodic series
+  };
+
+  // Pops the next live entry, discarding stale/cancelled ones. Returns
+  // false when the queue is exhausted.
+  bool pop_next(heap_entry& out);
+  void push(sim_time when, event_id id);
+
+  sim_time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  event_id next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<heap_entry, std::vector<heap_entry>, heap_order> heap_;
+  std::unordered_map<event_id, record> records_;
+};
+
+}  // namespace ecrs::des

@@ -1,0 +1,80 @@
+#include "edge/fair_share.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace ecrs::edge {
+
+std::vector<double> max_min_fair_share(const std::vector<double>& demands,
+                                       double capacity) {
+  ECRS_CHECK_MSG(capacity >= 0.0, "capacity must be non-negative");
+  for (double d : demands)
+    ECRS_CHECK_MSG(d >= 0.0, "demands must be non-negative");
+
+  std::vector<double> alloc(demands.size(), 0.0);
+  if (demands.empty() || capacity == 0.0) return alloc;
+
+  // Water-filling over demands sorted ascending.
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demands[a] < demands[b];
+  });
+
+  double remaining = capacity;
+  std::size_t unsatisfied = demands.size();
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t idx = order[rank];
+    const double level = remaining / static_cast<double>(unsatisfied);
+    const double grant = std::min(demands[idx], level);
+    alloc[idx] = grant;
+    remaining -= grant;
+    --unsatisfied;
+  }
+  return alloc;
+}
+
+std::vector<double> weighted_max_min_fair_share(
+    const std::vector<double>& demands, const std::vector<double>& weights,
+    double capacity) {
+  ECRS_CHECK_MSG(capacity >= 0.0, "capacity must be non-negative");
+  ECRS_CHECK_MSG(weights.size() == demands.size(),
+                 "weights/demands size mismatch");
+  for (double d : demands)
+    ECRS_CHECK_MSG(d >= 0.0, "demands must be non-negative");
+  for (double w : weights)
+    ECRS_CHECK_MSG(w > 0.0, "weights must be positive");
+
+  std::vector<double> alloc(demands.size(), 0.0);
+  if (demands.empty() || capacity == 0.0) return alloc;
+
+  // Water-filling on normalized demand (demand / weight) ascending.
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demands[a] / weights[a] < demands[b] / weights[b];
+  });
+
+  double remaining = capacity;
+  double remaining_weight = 0.0;
+  for (double w : weights) remaining_weight += w;
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t idx = order[rank];
+    const double level = remaining / remaining_weight;
+    const double grant = std::min(demands[idx], level * weights[idx]);
+    alloc[idx] = grant;
+    remaining -= grant;
+    remaining_weight -= weights[idx];
+  }
+  return alloc;
+}
+
+std::vector<double> equal_share(std::size_t n, double capacity) {
+  ECRS_CHECK_MSG(capacity >= 0.0, "capacity must be non-negative");
+  if (n == 0) return {};
+  return std::vector<double>(n, capacity / static_cast<double>(n));
+}
+
+}  // namespace ecrs::edge

@@ -1,0 +1,31 @@
+// Max-min fair sharing (the paper's "fair sharing policy", §II).
+//
+// Given per-microservice demands and a cloud capacity, water-fill: every
+// microservice gets min(demand, fair level), and the level rises until the
+// capacity is exhausted or every demand is met.
+#pragma once
+
+#include <vector>
+
+namespace ecrs::edge {
+
+// Returns allocations a_i with sum(a_i) <= capacity, a_i <= demand_i, and
+// the max-min fairness property: an allocation can only be below its demand
+// if it equals the highest allocation among unsatisfied demands.
+// Demands must be non-negative; capacity must be non-negative.
+[[nodiscard]] std::vector<double> max_min_fair_share(
+    const std::vector<double>& demands, double capacity);
+
+// Weighted max-min fairness: recipient i's fair level is weight_i times the
+// common water level; used to prioritize delay-sensitive microservices
+// (paper §V-A: "higher priority is given to delay-sensitive microservices").
+// weights must be positive and match demands in size.
+[[nodiscard]] std::vector<double> weighted_max_min_fair_share(
+    const std::vector<double>& demands, const std::vector<double>& weights,
+    double capacity);
+
+// Plain equal split of `capacity` over n recipients (the naive baseline the
+// paper contrasts with demand-aware reallocation).
+[[nodiscard]] std::vector<double> equal_share(std::size_t n, double capacity);
+
+}  // namespace ecrs::edge

@@ -1,0 +1,99 @@
+#include "edge/microservice.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecrs::edge {
+
+double round_stats::required_rate(double round_duration) const {
+  ECRS_CHECK(round_duration > 0.0);
+  return (arrived_work + backlog_work) / round_duration;
+}
+
+double round_stats::achieved_rate(double round_duration) const {
+  ECRS_CHECK(round_duration > 0.0);
+  return served_work / round_duration;
+}
+
+microservice::microservice(std::uint32_t id, workload::qos_class qos)
+    : id_(id), qos_(qos) {}
+
+double microservice::backlog_work() const {
+  double total = 0.0;
+  for (const queued& q : queue_) total += q.remaining;
+  return total;
+}
+
+void microservice::set_allocation(double resources) {
+  ECRS_CHECK_MSG(resources >= 0.0, "allocation must be non-negative");
+  allocation_ = resources;
+}
+
+void microservice::enqueue(const workload::request& r) {
+  ECRS_CHECK_MSG(r.microservice == id_,
+                 "request for microservice " << r.microservice
+                                             << " routed to " << id_);
+  ECRS_CHECK_MSG(r.service_demand >= 0.0, "negative service demand");
+  queue_.push_back(queued{r, r.service_demand});
+  ++round_received_;
+  ++total_received_;
+  round_arrived_work_ += r.service_demand;
+}
+
+void microservice::advance(double now, double duration) {
+  ECRS_CHECK_MSG(duration >= 0.0, "negative duration");
+  round_elapsed_ += duration;
+  if (allocation_ <= 0.0 || queue_.empty()) return;
+
+  double budget = allocation_ * duration;  // resource-seconds available
+  double clock = now;
+  while (budget > 0.0 && !queue_.empty()) {
+    queued& head = queue_.front();
+    const double spend = std::min(budget, head.remaining);
+    head.remaining -= spend;
+    budget -= spend;
+    clock += spend / allocation_;
+    round_served_work_ += spend;
+    round_busy_time_ += spend / allocation_;
+    if (head.remaining <= 1e-12) {
+      ++round_served_;
+      ++total_served_;
+      round_wait_sum_ += std::max(0.0, clock - head.req.arrival_time);
+      queue_.pop_front();
+    }
+  }
+}
+
+round_stats microservice::end_round(std::uint64_t round, double round_duration,
+                                    std::uint32_t cloud_population) {
+  ECRS_CHECK(round_duration > 0.0);
+  ECRS_CHECK(cloud_population >= 1);
+  round_stats s;
+  s.microservice = id_;
+  s.round = round;
+  s.received = round_received_;
+  s.served = round_served_;
+  s.arrived_work = round_arrived_work_;
+  s.served_work = round_served_work_;
+  s.backlog_work = backlog_work();
+  s.allocation = allocation_;
+  const double elapsed = round_elapsed_ > 0.0 ? round_elapsed_ : round_duration;
+  s.utilization = std::clamp(round_busy_time_ / elapsed, 0.0, 1.0);
+  s.mean_wait = round_served_ > 0
+                    ? round_wait_sum_ / static_cast<double>(round_served_)
+                    : 0.0;
+  s.cloud_population = cloud_population;
+
+  last_arrived_work_ = round_arrived_work_;
+  round_received_ = 0;
+  round_served_ = 0;
+  round_arrived_work_ = 0.0;
+  round_served_work_ = 0.0;
+  round_busy_time_ = 0.0;
+  round_wait_sum_ = 0.0;
+  round_elapsed_ = 0.0;
+  return s;
+}
+
+}  // namespace ecrs::edge

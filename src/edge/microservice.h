@@ -1,0 +1,98 @@
+// Microservice runtime state: a work-conserving FIFO queue served at the
+// rate of the resources currently allocated to the microservice.
+//
+// Tracks the observables the paper's demand estimator (§III) consumes:
+// received/served request counts (π_i, θ_i), achieved vs. required
+// processing rate (ς_i, ϖ_i), utilization (execution rate L_i), and the
+// current allocation a_i.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "workload/request.h"
+
+namespace ecrs::edge {
+
+// Snapshot of one auction round, consumed by ecrs::demand.
+struct round_stats {
+  std::uint32_t microservice = 0;
+  std::uint64_t round = 0;            // t, 1-based
+  std::uint64_t received = 0;         // π_i: requests that arrived this round
+  std::uint64_t served = 0;           // θ_i: requests completed this round
+  double arrived_work = 0.0;          // resource-seconds that arrived
+  double served_work = 0.0;           // resource-seconds completed
+  double backlog_work = 0.0;          // queued resource-seconds at round end
+  double allocation = 0.0;            // a_i^t: resource units held
+  double utilization = 0.0;           // L_i^t in [0, 1]: busy fraction
+  double mean_wait = 0.0;             // mean sojourn of requests completed
+  std::uint32_t cloud_population = 1; // microservices co-located on the cloud
+
+  // ς_i: processing rate needed to clear arrivals + backlog in one round.
+  [[nodiscard]] double required_rate(double round_duration) const;
+  // Achieved service rate this round.
+  [[nodiscard]] double achieved_rate(double round_duration) const;
+};
+
+class microservice {
+ public:
+  microservice(std::uint32_t id, workload::qos_class qos);
+
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  [[nodiscard]] workload::qos_class qos() const { return qos_; }
+  [[nodiscard]] double allocation() const { return allocation_; }
+  [[nodiscard]] double backlog_work() const;
+  // Work that arrived during the most recently closed round (0 before the
+  // first end_round); used by arrival-aware allocation policies.
+  [[nodiscard]] double last_round_arrived_work() const {
+    return last_arrived_work_;
+  }
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t total_received() const { return total_received_; }
+  [[nodiscard]] std::uint64_t total_served() const { return total_served_; }
+
+  // Set the resources the microservice holds for the upcoming interval.
+  void set_allocation(double resources);
+
+  // Admit a request (assumed to arrive within the current round).
+  void enqueue(const workload::request& r);
+
+  // Serve queued work for `duration` simulated seconds starting at `now`,
+  // at a rate equal to the current allocation. Requests complete FIFO;
+  // partially served requests stay at the head of the queue.
+  void advance(double now, double duration);
+
+  // Close the current round: return its statistics and reset per-round
+  // counters. `round` is the 1-based round index, `cloud_population` the
+  // number of microservices co-located on the same edge cloud.
+  round_stats end_round(std::uint64_t round, double round_duration,
+                        std::uint32_t cloud_population);
+
+ private:
+  struct queued {
+    workload::request req;
+    double remaining;  // resource-seconds still to serve
+  };
+
+  std::uint32_t id_;
+  workload::qos_class qos_;
+  double allocation_ = 1.0;
+  std::deque<queued> queue_;
+
+  // Per-round accumulators.
+  std::uint64_t round_received_ = 0;
+  std::uint64_t round_served_ = 0;
+  double round_arrived_work_ = 0.0;
+  double round_served_work_ = 0.0;
+  double round_busy_time_ = 0.0;
+  double round_wait_sum_ = 0.0;
+  double round_elapsed_ = 0.0;
+
+  // Lifetime counters.
+  std::uint64_t total_received_ = 0;
+  std::uint64_t total_served_ = 0;
+  double last_arrived_work_ = 0.0;
+};
+
+}  // namespace ecrs::edge

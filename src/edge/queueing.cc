@@ -1,0 +1,81 @@
+#include "edge/queueing.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ecrs::edge {
+namespace {
+
+void check_stable(double lambda, double mu, std::size_t servers) {
+  ECRS_CHECK_MSG(lambda > 0.0, "arrival rate must be positive");
+  ECRS_CHECK_MSG(mu > 0.0, "service rate must be positive");
+  ECRS_CHECK_MSG(servers >= 1, "need at least one server");
+  ECRS_CHECK_MSG(lambda < static_cast<double>(servers) * mu,
+                 "unstable queue: lambda=" << lambda << " >= c*mu="
+                                           << static_cast<double>(servers) * mu);
+}
+
+}  // namespace
+
+double utilization(double lambda, double mu, std::size_t servers) {
+  check_stable(lambda, mu, servers);
+  return lambda / (static_cast<double>(servers) * mu);
+}
+
+double mm1_sojourn_time(double lambda, double mu) {
+  check_stable(lambda, mu, 1);
+  return 1.0 / (mu - lambda);
+}
+
+double mm1_waiting_time(double lambda, double mu) {
+  check_stable(lambda, mu, 1);
+  return (lambda / mu) / (mu - lambda);
+}
+
+double mm1_number_in_system(double lambda, double mu) {
+  check_stable(lambda, mu, 1);
+  const double rho = lambda / mu;
+  return rho / (1.0 - rho);
+}
+
+double mm1_p_empty(double lambda, double mu) {
+  check_stable(lambda, mu, 1);
+  return 1.0 - lambda / mu;
+}
+
+double erlang_c(double lambda, double mu, std::size_t servers) {
+  check_stable(lambda, mu, servers);
+  const double a = lambda / mu;  // offered load in Erlangs
+  const auto c = static_cast<double>(servers);
+  // Iterative Erlang-B, then convert to Erlang-C (numerically stable).
+  double b = 1.0;
+  for (std::size_t k = 1; k <= servers; ++k) {
+    b = a * b / (static_cast<double>(k) + a * b);
+  }
+  const double rho = a / c;
+  return b / (1.0 - rho + rho * b);
+}
+
+double mmc_waiting_time(double lambda, double mu, std::size_t servers) {
+  const double c_prob = erlang_c(lambda, mu, servers);
+  return c_prob / (static_cast<double>(servers) * mu - lambda);
+}
+
+double mmc_sojourn_time(double lambda, double mu, std::size_t servers) {
+  return mmc_waiting_time(lambda, mu, servers) + 1.0 / mu;
+}
+
+std::size_t servers_for_waiting_time(double lambda, double mu,
+                                     double max_waiting_time,
+                                     std::size_t max_servers) {
+  ECRS_CHECK_MSG(max_waiting_time > 0.0, "waiting-time target must be positive");
+  const auto min_servers = static_cast<std::size_t>(
+      std::floor(lambda / mu)) + 1;  // stability requires c > λ/μ
+  for (std::size_t c = min_servers; c <= max_servers; ++c) {
+    if (mmc_waiting_time(lambda, mu, c) <= max_waiting_time) return c;
+  }
+  return 0;
+}
+
+}  // namespace ecrs::edge

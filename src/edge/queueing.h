@@ -1,0 +1,42 @@
+// Analytic queueing formulas (M/M/1 and M/M/c) used to validate the
+// event-driven simulation and for capacity planning: a microservice with
+// allocation a serving exponential demands of mean d behaves as an M/M/1
+// server with μ = a/d.
+#pragma once
+
+#include <cstddef>
+
+namespace ecrs::edge {
+
+// Offered load ρ = λ/(c·μ); the stability condition for all formulas below
+// is ρ < 1 (they throw ecrs::check_error otherwise).
+[[nodiscard]] double utilization(double lambda, double mu, std::size_t servers = 1);
+
+// --- M/M/1 -----------------------------------------------------------------
+// Mean sojourn (waiting + service) time W = 1/(μ−λ).
+[[nodiscard]] double mm1_sojourn_time(double lambda, double mu);
+// Mean waiting time (queue only) Wq = ρ/(μ−λ).
+[[nodiscard]] double mm1_waiting_time(double lambda, double mu);
+// Mean number in system L = ρ/(1−ρ).
+[[nodiscard]] double mm1_number_in_system(double lambda, double mu);
+// P(system empty) = 1 − ρ.
+[[nodiscard]] double mm1_p_empty(double lambda, double mu);
+
+// --- M/M/c -----------------------------------------------------------------
+// Erlang-C: probability an arrival must wait.
+[[nodiscard]] double erlang_c(double lambda, double mu, std::size_t servers);
+// Mean waiting time Wq = C(c, λ/μ) / (c·μ − λ).
+[[nodiscard]] double mmc_waiting_time(double lambda, double mu,
+                                      std::size_t servers);
+// Mean sojourn W = Wq + 1/μ.
+[[nodiscard]] double mmc_sojourn_time(double lambda, double mu,
+                                      std::size_t servers);
+
+// Smallest server count keeping the Erlang-C waiting time below
+// `max_waiting_time` (capacity planning); searches up to `max_servers` and
+// returns 0 if even that is not enough.
+[[nodiscard]] std::size_t servers_for_waiting_time(double lambda, double mu,
+                                                   double max_waiting_time,
+                                                   std::size_t max_servers = 4096);
+
+}  // namespace ecrs::edge

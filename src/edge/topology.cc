@@ -1,0 +1,127 @@
+#include "edge/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace ecrs::edge {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+topology::topology(std::uint32_t clouds)
+    : size_(clouds), dist_(static_cast<std::size_t>(clouds) * clouds, kInf) {
+  ECRS_CHECK_MSG(clouds >= 1, "topology needs at least one cloud");
+  for (std::uint32_t i = 0; i < size_; ++i) at(i, i) = 0.0;
+}
+
+double& topology::at(std::uint32_t a, std::uint32_t b) {
+  ECRS_CHECK(a < size_ && b < size_);
+  return dist_[static_cast<std::size_t>(a) * size_ + b];
+}
+
+double topology::at(std::uint32_t a, std::uint32_t b) const {
+  ECRS_CHECK(a < size_ && b < size_);
+  return dist_[static_cast<std::size_t>(a) * size_ + b];
+}
+
+void topology::add_link(std::uint32_t a, std::uint32_t b, double latency) {
+  ECRS_CHECK_MSG(a != b, "self-links are implicit (latency 0)");
+  ECRS_CHECK_MSG(latency >= 0.0, "latency must be non-negative");
+  at(a, b) = std::min(at(a, b), latency);
+  at(b, a) = std::min(at(b, a), latency);
+  finalized_ = false;
+}
+
+void topology::finalize() {
+  for (std::uint32_t k = 0; k < size_; ++k) {
+    for (std::uint32_t i = 0; i < size_; ++i) {
+      const double dik = at(i, k);
+      if (dik == kInf) continue;
+      for (std::uint32_t j = 0; j < size_; ++j) {
+        const double through = dik + at(k, j);
+        if (through < at(i, j)) at(i, j) = through;
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+double topology::latency(std::uint32_t a, std::uint32_t b) const {
+  ECRS_CHECK_MSG(finalized_, "call finalize() after add_link()");
+  return at(a, b);
+}
+
+bool topology::connected() const {
+  ECRS_CHECK_MSG(finalized_, "call finalize() after add_link()");
+  for (std::uint32_t j = 0; j < size_; ++j) {
+    if (at(0, j) == kInf) return false;
+  }
+  return true;
+}
+
+double topology::transfer_cost(std::uint32_t a, std::uint32_t b,
+                               double cost_per_ms) const {
+  ECRS_CHECK_MSG(cost_per_ms >= 0.0, "cost rate must be non-negative");
+  const double l = latency(a, b);
+  ECRS_CHECK_MSG(l != kInf, "clouds " << a << " and " << b
+                                      << " are not connected");
+  return l * cost_per_ms;
+}
+
+topology topology::ring(std::uint32_t clouds, double hop_latency) {
+  topology t(clouds);
+  for (std::uint32_t i = 0; i + 1 < clouds; ++i) {
+    t.add_link(i, i + 1, hop_latency);
+  }
+  if (clouds > 2) t.add_link(clouds - 1, 0, hop_latency);
+  t.finalize();
+  return t;
+}
+
+topology topology::star(std::uint32_t clouds, double spoke_latency) {
+  topology t(clouds);
+  for (std::uint32_t i = 1; i < clouds; ++i) t.add_link(0, i, spoke_latency);
+  t.finalize();
+  return t;
+}
+
+topology topology::mesh(std::uint32_t clouds, double latency) {
+  topology t(clouds);
+  for (std::uint32_t i = 0; i < clouds; ++i) {
+    for (std::uint32_t j = i + 1; j < clouds; ++j) t.add_link(i, j, latency);
+  }
+  t.finalize();
+  return t;
+}
+
+topology topology::random_geometric(std::uint32_t clouds, double radius,
+                                    double latency_per_unit, rng& gen) {
+  ECRS_CHECK_MSG(radius > 0.0, "radius must be positive");
+  ECRS_CHECK_MSG(latency_per_unit > 0.0, "latency rate must be positive");
+  topology t(clouds);
+  std::vector<double> x(clouds);
+  std::vector<double> y(clouds);
+  for (std::uint32_t i = 0; i < clouds; ++i) {
+    x[i] = gen.next_double();
+    y[i] = gen.next_double();
+  }
+  for (std::uint32_t i = 0; i < clouds; ++i) {
+    for (std::uint32_t j = i + 1; j < clouds; ++j) {
+      const double d = std::hypot(x[i] - x[j], y[i] - y[j]);
+      if (d <= radius) t.add_link(i, j, d * latency_per_unit);
+    }
+  }
+  // Ring overlay guarantees connectivity.
+  for (std::uint32_t i = 0; i + 1 < clouds; ++i) {
+    const double d = std::hypot(x[i] - x[i + 1], y[i] - y[i + 1]);
+    t.add_link(i, i + 1, d * latency_per_unit);
+  }
+  t.finalize();
+  return t;
+}
+
+}  // namespace ecrs::edge

@@ -1,0 +1,71 @@
+// Backhaul topology between edge clouds (paper §II: "the edge clouds are
+// connected to each other through a backhaul network and every edge cloud
+// is reachable from every network access point").
+//
+// Models the inter-cloud link graph with per-link latencies, all-pairs
+// shortest paths (Floyd–Warshall), and a per-unit transfer cost used when a
+// seller helps a demander hosted on another cloud (examples/edge_marketplace
+// prices remote help with it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ecrs::edge {
+
+class topology {
+ public:
+  // A graph with `clouds` nodes and no links (latencies infinite except the
+  // zero diagonal).
+  explicit topology(std::uint32_t clouds);
+
+  [[nodiscard]] std::uint32_t clouds() const { return size_; }
+
+  // Add an undirected link with the given latency (ms); keeps the smaller
+  // latency if the link already exists. Call finalize() afterwards.
+  void add_link(std::uint32_t a, std::uint32_t b, double latency);
+
+  // Recompute all-pairs shortest paths (Floyd–Warshall). Required after the
+  // last add_link and before latency()/connected().
+  void finalize();
+
+  // Shortest-path latency; infinity when unreachable.
+  [[nodiscard]] double latency(std::uint32_t a, std::uint32_t b) const;
+
+  [[nodiscard]] bool connected() const;
+
+  // Per-resource-unit transfer surcharge between two clouds: proportional
+  // to the shortest-path latency (0 within a cloud).
+  [[nodiscard]] double transfer_cost(std::uint32_t a, std::uint32_t b,
+                                     double cost_per_ms) const;
+
+  // --- Factories -----------------------------------------------------------
+  // Ring: cloud i links to i+1 (mod n) with the given per-hop latency.
+  [[nodiscard]] static topology ring(std::uint32_t clouds,
+                                     double hop_latency = 1.0);
+  // Star: every cloud links to cloud 0.
+  [[nodiscard]] static topology star(std::uint32_t clouds,
+                                     double spoke_latency = 1.0);
+  // Full mesh with uniform latency.
+  [[nodiscard]] static topology mesh(std::uint32_t clouds,
+                                     double latency = 1.0);
+  // Random geometric graph on the unit square: clouds within `radius`
+  // connect, latency = Euclidean distance * latency_per_unit. A ring
+  // overlay guarantees connectivity.
+  [[nodiscard]] static topology random_geometric(std::uint32_t clouds,
+                                                 double radius,
+                                                 double latency_per_unit,
+                                                 rng& gen);
+
+ private:
+  std::uint32_t size_;
+  std::vector<double> dist_;  // row-major size_ x size_
+  bool finalized_ = true;     // a linkless graph is trivially final
+
+  [[nodiscard]] double& at(std::uint32_t a, std::uint32_t b);
+  [[nodiscard]] double at(std::uint32_t a, std::uint32_t b) const;
+};
+
+}  // namespace ecrs::edge

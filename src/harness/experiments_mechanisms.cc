@@ -1,0 +1,103 @@
+// Mechanism comparison driver: efficiency vs frugality across every
+// implemented mechanism on identical instances.
+#include <string>
+
+#include "auction/baselines.h"
+#include "auction/exact.h"
+#include "auction/instance_gen.h"
+#include "auction/local_search.h"
+#include "auction/rounding.h"
+#include "auction/ssam.h"
+#include "auction/vcg.h"
+#include "harness/experiments.h"
+#include "harness/internal.h"
+#include "metrics/metrics.h"
+
+namespace ecrs::harness {
+
+table payment_rules(const sweep_config& cfg, std::size_t sellers) {
+  table out({"mechanism", "cost_vs_opt", "payment_vs_opt", "feasible_frac",
+             "trials"});
+
+  struct row {
+    std::string name;
+    metrics::trial_accumulator cost;      // reference = exact optimum
+    metrics::trial_accumulator payment;   // reference = exact optimum
+    std::size_t feasible = 0;
+  };
+  row rows[] = {{"SSAM_runner_up", {}, {}, 0},   {"SSAM_critical", {}, {}, 0},
+                {"SSAM_budget_2xOPT", {}, {}, 0}, {"VCG_reserve70", {}, {}, 0},
+                {"pay_as_bid", {}, {}, 0},        {"random", {}, {}, 0},
+                {"greedy+local_search", {}, {}, 0},
+                {"lp_rounding", {}, {}, 0}};
+
+  std::size_t usable = 0;
+  for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+    rng gen = internal::point_rng(cfg.seed, 91, 0, trial);
+    const auto inst = auction::random_instance(
+        internal::paper_stage(sellers, cfg.demanders, 2), gen);
+    const auto opt = auction::solve_exact(inst);
+    if (!opt.exact || !opt.feasible || opt.cost <= 0.0) continue;
+    ++usable;
+
+    auto record = [&](row& r, bool feasible, double cost, double payment) {
+      r.cost.add_trial(cost, 0.0, opt.cost);
+      r.payment.add_trial(payment, 0.0, opt.cost);
+      if (feasible) ++r.feasible;
+    };
+
+    {
+      const auto res = auction::run_ssam(inst);
+      record(rows[0], res.feasible, res.social_cost, res.total_payment);
+    }
+    {
+      auction::ssam_options opts;
+      opts.rule = auction::payment_rule::critical_value;
+      const auto res = auction::run_ssam(inst, opts);
+      record(rows[1], res.feasible, res.social_cost, res.total_payment);
+    }
+    {
+      auction::ssam_options opts;
+      opts.payment_budget = 2.0 * opt.cost;
+      const auto res = auction::run_ssam(inst, opts);
+      record(rows[2], res.feasible, res.social_cost, res.total_payment);
+    }
+    {
+      const auto res = auction::run_vcg(inst, 2000000, 70.0);
+      double payment = 0.0;
+      for (double p : res.payments) payment += p;
+      record(rows[3], res.feasible, res.social_cost, payment);
+    }
+    {
+      const auto res = auction::pay_as_bid_greedy(inst);
+      record(rows[4], res.feasible, res.social_cost, res.total_payment);
+    }
+    {
+      rng pick = gen.fork(5);
+      const auto res = auction::random_selection(inst, pick);
+      record(rows[5], res.feasible, res.social_cost, res.total_payment);
+    }
+    {
+      // Cost-only heuristic (no payments/incentives): efficiency reference.
+      const auto res = auction::improve_selection(inst);
+      record(rows[6], res.feasible, res.cost, res.cost);
+    }
+    {
+      rng sample = gen.fork(7);
+      const auto res = auction::randomized_rounding(inst, sample);
+      record(rows[7], res.feasible, res.social_cost, res.total_payment);
+    }
+  }
+
+  for (row& r : rows) {
+    out.add_row({r.name, r.cost.trials() > 0 ? r.cost.mean_ratio() : 0.0,
+                 r.payment.trials() > 0 ? r.payment.mean_ratio() : 0.0,
+                 usable > 0 ? static_cast<double>(r.feasible) /
+                                  static_cast<double>(usable)
+                            : 0.0,
+                 static_cast<long long>(usable)});
+  }
+  return out;
+}
+
+}  // namespace ecrs::harness

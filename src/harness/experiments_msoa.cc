@@ -1,0 +1,354 @@
+// Drivers for the online (MSOA) figures 5(a), 5(b), 6(a), 6(b), the
+// theorem-bound ablation, and the posted-price baseline comparison.
+#include <array>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "auction/baselines.h"
+#include "auction/exact.h"
+#include "auction/instance_gen.h"
+#include "auction/msoa.h"
+#include "auction/ssam.h"
+#include "harness/experiments.h"
+#include "harness/internal.h"
+#include "metrics/metrics.h"
+
+namespace ecrs::harness {
+namespace {
+
+constexpr std::array<auction::msoa_variant, 4> kVariants = {
+    auction::msoa_variant::base, auction::msoa_variant::demand_aware,
+    auction::msoa_variant::high_capacity,
+    auction::msoa_variant::fully_optimized};
+
+auction::online_config paper_online(std::size_t sellers, std::size_t demanders,
+                                    std::size_t bids_per_seller,
+                                    std::size_t rounds,
+                                    std::size_t request_load = 100,
+                                    bool tight_capacity = false) {
+  auction::online_config cfg;
+  cfg.stage =
+      internal::paper_stage(sellers, demanders, bids_per_seller, request_load);
+  cfg.rounds = rounds;
+  if (tight_capacity) {
+    // Capacities that actually bind over the horizon (a seller can win in
+    // roughly 20-60% of the rounds), so the MSOA-RC variant's extra
+    // capacity is visible. avg participation weight per win is ~1.5 with
+    // the paper_stage coverage cap of 2.
+    const double avg_weight = 1.5;
+    cfg.capacity_lo = static_cast<auction::units>(
+        std::max(2.0, 0.2 * avg_weight * static_cast<double>(rounds)));
+    cfg.capacity_hi = static_cast<auction::units>(
+        std::max(3.0, 0.6 * avg_weight * static_cast<double>(rounds)));
+  }
+  return cfg;
+}
+
+}  // namespace
+
+table fig5a_msoa_ratio_vs_sellers(const sweep_config& cfg,
+                                  const std::vector<std::size_t>& seller_counts,
+                                  std::size_t rounds) {
+  table out({"microservices", "variant", "ratio_mean", "cost_mean",
+             "offline_bound_mean", "trials", "ratio_ci95"});
+  std::uint64_t point = 0;
+  for (const std::size_t n : seller_counts) {
+    for (const auction::msoa_variant variant : kVariants) {
+      metrics::trial_accumulator acc;
+      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+        rng gen = internal::point_rng(cfg.seed, 51, point, trial);
+        const auto truth = auction::random_online_instance(
+            paper_online(n, cfg.demanders, 2, rounds, 100,
+                         /*tight_capacity=*/true),
+            gen);
+        const double offline = auction::offline_lp_bound(truth);
+        rng noise = gen.fork(99);
+        const auto shaped =
+            auction::apply_variant(truth, variant, {}, noise);
+        const auto res = auction::run_msoa(shaped);
+        acc.add_trial(res.social_cost, res.total_payment, offline);
+      }
+      out.add_row({static_cast<long long>(n),
+                   std::string(auction::to_string(variant)), acc.mean_ratio(),
+                   acc.mean_cost(), acc.mean_reference(),
+                   static_cast<long long>(cfg.trials), acc.ratio_ci95()});
+    }
+    ++point;
+  }
+  return out;
+}
+
+table fig5b_msoa_ratio_vs_requests(const sweep_config& cfg,
+                                   const std::vector<std::size_t>& request_loads,
+                                   std::size_t sellers, std::size_t rounds) {
+  table out({"requests", "variant", "ratio_mean", "cost_mean",
+             "offline_bound_mean", "trials"});
+  std::uint64_t point = 0;
+  for (const std::size_t load : request_loads) {
+    for (const auction::msoa_variant variant : kVariants) {
+      metrics::trial_accumulator acc;
+      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+        rng gen = internal::point_rng(cfg.seed, 52, point, trial);
+        const auto truth = auction::random_online_instance(
+            paper_online(sellers, cfg.demanders, 2, rounds, load,
+                         /*tight_capacity=*/true),
+            gen);
+        const double offline = auction::offline_lp_bound(truth);
+        rng noise = gen.fork(99);
+        const auto shaped =
+            auction::apply_variant(truth, variant, {}, noise);
+        const auto res = auction::run_msoa(shaped);
+        acc.add_trial(res.social_cost, res.total_payment, offline);
+      }
+      out.add_row({static_cast<long long>(load),
+                   std::string(auction::to_string(variant)), acc.mean_ratio(),
+                   acc.mean_cost(), acc.mean_reference(),
+                   static_cast<long long>(cfg.trials)});
+    }
+    ++point;
+  }
+  return out;
+}
+
+table fig6a_rounds_bids(const sweep_config& cfg,
+                        const std::vector<std::size_t>& round_counts,
+                        const std::vector<std::size_t>& bids_per_seller,
+                        std::size_t sellers) {
+  table out({"rounds", "bids_per_seller", "ratio_mean", "ratio_max",
+             "competitive_bound", "trials"});
+  std::uint64_t point = 0;
+  for (const std::size_t j : bids_per_seller) {
+    for (const std::size_t rounds : round_counts) {
+      metrics::trial_accumulator acc;
+      running_stats bound;
+      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+        rng gen = internal::point_rng(cfg.seed, 61, point, trial);
+        const auto truth = auction::random_online_instance(
+            paper_online(sellers, cfg.demanders, j, rounds), gen);
+        const double offline = auction::offline_lp_bound(truth);
+        const auto res = auction::run_msoa(truth);
+        acc.add_trial(res.social_cost, res.total_payment, offline);
+        if (res.competitive_bound <
+            std::numeric_limits<double>::infinity()) {
+          bound.add(res.competitive_bound);
+        }
+      }
+      out.add_row({static_cast<long long>(rounds), static_cast<long long>(j),
+                   acc.mean_ratio(), acc.max_ratio(),
+                   bound.empty() ? 0.0 : bound.mean(),
+                   static_cast<long long>(cfg.trials)});
+      ++point;
+    }
+  }
+  return out;
+}
+
+table fig6b_msoa_cost(const sweep_config& cfg,
+                      const std::vector<std::size_t>& seller_counts,
+                      const std::vector<std::size_t>& request_loads,
+                      std::size_t rounds) {
+  table out({"microservices", "requests", "social_cost", "payment",
+             "offline_bound", "trials"});
+  std::uint64_t point = 0;
+  for (const std::size_t load : request_loads) {
+    for (const std::size_t n : seller_counts) {
+      metrics::trial_accumulator acc;
+      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+        rng gen = internal::point_rng(cfg.seed, 62, point, trial);
+        const auto truth = auction::random_online_instance(
+            paper_online(n, cfg.demanders, 2, rounds, load), gen);
+        const double offline = auction::offline_lp_bound(truth);
+        const auto res = auction::run_msoa(truth);
+        acc.add_trial(res.social_cost, res.total_payment, offline);
+      }
+      out.add_row({static_cast<long long>(n), static_cast<long long>(load),
+                   acc.mean_cost(), acc.mean_payment(), acc.mean_reference(),
+                   static_cast<long long>(cfg.trials)});
+      ++point;
+    }
+  }
+  return out;
+}
+
+table ablation_bounds(const sweep_config& cfg,
+                      const std::vector<std::size_t>& bids_per_seller) {
+  table out({"stage", "bids_per_seller", "ratio_mean", "ratio_max",
+             "bound_mean", "all_within_bound", "trials"});
+  // Single-stage: measured vs W·Ξ (Theorem 3); exact denominators.
+  std::uint64_t point = 0;
+  for (const std::size_t j : bids_per_seller) {
+    metrics::trial_accumulator acc;
+    running_stats bound;
+    bool within = true;
+    for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+      rng gen = internal::point_rng(cfg.seed, 71, point, trial);
+      const auto instance = auction::random_instance(
+          internal::paper_stage(10, cfg.demanders, j), gen);
+      const auto res = auction::run_ssam(instance);
+      const auto ref = internal::single_stage_reference(instance, 2000000);
+      acc.add_trial(res.social_cost, res.total_payment, ref.value);
+      bound.add(res.ratio_bound);
+      if (ref.exact &&
+          res.social_cost > res.ratio_bound * ref.value + 1e-6) {
+        within = false;
+      }
+    }
+    out.add_row({std::string("SSAM_theorem3"), static_cast<long long>(j),
+                 acc.mean_ratio(), acc.max_ratio(), bound.mean(),
+                 std::string(within ? "yes" : "NO"),
+                 static_cast<long long>(cfg.trials)});
+    ++point;
+  }
+  // Online: measured vs αβ/(β−1) (Theorem 7); tiny instances solved exactly.
+  for (const std::size_t j : bids_per_seller) {
+    metrics::trial_accumulator acc;
+    running_stats bound;
+    bool within = true;
+    for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+      rng gen = internal::point_rng(cfg.seed, 72, point, trial);
+      auction::online_config ocfg;
+      ocfg.stage = internal::paper_stage(5, 2, j);
+      ocfg.rounds = 3;
+      ocfg.capacity_lo = 4;
+      ocfg.capacity_hi = 8;
+      const auto truth = auction::random_online_instance(ocfg, gen);
+      const auto exact = auction::offline_exact(truth, 2000000);
+      if (!exact.exact || !exact.feasible) continue;
+      const auto res = auction::run_msoa(truth);
+      acc.add_trial(res.social_cost, res.total_payment, exact.cost);
+      if (res.competitive_bound < std::numeric_limits<double>::infinity()) {
+        bound.add(res.competitive_bound);
+        if (res.social_cost > res.competitive_bound * exact.cost + 1e-6) {
+          within = false;
+        }
+      }
+    }
+    out.add_row({std::string("MSOA_theorem7"), static_cast<long long>(j),
+                 acc.trials() > 0 ? acc.mean_ratio() : 0.0,
+                 acc.trials() > 0 ? acc.max_ratio() : 0.0,
+                 bound.empty() ? 0.0 : bound.mean(),
+                 std::string(within ? "yes" : "NO"),
+                 static_cast<long long>(acc.trials())});
+    ++point;
+  }
+  return out;
+}
+
+table ablation_scaling(const sweep_config& cfg,
+                       const std::vector<std::size_t>& round_counts,
+                       std::size_t sellers) {
+  table out({"rounds", "mode", "cost_mean", "infeasible_rounds_mean",
+             "offline_bound_mean", "trials"});
+  std::uint64_t point = 0;
+  for (const std::size_t rounds : round_counts) {
+    struct mode {
+      const char* name;
+      double alpha;  // 0 = Algorithm 2's auto α; huge ⇒ ψ ≈ 0 (no scaling)
+    };
+    // "paper" uses Algorithm 2's α = SSAM's realized ratio bound (large, so
+    // ψ is gentle); "aggressive" sets α = 1 (strong capacity protection);
+    // "myopic" neutralizes scaling entirely.
+    for (const mode m : {mode{"paper_alpha", 0.0}, mode{"aggressive", 1.0},
+                         mode{"myopic", 1e12}}) {
+      metrics::trial_accumulator acc;
+      running_stats infeasible;
+      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+        rng gen = internal::point_rng(cfg.seed, 73, point, trial);
+        // Persistently cheap sellers + moderately binding capacity, no
+        // windows: the regime where myopic selection burns the cheap
+        // sellers early. (The measured effect of ψ-scaling is consistent
+        // but small — a few percent — which EXPERIMENTS.md reports
+        // honestly.)
+        auction::online_config ocfg = paper_online(
+            sellers, cfg.demanders, 2, rounds, 100);
+        ocfg.windowed_fraction = 0.0;
+        ocfg.seller_price_bias = 0.6;
+        ocfg.stage.supply_margin = 0.5;
+        const double budget = 1.5 * static_cast<double>(rounds) * 0.45;
+        ocfg.capacity_lo =
+            static_cast<auction::units>(std::max(1.0, budget * 0.8));
+        ocfg.capacity_hi =
+            static_cast<auction::units>(std::max(2.0, budget * 1.2));
+        const auto truth = auction::random_online_instance(ocfg, gen);
+        const double offline = auction::offline_lp_bound(truth);
+        auction::msoa_options opts;
+        opts.alpha = m.alpha;
+        const auto res = auction::run_msoa(truth, opts);
+        acc.add_trial(res.social_cost, res.total_payment, offline);
+        std::size_t failed = 0;
+        for (const auto& round : res.rounds) {
+          if (!round.feasible) ++failed;
+        }
+        infeasible.add(static_cast<double>(failed));
+      }
+      out.add_row({static_cast<long long>(rounds), std::string(m.name),
+                   acc.mean_cost(), infeasible.mean(), acc.mean_reference(),
+                   static_cast<long long>(cfg.trials)});
+    }
+    ++point;
+  }
+  return out;
+}
+
+table baseline_comparison(const sweep_config& cfg,
+                          const std::vector<double>& price_multipliers) {
+  table out({"mechanism", "social_cost", "platform_payment", "feasible_frac",
+             "trials"});
+  // Mean unit cost of the bid population, used to anchor posted prices.
+  const auto mean_unit_cost = [](const auction::single_stage_instance& inst) {
+    double total = 0.0;
+    for (const auction::bid& b : inst.bids) {
+      total += b.price / static_cast<double>(
+                             b.amount * static_cast<auction::units>(
+                                            b.coverage.size()));
+    }
+    return total / static_cast<double>(inst.bids.size());
+  };
+
+  // Auction row.
+  {
+    metrics::trial_accumulator acc;
+    std::size_t feasible = 0;
+    for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+      rng gen = internal::point_rng(cfg.seed, 81, 0, trial);
+      const auto instance = auction::random_instance(
+          internal::paper_stage(25, cfg.demanders, 2), gen);
+      const auto res = auction::run_ssam(instance);
+      acc.add_trial(res.social_cost, res.total_payment, 1.0);
+      if (res.feasible) ++feasible;
+    }
+    out.add_row({std::string("SSAM_auction"), acc.mean_cost(),
+                 acc.mean_payment(),
+                 static_cast<double>(feasible) /
+                     static_cast<double>(cfg.trials),
+                 static_cast<long long>(cfg.trials)});
+  }
+
+  // Posted-price rows.
+  std::uint64_t point = 1;
+  for (const double mult : price_multipliers) {
+    metrics::trial_accumulator acc;
+    std::size_t feasible = 0;
+    for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+      rng gen = internal::point_rng(cfg.seed, 81, point, trial);
+      const auto instance = auction::random_instance(
+          internal::paper_stage(25, cfg.demanders, 2), gen);
+      const double posted = mult * mean_unit_cost(instance);
+      const auto res = auction::fixed_price_mechanism(instance, posted);
+      acc.add_trial(res.social_cost, res.total_payment, 1.0);
+      if (res.feasible) ++feasible;
+    }
+    std::ostringstream label;
+    label << "posted_x" << std::setprecision(3) << mult;
+    out.add_row({label.str(),
+                 acc.mean_cost(), acc.mean_payment(),
+                 static_cast<double>(feasible) /
+                     static_cast<double>(cfg.trials),
+                 static_cast<long long>(cfg.trials)});
+    ++point;
+  }
+  return out;
+}
+
+}  // namespace ecrs::harness

@@ -1,0 +1,134 @@
+// Drivers for the single-stage (SSAM) figures: 3(a), 3(b), 4(a), 4(b).
+#include <string>
+
+#include "auction/exact.h"
+#include "auction/instance_gen.h"
+#include "auction/ssam.h"
+#include "common/stopwatch.h"
+#include "harness/experiments.h"
+#include "harness/internal.h"
+#include "metrics/metrics.h"
+
+namespace ecrs::harness {
+
+namespace internal {
+
+reference_cost single_stage_reference(
+    const auction::single_stage_instance& instance, std::size_t node_limit) {
+  const auction::reference_solution ref =
+      auction::solve_exact(instance, node_limit);
+  reference_cost out;
+  if (ref.exact && ref.feasible) {
+    out.value = ref.cost;
+    out.exact = true;
+  } else {
+    out.value = ref.lower_bound > 0.0 ? ref.lower_bound
+                                      : auction::lp_bound(instance);
+    out.exact = false;
+  }
+  return out;
+}
+
+}  // namespace internal
+
+table fig3a_ssam_ratio(const sweep_config& cfg,
+                       const std::vector<std::size_t>& seller_counts) {
+  table out({"microservices", "bids_per_seller", "ratio_mean", "ratio_max",
+             "bound_WXi", "exact_frac", "trials", "ratio_ci95"});
+  std::uint64_t point = 0;
+  for (const std::size_t j : {std::size_t{1}, std::size_t{2}}) {
+    for (const std::size_t n : seller_counts) {
+      metrics::trial_accumulator acc;
+      running_stats bound;
+      std::size_t exact_count = 0;
+      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+        rng gen = internal::point_rng(cfg.seed, 31, point, trial);
+        const auto instance = auction::random_instance(
+            internal::paper_stage(n, cfg.demanders, j), gen);
+        const auction::ssam_result res = auction::run_ssam(instance);
+        const auto ref = internal::single_stage_reference(instance);
+        acc.add_trial(res.social_cost, res.total_payment, ref.value);
+        bound.add(res.ratio_bound);
+        if (ref.exact) ++exact_count;
+      }
+      out.add_row({static_cast<long long>(n), static_cast<long long>(j),
+                   acc.mean_ratio(), acc.max_ratio(), bound.mean(),
+                   static_cast<double>(exact_count) /
+                       static_cast<double>(cfg.trials),
+                   static_cast<long long>(cfg.trials), acc.ratio_ci95()});
+      ++point;
+    }
+  }
+  return out;
+}
+
+table fig3b_ssam_cost(const sweep_config& cfg,
+                      const std::vector<std::size_t>& seller_counts,
+                      const std::vector<std::size_t>& request_loads) {
+  table out({"microservices", "requests", "social_cost", "payment",
+             "optimal_cost", "trials"});
+  std::uint64_t point = 0;
+  for (const std::size_t load : request_loads) {
+    for (const std::size_t n : seller_counts) {
+      metrics::trial_accumulator acc;
+      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+        rng gen = internal::point_rng(cfg.seed, 32, point, trial);
+        const auto instance = auction::random_instance(
+            internal::paper_stage(n, cfg.demanders, 2, load), gen);
+        const auction::ssam_result res = auction::run_ssam(instance);
+        const auto ref = internal::single_stage_reference(instance);
+        acc.add_trial(res.social_cost, res.total_payment, ref.value);
+      }
+      out.add_row({static_cast<long long>(n), static_cast<long long>(load),
+                   acc.mean_cost(), acc.mean_payment(), acc.mean_reference(),
+                   static_cast<long long>(cfg.trials)});
+      ++point;
+    }
+  }
+  return out;
+}
+
+table fig4a_individual_rationality(std::uint64_t seed, std::size_t sellers) {
+  table out({"winner", "seller", "actual_price", "payment", "surplus"});
+  rng gen = internal::point_rng(seed, 41, 0, 0);
+  const auto instance =
+      auction::random_instance(internal::paper_stage(sellers, 5, 2), gen);
+  const auction::ssam_result res = auction::run_ssam(instance);
+  long long pos = 0;
+  for (const auction::winning_bid& w : res.winners) {
+    const auction::bid& b = instance.bids[w.bid_index];
+    out.add_row({pos++, static_cast<long long>(b.seller), b.price, w.payment,
+                 w.payment - b.price});
+  }
+  return out;
+}
+
+table fig4b_runtime(const sweep_config& cfg,
+                    const std::vector<std::size_t>& seller_counts,
+                    const std::vector<std::size_t>& request_loads) {
+  table out({"microservices", "requests", "runtime_ms_mean", "runtime_ms_max",
+             "winners_mean", "trials"});
+  std::uint64_t point = 0;
+  for (const std::size_t load : request_loads) {
+    for (const std::size_t n : seller_counts) {
+      running_stats runtime;
+      running_stats winners;
+      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
+        rng gen = internal::point_rng(cfg.seed, 42, point, trial);
+        const auto instance = auction::random_instance(
+            internal::paper_stage(n, cfg.demanders, 2, load), gen);
+        stopwatch clock;
+        const auction::ssam_result res = auction::run_ssam(instance);
+        runtime.add(clock.elapsed_ms());
+        winners.add(static_cast<double>(res.winners.size()));
+      }
+      out.add_row({static_cast<long long>(n), static_cast<long long>(load),
+                   runtime.mean(), runtime.max(), winners.mean(),
+                   static_cast<long long>(cfg.trials)});
+      ++point;
+    }
+  }
+  return out;
+}
+
+}  // namespace ecrs::harness

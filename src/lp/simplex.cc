@@ -1,0 +1,313 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace ecrs::lp {
+
+const char* to_string(solve_status s) {
+  switch (s) {
+    case solve_status::optimal: return "optimal";
+    case solve_status::infeasible: return "infeasible";
+    case solve_status::unbounded: return "unbounded";
+    case solve_status::iteration_limit: return "iteration_limit";
+  }
+  return "unknown";
+}
+
+std::size_t model::add_variable(double cost) {
+  costs_.push_back(cost);
+  for (auto& row : rows_) row.push_back(0.0);
+  return costs_.size() - 1;
+}
+
+std::size_t model::add_constraint(
+    const std::vector<std::pair<std::size_t, double>>& coeffs, row_sense sense,
+    double rhs) {
+  std::vector<double> row(costs_.size(), 0.0);
+  for (const auto& [var, coef] : coeffs) {
+    ECRS_CHECK_MSG(var < costs_.size(), "constraint references unknown variable "
+                                            << var);
+    row[var] += coef;
+  }
+  rows_.push_back(std::move(row));
+  senses_.push_back(sense);
+  rhs_.push_back(rhs);
+  return senses_.size() - 1;
+}
+
+double model::cost(std::size_t var) const {
+  ECRS_CHECK(var < costs_.size());
+  return costs_[var];
+}
+
+row_sense model::sense(std::size_t row) const {
+  ECRS_CHECK(row < senses_.size());
+  return senses_[row];
+}
+
+double model::rhs(std::size_t row) const {
+  ECRS_CHECK(row < rhs_.size());
+  return rhs_[row];
+}
+
+double model::coefficient(std::size_t row, std::size_t var) const {
+  ECRS_CHECK(row < rows_.size());
+  ECRS_CHECK(var < costs_.size());
+  return rows_[row][var];
+}
+
+// Tableau-based two-phase simplex. Column layout:
+//   [0, n)              structural variables
+//   [n, n + s)          slack/surplus variables (one per le/ge row)
+//   [n + s, n + s + m)  artificial variables (one per row; identity start)
+// Phase 1 minimizes the sum of artificials; phase 2 minimizes the true cost
+// with artificials barred from entering the basis.
+class simplex_solver {
+ public:
+  simplex_solver(const model& m, const solve_options& opts)
+      : model_(m), opts_(opts) {}
+
+  solution run();
+
+ private:
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // One simplex phase over the current tableau with objective row obj_.
+  // `allow` marks columns permitted to enter the basis.
+  solve_status iterate(const std::vector<bool>& allow, std::size_t& iters);
+
+  void pivot(std::size_t row, std::size_t col);
+  void compute_objective_row(const std::vector<double>& costs);
+
+  const model& model_;
+  const solve_options& opts_;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;                    // total columns incl. artificials
+  std::size_t artificial_start_ = 0;
+  std::vector<std::vector<double>> tab_;    // rows_ x cols_
+  std::vector<double> b_;                   // current RHS
+  std::vector<std::size_t> basis_;          // basic column per row
+  std::vector<double> obj_;                 // reduced-cost row
+  double obj_value_ = 0.0;
+};
+
+void simplex_solver::pivot(std::size_t prow, std::size_t pcol) {
+  const double pivot_value = tab_[prow][pcol];
+  ECRS_DCHECK(std::abs(pivot_value) > 0.0);
+  const double inv = 1.0 / pivot_value;
+  for (double& v : tab_[prow]) v *= inv;
+  b_[prow] *= inv;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r == prow) continue;
+    const double factor = tab_[r][pcol];
+    if (factor == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) tab_[r][c] -= factor * tab_[prow][c];
+    b_[r] -= factor * b_[prow];
+  }
+  const double ofactor = obj_[pcol];
+  if (ofactor != 0.0) {
+    for (std::size_t c = 0; c < cols_; ++c) obj_[c] -= ofactor * tab_[prow][c];
+    obj_value_ -= ofactor * b_[prow];
+  }
+  basis_[prow] = pcol;
+}
+
+void simplex_solver::compute_objective_row(const std::vector<double>& costs) {
+  // obj_ = costs - c_B^T * tab (reduced costs), obj_value_ = -c_B^T b.
+  obj_ = costs;
+  obj_value_ = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double cb = costs[basis_[r]];
+    if (cb == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) obj_[c] -= cb * tab_[r][c];
+    obj_value_ -= cb * b_[r];
+  }
+}
+
+solve_status simplex_solver::iterate(const std::vector<bool>& allow,
+                                     std::size_t& iters) {
+  const double tol = opts_.tolerance;
+  // Dantzig pricing (most negative reduced cost) for speed; after a run of
+  // degenerate pivots, fall back to Bland's rule, which cannot cycle.
+  std::size_t degenerate_streak = 0;
+  constexpr std::size_t kBlandThreshold = 64;
+  while (true) {
+    if (iters >= opts_.max_iterations) return solve_status::iteration_limit;
+    ++iters;
+    std::size_t enter = cols_;
+    if (degenerate_streak < kBlandThreshold) {
+      double most_negative = -tol;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (!allow[c]) continue;
+        if (obj_[c] < most_negative) {
+          most_negative = obj_[c];
+          enter = c;
+        }
+      }
+    } else {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (!allow[c]) continue;
+        if (obj_[c] < -tol) {
+          enter = c;
+          break;
+        }
+      }
+    }
+    if (enter == cols_) return solve_status::optimal;
+
+    // Ratio test; Bland tie-break on the smallest basis column index.
+    std::size_t leave = rows_;
+    double best_ratio = kInf;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double a = tab_[r][enter];
+      if (a > tol) {
+        const double ratio = b_[r] / a;
+        if (ratio < best_ratio - tol ||
+            (std::abs(ratio - best_ratio) <= tol &&
+             (leave == rows_ || basis_[r] < basis_[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == rows_) return solve_status::unbounded;
+    if (best_ratio <= tol) {
+      ++degenerate_streak;
+    } else {
+      degenerate_streak = 0;
+    }
+    pivot(leave, enter);
+  }
+}
+
+solution simplex_solver::run() {
+  const std::size_t n = model_.variables();
+  rows_ = model_.constraints();
+  // Count slack/surplus columns.
+  std::size_t slacks = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (model_.sense(r) != row_sense::eq) ++slacks;
+  }
+  artificial_start_ = n + slacks;
+  cols_ = artificial_start_ + rows_;
+
+  tab_.assign(rows_, std::vector<double>(cols_, 0.0));
+  b_.assign(rows_, 0.0);
+  basis_.assign(rows_, 0);
+
+  std::size_t next_slack = n;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sign = 1.0;
+    // Normalize to non-negative RHS so the artificial start is feasible.
+    if (model_.rhs(r) < 0.0) sign = -1.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      tab_[r][v] = sign * model_.coefficient(r, v);
+    }
+    b_[r] = sign * model_.rhs(r);
+    row_sense sense = model_.sense(r);
+    if (sign < 0.0) {
+      if (sense == row_sense::le) sense = row_sense::ge;
+      else if (sense == row_sense::ge) sense = row_sense::le;
+    }
+    if (sense == row_sense::le) {
+      tab_[r][next_slack++] = 1.0;
+    } else if (sense == row_sense::ge) {
+      tab_[r][next_slack++] = -1.0;
+    }
+    tab_[r][artificial_start_ + r] = 1.0;
+    basis_[r] = artificial_start_ + r;
+  }
+
+  solution result;
+
+  // Phase 1.
+  std::vector<double> phase1_costs(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    phase1_costs[artificial_start_ + r] = 1.0;
+  compute_objective_row(phase1_costs);
+  std::vector<bool> allow_all(cols_, true);
+  std::size_t iters = 0;
+  solve_status status = iterate(allow_all, iters);
+  result.iterations = iters;
+  if (status != solve_status::optimal) {
+    result.status = status;
+    return result;
+  }
+  // -obj_value_ is the phase-1 objective (sum of artificials).
+  if (-obj_value_ > 1e-6) {
+    result.status = solve_status::infeasible;
+    result.iterations = iters;
+    return result;
+  }
+
+  // Drive any artificial still in the basis out (degenerate at zero), or
+  // mark its row as redundant by leaving it — barring artificials from
+  // entering keeps them at zero either way.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (basis_[r] < artificial_start_) continue;
+    for (std::size_t c = 0; c < artificial_start_; ++c) {
+      if (std::abs(tab_[r][c]) > opts_.tolerance) {
+        pivot(r, c);
+        break;
+      }
+    }
+  }
+
+  // Phase 2.
+  std::vector<double> phase2_costs(cols_, 0.0);
+  for (std::size_t v = 0; v < n; ++v) phase2_costs[v] = model_.cost(v);
+  compute_objective_row(phase2_costs);
+  std::vector<bool> allow(cols_, true);
+  for (std::size_t r = 0; r < rows_; ++r) allow[artificial_start_ + r] = false;
+  status = iterate(allow, iters);
+  result.iterations = iters;
+  if (status != solve_status::optimal) {
+    result.status = status;
+    return result;
+  }
+
+  result.status = solve_status::optimal;
+  result.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (basis_[r] < n) result.x[basis_[r]] = b_[r];
+  }
+  result.objective = -obj_value_;
+
+  // Duals: for initial identity column (artificial of row r), reduced cost
+  // r_j = c_j − y_r with c_j = 0, so y_r = −obj_[artificial_r]. Rows that
+  // were sign-flipped (negative RHS) flip the dual back.
+  result.duals.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double y = -obj_[artificial_start_ + r];
+    if (model_.rhs(r) < 0.0) y = -y;
+    result.duals[r] = y;
+  }
+  return result;
+}
+
+solution solve(const model& m, const solve_options& opts) {
+  ECRS_CHECK_MSG(m.variables() > 0, "model has no variables");
+  if (m.constraints() == 0) {
+    // Minimum of c^T x over x >= 0: 0 if all costs >= 0, else unbounded.
+    solution s;
+    for (std::size_t v = 0; v < m.variables(); ++v) {
+      if (m.cost(v) < 0.0) {
+        s.status = solve_status::unbounded;
+        return s;
+      }
+    }
+    s.status = solve_status::optimal;
+    s.objective = 0.0;
+    s.x.assign(m.variables(), 0.0);
+    return s;
+  }
+  simplex_solver solver(m, opts);
+  return solver.run();
+}
+
+}  // namespace ecrs::lp

@@ -1,0 +1,73 @@
+// Dense two-phase primal simplex solver.
+//
+// Used by the auction package to compute LP-relaxation lower bounds of the
+// winner selection ILP (the certified denominator of performance-ratio
+// figures on instances too large for exact search) and as the bound inside
+// branch-and-bound. Minimizes c^T x over {A x {<=,>=,==} b, x >= 0}.
+//
+// Scope: small/medium dense models (hundreds of rows/columns); Bland's rule
+// for anti-cycling; duals recovered from the final tableau. Not a
+// general-purpose LP library — no presolve, no sparsity, no bounded
+// variables (encode upper bounds as rows).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ecrs::lp {
+
+enum class row_sense { le, ge, eq };
+
+enum class solve_status { optimal, infeasible, unbounded, iteration_limit };
+
+[[nodiscard]] const char* to_string(solve_status s);
+
+// Linear model in natural (row) form.
+class model {
+ public:
+  // Adds a variable with the given objective coefficient; returns its index.
+  std::size_t add_variable(double cost);
+
+  // Adds the constraint sum(coeffs[k].second * x[coeffs[k].first]) sense rhs.
+  // Variable indices must already exist; duplicate indices are accumulated.
+  std::size_t add_constraint(
+      const std::vector<std::pair<std::size_t, double>>& coeffs,
+      row_sense sense, double rhs);
+
+  [[nodiscard]] std::size_t variables() const { return costs_.size(); }
+  [[nodiscard]] std::size_t constraints() const { return senses_.size(); }
+  [[nodiscard]] double cost(std::size_t var) const;
+  [[nodiscard]] row_sense sense(std::size_t row) const;
+  [[nodiscard]] double rhs(std::size_t row) const;
+  [[nodiscard]] double coefficient(std::size_t row, std::size_t var) const;
+
+ private:
+  friend class simplex_solver;
+  std::vector<double> costs_;
+  // Dense row-major constraint matrix, resized lazily as vars/rows grow.
+  std::vector<std::vector<double>> rows_;
+  std::vector<row_sense> senses_;
+  std::vector<double> rhs_;
+};
+
+struct solve_options {
+  std::size_t max_iterations = 200000;
+  double tolerance = 1e-9;
+};
+
+struct solution {
+  solve_status status = solve_status::infeasible;
+  double objective = 0.0;
+  std::vector<double> x;      // primal values, one per model variable
+  std::vector<double> duals;  // one per constraint (shadow prices); for a
+                              // minimization, duals of >= rows are >= 0 and
+                              // duals of <= rows are <= 0
+  std::size_t iterations = 0;
+};
+
+// Solve the model. The returned duals satisfy strong duality at optimality:
+// objective == sum(duals[i] * rhs[i]) (within tolerance).
+[[nodiscard]] solution solve(const model& m, const solve_options& opts = {});
+
+}  // namespace ecrs::lp

@@ -1,0 +1,44 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace ecrs::metrics {
+
+double performance_ratio(double mechanism_cost, double reference_cost) {
+  ECRS_CHECK_MSG(mechanism_cost >= 0.0 && reference_cost >= 0.0,
+                 "costs must be non-negative");
+  constexpr double kEps = 1e-12;
+  if (reference_cost < kEps) {
+    return mechanism_cost < kEps ? 1.0
+                                 : std::numeric_limits<double>::infinity();
+  }
+  return mechanism_cost / reference_cost;
+}
+
+double ci95_half_width(const ecrs::running_stats& stats) {
+  if (stats.count() < 2) return 0.0;
+  // Two-sided 97.5% Student-t critical values for df = 1..30.
+  static constexpr double kT975[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  const std::size_t df = stats.count() - 1;
+  const double t = df <= 30 ? kT975[df - 1] : 1.960;
+  const double sem = std::sqrt(stats.sample_variance() /
+                               static_cast<double>(stats.count()));
+  return t * sem;
+}
+
+void trial_accumulator::add_trial(double social_cost, double total_payment,
+                                  double reference_cost, double runtime_ms) {
+  cost_.add(social_cost);
+  payment_.add(total_payment);
+  reference_.add(reference_cost);
+  ratio_.add(performance_ratio(social_cost, reference_cost));
+  runtime_ms_.add(runtime_ms);
+}
+
+}  // namespace ecrs::metrics

@@ -1,0 +1,46 @@
+// Experiment metric aggregation: per-trial accumulators for the quantities
+// every figure reports (social cost, payments, reference optimum,
+// performance ratio, runtime).
+#pragma once
+
+#include <cstddef>
+
+#include "common/statistics.h"
+
+namespace ecrs::metrics {
+
+// Performance ratio of a mechanism against a reference cost (paper
+// Definition 6 / §V-B). Guards the degenerate zero-cost case: 1 when both
+// are ~0, infinity when only the reference is ~0.
+[[nodiscard]] double performance_ratio(double mechanism_cost,
+                                       double reference_cost);
+
+// Half-width of the 95% confidence interval of the mean for a sample
+// summarized by `stats` (Student t for small samples, normal beyond
+// df = 30). Returns 0 for samples of size < 2.
+[[nodiscard]] double ci95_half_width(const ecrs::running_stats& stats);
+
+// Accumulates matched trials of (mechanism, reference) outcomes.
+class trial_accumulator {
+ public:
+  void add_trial(double social_cost, double total_payment,
+                 double reference_cost, double runtime_ms = 0.0);
+
+  [[nodiscard]] std::size_t trials() const { return cost_.count(); }
+  [[nodiscard]] double mean_cost() const { return cost_.mean(); }
+  [[nodiscard]] double mean_payment() const { return payment_.mean(); }
+  [[nodiscard]] double mean_reference() const { return reference_.mean(); }
+  [[nodiscard]] double mean_ratio() const { return ratio_.mean(); }
+  [[nodiscard]] double max_ratio() const { return ratio_.max(); }
+  [[nodiscard]] double ratio_ci95() const { return ci95_half_width(ratio_); }
+  [[nodiscard]] double mean_runtime_ms() const { return runtime_ms_.mean(); }
+
+ private:
+  ecrs::running_stats cost_;
+  ecrs::running_stats payment_;
+  ecrs::running_stats reference_;
+  ecrs::running_stats ratio_;
+  ecrs::running_stats runtime_ms_;
+};
+
+}  // namespace ecrs::metrics

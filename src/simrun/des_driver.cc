@@ -1,0 +1,73 @@
+#include "simrun/des_driver.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ecrs::edge {
+
+des_driver::des_driver(des::simulator& sim, cluster& cl,
+                       workload::generator& traffic, demand::estimator& est,
+                       des_driver_config config)
+    : sim_(sim),
+      cluster_(cl),
+      traffic_(traffic),
+      estimator_(est),
+      config_(config) {
+  ECRS_CHECK_MSG(config_.round_duration > 0.0,
+                 "round duration must be positive");
+  ECRS_CHECK_MSG(config_.rounds >= 1, "need at least one round");
+  ECRS_CHECK_MSG(
+      traffic_.config().microservices == cluster_.microservice_count(),
+      "generator and cluster disagree on the number of microservices");
+}
+
+void des_driver::advance_to_now() {
+  const double now = sim_.now();
+  if (now > last_advance_) {
+    cluster_.advance(last_advance_, now - last_advance_);
+    last_advance_ = now;
+  }
+}
+
+void des_driver::schedule_round(std::uint64_t round) {
+  const double start =
+      static_cast<double>(round - 1) * config_.round_duration;
+  const double end = start + config_.round_duration;
+
+  // Allocate for the round using the state visible at its start.
+  cluster_.allocate_fair(config_.round_duration);
+
+  // Deliver each generated request at its own arrival instant, advancing
+  // service up to that instant first.
+  for (const workload::request& r :
+       traffic_.round(start, config_.round_duration)) {
+    sim_.schedule_at(r.arrival_time, [this, r] {
+      advance_to_now();
+      cluster_.service(r.microservice).enqueue(r);
+      ++delivered_;
+    });
+  }
+
+  // Round boundary: drain up to the boundary, close the round, estimate,
+  // hand over to the callback, then arm the next round.
+  sim_.schedule_at(end, [this, round, end] {
+    advance_to_now();
+    // advance_to_now() stops exactly at `end` because this event runs at it.
+    ECRS_DCHECK(last_advance_ == end);
+    const auto stats = cluster_.end_round(round, config_.round_duration);
+    const auto estimates = estimator_.estimate_round(stats);
+    ++completed_;
+    if (callback_) callback_(round, stats, estimates);
+    if (round < config_.rounds) schedule_round(round + 1);
+  });
+}
+
+void des_driver::run() {
+  ECRS_CHECK_MSG(completed_ == 0, "driver has already run");
+  ECRS_CHECK_MSG(sim_.now() == 0.0, "driver requires a fresh simulator");
+  schedule_round(1);
+  sim_.run();
+}
+
+}  // namespace ecrs::edge

@@ -1,0 +1,64 @@
+// Event-driven cluster runner: binds the workload generator, the edge
+// cluster, and the demand estimator to a des::simulator.
+//
+// Unlike the analytic per-round loop (enqueue whole batch, advance once),
+// the driver delivers every request at its exact arrival timestamp and
+// advances the queues between consecutive events, i.e. service progress is
+// event-accurate. At each round boundary it closes the round, runs the
+// demand estimator, invokes the user callback (where an auction round
+// typically happens, see examples/edge_marketplace.cpp for the analytic
+// twin), and re-runs the fair-share allocator for the next round.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "demand/estimator.h"
+#include "des/simulator.h"
+#include "edge/cluster.h"
+#include "workload/generator.h"
+
+namespace ecrs::edge {
+
+struct des_driver_config {
+  double round_duration = 600.0;  // paper: 10-minute rounds
+  std::size_t rounds = 10;
+};
+
+class des_driver {
+ public:
+  // Invoked at the end of each round with the closed round's statistics and
+  // the smoothed demand estimates (indexed like the stats).
+  using round_callback =
+      std::function<void(std::uint64_t round,
+                         const std::vector<round_stats>& stats,
+                         const std::vector<double>& estimates)>;
+
+  des_driver(des::simulator& sim, cluster& cl, workload::generator& traffic,
+             demand::estimator& est, des_driver_config config);
+
+  void set_round_callback(round_callback cb) { callback_ = std::move(cb); }
+
+  // Schedule the whole horizon onto the simulator and run it to completion.
+  void run();
+
+  [[nodiscard]] std::uint64_t rounds_completed() const { return completed_; }
+  [[nodiscard]] std::uint64_t requests_delivered() const { return delivered_; }
+
+ private:
+  void schedule_round(std::uint64_t round);
+  void advance_to_now();
+
+  des::simulator& sim_;
+  cluster& cluster_;
+  workload::generator& traffic_;
+  demand::estimator& estimator_;
+  des_driver_config config_;
+  round_callback callback_;
+  double last_advance_ = 0.0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace ecrs::edge

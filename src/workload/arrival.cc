@@ -1,0 +1,56 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ecrs::workload {
+
+poisson_arrivals::poisson_arrivals(double rate) : rate_(rate) {
+  ECRS_CHECK_MSG(rate > 0.0, "Poisson rate must be positive");
+}
+
+double poisson_arrivals::next_interarrival(double /*now*/, rng& gen) {
+  return gen.exponential(rate_);
+}
+
+double poisson_arrivals::rate_at(double /*now*/) const { return rate_; }
+
+deterministic_arrivals::deterministic_arrivals(double period)
+    : period_(period) {
+  ECRS_CHECK_MSG(period > 0.0, "period must be positive");
+}
+
+double deterministic_arrivals::next_interarrival(double /*now*/,
+                                                 rng& /*gen*/) {
+  return period_;
+}
+
+double deterministic_arrivals::rate_at(double /*now*/) const {
+  return 1.0 / period_;
+}
+
+diurnal_arrivals::diurnal_arrivals(double base_rate, double depth,
+                                   double period)
+    : base_rate_(base_rate), depth_(depth), period_(period) {
+  ECRS_CHECK_MSG(base_rate > 0.0, "base rate must be positive");
+  ECRS_CHECK_MSG(depth >= 0.0 && depth < 1.0, "depth must be in [0,1)");
+  ECRS_CHECK_MSG(period > 0.0, "period must be positive");
+}
+
+double diurnal_arrivals::rate_at(double now) const {
+  constexpr double two_pi = 6.283185307179586;
+  return base_rate_ * (1.0 + depth_ * std::sin(two_pi * now / period_));
+}
+
+double diurnal_arrivals::next_interarrival(double now, rng& gen) {
+  // Ogata thinning against the peak rate.
+  const double peak = base_rate_ * (1.0 + depth_);
+  double t = now;
+  for (;;) {
+    t += gen.exponential(peak);
+    if (gen.next_double() * peak <= rate_at(t)) return t - now;
+  }
+}
+
+}  // namespace ecrs::workload

@@ -1,0 +1,60 @@
+// Arrival processes: sources of request inter-arrival times.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+
+namespace ecrs::workload {
+
+// Abstract arrival process. next_interarrival() returns the simulated time
+// until the next arrival; it may depend on the current time (e.g. diurnal
+// modulation).
+class arrival_process {
+ public:
+  virtual ~arrival_process() = default;
+  virtual double next_interarrival(double now, rng& gen) = 0;
+  // Expected arrivals per unit time at `now` (used by analytic round
+  // summaries and by tests).
+  [[nodiscard]] virtual double rate_at(double now) const = 0;
+};
+
+// Homogeneous Poisson process with a constant rate.
+class poisson_arrivals final : public arrival_process {
+ public:
+  explicit poisson_arrivals(double rate);
+  double next_interarrival(double now, rng& gen) override;
+  [[nodiscard]] double rate_at(double now) const override;
+
+ private:
+  double rate_;
+};
+
+// Deterministic arrivals with a fixed period (useful for tests and for
+// stress scenarios with zero jitter).
+class deterministic_arrivals final : public arrival_process {
+ public:
+  explicit deterministic_arrivals(double period);
+  double next_interarrival(double now, rng& gen) override;
+  [[nodiscard]] double rate_at(double now) const override;
+
+ private:
+  double period_;
+};
+
+// Poisson process whose rate is modulated sinusoidally with the given
+// period, between base_rate*(1-depth) and base_rate*(1+depth). Models the
+// diurnal load swing of a real edge deployment; sampled by thinning.
+class diurnal_arrivals final : public arrival_process {
+ public:
+  diurnal_arrivals(double base_rate, double depth, double period);
+  double next_interarrival(double now, rng& gen) override;
+  [[nodiscard]] double rate_at(double now) const override;
+
+ private:
+  double base_rate_;
+  double depth_;
+  double period_;
+};
+
+}  // namespace ecrs::workload

@@ -1,0 +1,99 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecrs::workload {
+
+generator::generator(generator_config config)
+    : config_(config), gen_(config.seed) {
+  ECRS_CHECK_MSG(config_.users > 0, "need at least one user");
+  ECRS_CHECK_MSG(config_.microservices > 0, "need at least one microservice");
+  ECRS_CHECK_MSG(
+      config_.delay_sensitive_fraction >= 0.0 &&
+          config_.delay_sensitive_fraction <= 1.0,
+      "delay_sensitive_fraction out of [0,1]");
+  ECRS_CHECK_MSG(config_.mean_service_demand > 0.0,
+                 "mean service demand must be positive");
+  ECRS_CHECK_MSG(config_.sensitive_mean_demand >= 0.0 &&
+                     config_.tolerant_mean_demand >= 0.0,
+                 "per-class demand overrides must be non-negative");
+
+  const auto sensitive_count = static_cast<std::uint32_t>(
+      config_.delay_sensitive_fraction *
+      static_cast<double>(config_.microservices));
+  class_by_service_.resize(config_.microservices, qos_class::delay_tolerant);
+  for (std::uint32_t s = 0; s < sensitive_count; ++s) {
+    class_by_service_[s] = qos_class::delay_sensitive;
+  }
+  // Shuffle so classes are not correlated with microservice ids.
+  gen_.shuffle(class_by_service_);
+}
+
+qos_class generator::class_of(std::uint32_t microservice) const {
+  ECRS_CHECK(microservice < class_by_service_.size());
+  return class_by_service_[microservice];
+}
+
+double generator::mean_demand_of(qos_class cls) const {
+  const double override_mean = cls == qos_class::delay_sensitive
+                                   ? config_.sensitive_mean_demand
+                                   : config_.tolerant_mean_demand;
+  return override_mean > 0.0 ? override_mean : config_.mean_service_demand;
+}
+
+double generator::expected_arrivals_per_round() const {
+  std::size_t sensitive = 0;
+  for (qos_class c : class_by_service_) {
+    if (c == qos_class::delay_sensitive) ++sensitive;
+  }
+  const auto tolerant = class_by_service_.size() - sensitive;
+  const double users = static_cast<double>(config_.users);
+  return users * (sensitive > 0 ? config_.sensitive_mean : 0.0) +
+         users * (tolerant > 0 ? config_.tolerant_mean : 0.0);
+}
+
+std::vector<request> generator::round(double round_start, double duration) {
+  ECRS_CHECK_MSG(duration > 0.0, "round duration must be positive");
+  std::vector<request> batch;
+  for (std::uint32_t user = 0; user < config_.users; ++user) {
+    // Each user issues a Poisson number of requests per class per round and
+    // spreads them over microservices of that class uniformly at random.
+    for (const qos_class cls :
+         {qos_class::delay_sensitive, qos_class::delay_tolerant}) {
+      const double mean = cls == qos_class::delay_sensitive
+                              ? config_.sensitive_mean
+                              : config_.tolerant_mean;
+      const std::int64_t count = gen_.poisson(mean);
+      for (std::int64_t k = 0; k < count; ++k) {
+        // Pick a target microservice of the matching class; fall back to any
+        // microservice if the class is empty.
+        std::uint32_t target = 0;
+        bool found = false;
+        for (int attempt = 0; attempt < 16 && !found; ++attempt) {
+          target = static_cast<std::uint32_t>(gen_.uniform_int(
+              0, static_cast<std::int64_t>(config_.microservices) - 1));
+          found = class_by_service_[target] == cls;
+        }
+        request r;
+        r.id = next_request_id_++;
+        r.user = user;
+        r.microservice = target;
+        r.qos = class_by_service_[target];
+        r.arrival_time = round_start + gen_.uniform_real(0.0, duration);
+        r.service_demand = gen_.exponential(1.0 / mean_demand_of(r.qos));
+        batch.push_back(r);
+      }
+    }
+  }
+  // Arrival order; delay-sensitive first among (rare) equal timestamps — the
+  // paper gives them priority.
+  std::sort(batch.begin(), batch.end(), [](const request& a, const request& b) {
+    if (a.arrival_time != b.arrival_time) return a.arrival_time < b.arrival_time;
+    return static_cast<int>(a.qos) < static_cast<int>(b.qos);
+  });
+  return batch;
+}
+
+}  // namespace ecrs::workload

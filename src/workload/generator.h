@@ -1,0 +1,63 @@
+// Workload generator (paper §V-A).
+//
+// 300 edge users issue requests to microservices. Each microservice serves
+// one of two QoS classes: delay-sensitive request batches arrive with
+// Poisson mean 5 per round, delay-tolerant with Poisson mean 10 per round.
+// Service demands are exponential around a configurable mean.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/request.h"
+
+namespace ecrs::workload {
+
+struct generator_config {
+  std::uint32_t users = 300;
+  std::uint32_t microservices = 25;
+  // Fraction of microservices that are delay-sensitive.
+  double delay_sensitive_fraction = 0.5;
+  // Poisson mean of requests per (user, round) for each class, spread across
+  // the microservices of that class.
+  double sensitive_mean = 5.0;
+  double tolerant_mean = 10.0;
+  // Mean resource-seconds of work per request (exponentially distributed).
+  double mean_service_demand = 1.0;
+  // Per-class overrides (paper's future-work extension: "diverse processing
+  // time of each task"). 0 = use mean_service_demand.
+  double sensitive_mean_demand = 0.0;
+  double tolerant_mean_demand = 0.0;
+  std::uint64_t seed = 42;
+};
+
+// Per-round batch: the requests that arrived during one auction round,
+// sorted by arrival time, delay-sensitive first among equal times (priority).
+class generator {
+ public:
+  explicit generator(generator_config config);
+
+  [[nodiscard]] const generator_config& config() const { return config_; }
+
+  // QoS class assigned to each microservice (index = microservice id).
+  [[nodiscard]] qos_class class_of(std::uint32_t microservice) const;
+
+  // Generate all requests arriving in [round_start, round_start + duration).
+  [[nodiscard]] std::vector<request> round(double round_start,
+                                           double duration);
+
+  // Total expected arrivals per round across all users (sanity metric).
+  [[nodiscard]] double expected_arrivals_per_round() const;
+
+  // Effective mean service demand of a QoS class (override or global).
+  [[nodiscard]] double mean_demand_of(qos_class cls) const;
+
+ private:
+  generator_config config_;
+  rng gen_;
+  std::uint64_t next_request_id_ = 1;
+  std::vector<qos_class> class_by_service_;
+};
+
+}  // namespace ecrs::workload

@@ -1,0 +1,30 @@
+// Request model shared by the workload generator and the edge simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ecrs::workload {
+
+// QoS class of a request (paper §V-A: delay-sensitive requests arrive with
+// Poisson mean 5, delay-tolerant with mean 10; the former are prioritized).
+enum class qos_class : std::uint8_t {
+  delay_sensitive = 0,
+  delay_tolerant = 1,
+};
+
+[[nodiscard]] inline const char* to_string(qos_class c) {
+  return c == qos_class::delay_sensitive ? "delay_sensitive"
+                                         : "delay_tolerant";
+}
+
+struct request {
+  std::uint64_t id = 0;
+  std::uint32_t user = 0;           // issuing end user
+  std::uint32_t microservice = 0;   // target microservice
+  qos_class qos = qos_class::delay_sensitive;
+  double arrival_time = 0.0;        // simulated seconds
+  double service_demand = 1.0;      // resource-seconds of work
+};
+
+}  // namespace ecrs::workload

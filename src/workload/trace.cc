@@ -1,0 +1,87 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecrs::workload {
+namespace {
+
+constexpr const char* kHeader =
+    "id,user,microservice,qos,arrival_time,service_demand";
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const std::vector<request>& requests) {
+  out << kHeader << '\n';
+  for (const request& r : requests) {
+    out << r.id << ',' << r.user << ',' << r.microservice << ','
+        << static_cast<int>(r.qos) << ',' << r.arrival_time << ','
+        << r.service_demand << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path,
+                      const std::vector<request>& requests) {
+  std::ofstream out(path);
+  ECRS_CHECK_MSG(out.good(), "cannot open trace file " << path);
+  write_trace(out, requests);
+}
+
+std::vector<request> read_trace(std::istream& in) {
+  std::string line;
+  ECRS_CHECK_MSG(std::getline(in, line), "empty trace");
+  // Tolerate trailing carriage returns from foreign tools.
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  ECRS_CHECK_MSG(line == kHeader, "unexpected trace header: " << line);
+
+  std::vector<request> requests;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto fields = split_fields(line);
+    ECRS_CHECK_MSG(fields.size() == 6,
+                   "trace line " << line_no << " has " << fields.size()
+                                 << " fields, expected 6");
+    request r;
+    try {
+      r.id = std::stoull(fields[0]);
+      r.user = static_cast<std::uint32_t>(std::stoul(fields[1]));
+      r.microservice = static_cast<std::uint32_t>(std::stoul(fields[2]));
+      const int qos = std::stoi(fields[3]);
+      ECRS_CHECK_MSG(qos == 0 || qos == 1,
+                     "trace line " << line_no << ": bad qos " << qos);
+      r.qos = static_cast<qos_class>(qos);
+      r.arrival_time = std::stod(fields[4]);
+      r.service_demand = std::stod(fields[5]);
+    } catch (const std::invalid_argument&) {
+      ECRS_CHECK_MSG(false, "trace line " << line_no << " is not numeric");
+    } catch (const std::out_of_range&) {
+      ECRS_CHECK_MSG(false, "trace line " << line_no << " is out of range");
+    }
+    ECRS_CHECK_MSG(r.service_demand >= 0.0,
+                   "trace line " << line_no << ": negative service demand");
+    requests.push_back(r);
+  }
+  return requests;
+}
+
+std::vector<request> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  ECRS_CHECK_MSG(in.good(), "cannot open trace file " << path);
+  return read_trace(in);
+}
+
+}  // namespace ecrs::workload

@@ -1,0 +1,26 @@
+// Request-trace persistence: record a generated workload to CSV and replay
+// it later, so experiments can be re-run bit-identically or fed from
+// external trace files (the "real-world data traces" of §V are substituted
+// by recorded synthetic traces; see DESIGN.md §3).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/request.h"
+
+namespace ecrs::workload {
+
+// Serialize requests as CSV with a fixed header:
+// id,user,microservice,qos,arrival_time,service_demand
+void write_trace(std::ostream& out, const std::vector<request>& requests);
+void write_trace_file(const std::string& path,
+                      const std::vector<request>& requests);
+
+// Parse a trace written by write_trace. Throws ecrs::check_error on
+// malformed input (wrong header, wrong field count, non-numeric fields).
+[[nodiscard]] std::vector<request> read_trace(std::istream& in);
+[[nodiscard]] std::vector<request> read_trace_file(const std::string& path);
+
+}  // namespace ecrs::workload

@@ -1,0 +1,129 @@
+// Unit tests for the Analytic Hierarchy Process module.
+#include <gtest/gtest.h>
+
+#include "ahp/ahp.h"
+#include "common/check.h"
+
+namespace ecrs::ahp {
+namespace {
+
+TEST(ComparisonMatrix, StartsAsIdentityOfOnes) {
+  comparison_matrix m(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m.at(i, j), 1.0);
+    }
+  }
+  EXPECT_TRUE(m.is_reciprocal());
+}
+
+TEST(ComparisonMatrix, SetJudgmentMaintainsReciprocal) {
+  comparison_matrix m(3);
+  m.set_judgment(0, 1, 4.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.25);
+  EXPECT_TRUE(m.is_reciprocal());
+}
+
+TEST(ComparisonMatrix, RejectsDiagonalAndNonPositive) {
+  comparison_matrix m(2);
+  EXPECT_THROW(m.set_judgment(0, 0, 2.0), check_error);
+  EXPECT_THROW(m.set_judgment(0, 1, 0.0), check_error);
+  EXPECT_THROW(m.set_judgment(0, 1, -1.0), check_error);
+}
+
+TEST(ComparisonMatrix, RejectsZeroSize) {
+  EXPECT_THROW(comparison_matrix(0), check_error);
+}
+
+TEST(DeriveWeights, UniformMatrixGivesEqualWeights) {
+  comparison_matrix m(4);
+  const ahp_result r = derive_weights(m);
+  for (double w : r.weights) EXPECT_NEAR(w, 0.25, 1e-9);
+  EXPECT_NEAR(r.lambda_max, 4.0, 1e-9);
+  EXPECT_NEAR(r.consistency_index, 0.0, 1e-9);
+  EXPECT_NEAR(r.consistency_ratio, 0.0, 1e-9);
+}
+
+TEST(DeriveWeights, ConsistentRatioMatrixRecoversExactWeights) {
+  // Weights (2/7, 1/7, 4/7): matrix a_ij = w_i / w_j is perfectly
+  // consistent, so AHP must recover the weights exactly.
+  comparison_matrix m(3);
+  m.set_judgment(0, 1, 2.0);        // 2/7 over 1/7
+  m.set_judgment(0, 2, 0.5);        // 2/7 over 4/7
+  m.set_judgment(1, 2, 0.25);       // 1/7 over 4/7
+  const ahp_result r = derive_weights(m);
+  EXPECT_NEAR(r.weights[0], 2.0 / 7.0, 1e-9);
+  EXPECT_NEAR(r.weights[1], 1.0 / 7.0, 1e-9);
+  EXPECT_NEAR(r.weights[2], 4.0 / 7.0, 1e-9);
+  EXPECT_NEAR(r.consistency_ratio, 0.0, 1e-9);
+}
+
+TEST(DeriveWeights, WeightsSumToOne) {
+  comparison_matrix m(3);
+  m.set_judgment(0, 1, 3.0);
+  m.set_judgment(1, 2, 5.0);
+  m.set_judgment(0, 2, 7.0);
+  const ahp_result r = derive_weights(m);
+  double sum = 0.0;
+  for (double w : r.weights) {
+    EXPECT_GT(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DeriveWeights, InconsistentJudgmentsAreFlagged) {
+  // Saaty's classic: strongly intransitive judgments inflate λmax.
+  comparison_matrix m(3);
+  m.set_judgment(0, 1, 9.0);
+  m.set_judgment(1, 2, 9.0);
+  m.set_judgment(0, 2, 1.0 / 9.0);  // wildly inconsistent
+  const ahp_result r = derive_weights(m);
+  EXPECT_GT(r.lambda_max, 3.0);
+  EXPECT_GT(r.consistency_ratio, 0.10);  // fails Saaty's 10% rule
+}
+
+TEST(DeriveWeights, MildlyInconsistentStaysBelowThreshold) {
+  comparison_matrix m(3);
+  m.set_judgment(0, 1, 2.0);
+  m.set_judgment(1, 2, 2.0);
+  m.set_judgment(0, 2, 3.0);  // perfectly consistent would be 4
+  const ahp_result r = derive_weights(m);
+  EXPECT_LT(r.consistency_ratio, 0.10);
+}
+
+TEST(DeriveWeights, StrongerCriterionGetsLargerWeight) {
+  comparison_matrix m(3);
+  m.set_judgment(2, 0, 5.0);
+  m.set_judgment(2, 1, 5.0);
+  const ahp_result r = derive_weights(m);
+  EXPECT_GT(r.weights[2], r.weights[0]);
+  EXPECT_GT(r.weights[2], r.weights[1]);
+}
+
+TEST(RandomConsistencyIndex, SaatyTable) {
+  EXPECT_DOUBLE_EQ(random_consistency_index(1), 0.0);
+  EXPECT_DOUBLE_EQ(random_consistency_index(2), 0.0);
+  EXPECT_DOUBLE_EQ(random_consistency_index(3), 0.58);
+  EXPECT_DOUBLE_EQ(random_consistency_index(9), 1.45);
+  // Orders above 15 reuse the last published value.
+  EXPECT_DOUBLE_EQ(random_consistency_index(40),
+                   random_consistency_index(15));
+}
+
+TEST(DefaultDemandJudgments, MatchesPaperOrdering) {
+  const comparison_matrix m = default_demand_judgments();
+  const ahp_result r = derive_weights(m);
+  ASSERT_EQ(r.weights.size(), 3u);
+  // Request rate (index 2) dominates, waiting time (0) second.
+  EXPECT_GT(r.weights[2], r.weights[0]);
+  EXPECT_GT(r.weights[0], r.weights[1]);
+  EXPECT_NEAR(r.weights[0], 2.0 / 7.0, 1e-9);
+  EXPECT_NEAR(r.weights[1], 1.0 / 7.0, 1e-9);
+  EXPECT_NEAR(r.weights[2], 4.0 / 7.0, 1e-9);
+  EXPECT_NEAR(r.consistency_ratio, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ecrs::ahp

@@ -1,0 +1,267 @@
+// Tests for the auction extensions: buyer-side settlement (Definition 5),
+// instance serialization, and the budgeted SSAM variant (§IV's "until the
+// total budget W is depleted").
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "auction/instance_gen.h"
+#include "auction/io.h"
+#include "auction/settlement.h"
+#include "auction/ssam.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ecrs::auction {
+namespace {
+
+bid make_bid(seller_id s, std::vector<demander_id> cover, units amount,
+             double price, std::uint32_t j = 0) {
+  bid b;
+  b.seller = s;
+  b.index = j;
+  b.coverage = std::move(cover);
+  b.amount = amount;
+  b.price = price;
+  return b;
+}
+
+// -------------------------------------------------------------- settlement
+
+TEST(Settlement, ChargesCoverPaymentsExactlyWithZeroMarkup) {
+  single_stage_instance inst;
+  inst.requirements = {4, 2};
+  inst.bids = {make_bid(0, {0}, 4, 10.0), make_bid(1, {1}, 2, 6.0),
+               make_bid(2, {0, 1}, 4, 30.0)};
+  const auto res = run_ssam(inst);
+  ASSERT_TRUE(res.feasible);
+  const auto s = settle_round(inst, res, 0.0);
+  EXPECT_NEAR(s.total_charged, s.total_payment, 1e-9);
+  EXPECT_NEAR(s.platform_balance, 0.0, 1e-9);
+  EXPECT_TRUE(s.no_economic_loss());
+}
+
+TEST(Settlement, MarkupYieldsPlatformProfit) {
+  single_stage_instance inst;
+  inst.requirements = {4};
+  inst.bids = {make_bid(0, {0}, 4, 10.0), make_bid(1, {0}, 4, 12.0)};
+  const auto res = run_ssam(inst);
+  const auto s = settle_round(inst, res, 0.25);
+  EXPECT_NEAR(s.total_charged, 1.25 * s.total_payment, 1e-9);
+  EXPECT_NEAR(s.platform_balance, 0.25 * s.total_payment, 1e-9);
+  EXPECT_TRUE(s.no_economic_loss());
+}
+
+TEST(Settlement, ChargesProportionalToUnitsReceived) {
+  single_stage_instance inst;
+  inst.requirements = {6, 2};
+  inst.bids = {make_bid(0, {0}, 6, 12.0), make_bid(1, {1}, 2, 6.0),
+               make_bid(2, {0, 1}, 4, 50.0)};
+  const auto res = run_ssam(inst);
+  ASSERT_TRUE(res.feasible);
+  const auto s = settle_round(inst, res, 0.0);
+  ASSERT_EQ(s.received.size(), 2u);
+  EXPECT_EQ(s.received[0], 6);
+  EXPECT_EQ(s.received[1], 2);
+  // Demander 0 got 3x the units, so pays 3x the charge.
+  EXPECT_NEAR(s.charges[0], 3.0 * s.charges[1], 1e-9);
+}
+
+TEST(Settlement, EmptyOutcomeChargesNothing) {
+  single_stage_instance inst;
+  inst.requirements = {0};
+  const auto s = settle_round(inst, ssam_result{}, 0.0);
+  EXPECT_DOUBLE_EQ(s.total_charged, 0.0);
+  EXPECT_DOUBLE_EQ(s.total_payment, 0.0);
+  EXPECT_TRUE(s.no_economic_loss());
+}
+
+TEST(Settlement, RejectsNegativeMarkup) {
+  single_stage_instance inst;
+  inst.requirements = {0};
+  EXPECT_THROW(settle_round(inst, ssam_result{}, -0.1), check_error);
+}
+
+TEST(Settlement, OverDeliveryNotBilled) {
+  // A winning bid supplying more than the remaining need only bills the
+  // useful units.
+  single_stage_instance inst;
+  inst.requirements = {3};
+  inst.bids = {make_bid(0, {0}, 10, 5.0)};
+  const auto res = run_ssam(inst);
+  const auto s = settle_round(inst, res, 0.0);
+  EXPECT_EQ(s.received[0], 3);
+}
+
+// ---------------------------------------------------------------------- io
+
+TEST(InstanceIo, RoundTripsBitIdentical) {
+  rng gen(3);
+  instance_config cfg;
+  cfg.sellers = 9;
+  cfg.demanders = 4;
+  const auto original = random_instance(cfg, gen);
+  std::stringstream ss;
+  write_instance(ss, original);
+  const auto restored = read_instance(ss);
+  ASSERT_EQ(restored.requirements, original.requirements);
+  ASSERT_EQ(restored.bids.size(), original.bids.size());
+  for (std::size_t i = 0; i < original.bids.size(); ++i) {
+    EXPECT_EQ(restored.bids[i].seller, original.bids[i].seller);
+    EXPECT_EQ(restored.bids[i].index, original.bids[i].index);
+    EXPECT_EQ(restored.bids[i].amount, original.bids[i].amount);
+    EXPECT_EQ(restored.bids[i].coverage, original.bids[i].coverage);
+    // Bit-identical, not just approximately equal (hexfloat round trip).
+    EXPECT_EQ(restored.bids[i].price, original.bids[i].price);
+  }
+}
+
+TEST(InstanceIo, OnlineRoundTrip) {
+  rng gen(5);
+  online_config cfg;
+  cfg.stage.sellers = 6;
+  cfg.stage.demanders = 2;
+  cfg.rounds = 4;
+  const auto original = random_online_instance(cfg, gen);
+  std::stringstream ss;
+  write_online_instance(ss, original);
+  const auto restored = read_online_instance(ss);
+  ASSERT_EQ(restored.rounds.size(), original.rounds.size());
+  ASSERT_EQ(restored.sellers.size(), original.sellers.size());
+  for (std::size_t s = 0; s < original.sellers.size(); ++s) {
+    EXPECT_EQ(restored.sellers[s].capacity, original.sellers[s].capacity);
+    EXPECT_EQ(restored.sellers[s].t_arrive, original.sellers[s].t_arrive);
+    EXPECT_EQ(restored.sellers[s].t_depart, original.sellers[s].t_depart);
+  }
+  for (std::size_t t = 0; t < original.rounds.size(); ++t) {
+    EXPECT_EQ(restored.rounds[t].requirements, original.rounds[t].requirements);
+    EXPECT_EQ(restored.rounds[t].bids.size(), original.rounds[t].bids.size());
+  }
+}
+
+TEST(InstanceIo, RejectsWrongHeader) {
+  std::stringstream ss("not-a-header\n");
+  EXPECT_THROW(read_instance(ss), check_error);
+}
+
+TEST(InstanceIo, RejectsTruncatedInput) {
+  std::stringstream ss("ecrs-instance v1\nrequirements 2 5\n");  // one missing
+  EXPECT_THROW(read_instance(ss), check_error);
+}
+
+TEST(InstanceIo, RejectsMalformedPrice) {
+  std::stringstream ss(
+      "ecrs-instance v1\nrequirements 1 3\nbids 1\n0 0 2 notaprice 1 0\n");
+  EXPECT_THROW(read_instance(ss), check_error);
+}
+
+TEST(InstanceIo, FileRoundTrip) {
+  rng gen(7);
+  instance_config cfg;
+  cfg.sellers = 4;
+  cfg.demanders = 2;
+  const auto original = random_instance(cfg, gen);
+  const std::string path = testing::TempDir() + "/ecrs_instance_test.txt";
+  write_instance_file(path, original);
+  const auto restored = read_instance_file(path);
+  EXPECT_EQ(restored.requirements, original.requirements);
+  EXPECT_THROW(read_instance_file("/nonexistent/inst.txt"), check_error);
+}
+
+TEST(InstanceIo, ReplayedInstanceGivesIdenticalAuctionOutcome) {
+  rng gen(11);
+  instance_config cfg;
+  cfg.sellers = 10;
+  cfg.demanders = 3;
+  const auto original = random_instance(cfg, gen);
+  std::stringstream ss;
+  write_instance(ss, original);
+  const auto restored = read_instance(ss);
+  const auto res_a = run_ssam(original);
+  const auto res_b = run_ssam(restored);
+  ASSERT_EQ(res_a.winners.size(), res_b.winners.size());
+  for (std::size_t i = 0; i < res_a.winners.size(); ++i) {
+    EXPECT_EQ(res_a.winners[i].bid_index, res_b.winners[i].bid_index);
+    EXPECT_EQ(res_a.winners[i].payment, res_b.winners[i].payment);
+  }
+}
+
+// ------------------------------------------------------------------ budget
+
+TEST(BudgetedSsam, ZeroMeansUnlimited) {
+  rng gen(13);
+  instance_config cfg;
+  cfg.sellers = 8;
+  cfg.demanders = 2;
+  const auto inst = random_instance(cfg, gen);
+  ssam_options unlimited;  // payment_budget = 0
+  const auto res = run_ssam(inst, unlimited);
+  EXPECT_TRUE(res.feasible);
+}
+
+TEST(BudgetedSsam, TinyBudgetBuysNothing) {
+  single_stage_instance inst;
+  inst.requirements = {4};
+  inst.bids = {make_bid(0, {0}, 4, 10.0), make_bid(1, {0}, 4, 12.0)};
+  ssam_options opts;
+  opts.payment_budget = 5.0;  // below any payment
+  const auto res = run_ssam(inst, opts);
+  EXPECT_TRUE(res.winners.empty());
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(BudgetedSsam, BudgetRespectedOnPartialPurchase) {
+  single_stage_instance inst;
+  inst.requirements = {8};
+  inst.bids = {make_bid(0, {0}, 4, 8.0), make_bid(1, {0}, 4, 9.0),
+               make_bid(2, {0}, 4, 20.0)};
+  ssam_options opts;
+  opts.payment_budget = 10.0;  // enough for the first winner only
+  const auto res = run_ssam(inst, opts);
+  ASSERT_EQ(res.winners.size(), 1u);
+  EXPECT_LE(res.total_payment, 10.0 + 1e-9);
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(BudgetedSsam, AmpleBudgetMatchesUnbudgeted) {
+  rng gen(17);
+  instance_config cfg;
+  cfg.sellers = 10;
+  cfg.demanders = 3;
+  const auto inst = random_instance(cfg, gen);
+  ssam_options opts;
+  opts.payment_budget = 1e9;
+  const auto budgeted = run_ssam(inst, opts);
+  const auto unbudgeted = run_ssam(inst);
+  ASSERT_EQ(budgeted.winners.size(), unbudgeted.winners.size());
+  EXPECT_DOUBLE_EQ(budgeted.social_cost, unbudgeted.social_cost);
+}
+
+TEST(BudgetedSsam, RejectsNegativeBudget) {
+  single_stage_instance inst;
+  inst.requirements = {0};
+  ssam_options opts;
+  opts.payment_budget = -1.0;
+  EXPECT_THROW(run_ssam(inst, opts), check_error);
+}
+
+class BudgetSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BudgetSweep, PaymentsNeverExceedBudget) {
+  rng gen(GetParam());
+  instance_config cfg;
+  cfg.sellers = 10;
+  cfg.demanders = 3;
+  const auto inst = random_instance(cfg, gen);
+  const double budget = gen.uniform_real(10.0, 200.0);
+  ssam_options opts;
+  opts.payment_budget = budget;
+  const auto res = run_ssam(inst, opts);
+  EXPECT_LE(res.total_payment, budget + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgetSweep,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace ecrs::auction

@@ -1,0 +1,241 @@
+// Unit tests for the auction core types, coverage state, online instance,
+// and the random instance generators.
+#include <gtest/gtest.h>
+
+#include "auction/bid.h"
+#include "auction/instance_gen.h"
+#include "auction/online.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ecrs::auction {
+namespace {
+
+bid make_bid(seller_id s, std::vector<demander_id> cover, units amount,
+             double price, std::uint32_t j = 0) {
+  bid b;
+  b.seller = s;
+  b.index = j;
+  b.coverage = std::move(cover);
+  b.amount = amount;
+  b.price = price;
+  return b;
+}
+
+// ---------------------------------------------------------------- instance
+
+TEST(SingleStageInstance, ValidateAcceptsWellFormed) {
+  single_stage_instance inst;
+  inst.requirements = {3, 0, 2};
+  inst.bids = {make_bid(0, {0, 2}, 2, 10.0), make_bid(1, {1}, 1, 5.0)};
+  EXPECT_NO_THROW(inst.validate());
+  EXPECT_EQ(inst.demanders(), 3u);
+  EXPECT_EQ(inst.seller_count(), 2u);
+  EXPECT_EQ(inst.total_requirement(), 5);
+}
+
+TEST(SingleStageInstance, ValidateRejectsBadBids) {
+  single_stage_instance inst;
+  inst.requirements = {3};
+  inst.bids = {make_bid(0, {0}, 0, 10.0)};  // zero amount
+  EXPECT_THROW(inst.validate(), check_error);
+  inst.bids = {make_bid(0, {0}, 1, -1.0)};  // negative price
+  EXPECT_THROW(inst.validate(), check_error);
+  inst.bids = {make_bid(0, {}, 1, 1.0)};  // empty coverage
+  EXPECT_THROW(inst.validate(), check_error);
+  inst.bids = {make_bid(0, {5}, 1, 1.0)};  // unknown demander
+  EXPECT_THROW(inst.validate(), check_error);
+  inst.bids = {make_bid(0, {0, 0}, 1, 1.0)};  // duplicate coverage
+  EXPECT_THROW(inst.validate(), check_error);
+}
+
+TEST(SingleStageInstance, ValidateRejectsUnsortedCoverage) {
+  single_stage_instance inst;
+  inst.requirements = {1, 1};
+  inst.bids = {make_bid(0, {1, 0}, 1, 1.0)};
+  EXPECT_THROW(inst.validate(), check_error);
+}
+
+TEST(SingleStageInstance, ValidateRejectsNegativeRequirement) {
+  single_stage_instance inst;
+  inst.requirements = {-1};
+  EXPECT_THROW(inst.validate(), check_error);
+}
+
+TEST(SingleStageInstance, CoverableDetectsShortfall) {
+  single_stage_instance inst;
+  inst.requirements = {10};
+  inst.bids = {make_bid(0, {0}, 4, 1.0), make_bid(1, {0}, 4, 1.0)};
+  EXPECT_FALSE(inst.coverable());  // max supply 8 < 10
+  inst.bids.push_back(make_bid(2, {0}, 4, 1.0));
+  EXPECT_TRUE(inst.coverable());  // 12 >= 10
+}
+
+TEST(SingleStageInstance, CoverableUsesBestBidPerSeller) {
+  single_stage_instance inst;
+  inst.requirements = {6};
+  // One seller with two bids: only the larger can count once.
+  inst.bids = {make_bid(0, {0}, 3, 1.0, 0), make_bid(0, {0}, 5, 2.0, 1)};
+  EXPECT_FALSE(inst.coverable());  // best single bid supplies 5 < 6
+}
+
+// ---------------------------------------------------------- coverage state
+
+TEST(CoverageState, TracksDeficitAndRemaining) {
+  coverage_state state({3, 2});
+  EXPECT_EQ(state.deficit(), 5);
+  EXPECT_FALSE(state.satisfied());
+  EXPECT_EQ(state.remaining(0), 3);
+  EXPECT_EQ(state.remaining(1), 2);
+}
+
+TEST(CoverageState, MarginalUtilityCapsAtRemaining) {
+  coverage_state state({3, 2});
+  const bid b = make_bid(0, {0, 1}, 5, 1.0);
+  EXPECT_EQ(state.marginal_utility(b), 5);  // min(5,3) + min(5,2)
+  state.apply(b);
+  EXPECT_TRUE(state.satisfied());
+  EXPECT_EQ(state.marginal_utility(b), 0);
+}
+
+TEST(CoverageState, ApplyIsIncremental) {
+  coverage_state state({4});
+  const bid b = make_bid(0, {0}, 3, 1.0);
+  EXPECT_EQ(state.apply(b), 3);
+  EXPECT_EQ(state.remaining(0), 1);
+  EXPECT_EQ(state.apply(b), 1);  // only the remaining unit counts
+  EXPECT_TRUE(state.satisfied());
+}
+
+TEST(CoverageState, ZeroRequirementsStartSatisfied) {
+  coverage_state state({0, 0});
+  EXPECT_TRUE(state.satisfied());
+}
+
+TEST(CoverageState, RejectsNegativeRequirement) {
+  EXPECT_THROW(coverage_state({-1}), check_error);
+}
+
+// ----------------------------------------------------------------- online
+
+TEST(OnlineInstance, ValidateChecksWindowsAndSellers) {
+  online_instance inst;
+  inst.rounds.resize(1);
+  inst.rounds[0].requirements = {1};
+  inst.rounds[0].bids = {make_bid(0, {0}, 1, 1.0)};
+  inst.sellers = {seller_profile{2, 1, 1}};
+  EXPECT_NO_THROW(inst.validate());
+  EXPECT_TRUE(inst.in_window(0, 1));
+  EXPECT_FALSE(inst.in_window(0, 2));
+
+  inst.rounds[0].bids[0].seller = 5;  // unknown seller
+  EXPECT_THROW(inst.validate(), check_error);
+}
+
+TEST(OnlineInstance, ValidateRejectsEmptyAndBadWindows) {
+  online_instance inst;
+  EXPECT_THROW(inst.validate(), check_error);  // no rounds
+  inst.rounds.resize(1);
+  inst.rounds[0].requirements = {0};
+  inst.sellers = {seller_profile{1, 3, 2}};  // arrive after depart
+  EXPECT_THROW(inst.validate(), check_error);
+  inst.sellers = {seller_profile{1, 0, 2}};  // arrives before round 1
+  EXPECT_THROW(inst.validate(), check_error);
+}
+
+// --------------------------------------------------------------- generator
+
+class RandomInstanceSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomInstanceSeeds, GeneratesValidSatisfiableInstances) {
+  rng gen(GetParam());
+  instance_config cfg;
+  cfg.sellers = 12;
+  cfg.demanders = 4;
+  cfg.bids_per_seller = 2;
+  const auto inst = random_instance(cfg, gen);
+  EXPECT_NO_THROW(inst.validate());
+  EXPECT_TRUE(inst.coverable());
+  EXPECT_EQ(inst.bids.size(), cfg.sellers * cfg.bids_per_seller);
+  EXPECT_EQ(inst.demanders(), cfg.demanders);
+  for (const bid& b : inst.bids) {
+    EXPECT_GE(b.price, cfg.price_lo);
+    EXPECT_LE(b.price, cfg.price_hi);
+    EXPECT_GE(b.amount, cfg.amount_lo);
+    EXPECT_LE(b.amount, cfg.amount_hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInstanceSeeds,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(RandomInstance, DeterministicForSameSeed) {
+  instance_config cfg;
+  rng a(9);
+  rng b(9);
+  const auto ia = random_instance(cfg, a);
+  const auto ib = random_instance(cfg, b);
+  ASSERT_EQ(ia.bids.size(), ib.bids.size());
+  for (std::size_t i = 0; i < ia.bids.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ia.bids[i].price, ib.bids[i].price);
+    EXPECT_EQ(ia.bids[i].coverage, ib.bids[i].coverage);
+  }
+  EXPECT_EQ(ia.requirements, ib.requirements);
+}
+
+TEST(RandomInstance, RejectsBadConfig) {
+  rng gen(1);
+  instance_config cfg;
+  cfg.sellers = 0;
+  EXPECT_THROW(random_instance(cfg, gen), check_error);
+  cfg = instance_config{};
+  cfg.price_hi = cfg.price_lo - 1.0;
+  EXPECT_THROW(random_instance(cfg, gen), check_error);
+  cfg = instance_config{};
+  cfg.coverage_fraction = 0.0;
+  EXPECT_THROW(random_instance(cfg, gen), check_error);
+}
+
+class RandomOnlineSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomOnlineSeeds, GeneratesValidOnlineInstances) {
+  rng gen(GetParam());
+  online_config cfg;
+  cfg.stage.sellers = 8;
+  cfg.stage.demanders = 3;
+  cfg.rounds = 5;
+  const auto inst = random_online_instance(cfg, gen);
+  EXPECT_NO_THROW(inst.validate());
+  EXPECT_EQ(inst.horizon(), 5u);
+  EXPECT_EQ(inst.sellers.size(), 8u);
+  for (const seller_profile& p : inst.sellers) {
+    EXPECT_GE(p.capacity, 1);
+    EXPECT_GE(p.t_arrive, 1u);
+    EXPECT_LE(p.t_depart, 5u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOnlineSeeds,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(RandomOnline, ExplicitCapacityRangeRespected) {
+  rng gen(3);
+  online_config cfg;
+  cfg.stage.sellers = 6;
+  cfg.rounds = 4;
+  cfg.capacity_lo = 7;
+  cfg.capacity_hi = 9;
+  const auto inst = random_online_instance(cfg, gen);
+  for (const seller_profile& p : inst.sellers) {
+    EXPECT_GE(p.capacity, 7);
+    EXPECT_LE(p.capacity, 9);
+  }
+}
+
+TEST(Bid, CoverageSizeIsParticipationWeight) {
+  const bid b = make_bid(0, {0, 3, 7}, 2, 1.0);
+  EXPECT_EQ(b.coverage_size(), 3u);
+}
+
+}  // namespace
+}  // namespace ecrs::auction

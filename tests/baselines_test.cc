@@ -1,0 +1,164 @@
+// Tests for the baseline mechanisms (posted price, pay-as-bid, random).
+#include <gtest/gtest.h>
+
+#include "auction/baselines.h"
+#include "auction/exact.h"
+#include "auction/instance_gen.h"
+#include "auction/properties.h"
+#include "auction/ssam.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ecrs::auction {
+namespace {
+
+bid make_bid(seller_id s, std::vector<demander_id> cover, units amount,
+             double price, std::uint32_t j = 0) {
+  bid b;
+  b.seller = s;
+  b.index = j;
+  b.coverage = std::move(cover);
+  b.amount = amount;
+  b.price = price;
+  return b;
+}
+
+single_stage_instance simple_instance() {
+  single_stage_instance inst;
+  inst.requirements = {4};
+  inst.bids = {make_bid(0, {0}, 4, 8.0),    // unit cost 2.0
+               make_bid(1, {0}, 4, 16.0),   // unit cost 4.0
+               make_bid(2, {0}, 4, 40.0)};  // unit cost 10.0
+  return inst;
+}
+
+// -------------------------------------------------------------- fixed price
+
+TEST(FixedPrice, UnderPricedFindsNoSellers) {
+  const auto res = fixed_price_mechanism(simple_instance(), 1.0);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_TRUE(res.winners.empty());
+}
+
+TEST(FixedPrice, AdequatePriceCoversDemand) {
+  const auto res = fixed_price_mechanism(simple_instance(), 2.5);
+  EXPECT_TRUE(res.feasible);
+  ASSERT_EQ(res.winners.size(), 1u);
+  EXPECT_EQ(res.winners[0], 0u);
+  EXPECT_DOUBLE_EQ(res.social_cost, 8.0);
+  // Pays posted price per unit used: 2.5 * 4 = 10.
+  EXPECT_DOUBLE_EQ(res.total_payment, 10.0);
+}
+
+TEST(FixedPrice, OverPricedOverpays) {
+  const auto res = fixed_price_mechanism(simple_instance(), 10.0);
+  EXPECT_TRUE(res.feasible);
+  // All sellers accept but only the needed units are bought; the payment is
+  // at the inflated posted price.
+  EXPECT_DOUBLE_EQ(res.total_payment, 40.0);  // 10.0/unit * 4 units
+}
+
+TEST(FixedPrice, PicksSellersCheapestOwnBid) {
+  single_stage_instance inst;
+  inst.requirements = {4};
+  inst.bids = {make_bid(0, {0}, 4, 12.0, 0), make_bid(0, {0}, 4, 8.0, 1)};
+  const auto res = fixed_price_mechanism(inst, 3.0);
+  ASSERT_EQ(res.winners.size(), 1u);
+  EXPECT_EQ(res.winners[0], 1u);  // the cheaper of seller 0's bids
+}
+
+TEST(FixedPrice, RejectsNegativePrice) {
+  EXPECT_THROW(fixed_price_mechanism(simple_instance(), -1.0), check_error);
+}
+
+TEST(FixedPrice, StopsBuyingOnceSatisfied) {
+  const auto res = fixed_price_mechanism(simple_instance(), 20.0);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.winners.size(), 1u);  // first accepting seller suffices
+}
+
+// -------------------------------------------------------------- pay as bid
+
+TEST(PayAsBid, SelectionMatchesGreedyAndPaysPrices) {
+  const auto inst = simple_instance();
+  const auto res = pay_as_bid_greedy(inst);
+  const auto greedy = greedy_selection(inst);
+  EXPECT_EQ(res.winners, greedy);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_DOUBLE_EQ(res.social_cost, res.total_payment);
+}
+
+TEST(PayAsBid, PaymentNeverExceedsSsamPayment) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    rng gen(seed);
+    instance_config cfg;
+    cfg.sellers = 10;
+    cfg.demanders = 3;
+    const auto inst = random_instance(cfg, gen);
+    const auto fp = pay_as_bid_greedy(inst);
+    const auto ssam = run_ssam(inst);
+    EXPECT_LE(fp.total_payment, ssam.total_payment + 1e-9) << "seed " << seed;
+  }
+}
+
+// ------------------------------------------------------------------ random
+
+TEST(RandomSelection, ProducesFeasibleSelectionWhenPossible) {
+  rng gen(3);
+  const auto inst = simple_instance();
+  const auto res = random_selection(inst, gen);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_TRUE(selection_feasible(inst, res.winners));
+}
+
+TEST(RandomSelection, CostAtLeastOptimal) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    rng gen(seed);
+    instance_config cfg;
+    cfg.sellers = 8;
+    cfg.demanders = 2;
+    const auto inst = random_instance(cfg, gen);
+    rng pick = gen.fork(1);
+    const auto res = random_selection(inst, pick);
+    if (!res.feasible) continue;
+    const auto ref = solve_exact(inst);
+    ASSERT_TRUE(ref.feasible);
+    EXPECT_GE(res.social_cost, ref.cost - 1e-9);
+  }
+}
+
+TEST(RandomSelection, RandomCostsAtLeastGreedyOnAverage) {
+  // The greedy is cost-aware; uniformly random selection is not. Averaged
+  // over instances and draws the ordering must show.
+  double random_total = 0.0;
+  double greedy_total = 0.0;
+  int counted = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    rng gen(seed);
+    instance_config cfg;
+    cfg.sellers = 10;
+    cfg.demanders = 2;
+    const auto inst = random_instance(cfg, gen);
+    rng pick = gen.fork(2);
+    const auto rnd = random_selection(inst, pick);
+    const auto grd = pay_as_bid_greedy(inst);
+    if (!rnd.feasible || !grd.feasible) continue;
+    random_total += rnd.social_cost;
+    greedy_total += grd.social_cost;
+    ++counted;
+  }
+  ASSERT_GT(counted, 10);
+  EXPECT_GT(random_total, greedy_total);
+}
+
+TEST(RandomSelection, InfeasibleInstanceReported) {
+  single_stage_instance inst;
+  inst.requirements = {100};
+  inst.bids = {make_bid(0, {0}, 1, 1.0)};
+  rng gen(4);
+  const auto res = random_selection(inst, gen);
+  EXPECT_FALSE(res.feasible);
+}
+
+}  // namespace
+}  // namespace ecrs::auction

@@ -1,0 +1,447 @@
+// Unit tests for ecrs::common (rng, statistics, table, flags, check).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+
+namespace ecrs {
+namespace {
+
+// ------------------------------------------------------------------- check
+
+TEST(Check, PassingCheckDoesNothing) { ECRS_CHECK(1 + 1 == 2); }
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(ECRS_CHECK(false), check_error);
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    ECRS_CHECK_MSG(false, "context " << 42);
+    FAIL() << "expected throw";
+  } catch (const check_error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  rng a(123);
+  rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1);
+  rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDraws) {
+  rng a(7);
+  rng fork_before = a.fork(5);
+  (void)a();
+  (void)a();
+  rng b(7);
+  rng fork_after = b.fork(5);
+  // Forks derive from seed state, so forking before/after parent draws from
+  // the same state yields the same stream.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fork_before(), fork_after());
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  rng gen(99);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = gen.uniform_int(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  rng gen(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(gen.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  rng gen(5);
+  EXPECT_EQ(gen.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  rng gen(5);
+  EXPECT_THROW(gen.uniform_int(3, 2), check_error);
+}
+
+TEST(Rng, UniformRealBounds) {
+  rng gen(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = gen.uniform_real(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformRealMeanApproximatesMidpoint) {
+  rng gen(12);
+  running_stats s;
+  for (int i = 0; i < 20000; ++i) s.add(gen.uniform_real(0.0, 10.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.15);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  rng gen(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += gen.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  rng gen(14);
+  running_stats s;
+  for (int i = 0; i < 20000; ++i) s.add(gen.exponential(2.0));
+  EXPECT_NEAR(s.mean(), 0.5, 0.03);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  rng gen(15);
+  EXPECT_THROW(gen.exponential(0.0), check_error);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  rng gen(16);
+  running_stats s;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(static_cast<double>(gen.poisson(5.0)));
+  }
+  EXPECT_NEAR(s.mean(), 5.0, 0.15);
+  EXPECT_NEAR(s.variance(), 5.0, 0.5);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  rng gen(17);
+  running_stats s;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(static_cast<double>(gen.poisson(100.0)));
+  }
+  EXPECT_NEAR(s.mean(), 100.0, 1.5);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  rng gen(18);
+  EXPECT_EQ(gen.poisson(0.0), 0);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  rng gen(19);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[gen.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 10000.0, 0.75, 0.03);
+}
+
+TEST(Rng, WeightedIndexRejectsAllZero) {
+  rng gen(20);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(gen.weighted_index(w), check_error);
+}
+
+TEST(Rng, ChiSquareUniformity) {
+  // 16-bin chi-square goodness-of-fit on uniform_int draws. With df = 15
+  // the 99.9th percentile is ~37.7; a correct generator stays well below.
+  rng gen(123456);
+  constexpr int kBins = 16;
+  constexpr int kDraws = 160000;
+  int counts[kBins] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[gen.uniform_int(0, kBins - 1)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBins;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Rng, HighBitsAndLowBitsBothUniform) {
+  rng gen(7);
+  int high = 0;
+  int low = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t v = gen();
+    high += (v >> 63) & 1u;
+    low += v & 1u;
+  }
+  EXPECT_NEAR(high / static_cast<double>(kDraws), 0.5, 0.01);
+  EXPECT_NEAR(low / static_cast<double>(kDraws), 0.5, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  rng gen(21);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  gen.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  rng gen(22);
+  const auto sample = gen.sample_without_replacement(20, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (std::size_t idx : sample) EXPECT_LT(idx, 20u);
+}
+
+TEST(Rng, SampleAllElements) {
+  rng gen(23);
+  const auto sample = gen.sample_without_replacement(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  rng gen(24);
+  EXPECT_THROW(gen.sample_without_replacement(3, 4), check_error);
+}
+
+// -------------------------------------------------------------- statistics
+
+TEST(RunningStats, BasicMoments) {
+  running_stats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  running_stats s;
+  EXPECT_THROW(s.mean(), check_error);
+  EXPECT_THROW(s.min(), check_error);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  running_stats a;
+  running_stats b;
+  running_stats all;
+  rng gen(31);
+  for (int i = 0; i < 500; ++i) {
+    const double v = gen.uniform_real(-5.0, 5.0);
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  running_stats a;
+  a.add(1.0);
+  running_stats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(RunningStats, SampleVarianceNeedsTwo) {
+  running_stats s;
+  s.add(1.0);
+  EXPECT_THROW(s.sample_variance(), check_error);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  histogram h(0.0, 10.0, 5);
+  h.add(1.0);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-5.0);   // clamped to bin 0
+  h.add(100.0);  // clamped to bin 4
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(1), 4.0);
+}
+
+TEST(Histogram, AsciiRendering) {
+  histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.to_ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(histogram(1.0, 1.0, 3), check_error);
+  EXPECT_THROW(histogram(0.0, 1.0, 0), check_error);
+}
+
+TEST(Percentile, OrderStatistics) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 30.0), 7.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 50.0), check_error);
+}
+
+TEST(HarmonicNumber, KnownValues) {
+  EXPECT_DOUBLE_EQ(harmonic_number(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_number(1), 1.0);
+  EXPECT_NEAR(harmonic_number(4), 1.0 + 0.5 + 1.0 / 3 + 0.25, 1e-12);
+  // H_n ~ ln n + gamma.
+  EXPECT_NEAR(harmonic_number(100000), std::log(100000.0) + 0.5772156649,
+              1e-4);
+}
+
+// ------------------------------------------------------------------- table
+
+TEST(Table, AsciiContainsHeadersAndCells) {
+  table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("beta"), 2.0});
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("name"), std::string::npos);
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.find("1.5"), std::string::npos);
+}
+
+TEST(Table, RowLengthMismatchThrows) {
+  table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), check_error);
+}
+
+TEST(Table, CsvRoundValues) {
+  table t({"x", "label"});
+  t.add_row({static_cast<long long>(3), std::string("plain")});
+  t.add_row({2.25, std::string("with,comma")});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("x,label"), std::string::npos);
+  EXPECT_NE(csv.find("3,plain"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+}
+
+TEST(Table, NumberAtParsesAllCellKinds) {
+  table t({"v"});
+  t.add_row({1.5});
+  t.add_row({static_cast<long long>(7)});
+  t.add_row({std::string("2.5")});
+  EXPECT_DOUBLE_EQ(t.number_at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(t.number_at(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(t.number_at(2, 0), 2.5);
+}
+
+TEST(Table, PrecisionControlsRendering) {
+  table t({"v"});
+  t.add_row({3.14159265});
+  t.set_precision(3);
+  EXPECT_EQ(t.text_at(0, 0), "3.14");
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+// ------------------------------------------------------------------- flags
+
+TEST(Flags, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "4.5", "--gamma"};
+  flags f(5, argv);
+  EXPECT_EQ(f.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(f.get_double("beta", 0.0), 4.5);
+  EXPECT_TRUE(f.get_bool("gamma", false));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  flags f(1, argv);
+  EXPECT_EQ(f.get_int("missing", 9), 9);
+  EXPECT_EQ(f.get_string("missing", "dflt"), "dflt");
+  EXPECT_FALSE(f.has("missing"));
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  const char* argv[] = {"prog", "input.csv", "--k=1", "other"};
+  flags f(4, argv);
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.csv");
+  EXPECT_EQ(f.positional()[1], "other");
+}
+
+TEST(Flags, MalformedNumberThrows) {
+  const char* argv[] = {"prog", "--n=abc"};
+  flags f(2, argv);
+  EXPECT_THROW(f.get_int("n", 0), check_error);
+  EXPECT_THROW(f.get_double("n", 0.0), check_error);
+}
+
+TEST(Flags, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=yes", "--b=0", "--c=off"};
+  flags f(4, argv);
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_FALSE(f.get_bool("c", true));
+}
+
+// --------------------------------------------------------------- stopwatch
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  stopwatch w;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(w.elapsed_seconds(), 0.0);
+  EXPECT_GE(w.elapsed_ms(), w.elapsed_seconds() * 1000.0 - 1e-9);
+}
+
+TEST(Stopwatch, RestartResets) {
+  stopwatch w;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  const double before = w.elapsed_seconds();
+  w.restart();
+  EXPECT_LE(w.elapsed_seconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace ecrs

@@ -1,0 +1,199 @@
+// Unit tests for the demand estimator (paper §III, Eq. 1-2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "demand/estimator.h"
+
+namespace ecrs::demand {
+namespace {
+
+edge::round_stats base_stats() {
+  edge::round_stats s;
+  s.microservice = 0;
+  s.round = 1;
+  s.received = 10;
+  s.served = 8;
+  s.arrived_work = 10.0;
+  s.served_work = 8.0;
+  s.backlog_work = 2.0;
+  s.allocation = 1.0;
+  s.utilization = 0.5;
+  s.mean_wait = 1.0;
+  s.cloud_population = 4;
+  return s;
+}
+
+estimator_config no_smoothing_config() {
+  estimator_config cfg = make_default_config();
+  cfg.smoothing = 0.0;
+  cfg.round_duration = 10.0;
+  return cfg;
+}
+
+TEST(EstimatorConfig, DefaultWeightsComeFromAhp) {
+  const estimator_config cfg = make_default_config();
+  // AHP weights (2/7, 1/7, 4/7) -> w = reciprocals.
+  EXPECT_NEAR(cfg.w_waiting, 3.5, 1e-9);
+  EXPECT_NEAR(cfg.w_processing, 7.0, 1e-9);
+  EXPECT_NEAR(cfg.w_request_rate, 1.75, 1e-9);
+}
+
+TEST(Estimator, RejectsBadConfig) {
+  estimator_config cfg = make_default_config();
+  cfg.smoothing = 1.0;
+  EXPECT_THROW(estimator{cfg}, check_error);
+  cfg = make_default_config();
+  cfg.max_utilization = 1.0;
+  EXPECT_THROW(estimator{cfg}, check_error);
+  cfg = make_default_config();
+  cfg.w_waiting = 0.0;
+  EXPECT_THROW(estimator{cfg}, check_error);
+  cfg = make_default_config();
+  cfg.round_duration = 0.0;
+  EXPECT_THROW(estimator{cfg}, check_error);
+}
+
+TEST(Estimator, DemandIsNonNegative) {
+  estimator est(no_smoothing_config());
+  edge::round_stats s = base_stats();
+  s.served_work = 100.0;  // massively over-served: processing gap negative
+  EXPECT_GE(est.raw_demand(s, 1.0), 0.0);
+}
+
+TEST(Estimator, HigherUtilizationRaisesDemand) {
+  estimator est(no_smoothing_config());
+  edge::round_stats lo = base_stats();
+  lo.utilization = 0.2;
+  edge::round_stats hi = base_stats();
+  hi.utilization = 0.9;
+  EXPECT_GT(est.raw_demand(hi, 1.0), est.raw_demand(lo, 1.0));
+}
+
+TEST(Estimator, SaturatedUtilizationIsClampedFinite) {
+  estimator est(no_smoothing_config());
+  edge::round_stats s = base_stats();
+  s.utilization = 1.0;  // would be a division by zero without the clamp
+  const double x = est.raw_demand(s, 1.0);
+  EXPECT_TRUE(std::isfinite(x));
+  EXPECT_GT(x, 0.0);
+}
+
+TEST(Estimator, LargerProcessingDeficitRaisesDemand) {
+  estimator est(no_smoothing_config());
+  edge::round_stats small_gap = base_stats();
+  small_gap.arrived_work = 10.0;
+  small_gap.served_work = 9.0;
+  edge::round_stats large_gap = base_stats();
+  large_gap.arrived_work = 30.0;
+  large_gap.served_work = 9.0;
+  EXPECT_GT(est.raw_demand(large_gap, 1.0), est.raw_demand(small_gap, 1.0));
+}
+
+TEST(Estimator, DenserCloudLowersRequestRateIndicator) {
+  estimator est(no_smoothing_config());
+  edge::round_stats sparse = base_stats();
+  sparse.cloud_population = 1;
+  edge::round_stats dense = base_stats();
+  dense.cloud_population = 10;
+  const auto vi_sparse = est.indicators(sparse, 1.0);
+  const auto vi_dense = est.indicators(dense, 1.0);
+  EXPECT_GT(vi_sparse.request_rate, vi_dense.request_rate);
+}
+
+TEST(Estimator, AllocationRatioScalesRequestRateIndicator) {
+  estimator est(no_smoothing_config());
+  edge::round_stats s = base_stats();
+  const auto big_amax = est.indicators(s, 10.0);
+  const auto small_amax = est.indicators(s, 1.0);
+  EXPECT_LT(big_amax.request_rate, small_amax.request_rate);
+}
+
+TEST(Estimator, NoArrivalsMeansFullCompletionIndicator) {
+  estimator est(no_smoothing_config());
+  edge::round_stats s = base_stats();
+  s.received = 0;
+  s.served = 0;
+  const auto vi = est.indicators(s, 1.0);
+  EXPECT_DOUBLE_EQ(vi.waiting, est.config().zeta * 1.0);
+}
+
+TEST(Estimator, RejectsZeroRound) {
+  estimator est(no_smoothing_config());
+  edge::round_stats s = base_stats();
+  s.round = 0;
+  EXPECT_THROW(est.indicators(s, 1.0), check_error);
+}
+
+TEST(Estimator, SmoothingBlendsHistory) {
+  estimator_config cfg = no_smoothing_config();
+  cfg.smoothing = 0.5;
+  estimator est(cfg);
+  edge::round_stats s = base_stats();
+  const double first = est.estimate(s, 1.0);
+  // Same observation again: smoothed value must be between raw and previous
+  // (here they coincide, so the estimate is unchanged).
+  const double second = est.estimate(s, 1.0);
+  EXPECT_NEAR(first, second, 1e-9);
+
+  // A sudden drop is damped: the smoothed estimate stays above the raw.
+  edge::round_stats idle = s;
+  idle.utilization = 0.0;
+  idle.arrived_work = 0.0;
+  idle.backlog_work = 0.0;
+  idle.round = 2;
+  estimator raw_est(no_smoothing_config());
+  const double raw = raw_est.raw_demand(idle, 1.0);
+  const double smoothed = est.estimate(idle, 1.0);
+  EXPECT_GT(smoothed, raw);
+}
+
+TEST(Estimator, LastEstimateTracksHistory) {
+  estimator est(no_smoothing_config());
+  EXPECT_DOUBLE_EQ(est.last_estimate(0), 0.0);
+  edge::round_stats s = base_stats();
+  const double x = est.estimate(s, 1.0);
+  EXPECT_DOUBLE_EQ(est.last_estimate(0), x);
+  est.reset_history();
+  EXPECT_DOUBLE_EQ(est.last_estimate(0), 0.0);
+}
+
+TEST(Estimator, EstimateRoundUsesMaxAllocation) {
+  estimator est(no_smoothing_config());
+  edge::round_stats a = base_stats();
+  a.microservice = 0;
+  a.allocation = 1.0;
+  edge::round_stats b = base_stats();
+  b.microservice = 1;
+  b.allocation = 4.0;
+  const auto round_estimates = est.estimate_round({a, b});
+  ASSERT_EQ(round_estimates.size(), 2u);
+  // Service b holds the max allocation, so its ratio a_i/a_max = 1 while
+  // a's is 0.25; all else equal b's request-rate indicator dominates.
+  EXPECT_GT(round_estimates[1], round_estimates[0]);
+}
+
+TEST(Estimator, OverloadedServiceScoresHigherThanIdle) {
+  estimator est(no_smoothing_config());
+  edge::round_stats overloaded = base_stats();
+  overloaded.utilization = 0.9;
+  overloaded.arrived_work = 50.0;
+  overloaded.served_work = 10.0;
+  overloaded.backlog_work = 40.0;
+  overloaded.served = 2;
+  overloaded.received = 10;
+
+  edge::round_stats idle = base_stats();
+  idle.utilization = 0.05;
+  idle.arrived_work = 1.0;
+  idle.served_work = 1.0;
+  idle.backlog_work = 0.0;
+  idle.served = 10;
+  idle.received = 10;
+
+  EXPECT_GT(est.raw_demand(overloaded, 1.0), est.raw_demand(idle, 1.0));
+}
+
+}  // namespace
+}  // namespace ecrs::demand

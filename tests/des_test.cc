@@ -1,0 +1,184 @@
+// Unit tests for the discrete-event simulation core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "des/simulator.h"
+
+namespace ecrs::des {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(Simulator, ExecutesEventsInTimestampOrder) {
+  simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulator, FifoAmongEqualTimestamps) {
+  simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ScheduleInUsesRelativeDelay) {
+  simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulator, RejectsPastAndNegative) {
+  simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), check_error);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), check_error);
+  EXPECT_THROW(sim.schedule_at(20.0, nullptr), check_error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  simulator sim;
+  bool ran = false;
+  const event_id id = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a harmless no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(1.0, recurse);
+  };
+  sim.schedule_in(1.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilExecutesEventsExactlyAtHorizon) {
+  simulator sim;
+  bool ran = false;
+  sim.schedule_at(3.0, [&] { ran = true; });
+  sim.run_until(3.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  simulator sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+  EXPECT_THROW(sim.run_until(41.0), check_error);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  simulator sim;
+  std::vector<double> times;
+  sim.schedule_periodic(2.0, [&] { times.push_back(sim.now()); });
+  sim.run_until(7.0);
+  EXPECT_EQ(times, (std::vector<double>{2.0, 4.0, 6.0}));
+}
+
+TEST(Simulator, PeriodicCancelStopsSeries) {
+  simulator sim;
+  int count = 0;
+  const event_id id = sim.schedule_periodic(1.0, [&] { ++count; });
+  sim.run_until(3.5);
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, PeriodicCanCancelItselfFromCallback) {
+  simulator sim;
+  int count = 0;
+  event_id id = 0;
+  id = sim.schedule_periodic(1.0, [&] {
+    if (++count == 2) sim.cancel(id);
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PeriodicRejectsNonPositivePeriod) {
+  simulator sim;
+  EXPECT_THROW(sim.schedule_periodic(0.0, [] {}), check_error);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  simulator sim;
+  rng gen(5);
+  std::vector<double> fired;
+  for (int i = 0; i < 2000; ++i) {
+    const double when = gen.uniform_real(0.0, 1000.0);
+    sim.schedule_at(when, [&fired, when] { fired.push_back(when); });
+  }
+  sim.run();
+  EXPECT_EQ(fired.size(), 2000u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST(Simulator, CancelInsideEarlierEvent) {
+  simulator sim;
+  bool second_ran = false;
+  event_id second = 0;
+  sim.schedule_at(1.0, [&] { sim.cancel(second); });
+  second = sim.schedule_at(2.0, [&] { second_ran = true; });
+  sim.run();
+  EXPECT_FALSE(second_ran);
+}
+
+}  // namespace
+}  // namespace ecrs::des

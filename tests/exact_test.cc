@@ -1,0 +1,252 @@
+// Tests for the reference solvers: single-demander DP, general
+// branch-and-bound, LP bounds, and the offline multi-stage solvers.
+#include <gtest/gtest.h>
+
+#include "auction/exact.h"
+#include "auction/instance_gen.h"
+#include "auction/properties.h"
+#include "auction/ssam.h"
+#include "common/rng.h"
+
+namespace ecrs::auction {
+namespace {
+
+bid make_bid(seller_id s, std::vector<demander_id> cover, units amount,
+             double price, std::uint32_t j = 0) {
+  bid b;
+  b.seller = s;
+  b.index = j;
+  b.coverage = std::move(cover);
+  b.amount = amount;
+  b.price = price;
+  return b;
+}
+
+// ------------------------------------------------------------- DP (m = 1)
+
+TEST(DpExact, PicksGloballyOptimalCombination) {
+  single_stage_instance inst;
+  inst.requirements = {6};
+  // Optimal: bids 1 + 2 (cost 7), not the single big bid (cost 9).
+  inst.bids = {make_bid(0, {0}, 6, 9.0), make_bid(1, {0}, 3, 3.0),
+               make_bid(2, {0}, 3, 4.0)};
+  const auto ref = solve_exact(inst);
+  ASSERT_TRUE(ref.exact);
+  ASSERT_TRUE(ref.feasible);
+  EXPECT_DOUBLE_EQ(ref.cost, 7.0);
+  EXPECT_TRUE(selection_feasible(inst, ref.chosen));
+}
+
+TEST(DpExact, RespectsOneBidPerSeller) {
+  single_stage_instance inst;
+  inst.requirements = {6};
+  // Seller 0 has two cheap 3-unit bids; only one may be used, so seller 1
+  // is needed.
+  inst.bids = {make_bid(0, {0}, 3, 1.0, 0), make_bid(0, {0}, 3, 1.5, 1),
+               make_bid(1, {0}, 3, 5.0)};
+  const auto ref = solve_exact(inst);
+  ASSERT_TRUE(ref.feasible);
+  EXPECT_DOUBLE_EQ(ref.cost, 6.0);
+  EXPECT_TRUE(selection_feasible(inst, ref.chosen));
+}
+
+TEST(DpExact, ZeroRequirementCostsNothing) {
+  single_stage_instance inst;
+  inst.requirements = {0};
+  inst.bids = {make_bid(0, {0}, 3, 1.0)};
+  const auto ref = solve_exact(inst);
+  EXPECT_TRUE(ref.feasible);
+  EXPECT_DOUBLE_EQ(ref.cost, 0.0);
+  EXPECT_TRUE(ref.chosen.empty());
+}
+
+TEST(DpExact, DetectsInfeasibility) {
+  single_stage_instance inst;
+  inst.requirements = {10};
+  inst.bids = {make_bid(0, {0}, 3, 1.0)};
+  const auto ref = solve_exact(inst);
+  EXPECT_FALSE(ref.feasible);
+  EXPECT_TRUE(ref.exact);
+}
+
+// -------------------------------------------------------- B&B (general m)
+
+TEST(BranchAndBound, SolvesMultiDemanderOptimum) {
+  single_stage_instance inst;
+  inst.requirements = {2, 2};
+  // Covering both with one bid (cost 5) beats two singles (3 + 3).
+  inst.bids = {make_bid(0, {0, 1}, 2, 5.0), make_bid(1, {0}, 2, 3.0),
+               make_bid(2, {1}, 2, 3.0)};
+  const auto ref = solve_exact(inst);
+  ASSERT_TRUE(ref.exact);
+  ASSERT_TRUE(ref.feasible);
+  EXPECT_DOUBLE_EQ(ref.cost, 5.0);
+}
+
+TEST(BranchAndBound, InfeasibleMultiDemander) {
+  single_stage_instance inst;
+  inst.requirements = {5, 5};
+  inst.bids = {make_bid(0, {0}, 5, 1.0)};  // demander 1 can never be covered
+  const auto ref = solve_exact(inst);
+  EXPECT_FALSE(ref.feasible);
+}
+
+class ExactMatchesExhaustive : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+// Cross-validate B&B against the DP on single-demander instances reshaped
+// as multi-demander (one demander duplicated has identical semantics).
+TEST_P(ExactMatchesExhaustive, BnbAgreesWithDpOnSingleDemander) {
+  rng gen(GetParam());
+  instance_config cfg;
+  cfg.sellers = 7;
+  cfg.demanders = 1;
+  cfg.bids_per_seller = 2;
+  const auto inst = random_instance(cfg, gen);
+  const auto dp_ref = solve_exact(inst);  // dispatches to DP
+
+  // Force the B&B path by adding a second demander with zero requirement.
+  single_stage_instance two = inst;
+  two.requirements.push_back(0);
+  const auto bnb_ref = solve_exact(two);
+
+  ASSERT_EQ(dp_ref.feasible, bnb_ref.feasible);
+  if (dp_ref.feasible) {
+    EXPECT_NEAR(dp_ref.cost, bnb_ref.cost, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactMatchesExhaustive,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(BranchAndBound, NodeLimitFallsBackToCertifiedBound) {
+  rng gen(31);
+  instance_config cfg;
+  cfg.sellers = 14;
+  cfg.demanders = 4;
+  cfg.bids_per_seller = 3;
+  const auto inst = random_instance(cfg, gen);
+  // A node limit of 1 exhausts immediately; the incumbent (greedy) is kept
+  // and the LP bound certifies.
+  const auto ref = solve_exact(inst, 1);
+  EXPECT_FALSE(ref.exact);
+  ASSERT_TRUE(ref.feasible);  // greedy incumbent exists
+  EXPECT_GT(ref.lower_bound, 0.0);
+  EXPECT_LE(ref.lower_bound, ref.cost + 1e-9);
+}
+
+TEST(SolveExact, DeterministicAcrossCalls) {
+  rng gen(17);
+  instance_config cfg;
+  cfg.sellers = 9;
+  cfg.demanders = 3;
+  const auto inst = random_instance(cfg, gen);
+  const auto a = solve_exact(inst);
+  const auto b = solve_exact(inst);
+  EXPECT_EQ(a.chosen, b.chosen);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.nodes, b.nodes);
+}
+
+// ----------------------------------------------------------------- LP bound
+
+TEST(LpBound, LowerBoundsTheExactOptimum) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    rng gen(seed);
+    instance_config cfg;
+    cfg.sellers = 8;
+    cfg.demanders = 3;
+    const auto inst = random_instance(cfg, gen);
+    const auto ref = solve_exact(inst);
+    if (!ref.feasible) continue;
+    const double bound = lp_bound(inst);
+    EXPECT_LE(bound, ref.cost + 1e-6) << "seed " << seed;
+    EXPECT_GT(bound, 0.0);
+  }
+}
+
+TEST(LpBound, TightWhenRelaxationIsIntegral) {
+  single_stage_instance inst;
+  inst.requirements = {4};
+  inst.bids = {make_bid(0, {0}, 4, 10.0), make_bid(1, {0}, 4, 12.0)};
+  EXPECT_NEAR(lp_bound(inst), 10.0, 1e-6);
+}
+
+// ----------------------------------------------------------------- offline
+
+online_instance small_online() {
+  online_instance inst;
+  inst.rounds.resize(2);
+  inst.rounds[0].requirements = {2};
+  inst.rounds[0].bids = {make_bid(0, {0}, 2, 3.0), make_bid(1, {0}, 2, 5.0)};
+  inst.rounds[1].requirements = {2};
+  inst.rounds[1].bids = {make_bid(0, {0}, 2, 3.0), make_bid(1, {0}, 2, 4.0)};
+  inst.sellers = {seller_profile{2, 1, 2}, seller_profile{2, 1, 2}};
+  return inst;
+}
+
+TEST(OfflineExact, CapacityForcesExpensiveAlternative) {
+  // Seller 0 (capacity 1 participation unit) can win only one round; the
+  // offline optimum uses it in one round and seller 1 in the other.
+  online_instance inst = small_online();
+  inst.sellers[0].capacity = 1;
+  const auto ref = offline_exact(inst);
+  ASSERT_TRUE(ref.exact);
+  ASSERT_TRUE(ref.feasible);
+  // Best: seller 0 in round 2 (3.0) + seller 1 in round 1 (5.0) = 8, or
+  // seller 0 in round 1 (3.0) + seller 1 in round 2 (4.0) = 7.
+  EXPECT_DOUBLE_EQ(ref.cost, 7.0);
+}
+
+TEST(OfflineExact, AmpleCapacityUsesCheapestEachRound) {
+  const auto ref = offline_exact(small_online());
+  ASSERT_TRUE(ref.feasible);
+  EXPECT_DOUBLE_EQ(ref.cost, 6.0);
+}
+
+TEST(OfflineExact, WindowsExcludeSellers) {
+  online_instance inst = small_online();
+  inst.sellers[0].t_depart = 1;  // seller 0 absent from round 2
+  const auto ref = offline_exact(inst);
+  ASSERT_TRUE(ref.feasible);
+  EXPECT_DOUBLE_EQ(ref.cost, 3.0 + 4.0);
+}
+
+TEST(OfflineExact, InfeasibleWhenNoSellerPresent) {
+  online_instance inst = small_online();
+  inst.sellers[0].t_depart = 1;
+  inst.sellers[1].t_depart = 1;  // nobody can serve round 2
+  const auto ref = offline_exact(inst);
+  EXPECT_FALSE(ref.feasible);
+}
+
+TEST(OfflineLpBound, LowerBoundsOfflineExact) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    rng gen(seed);
+    online_config cfg;
+    cfg.stage.sellers = 4;
+    cfg.stage.demanders = 2;
+    cfg.stage.bids_per_seller = 1;
+    cfg.rounds = 3;
+    cfg.capacity_lo = 3;
+    cfg.capacity_hi = 6;
+    const auto inst = random_online_instance(cfg, gen);
+    const auto ref = offline_exact(inst, 500000);
+    if (!ref.exact || !ref.feasible) continue;
+    const double bound = offline_lp_bound(inst);
+    EXPECT_LE(bound, ref.cost + 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(OfflineLpBound, DecodesRoundStrideEncoding) {
+  const auto ref = offline_exact(small_online());
+  for (std::size_t code : ref.chosen) {
+    const std::size_t round = code / kRoundStride;
+    const std::size_t idx = code % kRoundStride;
+    EXPECT_LT(round, 2u);
+    EXPECT_LT(idx, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ecrs::auction

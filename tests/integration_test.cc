@@ -1,0 +1,199 @@
+// Integration tests: the experiment drivers at reduced sizes, asserting the
+// qualitative shapes the paper reports, plus the full simulation pipeline.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "harness/experiments.h"
+
+namespace ecrs::harness {
+namespace {
+
+sweep_config tiny() {
+  sweep_config cfg;
+  cfg.trials = 2;
+  cfg.seed = 42;
+  cfg.demanders = 3;
+  return cfg;
+}
+
+TEST(Fig3a, RatiosAtLeastOneAndWithinBound) {
+  const table t = fig3a_ssam_ratio(tiny(), {5, 10, 15});
+  ASSERT_EQ(t.rows(), 6u);  // 3 sizes x J in {1,2}
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    const double ratio = t.number_at(r, 2);
+    EXPECT_GE(ratio, 1.0 - 1e-9);
+    EXPECT_LT(ratio, 5.0);  // far below the worst-case bound in practice
+  }
+}
+
+TEST(Fig3a, BoundColumnDominatesMeasuredRatio) {
+  const table t = fig3a_ssam_ratio(tiny(), {10});
+  ASSERT_EQ(t.rows(), 2u);  // J = 1 and J = 2
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_GE(t.number_at(r, 4), 1.0);                       // W*Xi >= 1
+    EXPECT_GE(t.number_at(r, 4), t.number_at(r, 3) - 1e-9);  // >= max ratio
+  }
+}
+
+TEST(Fig3b, CostsOrderedAndLoadMonotone) {
+  const table t = fig3b_ssam_cost(tiny(), {10, 20}, {100, 200});
+  ASSERT_EQ(t.rows(), 4u);
+  std::map<std::pair<long long, long long>, std::size_t> row_of;
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    row_of[{static_cast<long long>(t.number_at(r, 0)),
+            static_cast<long long>(t.number_at(r, 1))}] = r;
+    // payment >= social cost >= optimal cost.
+    EXPECT_GE(t.number_at(r, 3), t.number_at(r, 2) - 1e-9);
+    EXPECT_GE(t.number_at(r, 2), t.number_at(r, 4) - 1e-9);
+  }
+  // Doubling the request load raises the social cost (same seller count).
+  EXPECT_GT(t.number_at(row_of[{10, 200}], 2),
+            t.number_at(row_of[{10, 100}], 2));
+}
+
+TEST(Fig4a, EveryWinnerPaidAtLeastItsPrice) {
+  const table t = fig4a_individual_rationality(7, 15);
+  ASSERT_GT(t.rows(), 0u);
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_GE(t.number_at(r, 3), t.number_at(r, 2) - 1e-9);  // payment>=price
+    EXPECT_GE(t.number_at(r, 4), -1e-9);                     // surplus>=0
+  }
+}
+
+TEST(Fig4b, RuntimeStaysPolynomialAndFast) {
+  const table t = fig4b_runtime(tiny(), {10, 40}, {100});
+  ASSERT_EQ(t.rows(), 2u);
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_LT(t.number_at(r, 2), 100.0);  // paper: < 100 ms
+  }
+}
+
+TEST(Fig5a, VariantsPresentAndRatiosSane) {
+  const table t = fig5a_msoa_ratio_vs_sellers(tiny(), {8}, 4);
+  ASSERT_EQ(t.rows(), 4u);  // four variants
+  std::map<std::string, double> ratio_of;
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    ratio_of[t.text_at(r, 1)] = t.number_at(r, 2);
+    EXPECT_GE(t.number_at(r, 2), 1.0 - 1e-6);
+  }
+  ASSERT_EQ(ratio_of.size(), 4u);
+  // Perfect demand estimation beats the noisy base in expectation; with
+  // binding capacities the inequality is statistical, so allow slack at
+  // this tiny trial count (the bench at full size shows a clear gap).
+  EXPECT_LE(ratio_of["MSOA-DA"], ratio_of["MSOA"] * 1.05);
+}
+
+TEST(Fig5b, RequestLoadSweepRuns) {
+  const table t = fig5b_msoa_ratio_vs_requests(tiny(), {100, 200}, 8, 3);
+  ASSERT_EQ(t.rows(), 8u);  // 2 loads x 4 variants
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_GT(t.number_at(r, 3), 0.0);  // cost positive
+  }
+}
+
+TEST(Fig6a, TableShapeAndRatioSanity) {
+  const table t = fig6a_rounds_bids(tiny(), {2, 4}, {1, 2}, 8);
+  ASSERT_EQ(t.rows(), 4u);
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_GE(t.number_at(r, 2), 1.0 - 1e-6);   // mean ratio
+    EXPECT_GE(t.number_at(r, 3), t.number_at(r, 2) - 1e-9);  // max >= mean
+  }
+}
+
+TEST(Fig6b, PaymentsDominateCostsDominateBound) {
+  const table t = fig6b_msoa_cost(tiny(), {8}, {100, 200}, 4);
+  ASSERT_EQ(t.rows(), 2u);
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_GE(t.number_at(r, 3), t.number_at(r, 2) - 1e-9);
+    EXPECT_GE(t.number_at(r, 2), t.number_at(r, 4) - 1e-6);
+  }
+}
+
+TEST(DemandPipeline, OverloadedServicesScoreHigherDemand) {
+  const table t = demand_estimation_pipeline(3, 6, 60, 10, 3);
+  ASSERT_EQ(t.rows(), 6u);
+  double overloaded_sum = 0.0;
+  double idle_sum = 0.0;
+  std::size_t rows_with_both = 0;
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_GT(t.number_at(r, 1), 0.0);  // arrivals happened
+    const double over = t.number_at(r, 4);
+    const double idle = t.number_at(r, 5);
+    if (over > 0.0 && idle > 0.0) {
+      overloaded_sum += over;
+      idle_sum += idle;
+      ++rows_with_both;
+    }
+  }
+  if (rows_with_both > 0) {
+    EXPECT_GT(overloaded_sum, idle_sum);
+  }
+}
+
+TEST(DemandPipeline, UtilizationBounded) {
+  const table t = demand_estimation_pipeline(5, 4, 40, 8, 2);
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_GE(t.number_at(r, 7), 0.0);
+    EXPECT_LE(t.number_at(r, 7), 1.0 + 1e-9);
+  }
+}
+
+TEST(AblationBounds, EveryMeasurementWithinProvenBound) {
+  const table t = ablation_bounds(tiny(), {1, 2});
+  ASSERT_EQ(t.rows(), 4u);  // 2 stages x 2 J values
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    EXPECT_EQ(t.text_at(r, 5), "yes") << t.text_at(r, 0) << " J=" << r;
+  }
+}
+
+TEST(BaselineComparison, AuctionAlwaysFeasiblePostedPriceFragile) {
+  const table t = baseline_comparison(tiny(), {0.5, 3.0});
+  ASSERT_EQ(t.rows(), 3u);  // auction + 2 posted prices
+  EXPECT_EQ(t.text_at(0, 0), "SSAM_auction");
+  EXPECT_DOUBLE_EQ(t.number_at(0, 3), 1.0);  // auction always clears
+  // A low posted price fails to procure; a high one overpays.
+  EXPECT_LT(t.number_at(1, 3), 1.0 + 1e-9);
+  EXPECT_GE(t.number_at(2, 2), t.number_at(0, 2) - 1e9);  // sanity only
+}
+
+TEST(PaymentRules, EfficiencyOrderingHolds) {
+  const table t = payment_rules(tiny(), 8);
+  ASSERT_EQ(t.rows(), 8u);
+  std::map<std::string, std::size_t> row_of;
+  for (std::size_t r = 0; r < t.rows(); ++r) row_of[t.text_at(r, 0)] = r;
+  // VCG is exactly efficient; everything else costs at least as much.
+  EXPECT_NEAR(t.number_at(row_of["VCG_reserve70"], 1), 1.0, 1e-6);
+  EXPECT_GE(t.number_at(row_of["SSAM_runner_up"], 1), 1.0 - 1e-9);
+  // Local search improves on (or matches) the greedy's cost.
+  EXPECT_LE(t.number_at(row_of["greedy+local_search"], 1),
+            t.number_at(row_of["SSAM_runner_up"], 1) + 1e-9);
+  // Pay-as-bid pays exactly its cost; SSAM pays at least as much.
+  EXPECT_GE(t.number_at(row_of["SSAM_runner_up"], 2),
+            t.number_at(row_of["pay_as_bid"], 2) - 1e-9);
+}
+
+TEST(AblationScaling, TableShapeAndModes) {
+  const table t = ablation_scaling(tiny(), {3}, 8);
+  ASSERT_EQ(t.rows(), 3u);  // paper_alpha / aggressive / myopic
+  std::set<std::string> modes;
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    modes.insert(t.text_at(r, 1));
+    EXPECT_GT(t.number_at(r, 2), 0.0);                      // cost
+    EXPECT_GE(t.number_at(r, 2), t.number_at(r, 4) - 1e-6); // >= bound
+  }
+  EXPECT_EQ(modes.size(), 3u);
+}
+
+TEST(Tables, CsvExportHasHeaderAndRows) {
+  const table t = fig4a_individual_rationality(11, 10);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("winner,seller,actual_price,payment,surplus"),
+            std::string::npos);
+  EXPECT_GT(t.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace ecrs::harness

@@ -1,0 +1,284 @@
+// Unit and property tests for the two-phase simplex solver.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "lp/simplex.h"
+
+namespace ecrs::lp {
+namespace {
+
+TEST(Simplex, SolvesTextbookMinimization) {
+  // min 2x + 3y  s.t. x + y >= 4, x >= 1, y >= 0  -> x = 3? No:
+  // cheapest fills with x: x = 4, y = 0, cost 8; the x >= 1 row is slack.
+  model m;
+  const auto x = m.add_variable(2.0);
+  const auto y = m.add_variable(3.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, row_sense::ge, 4.0);
+  m.add_constraint({{x, 1.0}}, row_sense::ge, 1.0);
+  const solution s = solve(m);
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 8.0, 1e-8);
+  EXPECT_NEAR(s.x[x], 4.0, 1e-8);
+  EXPECT_NEAR(s.x[y], 0.0, 1e-8);
+}
+
+TEST(Simplex, HandlesLessEqualAndEquality) {
+  // min -x - 2y  s.t. x + y <= 4, y == 1, x,y >= 0 -> x = 3, y = 1.
+  model m;
+  const auto x = m.add_variable(-1.0);
+  const auto y = m.add_variable(-2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, row_sense::le, 4.0);
+  m.add_constraint({{y, 1.0}}, row_sense::eq, 1.0);
+  const solution s = solve(m);
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, -5.0, 1e-8);
+  EXPECT_NEAR(s.x[x], 3.0, 1e-8);
+  EXPECT_NEAR(s.x[y], 1.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  model m;
+  const auto x = m.add_variable(1.0);
+  m.add_constraint({{x, 1.0}}, row_sense::ge, 5.0);
+  m.add_constraint({{x, 1.0}}, row_sense::le, 3.0);
+  EXPECT_EQ(solve(m).status, solve_status::infeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  model m;
+  const auto x = m.add_variable(-1.0);  // min -x with x free upward
+  m.add_constraint({{x, 1.0}}, row_sense::ge, 0.0);
+  EXPECT_EQ(solve(m).status, solve_status::unbounded);
+}
+
+TEST(Simplex, NoConstraintsNonNegativeCosts) {
+  model m;
+  m.add_variable(1.0);
+  m.add_variable(0.0);
+  const solution s = solve(m);
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+TEST(Simplex, NoConstraintsNegativeCostIsUnbounded) {
+  model m;
+  m.add_variable(-1.0);
+  EXPECT_EQ(solve(m).status, solve_status::unbounded);
+}
+
+TEST(Simplex, EmptyModelThrows) {
+  model m;
+  EXPECT_THROW(solve(m), check_error);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x  s.t. -x <= -3  (i.e. x >= 3).
+  model m;
+  const auto x = m.add_variable(1.0);
+  m.add_constraint({{x, -1.0}}, row_sense::le, -3.0);
+  const solution s = solve(m);
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-8);
+}
+
+TEST(Simplex, DuplicateCoefficientsAccumulate) {
+  // x + x = 2x >= 4 -> x = 2.
+  model m;
+  const auto x = m.add_variable(1.0);
+  m.add_constraint({{x, 1.0}, {x, 1.0}}, row_sense::ge, 4.0);
+  const solution s = solve(m);
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-8);
+}
+
+TEST(Simplex, ConstraintReferencingUnknownVariableThrows) {
+  model m;
+  m.add_variable(1.0);
+  EXPECT_THROW(m.add_constraint({{5, 1.0}}, row_sense::ge, 1.0), check_error);
+}
+
+TEST(Simplex, StrongDualityOnSmallProblem) {
+  // min 3x + 2y  s.t. x + y >= 2, x + 3y >= 3.
+  model m;
+  const auto x = m.add_variable(3.0);
+  const auto y = m.add_variable(2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, row_sense::ge, 2.0);
+  m.add_constraint({{x, 1.0}, {y, 3.0}}, row_sense::ge, 3.0);
+  const solution s = solve(m);
+  ASSERT_EQ(s.status, solve_status::optimal);
+  const double dual_obj = s.duals[0] * 2.0 + s.duals[1] * 3.0;
+  EXPECT_NEAR(dual_obj, s.objective, 1e-7);
+  // Duals of >= rows in a minimization are non-negative.
+  EXPECT_GE(s.duals[0], -1e-9);
+  EXPECT_GE(s.duals[1], -1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  model m;
+  const auto x = m.add_variable(1.0);
+  const auto y = m.add_variable(1.0);
+  for (int i = 0; i < 5; ++i) {
+    m.add_constraint({{x, 1.0}, {y, 1.0}}, row_sense::ge, 2.0);
+  }
+  m.add_constraint({{x, 1.0}}, row_sense::le, 2.0);
+  const solution s = solve(m);
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-8);
+}
+
+TEST(Simplex, DualsCorrectForEqualityAndFlippedRows) {
+  // min x + y  s.t.  x + y == 5,  -x <= -2  (i.e. x >= 2).
+  // Optimum: any split with x >= 2, objective 5. Strong duality must hold
+  // through the negative-RHS sign flip and the equality artificial.
+  model m;
+  const auto x = m.add_variable(1.0);
+  const auto y = m.add_variable(1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, row_sense::eq, 5.0);
+  m.add_constraint({{x, -1.0}}, row_sense::le, -2.0);
+  const solution s = solve(m);
+  ASSERT_EQ(s.status, solve_status::optimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-8);
+  EXPECT_GE(s.x[x], 2.0 - 1e-8);
+  const double dual_obj = s.duals[0] * 5.0 + s.duals[1] * (-2.0);
+  EXPECT_NEAR(dual_obj, s.objective, 1e-7);
+}
+
+TEST(Simplex, IterationLimitReported) {
+  // A non-trivial problem with a 1-iteration budget cannot finish.
+  model m;
+  const auto x = m.add_variable(1.0);
+  const auto y = m.add_variable(2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, row_sense::ge, 3.0);
+  m.add_constraint({{x, 1.0}, {y, 2.0}}, row_sense::ge, 4.0);
+  solve_options opts;
+  opts.max_iterations = 1;
+  EXPECT_EQ(solve(m, opts).status, solve_status::iteration_limit);
+}
+
+TEST(ToString, CoversAllStatuses) {
+  EXPECT_STREQ(to_string(solve_status::optimal), "optimal");
+  EXPECT_STREQ(to_string(solve_status::infeasible), "infeasible");
+  EXPECT_STREQ(to_string(solve_status::unbounded), "unbounded");
+  EXPECT_STREQ(to_string(solve_status::iteration_limit), "iteration_limit");
+}
+
+// Property suite: random covering LPs; check feasibility of the solution,
+// strong duality, and dual signs.
+class SimplexRandomCovering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandomCovering, PrimalFeasibleAndStrongDuality) {
+  rng gen(GetParam());
+  const std::size_t vars = 5 + static_cast<std::size_t>(gen.uniform_int(0, 10));
+  const std::size_t rows = 3 + static_cast<std::size_t>(gen.uniform_int(0, 6));
+  model m;
+  for (std::size_t v = 0; v < vars; ++v) {
+    m.add_variable(gen.uniform_real(1.0, 10.0));
+  }
+  std::vector<double> rhs(rows);
+  std::vector<std::vector<double>> coef(rows, std::vector<double>(vars, 0.0));
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::pair<std::size_t, double>> row;
+    for (std::size_t v = 0; v < vars; ++v) {
+      if (gen.bernoulli(0.5)) {
+        coef[r][v] = gen.uniform_real(0.5, 3.0);
+        row.emplace_back(v, coef[r][v]);
+      }
+    }
+    if (row.empty()) {
+      coef[r][0] = 1.0;
+      row.emplace_back(0, 1.0);
+    }
+    rhs[r] = gen.uniform_real(1.0, 20.0);
+    m.add_constraint(row, row_sense::ge, rhs[r]);
+  }
+  const solution s = solve(m);
+  ASSERT_EQ(s.status, solve_status::optimal);
+
+  // Primal feasibility.
+  for (std::size_t r = 0; r < rows; ++r) {
+    double lhs = 0.0;
+    for (std::size_t v = 0; v < vars; ++v) lhs += coef[r][v] * s.x[v];
+    EXPECT_GE(lhs, rhs[r] - 1e-6);
+  }
+  for (double xv : s.x) EXPECT_GE(xv, -1e-9);
+
+  // Strong duality and dual feasibility (y >= 0, A^T y <= c).
+  double dual_obj = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    EXPECT_GE(s.duals[r], -1e-7);
+    dual_obj += s.duals[r] * rhs[r];
+  }
+  EXPECT_NEAR(dual_obj, s.objective, 1e-5 * (1.0 + std::abs(s.objective)));
+  for (std::size_t v = 0; v < vars; ++v) {
+    double aty = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) aty += coef[r][v] * s.duals[r];
+    EXPECT_LE(aty, m.cost(v) + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomCovering,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+// Brute-force cross-check: for random 2-variable LPs, the optimum lies at a
+// vertex of the feasible region; enumerate all constraint-pair
+// intersections (plus axis intersections) and compare.
+class SimplexVsBruteForce2D : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SimplexVsBruteForce2D, AgreesWithVertexEnumeration) {
+  rng gen(GetParam() * 7 + 100);
+  const double c0 = gen.uniform_real(0.5, 5.0);
+  const double c1 = gen.uniform_real(0.5, 5.0);
+  const std::size_t rows = 3;
+  std::vector<std::array<double, 3>> cons(rows);  // a0 x + a1 y >= b
+  model m;
+  const auto x = m.add_variable(c0);
+  const auto y = m.add_variable(c1);
+  for (auto& c : cons) {
+    c[0] = gen.uniform_real(0.2, 2.0);
+    c[1] = gen.uniform_real(0.2, 2.0);
+    c[2] = gen.uniform_real(1.0, 10.0);
+    m.add_constraint({{x, c[0]}, {y, c[1]}}, row_sense::ge, c[2]);
+  }
+  const solution s = solve(m);
+  ASSERT_EQ(s.status, solve_status::optimal);
+
+  // Candidate vertices: pairwise constraint intersections and single
+  // constraints against each axis.
+  auto feasible = [&](double px, double py) {
+    if (px < -1e-9 || py < -1e-9) return false;
+    for (const auto& c : cons) {
+      if (c[0] * px + c[1] * py < c[2] - 1e-7) return false;
+    }
+    return true;
+  };
+  double best = std::numeric_limits<double>::infinity();
+  auto consider = [&](double px, double py) {
+    if (feasible(px, py)) best = std::min(best, c0 * px + c1 * py);
+  };
+  for (std::size_t i = 0; i < rows; ++i) {
+    consider(cons[i][2] / cons[i][0], 0.0);  // axis intersections
+    consider(0.0, cons[i][2] / cons[i][1]);
+    for (std::size_t j = i + 1; j < rows; ++j) {
+      const double det = cons[i][0] * cons[j][1] - cons[j][0] * cons[i][1];
+      if (std::abs(det) < 1e-12) continue;
+      const double px = (cons[i][2] * cons[j][1] - cons[j][2] * cons[i][1]) / det;
+      const double py = (cons[i][0] * cons[j][2] - cons[j][0] * cons[i][2]) / det;
+      consider(px, py);
+    }
+  }
+  ASSERT_LT(best, std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(s.objective, best, 1e-6 * (1.0 + best));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexVsBruteForce2D,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace ecrs::lp

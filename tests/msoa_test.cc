@@ -1,0 +1,398 @@
+// Tests for MSOA (Algorithm 2): scaling, capacity exclusion, ψ updates,
+// payments, the competitive bound, and the evaluation variants.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "auction/exact.h"
+#include "auction/instance_gen.h"
+#include "auction/io.h"
+#include "auction/msoa.h"
+#include "auction/properties.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ecrs::auction {
+namespace {
+
+bid make_bid(seller_id s, std::vector<demander_id> cover, units amount,
+             double price, std::uint32_t j = 0) {
+  bid b;
+  b.seller = s;
+  b.index = j;
+  b.coverage = std::move(cover);
+  b.amount = amount;
+  b.price = price;
+  return b;
+}
+
+online_instance two_round_instance() {
+  online_instance inst;
+  inst.rounds.resize(2);
+  for (auto& round : inst.rounds) {
+    round.requirements = {2};
+    round.bids = {make_bid(0, {0}, 2, 3.0), make_bid(1, {0}, 2, 5.0)};
+  }
+  inst.sellers = {seller_profile{4, 1, 2}, seller_profile{4, 1, 2}};
+  return inst;
+}
+
+TEST(Msoa, RunsEveryRoundFeasibly) {
+  const auto res = run_msoa(two_round_instance());
+  EXPECT_TRUE(res.feasible);
+  ASSERT_EQ(res.rounds.size(), 2u);
+  for (const auto& round : res.rounds) {
+    EXPECT_TRUE(round.feasible);
+    EXPECT_EQ(round.winner_bids.size(), 1u);
+  }
+}
+
+TEST(Msoa, PsiGrowsOnlyForWinners) {
+  const auto res = run_msoa(two_round_instance());
+  // Seller 0 wins both rounds (cheaper), seller 1 never does.
+  EXPECT_GT(res.psi_final[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.psi_final[1], 0.0);
+  EXPECT_EQ(res.capacity_used[0], 2);
+  EXPECT_EQ(res.capacity_used[1], 0);
+}
+
+TEST(Msoa, ScalingShiftsWinsToFreshSellers) {
+  // With a tiny capacity-aware α, seller 0's ψ grows after round 1 and the
+  // price gap (3 vs 3.2) flips in round 2.
+  online_instance inst = two_round_instance();
+  inst.rounds[1].bids[1].price = 3.2;
+  inst.sellers[0].capacity = 2;  // β small => ψ grows fast
+  msoa_options opts;
+  opts.alpha = 1.0;
+  const auto res = run_msoa(inst, opts);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(inst.rounds[0].bids[res.rounds[0].winner_bids[0]].seller, 0u);
+  EXPECT_EQ(inst.rounds[1].bids[res.rounds[1].winner_bids[0]].seller, 1u);
+}
+
+TEST(Msoa, CapacityExclusionBindsHard) {
+  online_instance inst = two_round_instance();
+  inst.sellers[0].capacity = 1;  // |S| = 1 per win: one win allowed
+  const auto res = run_msoa(inst);
+  ASSERT_TRUE(res.feasible);
+  const auto audit = audit_msoa(inst, res);
+  EXPECT_TRUE(audit.capacity_ok);
+  // Seller 0 wins round 1, is excluded in round 2.
+  EXPECT_EQ(inst.rounds[1].bids[res.rounds[1].winner_bids[0]].seller, 1u);
+}
+
+TEST(Msoa, WindowsExcludeBids) {
+  online_instance inst = two_round_instance();
+  inst.sellers[0].t_arrive = 2;  // seller 0 absent in round 1
+  const auto res = run_msoa(inst);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(inst.rounds[0].bids[res.rounds[0].winner_bids[0]].seller, 1u);
+  const auto audit = audit_msoa(inst, res);
+  EXPECT_TRUE(audit.windows_ok);
+}
+
+TEST(Msoa, PaymentsAreIndividuallyRationalAgainstTruePrices) {
+  const auto res = run_msoa(two_round_instance());
+  for (const auto& round : res.rounds) {
+    for (std::size_t i = 0; i < round.winner_bids.size(); ++i) {
+      EXPECT_GE(round.payments[i], round.true_prices[i] - 1e-9);
+    }
+  }
+}
+
+TEST(Msoa, SocialCostSumsTruePrices) {
+  const auto res = run_msoa(two_round_instance());
+  double total = 0.0;
+  for (const auto& round : res.rounds) total += round.social_cost;
+  EXPECT_DOUBLE_EQ(total, res.social_cost);
+  EXPECT_DOUBLE_EQ(res.social_cost, 6.0);  // seller 0 twice at price 3
+}
+
+TEST(Msoa, BetaAndCompetitiveBound) {
+  online_instance inst = two_round_instance();
+  inst.sellers[0].capacity = 4;
+  inst.sellers[1].capacity = 4;
+  const auto res = run_msoa(inst);
+  // |S| = 1, min capacity 4 => β = 4, bound = α * 4/3.
+  EXPECT_DOUBLE_EQ(res.beta, 4.0);
+  EXPECT_NEAR(res.competitive_bound, res.alpha * 4.0 / 3.0, 1e-9);
+}
+
+TEST(Msoa, InfeasibleRoundIsReportedNotFatal) {
+  online_instance inst = two_round_instance();
+  inst.rounds[1].requirements = {100};  // cannot be covered
+  const auto res = run_msoa(inst);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_TRUE(res.rounds[0].feasible);
+  EXPECT_FALSE(res.rounds[1].feasible);
+}
+
+TEST(Msoa, AlphaAutoFreezesAfterFirstRound) {
+  const auto res = run_msoa(two_round_instance());
+  EXPECT_GE(res.alpha, 1.0);
+  msoa_options opts;
+  opts.alpha = 5.0;
+  const auto res2 = run_msoa(two_round_instance(), opts);
+  EXPECT_DOUBLE_EQ(res2.alpha, 5.0);
+  // Larger α damps ψ growth.
+  EXPECT_LT(res2.psi_final[0], res.psi_final[0] + 1e-12);
+}
+
+TEST(Msoa, RejectsNegativeAlpha) {
+  msoa_options opts;
+  opts.alpha = -1.0;
+  EXPECT_THROW(run_msoa(two_round_instance(), opts), check_error);
+}
+
+// ----------------------------------------------------------- msoa_session
+
+TEST(MsoaSession, IncrementalMatchesBatchRunner) {
+  const auto inst = two_round_instance();
+  const auto batch = run_msoa(inst);
+
+  msoa_session session(inst.sellers);
+  double social_cost = 0.0;
+  for (const auto& round : inst.rounds) {
+    social_cost += session.run_round(round).social_cost;
+  }
+  EXPECT_DOUBLE_EQ(social_cost, batch.social_cost);
+  EXPECT_EQ(session.rounds_run(), 2u);
+  for (seller_id s = 0; s < inst.sellers.size(); ++s) {
+    EXPECT_DOUBLE_EQ(session.psi(s), batch.psi_final[s]);
+    EXPECT_EQ(session.capacity_used(s), batch.capacity_used[s]);
+  }
+  EXPECT_DOUBLE_EQ(session.competitive_bound(), batch.competitive_bound);
+}
+
+TEST(MsoaSession, CapacityLeftAccounting) {
+  const auto inst = two_round_instance();
+  msoa_session session(inst.sellers);
+  EXPECT_EQ(session.capacity_left(0), 4);
+  session.run_round(inst.rounds[0]);
+  EXPECT_EQ(session.capacity_left(0), 3);  // seller 0 won with |S| = 1
+}
+
+TEST(MsoaSession, RejectsUnknownSellerInBid) {
+  msoa_session session({seller_profile{2, 1, 5}});
+  single_stage_instance round;
+  round.requirements = {1};
+  round.bids = {make_bid(7, {0}, 1, 1.0)};
+  EXPECT_THROW(session.run_round(round), check_error);
+}
+
+TEST(MsoaSession, RejectsInvalidProfiles) {
+  EXPECT_THROW(msoa_session({seller_profile{-1, 1, 2}}), check_error);
+  EXPECT_THROW(msoa_session({seller_profile{1, 3, 2}}), check_error);
+}
+
+TEST(MsoaSession, BoundBeforeAnyRoundIsAlpha) {
+  msoa_session session({seller_profile{2, 1, 5}});
+  EXPECT_DOUBLE_EQ(session.competitive_bound(), 1.0);  // α defaults to 1
+}
+
+TEST(MsoaSession, BetaOneMakesBoundInfinite) {
+  // Capacity equal to the participation weight: β = 1, bound diverges.
+  msoa_session session({seller_profile{1, 1, 5}});
+  single_stage_instance round;
+  round.requirements = {1};
+  round.bids = {make_bid(0, {0}, 1, 2.0)};
+  session.run_round(round);
+  EXPECT_DOUBLE_EQ(session.beta(), 1.0);
+  EXPECT_EQ(session.competitive_bound(),
+            std::numeric_limits<double>::infinity());
+}
+
+// ------------------------------------------------------- property sweeps
+
+class MsoaRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MsoaRandomSweep, AuditCleanOnRandomInstances) {
+  rng gen(GetParam());
+  online_config cfg;
+  cfg.stage.sellers = 10;
+  cfg.stage.demanders = 3;
+  cfg.rounds = 6;
+  const auto inst = random_online_instance(cfg, gen);
+  const auto res = run_msoa(inst);
+  const auto audit = audit_msoa(inst, res);
+  EXPECT_TRUE(audit.windows_ok);
+  EXPECT_TRUE(audit.capacity_ok);
+  EXPECT_TRUE(audit.coverage_ok);
+  EXPECT_TRUE(audit.ir_ok);
+}
+
+TEST_P(MsoaRandomSweep, OnlineCostAtLeastOfflineBound) {
+  rng gen(GetParam() + 1000);
+  online_config cfg;
+  cfg.stage.sellers = 6;
+  cfg.stage.demanders = 2;
+  cfg.rounds = 4;
+  cfg.capacity_lo = 4;
+  cfg.capacity_hi = 8;
+  const auto inst = random_online_instance(cfg, gen);
+  const auto res = run_msoa(inst);
+  if (!res.feasible) return;
+  const double bound = offline_lp_bound(inst);
+  EXPECT_GE(res.social_cost, bound - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsoaRandomSweep,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// Theorem 7 on exactly-solvable instances.
+class MsoaCompetitiveRatio : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MsoaCompetitiveRatio, WithinTheorem7Bound) {
+  rng gen(GetParam());
+  online_config cfg;
+  cfg.stage.sellers = 5;
+  cfg.stage.demanders = 2;
+  cfg.stage.bids_per_seller = 1;
+  cfg.rounds = 3;
+  cfg.capacity_lo = 4;
+  cfg.capacity_hi = 8;
+  const auto inst = random_online_instance(cfg, gen);
+  const auto offline = offline_exact(inst, 2000000);
+  if (!offline.exact || !offline.feasible) return;
+  const auto res = run_msoa(inst);
+  if (!res.feasible) return;
+  ASSERT_LT(res.competitive_bound, std::numeric_limits<double>::infinity());
+  EXPECT_LE(res.social_cost, res.competitive_bound * offline.cost + 1e-6)
+      << "measured " << res.social_cost / offline.cost << " bound "
+      << res.competitive_bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsoaCompetitiveRatio,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(MsoaSession, SerializedMarketReplaysIdentically) {
+  // An online instance written to disk and replayed through a fresh session
+  // produces the same trajectory (the operational recovery path).
+  rng gen(21);
+  online_config cfg;
+  cfg.stage.sellers = 8;
+  cfg.stage.demanders = 3;
+  cfg.rounds = 4;
+  const auto inst = random_online_instance(cfg, gen);
+  const auto original = run_msoa(inst);
+
+  std::stringstream ss;
+  write_online_instance(ss, inst);
+  const auto restored = read_online_instance(ss);
+  msoa_session session(restored.sellers);
+  double cost = 0.0;
+  for (const auto& round : restored.rounds) {
+    cost += session.run_round(round).social_cost;
+  }
+  EXPECT_DOUBLE_EQ(cost, original.social_cost);
+}
+
+TEST(MsoaSession, PerRoundBudgetPropagatesToStages) {
+  // The nested ssam_options' payment budget applies inside every round.
+  online_instance inst = two_round_instance();
+  msoa_options opts;
+  opts.stage.payment_budget = 1.0;  // below any payment: nothing clears
+  const auto res = run_msoa(inst, opts);
+  EXPECT_FALSE(res.feasible);
+  for (const auto& round : res.rounds) {
+    EXPECT_TRUE(round.winner_bids.empty());
+  }
+}
+
+// ---------------------------------------------------------------- variants
+
+TEST(Variants, ToStringNames) {
+  EXPECT_STREQ(to_string(msoa_variant::base), "MSOA");
+  EXPECT_STREQ(to_string(msoa_variant::demand_aware), "MSOA-DA");
+  EXPECT_STREQ(to_string(msoa_variant::high_capacity), "MSOA-RC");
+  EXPECT_STREQ(to_string(msoa_variant::fully_optimized), "MSOA-OA");
+}
+
+TEST(Variants, DemandAwareKeepsTruthUnchanged) {
+  rng gen(1);
+  const auto truth = two_round_instance();
+  const auto shaped = apply_variant(truth, msoa_variant::demand_aware, {}, gen);
+  for (std::size_t t = 0; t < truth.rounds.size(); ++t) {
+    EXPECT_EQ(shaped.rounds[t].requirements, truth.rounds[t].requirements);
+  }
+  for (std::size_t s = 0; s < truth.sellers.size(); ++s) {
+    EXPECT_EQ(shaped.sellers[s].capacity, truth.sellers[s].capacity);
+  }
+}
+
+TEST(Variants, BaseInflatesDemandsNeverDeflates) {
+  rng gen(2);
+  const auto truth = two_round_instance();
+  variant_options opts;
+  opts.demand_noise = 0.5;
+  const auto shaped = apply_variant(truth, msoa_variant::base, opts, gen);
+  for (std::size_t t = 0; t < truth.rounds.size(); ++t) {
+    for (std::size_t k = 0; k < truth.rounds[t].requirements.size(); ++k) {
+      EXPECT_GE(shaped.rounds[t].requirements[k],
+                truth.rounds[t].requirements[k]);
+    }
+  }
+}
+
+TEST(Variants, HighCapacityScalesSellers) {
+  rng gen(3);
+  const auto truth = two_round_instance();
+  variant_options opts;
+  opts.capacity_factor = 2.0;
+  const auto shaped =
+      apply_variant(truth, msoa_variant::high_capacity, opts, gen);
+  for (std::size_t s = 0; s < truth.sellers.size(); ++s) {
+    EXPECT_EQ(shaped.sellers[s].capacity, 2 * truth.sellers[s].capacity);
+  }
+}
+
+TEST(Variants, FullyOptimizedCombinesBoth) {
+  rng gen(4);
+  const auto truth = two_round_instance();
+  const auto shaped =
+      apply_variant(truth, msoa_variant::fully_optimized, {}, gen);
+  for (std::size_t t = 0; t < truth.rounds.size(); ++t) {
+    EXPECT_EQ(shaped.rounds[t].requirements, truth.rounds[t].requirements);
+  }
+  EXPECT_GT(shaped.sellers[0].capacity, truth.sellers[0].capacity);
+}
+
+TEST(Variants, RejectsBadOptions) {
+  rng gen(5);
+  variant_options opts;
+  opts.demand_noise = 1.0;
+  EXPECT_THROW(apply_variant(two_round_instance(), msoa_variant::base, opts,
+                             gen),
+               check_error);
+  opts = variant_options{};
+  opts.capacity_factor = 0.5;
+  EXPECT_THROW(apply_variant(two_round_instance(), msoa_variant::base, opts,
+                             gen),
+               check_error);
+}
+
+TEST(Variants, DemandAwareCostsNoMoreThanNoisyBase) {
+  // Perfect demand estimation buys less, so it cannot cost more.
+  rng gen(6);
+  online_config cfg;
+  cfg.stage.sellers = 10;
+  cfg.stage.demanders = 3;
+  cfg.rounds = 5;
+  const auto truth = random_online_instance(cfg, gen);
+  rng noise_a = gen.fork(1);
+  rng noise_b = gen.fork(1);  // identical noise streams
+  variant_options opts;
+  opts.demand_noise = 0.4;
+  const auto base = apply_variant(truth, msoa_variant::base, opts, noise_a);
+  const auto da =
+      apply_variant(truth, msoa_variant::demand_aware, opts, noise_b);
+  const auto res_base = run_msoa(base);
+  const auto res_da = run_msoa(da);
+  if (res_base.feasible && res_da.feasible) {
+    EXPECT_LE(res_da.social_cost, res_base.social_cost + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ecrs::auction

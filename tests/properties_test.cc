@@ -1,0 +1,208 @@
+// Mechanism-property tests: truthfulness (Theorem 4), individual
+// rationality (Theorem 5), monotonicity (Lemma 2), and the audits
+// themselves. These are the paper's central claims, verified empirically
+// over seeded random instances.
+#include <gtest/gtest.h>
+
+#include "auction/instance_gen.h"
+#include "auction/properties.h"
+#include "auction/ssam.h"
+#include "common/rng.h"
+
+namespace ecrs::auction {
+namespace {
+
+bid make_bid(seller_id s, std::vector<demander_id> cover, units amount,
+             double price, std::uint32_t j = 0) {
+  bid b;
+  b.seller = s;
+  b.index = j;
+  b.coverage = std::move(cover);
+  b.amount = amount;
+  b.price = price;
+  return b;
+}
+
+single_stage_instance random_paper_instance(std::uint64_t seed,
+                                            std::size_t sellers = 8,
+                                            std::size_t bids_per_seller = 2) {
+  rng gen(seed);
+  instance_config cfg;
+  cfg.sellers = sellers;
+  cfg.demanders = 3;
+  cfg.bids_per_seller = bids_per_seller;
+  return random_instance(cfg, gen);
+}
+
+// ----------------------------------------------------- selection_feasible
+
+TEST(SelectionFeasible, AcceptsValidSelection) {
+  single_stage_instance inst;
+  inst.requirements = {2};
+  inst.bids = {make_bid(0, {0}, 2, 1.0)};
+  EXPECT_TRUE(selection_feasible(inst, {0}));
+}
+
+TEST(SelectionFeasible, RejectsShortCoverage) {
+  single_stage_instance inst;
+  inst.requirements = {5};
+  inst.bids = {make_bid(0, {0}, 2, 1.0)};
+  EXPECT_FALSE(selection_feasible(inst, {0}));
+}
+
+TEST(SelectionFeasible, RejectsTwoBidsSameSeller) {
+  single_stage_instance inst;
+  inst.requirements = {2};
+  inst.bids = {make_bid(0, {0}, 2, 1.0, 0), make_bid(0, {0}, 2, 1.0, 1)};
+  EXPECT_FALSE(selection_feasible(inst, {0, 1}));
+}
+
+TEST(SelectionFeasible, RejectsOutOfRangeIndex) {
+  single_stage_instance inst;
+  inst.requirements = {0};
+  EXPECT_FALSE(selection_feasible(inst, {3}));
+}
+
+// ------------------------------------------------- individual rationality
+
+class IrSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IrSweep, RunnerUpPaymentsCoverPrices) {
+  const auto inst = random_paper_instance(GetParam());
+  const auto res = run_ssam(inst);
+  const auto audit = audit_individual_rationality(inst, res);
+  EXPECT_TRUE(audit.ok) << "violations: " << audit.violations.size();
+  EXPECT_GE(audit.min_surplus, -1e-9);
+}
+
+TEST_P(IrSweep, CriticalValuePaymentsCoverPrices) {
+  const auto inst = random_paper_instance(GetParam() + 500);
+  ssam_options opts;
+  opts.rule = payment_rule::critical_value;
+  const auto res = run_ssam(inst, opts);
+  const auto audit = audit_individual_rationality(inst, res);
+  EXPECT_TRUE(audit.ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IrSweep,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+TEST(IrAudit, FlagsUnderpayment) {
+  single_stage_instance inst;
+  inst.requirements = {2};
+  inst.bids = {make_bid(0, {0}, 2, 10.0)};
+  ssam_result res;
+  winning_bid w;
+  w.bid_index = 0;
+  w.payment = 8.0;  // below price: a violation
+  res.winners.push_back(w);
+  const auto audit = audit_individual_rationality(inst, res);
+  EXPECT_FALSE(audit.ok);
+  ASSERT_EQ(audit.violations.size(), 1u);
+  EXPECT_NEAR(audit.min_surplus, -2.0, 1e-12);
+}
+
+TEST(IrAudit, EmptyWinnersIsTriviallyOk) {
+  single_stage_instance inst;
+  inst.requirements = {0};
+  const auto audit = audit_individual_rationality(inst, ssam_result{});
+  EXPECT_TRUE(audit.ok);
+  EXPECT_DOUBLE_EQ(audit.min_surplus, 0.0);
+}
+
+// ------------------------------------------------------ monotonicity (L2)
+
+class MonotonicitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonotonicitySweep, LoweringWinningPriceKeepsWinning) {
+  const auto inst = random_paper_instance(GetParam());
+  const auto winners = greedy_selection(inst);
+  rng gen(GetParam() * 77 + 1);
+  for (std::size_t idx : winners) {
+    const double lower =
+        gen.uniform_real(0.0, inst.bids[idx].price);
+    EXPECT_TRUE(wins_with_price(inst, idx, lower))
+        << "bid " << idx << " lost after lowering its price to " << lower;
+  }
+}
+
+TEST_P(MonotonicitySweep, RaisingLosingPriceKeepsLosing) {
+  const auto inst = random_paper_instance(GetParam() + 250);
+  const auto winners = greedy_selection(inst);
+  std::vector<bool> is_winner(inst.bids.size(), false);
+  for (std::size_t idx : winners) is_winner[idx] = true;
+  rng gen(GetParam() * 13 + 5);
+  for (std::size_t idx = 0; idx < inst.bids.size(); ++idx) {
+    if (is_winner[idx]) continue;
+    const double higher =
+        inst.bids[idx].price + gen.uniform_real(0.1, 50.0);
+    EXPECT_FALSE(wins_with_price(inst, idx, higher))
+        << "losing bid " << idx << " started winning at a higher price";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicitySweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// --------------------------------------------------- truthfulness (Thm 4)
+
+class TruthfulnessSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TruthfulnessSweep, CriticalValueRuleAdmitsNoProfitableLie) {
+  const auto inst = random_paper_instance(GetParam());
+  ssam_options opts;
+  opts.rule = payment_rule::critical_value;
+  rng gen(GetParam() * 31 + 7);
+  const auto report = probe_truthfulness(inst, opts, gen, 40, 1e-5);
+  EXPECT_EQ(report.profitable_lies, 0u) << report.worst_case;
+  EXPECT_LE(report.max_gain, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TruthfulnessSweep,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(Truthfulness, UtilityWithReportComputesWinnersSurplus) {
+  single_stage_instance inst;
+  inst.requirements = {4};
+  inst.bids = {make_bid(0, {0}, 4, 10.0), make_bid(1, {0}, 4, 12.0)};
+  ssam_options opts;
+  opts.rule = payment_rule::critical_value;
+  // Truthful report: wins, pays critical value 12, utility 2.
+  EXPECT_NEAR(utility_with_report(inst, opts, 0, 10.0), 2.0, 1e-5);
+  // Overbidding beyond the threshold loses: utility 0.
+  EXPECT_NEAR(utility_with_report(inst, opts, 0, 13.0), 0.0, 1e-12);
+  // Underbidding does not change the payment (critical value property).
+  EXPECT_NEAR(utility_with_report(inst, opts, 0, 1.0), 2.0, 1e-5);
+}
+
+TEST(Truthfulness, RunnerUpRuleUnderbidCannotBeatTruth) {
+  // For the paper's in-loop rule, check the canonical manipulation: a
+  // winner under-reporting cannot increase its payment on this instance.
+  single_stage_instance inst;
+  inst.requirements = {4};
+  inst.bids = {make_bid(0, {0}, 4, 10.0), make_bid(1, {0}, 4, 12.0),
+               make_bid(2, {0}, 2, 9.0)};
+  ssam_options opts;  // runner_up
+  const double truthful = utility_with_report(inst, opts, 0, 10.0);
+  for (double lie : {1.0, 5.0, 8.0, 9.99}) {
+    EXPECT_LE(utility_with_report(inst, opts, 0, lie), truthful + 1e-9);
+  }
+}
+
+TEST(Truthfulness, ProbeOnEmptyInstanceIsNoop) {
+  single_stage_instance inst;
+  inst.requirements = {0};
+  rng gen(1);
+  const auto report = probe_truthfulness(inst, {}, gen, 10);
+  EXPECT_EQ(report.trials, 0u);
+}
+
+TEST(Truthfulness, ProbeRejectsNegativeReport) {
+  single_stage_instance inst;
+  inst.requirements = {1};
+  inst.bids = {make_bid(0, {0}, 1, 1.0)};
+  EXPECT_THROW(utility_with_report(inst, {}, 0, -1.0), check_error);
+}
+
+}  // namespace
+}  // namespace ecrs::auction

@@ -1,0 +1,215 @@
+// Tests for the event-driven cluster runner (simrun::des_driver) and the
+// per-class service demand extension.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/statistics.h"
+#include "demand/estimator.h"
+#include "des/simulator.h"
+#include "edge/cluster.h"
+#include "simrun/des_driver.h"
+#include "workload/generator.h"
+
+namespace ecrs::edge {
+namespace {
+
+struct pipeline {
+  workload::generator traffic;
+  cluster cl;
+  demand::estimator est;
+
+  explicit pipeline(std::uint64_t seed, std::uint32_t services = 8,
+                    std::uint32_t users = 40, double capacity = 1.0)
+      : traffic(make_generator_config(seed, services, users)),
+        cl(make_cluster_config(seed, capacity), qos_of(traffic, services)),
+        est(make_estimator_config()) {}
+
+  static workload::generator_config make_generator_config(
+      std::uint64_t seed, std::uint32_t services, std::uint32_t users) {
+    workload::generator_config cfg;
+    cfg.users = users;
+    cfg.microservices = services;
+    cfg.seed = seed;
+    return cfg;
+  }
+  static cluster_config make_cluster_config(std::uint64_t seed,
+                                            double capacity) {
+    cluster_config cfg;
+    cfg.clouds = 3;
+    cfg.capacity_per_cloud = capacity;
+    cfg.seed = seed ^ 0xc0ffeeULL;
+    return cfg;
+  }
+  static std::vector<workload::qos_class> qos_of(
+      const workload::generator& gen, std::uint32_t services) {
+    std::vector<workload::qos_class> qos;
+    for (std::uint32_t s = 0; s < services; ++s) {
+      qos.push_back(gen.class_of(s));
+    }
+    return qos;
+  }
+  static demand::estimator_config make_estimator_config() {
+    demand::estimator_config cfg = demand::make_default_config();
+    cfg.round_duration = 100.0;
+    return cfg;
+  }
+};
+
+des_driver_config driver_config(std::size_t rounds) {
+  des_driver_config cfg;
+  cfg.round_duration = 100.0;
+  cfg.rounds = rounds;
+  return cfg;
+}
+
+TEST(DesDriver, CompletesAllRoundsAndDeliversEverything) {
+  pipeline p(1);
+  des::simulator sim;
+  des_driver driver(sim, p.cl, p.traffic, p.est, driver_config(4));
+  std::size_t callbacks = 0;
+  std::uint64_t total_received = 0;
+  driver.set_round_callback([&](std::uint64_t round,
+                                const std::vector<round_stats>& stats,
+                                const std::vector<double>& estimates) {
+    ++callbacks;
+    EXPECT_EQ(round, callbacks);
+    EXPECT_EQ(stats.size(), 8u);
+    EXPECT_EQ(estimates.size(), stats.size());
+    for (const auto& s : stats) total_received += s.received;
+  });
+  driver.run();
+  EXPECT_EQ(driver.rounds_completed(), 4u);
+  EXPECT_EQ(callbacks, 4u);
+  EXPECT_GT(driver.requests_delivered(), 0u);
+  EXPECT_EQ(total_received, driver.requests_delivered());
+  EXPECT_DOUBLE_EQ(sim.now(), 400.0);
+}
+
+TEST(DesDriver, DeterministicAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    pipeline p(seed);
+    des::simulator sim;
+    des_driver driver(sim, p.cl, p.traffic, p.est, driver_config(3));
+    double demand_sum = 0.0;
+    driver.set_round_callback([&](std::uint64_t, const auto&,
+                                  const std::vector<double>& estimates) {
+      for (double x : estimates) demand_sum += x;
+    });
+    driver.run();
+    return demand_sum;
+  };
+  EXPECT_DOUBLE_EQ(run_once(7), run_once(7));
+  EXPECT_NE(run_once(7), run_once(8));
+}
+
+TEST(DesDriver, EventAccurateServiceMatchesAnalyticTotalsApproximately) {
+  // Event-accurate delivery serves no more work than the analytic round
+  // (which pretends all requests are available at round start).
+  const std::uint64_t seed = 5;
+  pipeline event_p(seed);
+  des::simulator sim;
+  des_driver driver(sim, event_p.cl, event_p.traffic, event_p.est,
+                    driver_config(3));
+  std::uint64_t event_served = 0;
+  driver.set_round_callback(
+      [&](std::uint64_t, const std::vector<round_stats>& stats, const auto&) {
+        for (const auto& s : stats) event_served += s.served;
+      });
+  driver.run();
+
+  pipeline analytic_p(seed);
+  std::uint64_t analytic_served = 0;
+  double now = 0.0;
+  for (std::uint64_t r = 1; r <= 3; ++r) {
+    analytic_p.cl.allocate_fair(100.0);
+    analytic_p.cl.route(analytic_p.traffic.round(now, 100.0));
+    analytic_p.cl.advance(now, 100.0);
+    for (const auto& s : analytic_p.cl.end_round(r, 100.0)) {
+      analytic_served += s.served;
+    }
+    now += 100.0;
+  }
+  EXPECT_GT(event_served, 0u);
+  EXPECT_LE(event_served, analytic_served);
+  // Same workload stream: the gap is bounded by in-flight work.
+  EXPECT_GT(static_cast<double>(event_served),
+            0.5 * static_cast<double>(analytic_served));
+}
+
+TEST(DesDriver, RejectsReuseAndMismatchedPipelines) {
+  pipeline p(2);
+  des::simulator sim;
+  des_driver driver(sim, p.cl, p.traffic, p.est, driver_config(1));
+  driver.run();
+  EXPECT_THROW(driver.run(), check_error);
+
+  pipeline q(3, /*services=*/8);
+  workload::generator_config mismatched =
+      pipeline::make_generator_config(3, 5, 40);
+  workload::generator wrong(mismatched);
+  des::simulator sim2;
+  EXPECT_THROW(
+      des_driver(sim2, q.cl, wrong, q.est, driver_config(1)),
+      check_error);
+}
+
+TEST(DesDriver, RejectsBadConfig) {
+  pipeline p(4);
+  des::simulator sim;
+  des_driver_config bad;
+  bad.round_duration = 0.0;
+  EXPECT_THROW(des_driver(sim, p.cl, p.traffic, p.est, bad), check_error);
+  bad = des_driver_config{};
+  bad.rounds = 0;
+  EXPECT_THROW(des_driver(sim, p.cl, p.traffic, p.est, bad), check_error);
+}
+
+}  // namespace
+}  // namespace ecrs::edge
+
+namespace ecrs::workload {
+namespace {
+
+TEST(PerClassDemand, DefaultsToGlobalMean) {
+  generator_config cfg;
+  cfg.users = 10;
+  cfg.microservices = 4;
+  cfg.mean_service_demand = 2.0;
+  generator gen(cfg);
+  EXPECT_DOUBLE_EQ(gen.mean_demand_of(qos_class::delay_sensitive), 2.0);
+  EXPECT_DOUBLE_EQ(gen.mean_demand_of(qos_class::delay_tolerant), 2.0);
+}
+
+TEST(PerClassDemand, OverridesApplyPerClass) {
+  generator_config cfg;
+  cfg.users = 200;
+  cfg.microservices = 10;
+  cfg.sensitive_mean_demand = 0.5;
+  cfg.tolerant_mean_demand = 2.0;
+  generator gen(cfg);
+  EXPECT_DOUBLE_EQ(gen.mean_demand_of(qos_class::delay_sensitive), 0.5);
+  EXPECT_DOUBLE_EQ(gen.mean_demand_of(qos_class::delay_tolerant), 2.0);
+
+  // Empirical means per class reflect the overrides.
+  running_stats sensitive;
+  running_stats tolerant;
+  for (const request& r : gen.round(0.0, 100.0)) {
+    (r.qos == qos_class::delay_sensitive ? sensitive : tolerant)
+        .add(r.service_demand);
+  }
+  ASSERT_GT(sensitive.count(), 100u);
+  ASSERT_GT(tolerant.count(), 100u);
+  EXPECT_NEAR(sensitive.mean(), 0.5, 0.1);
+  EXPECT_NEAR(tolerant.mean(), 2.0, 0.25);
+}
+
+TEST(PerClassDemand, RejectsNegativeOverride) {
+  generator_config cfg;
+  cfg.users = 1;
+  cfg.microservices = 1;
+  cfg.sensitive_mean_demand = -1.0;
+  EXPECT_THROW(generator{cfg}, ecrs::check_error);
+}
+
+}  // namespace
+}  // namespace ecrs::workload

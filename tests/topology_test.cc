@@ -1,0 +1,245 @@
+// Tests for the backhaul topology model, the weighted fair share, the
+// priority allocation knob, and a queueing-theory validation of the
+// microservice simulation (M/M/1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "edge/cluster.h"
+#include "edge/fair_share.h"
+#include "edge/microservice.h"
+#include "edge/topology.h"
+
+namespace ecrs::edge {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------- topology
+
+TEST(Topology, LinklessGraphIsDisconnected) {
+  topology t(3);
+  EXPECT_DOUBLE_EQ(t.latency(0, 0), 0.0);
+  EXPECT_EQ(t.latency(0, 1), kInf);
+  EXPECT_FALSE(t.connected());
+}
+
+TEST(Topology, SingleCloudIsTriviallyConnected) {
+  topology t(1);
+  EXPECT_TRUE(t.connected());
+  EXPECT_DOUBLE_EQ(t.transfer_cost(0, 0, 5.0), 0.0);
+}
+
+TEST(Topology, FloydWarshallFindsMultiHopPaths) {
+  topology t(4);
+  t.add_link(0, 1, 1.0);
+  t.add_link(1, 2, 2.0);
+  t.add_link(2, 3, 3.0);
+  t.add_link(0, 3, 10.0);
+  t.finalize();
+  EXPECT_DOUBLE_EQ(t.latency(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(t.latency(0, 3), 6.0);  // 1+2+3 beats the direct 10
+  EXPECT_DOUBLE_EQ(t.latency(3, 0), 6.0);  // symmetric
+  EXPECT_TRUE(t.connected());
+}
+
+TEST(Topology, ParallelLinksKeepTheCheaper) {
+  topology t(2);
+  t.add_link(0, 1, 5.0);
+  t.add_link(0, 1, 2.0);
+  t.finalize();
+  EXPECT_DOUBLE_EQ(t.latency(0, 1), 2.0);
+}
+
+TEST(Topology, QueryBeforeFinalizeThrows) {
+  topology t(2);
+  t.add_link(0, 1, 1.0);
+  EXPECT_THROW((void)t.latency(0, 1), check_error);
+}
+
+TEST(Topology, RejectsSelfLinksAndNegativeLatency) {
+  topology t(2);
+  EXPECT_THROW(t.add_link(0, 0, 1.0), check_error);
+  EXPECT_THROW(t.add_link(0, 1, -1.0), check_error);
+}
+
+TEST(Topology, RingDiameter) {
+  const topology t = topology::ring(6, 1.0);
+  EXPECT_TRUE(t.connected());
+  EXPECT_DOUBLE_EQ(t.latency(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(t.latency(0, 3), 3.0);  // halfway around
+  EXPECT_DOUBLE_EQ(t.latency(0, 5), 1.0);  // wrap-around
+}
+
+TEST(Topology, StarRoutesThroughHub) {
+  const topology t = topology::star(5, 2.0);
+  EXPECT_TRUE(t.connected());
+  EXPECT_DOUBLE_EQ(t.latency(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(t.latency(1, 4), 4.0);  // spoke-hub-spoke
+}
+
+TEST(Topology, MeshIsOneHopEverywhere) {
+  const topology t = topology::mesh(4, 1.5);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(t.latency(i, j), i == j ? 0.0 : 1.5);
+    }
+  }
+}
+
+TEST(Topology, RandomGeometricIsAlwaysConnected) {
+  rng gen(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const topology t = topology::random_geometric(12, 0.2, 10.0, gen);
+    EXPECT_TRUE(t.connected());
+  }
+}
+
+TEST(Topology, TransferCostScalesWithLatency) {
+  const topology t = topology::ring(4, 2.0);
+  EXPECT_DOUBLE_EQ(t.transfer_cost(0, 2, 0.5), 2.0);  // 2 hops * 2ms * 0.5
+  EXPECT_THROW((void)t.transfer_cost(0, 1, -1.0), check_error);
+}
+
+TEST(Topology, TransferAcrossDisconnectedThrows) {
+  topology t(2);
+  t.finalize();
+  EXPECT_THROW((void)t.transfer_cost(0, 1, 1.0), check_error);
+}
+
+// ----------------------------------------------------- weighted fair share
+
+TEST(WeightedFairShare, ReducesToUnweightedWithEqualWeights) {
+  const std::vector<double> demands = {3.0, 8.0, 1.0, 6.0};
+  const std::vector<double> weights(4, 1.0);
+  const auto weighted =
+      weighted_max_min_fair_share(demands, weights, 10.0);
+  const auto plain = max_min_fair_share(demands, 10.0);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_NEAR(weighted[i], plain[i], 1e-9);
+  }
+}
+
+TEST(WeightedFairShare, HeavierWeightGetsLargerShareUnderContention) {
+  // Both want everything; weight 3 vs 1 splits capacity 3:1.
+  const auto alloc =
+      weighted_max_min_fair_share({100.0, 100.0}, {3.0, 1.0}, 8.0);
+  EXPECT_NEAR(alloc[0], 6.0, 1e-9);
+  EXPECT_NEAR(alloc[1], 2.0, 1e-9);
+}
+
+TEST(WeightedFairShare, SatisfiedLightDemandFreesCapacity) {
+  const auto alloc =
+      weighted_max_min_fair_share({1.0, 100.0}, {1.0, 1.0}, 10.0);
+  EXPECT_DOUBLE_EQ(alloc[0], 1.0);
+  EXPECT_DOUBLE_EQ(alloc[1], 9.0);
+}
+
+TEST(WeightedFairShare, NeverExceedsCapacityOrDemand) {
+  rng gen(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> demands(6);
+    std::vector<double> weights(6);
+    for (std::size_t i = 0; i < 6; ++i) {
+      demands[i] = gen.uniform_real(0.0, 10.0);
+      weights[i] = gen.uniform_real(0.5, 4.0);
+    }
+    const double capacity = gen.uniform_real(1.0, 20.0);
+    const auto alloc =
+        weighted_max_min_fair_share(demands, weights, capacity);
+    double total = 0.0;
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_LE(alloc[i], demands[i] + 1e-9);
+      EXPECT_GE(alloc[i], -1e-12);
+      total += alloc[i];
+    }
+    EXPECT_LE(total, capacity + 1e-9);
+  }
+}
+
+TEST(WeightedFairShare, RejectsBadInput) {
+  EXPECT_THROW(weighted_max_min_fair_share({1.0}, {1.0, 2.0}, 1.0),
+               check_error);
+  EXPECT_THROW(weighted_max_min_fair_share({1.0}, {0.0}, 1.0), check_error);
+  EXPECT_THROW(weighted_max_min_fair_share({-1.0}, {1.0}, 1.0), check_error);
+}
+
+// -------------------------------------------------------- cluster priority
+
+workload::request make_request(std::uint32_t service, double arrival,
+                               double demand) {
+  workload::request r;
+  static std::uint64_t next_id = 1000000;
+  r.id = next_id++;
+  r.microservice = service;
+  r.arrival_time = arrival;
+  r.service_demand = demand;
+  return r;
+}
+
+TEST(ClusterPriority, SensitiveServicesGetMoreUnderPressure) {
+  cluster_config cfg;
+  cfg.clouds = 1;
+  cfg.capacity_per_cloud = 2.0;
+  const std::vector<workload::qos_class> qos = {
+      workload::qos_class::delay_sensitive,
+      workload::qos_class::delay_tolerant};
+  cluster c(cfg, qos);
+  // Equal overload on both services.
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    auto r = make_request(s, 0.0, 100.0);
+    c.service(s).enqueue(r);
+  }
+  c.allocate_fair(1.0, /*sensitive_weight=*/3.0);
+  EXPECT_GT(c.service(0).allocation(), c.service(1).allocation());
+  const double total = c.service(0).allocation() + c.service(1).allocation();
+  EXPECT_LE(total, 2.0 + 1e-9);
+  EXPECT_NEAR(c.service(0).allocation(), 1.5, 1e-9);  // 3:1 split of 2
+
+  // Weight 1 restores symmetric allocations.
+  c.allocate_fair(1.0, 1.0);
+  EXPECT_NEAR(c.service(0).allocation(), c.service(1).allocation(), 1e-9);
+}
+
+TEST(ClusterPriority, RejectsWeightBelowOne) {
+  cluster_config cfg;
+  cluster c(cfg, {workload::qos_class::delay_sensitive});
+  EXPECT_THROW(c.allocate_fair(1.0, 0.5), check_error);
+}
+
+// ------------------------------------------------------ M/M/1 validation
+
+TEST(QueueingValidation, MM1SojournTimeMatchesTheory) {
+  // Poisson arrivals at rate λ = 0.6, service rate μ = 1.0 (allocation 1,
+  // exponential demands with mean 1): M/M/1 mean sojourn W = 1/(μ−λ) = 2.5.
+  microservice svc(0, workload::qos_class::delay_sensitive);
+  svc.set_allocation(1.0);
+  rng gen(42);
+  const double lambda = 0.6;
+  const double horizon = 200000.0;
+  double now = 0.0;
+  double last_advance = 0.0;
+  running_stats waits;
+  std::uint64_t round = 1;
+  while (now < horizon) {
+    now += gen.exponential(lambda);
+    if (now >= horizon) break;
+    svc.advance(last_advance, now - last_advance);
+    last_advance = now;
+    auto r = make_request(0, now, 0.0);
+    r.service_demand = gen.exponential(1.0);
+    svc.enqueue(r);
+  }
+  svc.advance(last_advance, 10000.0);  // drain
+  const auto stats = svc.end_round(round, horizon, 1);
+  // Theory: mean sojourn 2.5, utilization λ/μ = 0.6.
+  EXPECT_NEAR(stats.mean_wait, 2.5, 0.25);
+  EXPECT_GT(stats.served, 100000u);
+}
+
+}  // namespace
+}  // namespace ecrs::edge

@@ -1,0 +1,205 @@
+// Tests for the VCG (Clarke pivot) reference mechanism.
+#include <gtest/gtest.h>
+
+#include "auction/instance_gen.h"
+#include "auction/properties.h"
+#include "auction/ssam.h"
+#include "auction/vcg.h"
+#include "common/rng.h"
+
+namespace ecrs::auction {
+namespace {
+
+bid make_bid(seller_id s, std::vector<demander_id> cover, units amount,
+             double price, std::uint32_t j = 0) {
+  bid b;
+  b.seller = s;
+  b.index = j;
+  b.coverage = std::move(cover);
+  b.amount = amount;
+  b.price = price;
+  return b;
+}
+
+single_stage_instance duopoly() {
+  single_stage_instance inst;
+  inst.requirements = {4};
+  inst.bids = {make_bid(0, {0}, 4, 10.0), make_bid(1, {0}, 4, 12.0)};
+  return inst;
+}
+
+TEST(Vcg, PicksOptimalWinnerAndPaysExternality) {
+  const auto res = run_vcg(duopoly());
+  ASSERT_TRUE(res.feasible);
+  ASSERT_TRUE(res.exact);
+  ASSERT_EQ(res.winners.size(), 1u);
+  EXPECT_EQ(res.winners[0], 0u);
+  EXPECT_DOUBLE_EQ(res.social_cost, 10.0);
+  // Clarke pivot: OPT_{-0} = 12, OPT - c_0 = 0, payment = 12.
+  EXPECT_DOUBLE_EQ(res.payments[0], 12.0);
+}
+
+TEST(Vcg, MonopolistPaidOwnPrice) {
+  single_stage_instance inst;
+  inst.requirements = {4};
+  inst.bids = {make_bid(0, {0}, 4, 10.0)};
+  const auto res = run_vcg(inst);
+  ASSERT_TRUE(res.feasible);
+  ASSERT_EQ(res.payments.size(), 1u);
+  EXPECT_DOUBLE_EQ(res.payments[0], 10.0);
+  EXPECT_EQ(res.pivotal_monopolists.size(), 1u);
+}
+
+TEST(Vcg, PivotalSellerWithoutFeasibleAlternativeFlagged) {
+  single_stage_instance inst;
+  inst.requirements = {6};
+  // Seller 0 is essential: without it supply is 4 < 6.
+  inst.bids = {make_bid(0, {0}, 4, 9.0), make_bid(1, {0}, 4, 8.0)};
+  const auto res = run_vcg(inst);
+  ASSERT_TRUE(res.feasible);
+  ASSERT_EQ(res.winners.size(), 2u);
+  EXPECT_EQ(res.pivotal_monopolists.size(), 2u);  // both are essential
+}
+
+TEST(Vcg, InfeasibleInstanceReported) {
+  single_stage_instance inst;
+  inst.requirements = {100};
+  inst.bids = {make_bid(0, {0}, 1, 1.0)};
+  const auto res = run_vcg(inst);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_TRUE(res.winners.empty());
+}
+
+TEST(Vcg, MultiDemanderExternalities) {
+  single_stage_instance inst;
+  inst.requirements = {2, 2};
+  inst.bids = {make_bid(0, {0, 1}, 2, 5.0), make_bid(1, {0}, 2, 3.0),
+               make_bid(2, {1}, 2, 3.0)};
+  const auto res = run_vcg(inst);
+  ASSERT_TRUE(res.feasible);
+  ASSERT_EQ(res.winners.size(), 1u);
+  EXPECT_EQ(res.winners[0], 0u);
+  // Without seller 0: optimum is 3 + 3 = 6; payment = 6 − (5 − 5) = 6.
+  EXPECT_DOUBLE_EQ(res.payments[0], 6.0);
+}
+
+class VcgSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VcgSweep, IndividuallyRationalAndEfficient) {
+  rng gen(GetParam());
+  instance_config cfg;
+  cfg.sellers = 7;
+  cfg.demanders = 2;
+  cfg.bids_per_seller = 2;
+  const auto inst = random_instance(cfg, gen);
+  const auto vcg = run_vcg(inst);
+  if (!vcg.feasible) return;
+  ASSERT_TRUE(vcg.exact);
+  // Efficiency: VCG's cost never exceeds SSAM's.
+  const auto ssam = run_ssam(inst);
+  EXPECT_LE(vcg.social_cost, ssam.social_cost + 1e-9);
+  // IR: payment covers every winner's price.
+  for (std::size_t pos = 0; pos < vcg.winners.size(); ++pos) {
+    EXPECT_GE(vcg.payments[pos],
+              inst.bids[vcg.winners[pos]].price - 1e-9);
+  }
+  EXPECT_TRUE(selection_feasible(inst, vcg.winners));
+}
+
+TEST_P(VcgSweep, TruthfulUnderRandomMisreports) {
+  rng gen(GetParam() + 900);
+  instance_config cfg;
+  cfg.sellers = 5;
+  cfg.demanders = 2;
+  cfg.bids_per_seller = 1;
+  const auto inst = random_instance(cfg, gen);
+  // Reserve-price VCG (reserve above every possible report) so pivotal
+  // sellers are paid a report-independent amount; without a reserve they
+  // are paid their report, which is exactly the non-truthful fallback the
+  // API documents.
+  constexpr double kReserve = 80.0;
+  constexpr std::size_t kNodes = 4000000;
+  const auto truthful = run_vcg(inst, kNodes, kReserve);
+  if (!truthful.feasible) return;
+
+  // Utility of each seller when truthful.
+  auto utility_of = [&](const vcg_result& res, seller_id s,
+                        const single_stage_instance& used) {
+    for (std::size_t pos = 0; pos < res.winners.size(); ++pos) {
+      if (used.bids[res.winners[pos]].seller == s) {
+        // True cost comes from the unmodified instance (same bid index
+        // layout by construction below).
+        return res.payments[pos] - inst.bids[res.winners[pos]].price;
+      }
+    }
+    return 0.0;
+  };
+
+  rng fuzz(GetParam() * 17 + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto idx = static_cast<std::size_t>(
+        fuzz.uniform_int(0, static_cast<std::int64_t>(inst.bids.size()) - 1));
+    single_stage_instance lying = inst;
+    lying.bids[idx].price = fuzz.uniform_real(0.0, 70.0);
+    const auto res = run_vcg(lying, kNodes, kReserve);
+    if (!res.feasible) continue;
+    const seller_id s = inst.bids[idx].seller;
+    EXPECT_LE(utility_of(res, s, lying),
+              utility_of(truthful, s, inst) + 1e-6)
+        << "seller " << s << " gained by misreporting";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VcgSweep,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(Vcg, ReservePaysPivotalWinnersExactlyTheReserve) {
+  single_stage_instance inst;
+  inst.requirements = {6};
+  inst.bids = {make_bid(0, {0}, 4, 9.0), make_bid(1, {0}, 4, 8.0)};
+  const auto res = run_vcg(inst, 4000000, 50.0);
+  ASSERT_TRUE(res.feasible);
+  ASSERT_EQ(res.payments.size(), 2u);
+  EXPECT_EQ(res.pivotal_monopolists.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.payments[0], 50.0);
+  EXPECT_DOUBLE_EQ(res.payments[1], 50.0);
+}
+
+TEST(Vcg, ReserveRejectsOverpricedBids) {
+  single_stage_instance inst;
+  inst.requirements = {4};
+  inst.bids = {make_bid(0, {0}, 4, 10.0), make_bid(1, {0}, 4, 60.0)};
+  // Seller 1's bid is above the reserve and never participates; seller 0 is
+  // then pivotal and is paid the reserve.
+  const auto res = run_vcg(inst, 4000000, 50.0);
+  ASSERT_TRUE(res.feasible);
+  ASSERT_EQ(res.winners.size(), 1u);
+  EXPECT_EQ(res.winners[0], 0u);
+  EXPECT_DOUBLE_EQ(res.payments[0], 50.0);
+}
+
+TEST(Vcg, ReserveCanMakeInstanceInfeasible) {
+  single_stage_instance inst;
+  inst.requirements = {4};
+  inst.bids = {make_bid(0, {0}, 4, 60.0)};
+  const auto res = run_vcg(inst, 4000000, 50.0);
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(VcgVsSsam, VcgPaysNoLessEfficientOutcome) {
+  // Canonical comparison on one instance: VCG cost <= SSAM cost, while
+  // payments can order either way (reported in bench/payment_rules).
+  rng gen(4);
+  instance_config cfg;
+  cfg.sellers = 8;
+  cfg.demanders = 2;
+  const auto inst = random_instance(cfg, gen);
+  const auto vcg = run_vcg(inst);
+  const auto ssam = run_ssam(inst);
+  ASSERT_TRUE(vcg.feasible);
+  ASSERT_TRUE(ssam.feasible);
+  EXPECT_LE(vcg.social_cost, ssam.social_cost + 1e-9);
+}
+
+}  // namespace
+}  // namespace ecrs::auction

@@ -1,0 +1,281 @@
+// Tests for welfare accounting (Definition 4), the constructive dual
+// certificate, the queueing formulas, confidence intervals, and Holt trend
+// smoothing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "auction/dual_certificate.h"
+#include "auction/exact.h"
+#include "auction/instance_gen.h"
+#include "auction/ssam.h"
+#include "auction/welfare.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "demand/estimator.h"
+#include "edge/queueing.h"
+#include "metrics/metrics.h"
+
+namespace ecrs {
+namespace {
+
+// ----------------------------------------------------------------- welfare
+
+TEST(Welfare, TransfersCancelSocialWelfareIsNegatedCost) {
+  rng gen(5);
+  auction::instance_config cfg;
+  cfg.sellers = 10;
+  cfg.demanders = 3;
+  const auto inst = auction::random_instance(cfg, gen);
+  const auto res = auction::run_ssam(inst);
+  const auto w = auction::account_welfare(inst, res, 0.0);
+  // Definition 4: payments/charges are transfers, so aggregate utility is
+  // exactly −(sum of winning true costs).
+  EXPECT_NEAR(w.social_welfare(), -w.social_cost, 1e-9);
+  EXPECT_NEAR(w.social_cost, res.social_cost, 1e-9);
+  // Sellers individually profit (IR).
+  for (double u : w.seller_utility) EXPECT_GE(u, -1e-9);
+}
+
+TEST(Welfare, MarkupShiftsSurplusToPlatformNotWelfare) {
+  rng gen(6);
+  auction::instance_config cfg;
+  cfg.sellers = 8;
+  cfg.demanders = 2;
+  const auto inst = auction::random_instance(cfg, gen);
+  const auto res = auction::run_ssam(inst);
+  const auto flat = auction::account_welfare(inst, res, 0.0);
+  const auto marked = auction::account_welfare(inst, res, 0.3);
+  EXPECT_GT(marked.platform_utility, flat.platform_utility);
+  EXPECT_GT(marked.demander_expense, flat.demander_expense);
+  // The markup is a transfer: welfare identical.
+  EXPECT_NEAR(marked.social_welfare(), flat.social_welfare(), 1e-9);
+}
+
+TEST(Welfare, EmptyRoundHasZeroWelfare) {
+  auction::single_stage_instance inst;
+  inst.requirements = {0};
+  const auto w = auction::account_welfare(inst, auction::ssam_result{});
+  EXPECT_DOUBLE_EQ(w.social_welfare(), 0.0);
+  EXPECT_DOUBLE_EQ(w.social_cost, 0.0);
+}
+
+// -------------------------------------------------------- dual certificate
+
+class DualCertificateSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualCertificateSweep, FeasibleAndBelowOptimum) {
+  rng gen(GetParam());
+  auction::instance_config cfg;
+  cfg.sellers = 8;
+  cfg.demanders = 3;
+  cfg.bids_per_seller = 2;
+  const auto inst = auction::random_instance(cfg, gen);
+  const auto res = auction::run_ssam(inst);
+  if (!res.feasible) return;
+  const auto cert = auction::build_dual_certificate(inst, res);
+  EXPECT_TRUE(auction::dual_feasible(inst, cert));
+  // Weak duality chain: certificate <= LP optimum <= ILP optimum <= SSAM.
+  const double lp = auction::lp_bound(inst);
+  EXPECT_LE(cert.objective, lp + 1e-6);
+  const auto opt = auction::solve_exact(inst, 300000);
+  if (opt.exact && opt.feasible) {
+    EXPECT_LE(cert.objective, opt.cost + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualCertificateSweep,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+TEST(DualCertificate, EmptyRunYieldsZeroCertificate) {
+  auction::single_stage_instance inst;
+  inst.requirements = {0};
+  const auto cert =
+      auction::build_dual_certificate(inst, auction::ssam_result{});
+  EXPECT_DOUBLE_EQ(cert.objective, 0.0);
+  EXPECT_TRUE(auction::dual_feasible(inst, cert));
+}
+
+TEST(DualCertificate, DualFeasibleRejectsViolations) {
+  auction::single_stage_instance inst;
+  inst.requirements = {2};
+  auction::bid b;
+  b.seller = 0;
+  b.coverage = {0};
+  b.amount = 2;
+  b.price = 4.0;
+  inst.bids = {b};
+  auction::dual_certificate cert;
+  cert.y = {10.0};  // 2 * 10 = 20 > price 4 with no z: infeasible
+  EXPECT_FALSE(auction::dual_feasible(inst, cert));
+  cert.z[0] = 16.0;  // absorbs the violation
+  EXPECT_TRUE(auction::dual_feasible(inst, cert));
+}
+
+// ---------------------------------------------------------------- queueing
+
+TEST(Queueing, Mm1KnownValues) {
+  // λ = 0.5, μ = 1: ρ = 0.5, W = 2, Wq = 1, L = 1, P0 = 0.5.
+  EXPECT_DOUBLE_EQ(edge::utilization(0.5, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(edge::mm1_sojourn_time(0.5, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(edge::mm1_waiting_time(0.5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(edge::mm1_number_in_system(0.5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(edge::mm1_p_empty(0.5, 1.0), 0.5);
+}
+
+TEST(Queueing, LittleLawConsistency) {
+  const double lambda = 0.7;
+  const double mu = 1.3;
+  EXPECT_NEAR(edge::mm1_number_in_system(lambda, mu),
+              lambda * edge::mm1_sojourn_time(lambda, mu), 1e-12);
+}
+
+TEST(Queueing, UnstableQueueThrows) {
+  EXPECT_THROW((void)edge::mm1_sojourn_time(1.0, 1.0), check_error);
+  EXPECT_THROW((void)edge::mm1_sojourn_time(2.0, 1.0), check_error);
+  EXPECT_THROW((void)edge::erlang_c(5.0, 1.0, 4), check_error);
+}
+
+TEST(Queueing, ErlangCReducesToMm1Rho) {
+  // For c = 1, Erlang-C equals ρ.
+  EXPECT_NEAR(edge::erlang_c(0.3, 1.0, 1), 0.3, 1e-12);
+  EXPECT_NEAR(edge::erlang_c(0.9, 1.0, 1), 0.9, 1e-12);
+  // And the M/M/c waiting time reduces to the M/M/1 one.
+  EXPECT_NEAR(edge::mmc_waiting_time(0.6, 1.0, 1),
+              edge::mm1_waiting_time(0.6, 1.0), 1e-12);
+}
+
+TEST(Queueing, ErlangCClosedFormValue) {
+  // λ = 15, μ = 1, c = 20: the direct summation formula gives
+  // C = (a^c/c!)(c/(c−a)) / (Σ_{k<c} a^k/k! + (a^c/c!)(c/(c−a)))
+  //   = 0.16042938741692...
+  const double c_prob = edge::erlang_c(15.0, 1.0, 20);
+  EXPECT_NEAR(c_prob, 0.1604293874169236, 1e-12);
+}
+
+TEST(Queueing, MoreServersShortenWaits) {
+  const double w2 = edge::mmc_waiting_time(1.5, 1.0, 2);
+  const double w3 = edge::mmc_waiting_time(1.5, 1.0, 3);
+  const double w5 = edge::mmc_waiting_time(1.5, 1.0, 5);
+  EXPECT_GT(w2, w3);
+  EXPECT_GT(w3, w5);
+}
+
+TEST(Queueing, ServersForWaitingTimePlansCapacity) {
+  const std::size_t c = edge::servers_for_waiting_time(15.0, 1.0, 0.05);
+  ASSERT_GT(c, 15u);
+  EXPECT_LE(edge::mmc_waiting_time(15.0, 1.0, c), 0.05);
+  if (c > 16) {
+    EXPECT_GT(edge::mmc_waiting_time(15.0, 1.0, c - 1), 0.05);
+  }
+  // Impossible target within the cap returns 0.
+  EXPECT_EQ(edge::servers_for_waiting_time(1000.0, 1.0, 1e-9, 1001), 0u);
+}
+
+// -------------------------------------------------- confidence intervals
+
+TEST(ConfidenceInterval, ZeroForTinySamples) {
+  running_stats s;
+  EXPECT_DOUBLE_EQ(metrics::ci95_half_width(s), 0.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(metrics::ci95_half_width(s), 0.0);
+}
+
+TEST(ConfidenceInterval, MatchesHandComputedTwoPoints) {
+  running_stats s;
+  s.add(1.0);
+  s.add(3.0);
+  // sample var = 2, sem = 1, t(df=1) = 12.706.
+  EXPECT_NEAR(metrics::ci95_half_width(s), 12.706, 1e-9);
+}
+
+TEST(ConfidenceInterval, ShrinksWithSampleSize) {
+  rng gen(11);
+  running_stats small;
+  running_stats large;
+  for (int i = 0; i < 5; ++i) small.add(gen.uniform_real(0.0, 1.0));
+  for (int i = 0; i < 500; ++i) large.add(gen.uniform_real(0.0, 1.0));
+  EXPECT_GT(metrics::ci95_half_width(small), metrics::ci95_half_width(large));
+  // Large-sample CI for U(0,1): ~1.96 * sqrt(1/12)/sqrt(500) ≈ 0.025.
+  EXPECT_NEAR(metrics::ci95_half_width(large), 0.025, 0.01);
+}
+
+// ------------------------------------------------------------- Holt trend
+
+edge::round_stats stats_with_pressure(std::uint64_t round, double utilization) {
+  edge::round_stats s;
+  s.microservice = 0;
+  s.round = round;
+  s.received = 10;
+  s.served = 10;
+  s.allocation = 1.0;
+  s.utilization = utilization;
+  s.cloud_population = 1;
+  return s;
+}
+
+TEST(HoltTrend, AnticipatesRisingDemand) {
+  demand::estimator_config cfg = demand::make_default_config();
+  cfg.smoothing = 0.3;
+  cfg.round_duration = 10.0;
+
+  demand::estimator plain(cfg);
+  cfg.trend_smoothing = 0.5;
+  demand::estimator holt(cfg);
+
+  // Steadily rising utilization: the trend-aware estimator should forecast
+  // higher than the plain EWMA after a few rounds.
+  double plain_last = 0.0;
+  double holt_last = 0.0;
+  for (std::uint64_t r = 1; r <= 8; ++r) {
+    const auto s =
+        stats_with_pressure(r, 0.1 + 0.1 * static_cast<double>(r));
+    plain_last = plain.estimate(s, 1.0);
+    holt_last = holt.estimate(s, 1.0);
+  }
+  EXPECT_GT(holt_last, plain_last);
+}
+
+TEST(HoltTrend, ConstantObservationsHaveNoTrend) {
+  demand::estimator_config cfg = demand::make_default_config();
+  cfg.smoothing = 0.3;
+  cfg.trend_smoothing = 0.4;
+  cfg.round_duration = 10.0;
+  demand::estimator est(cfg);
+  // Identical observations (round pinned at 1: the request-rate indicator
+  // of Eq. 2 scales with t, so a fixed t makes the raw demand constant).
+  double first = 0.0;
+  double last = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    last = est.estimate(stats_with_pressure(1, 0.5), 1.0);
+    if (i == 0) first = last;
+  }
+  EXPECT_NEAR(last, first, 1e-9);
+}
+
+TEST(HoltTrend, RejectsBadFactor) {
+  demand::estimator_config cfg = demand::make_default_config();
+  cfg.trend_smoothing = 1.0;
+  EXPECT_THROW(demand::estimator{cfg}, check_error);
+}
+
+TEST(HoltTrend, ForecastNeverNegative) {
+  demand::estimator_config cfg = demand::make_default_config();
+  cfg.smoothing = 0.2;
+  cfg.trend_smoothing = 0.8;
+  cfg.round_duration = 10.0;
+  demand::estimator est(cfg);
+  // Sharp collapse after a rise: the trend goes negative, but the forecast
+  // is floored at zero.
+  for (std::uint64_t r = 1; r <= 5; ++r) {
+    (void)est.estimate(stats_with_pressure(r, 0.9), 1.0);
+  }
+  double value = 1.0;
+  for (std::uint64_t r = 6; r <= 14; ++r) {
+    value = est.estimate(stats_with_pressure(r, 0.0), 1.0);
+    EXPECT_GE(value, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ecrs

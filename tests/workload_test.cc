@@ -1,0 +1,255 @@
+// Unit tests for workload arrival processes, the generator, and traces.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "workload/arrival.h"
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace ecrs::workload {
+namespace {
+
+// ---------------------------------------------------------------- arrivals
+
+TEST(PoissonArrivals, MeanInterarrivalMatchesRate) {
+  poisson_arrivals p(4.0);
+  rng gen(1);
+  running_stats s;
+  for (int i = 0; i < 20000; ++i) s.add(p.next_interarrival(0.0, gen));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+  EXPECT_DOUBLE_EQ(p.rate_at(123.0), 4.0);
+}
+
+TEST(PoissonArrivals, RejectsNonPositiveRate) {
+  EXPECT_THROW(poisson_arrivals(0.0), check_error);
+}
+
+TEST(DeterministicArrivals, FixedPeriod) {
+  deterministic_arrivals d(2.5);
+  rng gen(2);
+  EXPECT_DOUBLE_EQ(d.next_interarrival(0.0, gen), 2.5);
+  EXPECT_DOUBLE_EQ(d.next_interarrival(100.0, gen), 2.5);
+  EXPECT_DOUBLE_EQ(d.rate_at(0.0), 0.4);
+}
+
+TEST(DiurnalArrivals, RateOscillatesAroundBase) {
+  diurnal_arrivals d(10.0, 0.5, 100.0);
+  EXPECT_NEAR(d.rate_at(0.0), 10.0, 1e-9);
+  EXPECT_NEAR(d.rate_at(25.0), 15.0, 1e-9);  // peak at quarter period
+  EXPECT_NEAR(d.rate_at(75.0), 5.0, 1e-9);   // trough at three quarters
+}
+
+TEST(DiurnalArrivals, ThinningProducesPositiveGaps) {
+  diurnal_arrivals d(10.0, 0.8, 50.0);
+  rng gen(3);
+  double now = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double gap = d.next_interarrival(now, gen);
+    EXPECT_GT(gap, 0.0);
+    now += gap;
+  }
+  // Long-run average rate should be near the base rate.
+  EXPECT_NEAR(1000.0 / now, 10.0, 1.5);
+}
+
+TEST(DiurnalArrivals, RejectsBadDepth) {
+  EXPECT_THROW(diurnal_arrivals(1.0, 1.0, 10.0), check_error);
+  EXPECT_THROW(diurnal_arrivals(1.0, -0.1, 10.0), check_error);
+}
+
+// --------------------------------------------------------------- generator
+
+TEST(Generator, DeterministicForSameSeed) {
+  generator_config cfg;
+  cfg.users = 10;
+  cfg.microservices = 4;
+  cfg.seed = 77;
+  generator a(cfg);
+  generator b(cfg);
+  const auto ra = a.round(0.0, 100.0);
+  const auto rb = b.round(0.0, 100.0);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].id, rb[i].id);
+    EXPECT_EQ(ra[i].microservice, rb[i].microservice);
+    EXPECT_DOUBLE_EQ(ra[i].arrival_time, rb[i].arrival_time);
+  }
+}
+
+TEST(Generator, ArrivalsSortedWithinRound) {
+  generator_config cfg;
+  cfg.users = 50;
+  cfg.microservices = 8;
+  generator g(cfg);
+  const auto batch = g.round(10.0, 60.0);
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_LE(batch[i - 1].arrival_time, batch[i].arrival_time);
+  }
+  for (const request& r : batch) {
+    EXPECT_GE(r.arrival_time, 10.0);
+    EXPECT_LT(r.arrival_time, 70.0);
+    EXPECT_LT(r.microservice, cfg.microservices);
+    EXPECT_GT(r.service_demand, 0.0);
+  }
+}
+
+TEST(Generator, RequestIdsAreUniqueAcrossRounds) {
+  generator_config cfg;
+  cfg.users = 20;
+  cfg.microservices = 5;
+  generator g(cfg);
+  std::set<std::uint64_t> ids;
+  for (int r = 0; r < 3; ++r) {
+    for (const request& req : g.round(r * 100.0, 100.0)) {
+      EXPECT_TRUE(ids.insert(req.id).second);
+    }
+  }
+}
+
+TEST(Generator, PoissonVolumeMatchesClassMeans) {
+  generator_config cfg;
+  cfg.users = 100;
+  cfg.microservices = 10;
+  cfg.sensitive_mean = 5.0;
+  cfg.tolerant_mean = 10.0;
+  generator g(cfg);
+  // Expected ~ users * (5 + 10) per round.
+  running_stats per_round;
+  for (int r = 0; r < 20; ++r) {
+    per_round.add(static_cast<double>(g.round(r * 10.0, 10.0).size()));
+  }
+  EXPECT_NEAR(per_round.mean(), 1500.0, 60.0);
+}
+
+TEST(Generator, QosClassesAssignedByFraction) {
+  generator_config cfg;
+  cfg.users = 5;
+  cfg.microservices = 10;
+  cfg.delay_sensitive_fraction = 0.3;
+  generator g(cfg);
+  int sensitive = 0;
+  for (std::uint32_t s = 0; s < cfg.microservices; ++s) {
+    if (g.class_of(s) == qos_class::delay_sensitive) ++sensitive;
+  }
+  EXPECT_EQ(sensitive, 3);
+}
+
+TEST(Generator, RequestsTargetMatchingClass) {
+  generator_config cfg;
+  cfg.users = 30;
+  cfg.microservices = 6;
+  generator g(cfg);
+  for (const request& r : g.round(0.0, 50.0)) {
+    EXPECT_EQ(r.qos, g.class_of(r.microservice));
+  }
+}
+
+TEST(Generator, RejectsBadConfig) {
+  generator_config cfg;
+  cfg.users = 0;
+  EXPECT_THROW(generator{cfg}, check_error);
+  cfg.users = 1;
+  cfg.microservices = 0;
+  EXPECT_THROW(generator{cfg}, check_error);
+  cfg.microservices = 1;
+  cfg.mean_service_demand = 0.0;
+  EXPECT_THROW(generator{cfg}, check_error);
+}
+
+// ------------------------------------------------------------------- trace
+
+std::vector<request> sample_requests() {
+  std::vector<request> reqs;
+  for (int i = 0; i < 5; ++i) {
+    request r;
+    r.id = static_cast<std::uint64_t>(i + 1);
+    r.user = static_cast<std::uint32_t>(i % 3);
+    r.microservice = static_cast<std::uint32_t>(i % 2);
+    r.qos = i % 2 == 0 ? qos_class::delay_sensitive : qos_class::delay_tolerant;
+    r.arrival_time = 1.5 * i;
+    r.service_demand = 0.25 + i;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+TEST(Trace, RoundTripsThroughStream) {
+  const auto original = sample_requests();
+  std::stringstream ss;
+  write_trace(ss, original);
+  const auto restored = read_trace(ss);
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored[i].id, original[i].id);
+    EXPECT_EQ(restored[i].user, original[i].user);
+    EXPECT_EQ(restored[i].microservice, original[i].microservice);
+    EXPECT_EQ(restored[i].qos, original[i].qos);
+    EXPECT_DOUBLE_EQ(restored[i].arrival_time, original[i].arrival_time);
+    EXPECT_DOUBLE_EQ(restored[i].service_demand, original[i].service_demand);
+  }
+}
+
+TEST(Trace, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  write_trace(ss, {});
+  EXPECT_TRUE(read_trace(ss).empty());
+}
+
+TEST(Trace, RejectsMissingHeader) {
+  std::stringstream ss("not,a,header\n1,2,3,0,0.0,1.0\n");
+  EXPECT_THROW(read_trace(ss), check_error);
+}
+
+TEST(Trace, RejectsWrongFieldCount) {
+  std::stringstream ss(
+      "id,user,microservice,qos,arrival_time,service_demand\n1,2,3\n");
+  EXPECT_THROW(read_trace(ss), check_error);
+}
+
+TEST(Trace, RejectsNonNumericFields) {
+  std::stringstream ss(
+      "id,user,microservice,qos,arrival_time,service_demand\nx,2,3,0,0.0,1\n");
+  EXPECT_THROW(read_trace(ss), check_error);
+}
+
+TEST(Trace, RejectsBadQos) {
+  std::stringstream ss(
+      "id,user,microservice,qos,arrival_time,service_demand\n1,2,3,7,0.0,1\n");
+  EXPECT_THROW(read_trace(ss), check_error);
+}
+
+TEST(Trace, ToleratesCarriageReturnsAndBlankLines) {
+  std::stringstream ss(
+      "id,user,microservice,qos,arrival_time,service_demand\r\n"
+      "1,2,3,0,0.5,1.25\r\n"
+      "\n");
+  const auto reqs = read_trace(ss);
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].id, 1u);
+  EXPECT_DOUBLE_EQ(reqs[0].service_demand, 1.25);
+}
+
+TEST(Trace, FileRoundTrip) {
+  const auto original = sample_requests();
+  const std::string path = testing::TempDir() + "/ecrs_trace_test.csv";
+  write_trace_file(path, original);
+  const auto restored = read_trace_file(path);
+  EXPECT_EQ(restored.size(), original.size());
+}
+
+TEST(Trace, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/dir/trace.csv"), check_error);
+}
+
+TEST(QosClass, ToStringNames) {
+  EXPECT_STREQ(to_string(qos_class::delay_sensitive), "delay_sensitive");
+  EXPECT_STREQ(to_string(qos_class::delay_tolerant), "delay_tolerant");
+}
+
+}  // namespace
+}  // namespace ecrs::workload

@@ -1,0 +1,197 @@
+// ecrs_cli — command-line front end for the auction library.
+//
+//   ecrs_cli generate --out=market.txt [--sellers=25 --demanders=5
+//                                       --bids=2 --seed=1]
+//   ecrs_cli solve --in=market.txt [--mechanism=ssam|ssam-critical|vcg|
+//                                   pay-as-bid|exact] [--budget=W]
+//   ecrs_cli generate-online --out=market.txt [--rounds=10 ...]
+//   ecrs_cli solve-online --in=market.txt [--alpha=0]
+//
+// Instances use the text format of auction/io.h, so markets can be
+// generated once, archived, and solved reproducibly by any mechanism.
+#include <cstdio>
+#include <string>
+
+#include "auction/baselines.h"
+#include "auction/exact.h"
+#include "auction/instance_gen.h"
+#include "auction/io.h"
+#include "auction/msoa.h"
+#include "auction/properties.h"
+#include "auction/ssam.h"
+#include "auction/vcg.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace ecrs;
+
+int usage() {
+  std::printf(
+      "usage: ecrs_cli <generate|solve|generate-online|solve-online> "
+      "[flags]\n"
+      "  generate        --out=FILE [--sellers=N --demanders=N --bids=N "
+      "--seed=N]\n"
+      "  solve           --in=FILE  [--mechanism=ssam|ssam-critical|vcg|"
+      "pay-as-bid|exact] [--budget=W]\n"
+      "  generate-online --out=FILE [--rounds=T plus generate flags]\n"
+      "  solve-online    --in=FILE  [--alpha=A]\n");
+  return 2;
+}
+
+auction::instance_config stage_from_flags(const flags& f) {
+  auction::instance_config cfg;
+  cfg.sellers = static_cast<std::size_t>(f.get_int("sellers", 25));
+  cfg.demanders = static_cast<std::size_t>(f.get_int("demanders", 5));
+  cfg.bids_per_seller = static_cast<std::size_t>(f.get_int("bids", 2));
+  return cfg;
+}
+
+int cmd_generate(const flags& f) {
+  const std::string out = f.get_string("out", "");
+  if (out.empty()) return usage();
+  rng gen(static_cast<std::uint64_t>(f.get_int("seed", 1)));
+  const auto inst = auction::random_instance(stage_from_flags(f), gen);
+  auction::write_instance_file(out, inst);
+  std::printf("wrote %zu bids from %zu sellers for %zu demanders to %s\n",
+              inst.bids.size(), inst.seller_count(), inst.demanders(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_generate_online(const flags& f) {
+  const std::string out = f.get_string("out", "");
+  if (out.empty()) return usage();
+  rng gen(static_cast<std::uint64_t>(f.get_int("seed", 1)));
+  auction::online_config cfg;
+  cfg.stage = stage_from_flags(f);
+  cfg.rounds = static_cast<std::size_t>(f.get_int("rounds", 10));
+  const auto inst = auction::random_online_instance(cfg, gen);
+  auction::write_online_instance_file(out, inst);
+  std::printf("wrote %zu-round market with %zu sellers to %s\n",
+              inst.horizon(), inst.sellers.size(), out.c_str());
+  return 0;
+}
+
+void print_outcome(const auction::single_stage_instance& inst,
+                   const std::vector<std::size_t>& winners,
+                   const std::vector<double>& payments, bool feasible,
+                   double social_cost) {
+  table t({"winner", "seller", "bid", "amount", "price", "payment"});
+  for (std::size_t pos = 0; pos < winners.size(); ++pos) {
+    const auction::bid& b = inst.bids[winners[pos]];
+    t.add_row({static_cast<long long>(pos),
+               static_cast<long long>(b.seller),
+               static_cast<long long>(b.index),
+               static_cast<long long>(b.amount), b.price,
+               pos < payments.size() ? payments[pos] : b.price});
+  }
+  std::printf("%s", t.to_ascii().c_str());
+  double paid = 0.0;
+  for (double p : payments) paid += p;
+  std::printf("feasible: %s   social cost: %.3f   payments: %.3f\n",
+              feasible ? "yes" : "NO", social_cost, paid);
+}
+
+int cmd_solve(const flags& f) {
+  const std::string in = f.get_string("in", "");
+  if (in.empty()) return usage();
+  const auto inst = auction::read_instance_file(in);
+  const std::string mech = f.get_string("mechanism", "ssam");
+
+  if (mech == "ssam" || mech == "ssam-critical") {
+    auction::ssam_options opts;
+    if (mech == "ssam-critical") {
+      opts.rule = auction::payment_rule::critical_value;
+    }
+    opts.payment_budget = f.get_double("budget", 0.0);
+    const auto res = auction::run_ssam(inst, opts);
+    std::vector<std::size_t> winners;
+    std::vector<double> payments;
+    for (const auto& w : res.winners) {
+      winners.push_back(w.bid_index);
+      payments.push_back(w.payment);
+    }
+    print_outcome(inst, winners, payments, res.feasible, res.social_cost);
+    std::printf("approximation bound W*Xi: %.3f\n", res.ratio_bound);
+    return res.feasible ? 0 : 1;
+  }
+  if (mech == "vcg") {
+    const auto res =
+        auction::run_vcg(inst, 4000000, f.get_double("reserve", 0.0));
+    print_outcome(inst, res.winners, res.payments, res.feasible,
+                  res.social_cost);
+    if (!res.pivotal_monopolists.empty()) {
+      std::printf("note: %zu pivotal winner(s) paid the fallback price\n",
+                  res.pivotal_monopolists.size());
+    }
+    return res.feasible ? 0 : 1;
+  }
+  if (mech == "pay-as-bid") {
+    const auto res = auction::pay_as_bid_greedy(inst);
+    std::vector<double> payments;
+    for (std::size_t idx : res.winners) payments.push_back(inst.bids[idx].price);
+    print_outcome(inst, res.winners, payments, res.feasible, res.social_cost);
+    return res.feasible ? 0 : 1;
+  }
+  if (mech == "exact") {
+    const auto res = auction::solve_exact(inst);
+    std::vector<double> payments;
+    for (std::size_t idx : res.chosen) payments.push_back(inst.bids[idx].price);
+    print_outcome(inst, res.chosen, payments, res.feasible, res.cost);
+    std::printf("exact: %s (nodes: %zu)\n", res.exact ? "yes" : "budget hit",
+                res.nodes);
+    return res.feasible ? 0 : 1;
+  }
+  std::printf("unknown mechanism '%s'\n", mech.c_str());
+  return usage();
+}
+
+int cmd_solve_online(const flags& f) {
+  const std::string in = f.get_string("in", "");
+  if (in.empty()) return usage();
+  const auto inst = auction::read_online_instance_file(in);
+  auction::msoa_options opts;
+  opts.alpha = f.get_double("alpha", 0.0);
+  const auto res = auction::run_msoa(inst, opts);
+  table t({"round", "admitted", "winners", "cost", "paid", "feasible"});
+  for (const auto& round : res.rounds) {
+    double paid = 0.0;
+    for (double p : round.payments) paid += p;
+    t.add_row({static_cast<long long>(round.round),
+               static_cast<long long>(round.admitted_bids),
+               static_cast<long long>(round.winner_bids.size()),
+               round.social_cost, paid,
+               std::string(round.feasible ? "yes" : "NO")});
+  }
+  std::printf("%s", t.to_ascii().c_str());
+  std::printf(
+      "total cost %.3f, payments %.3f, alpha %.3f, beta %.3f, "
+      "guarantee %.3f\n",
+      res.social_cost, res.total_payment, res.alpha, res.beta,
+      res.competitive_bound);
+  const double bound = auction::offline_lp_bound(inst);
+  std::printf("offline LP bound %.3f => realized ratio %.3f\n", bound,
+              bound > 0.0 ? res.social_cost / bound : 0.0);
+  return res.feasible ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const ecrs::flags f(argc - 1, argv + 1);
+  try {
+    if (command == "generate") return cmd_generate(f);
+    if (command == "solve") return cmd_solve(f);
+    if (command == "generate-online") return cmd_generate_online(f);
+    if (command == "solve-online") return cmd_solve_online(f);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
