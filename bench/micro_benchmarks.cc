@@ -29,23 +29,25 @@ ecrs::auction::single_stage_instance make_instance(std::size_t sellers,
   return ecrs::auction::random_instance(cfg, gen);
 }
 
-void BM_SsamSelection(benchmark::State& state) {
+// Before/after pair: the original eager O(n²·m) selection scan vs the lazy
+// heap that greedy_selection now routes through.
+void BM_SsamSelectionEager(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::eager_greedy_selection(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SsamSelectionEager)->RangeMultiplier(2)->Range(25, 400)->Complexity();
+
+void BM_SsamSelectionLazy(benchmark::State& state) {
   const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ecrs::auction::greedy_selection(inst));
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_SsamSelection)->RangeMultiplier(2)->Range(25, 400)->Complexity();
-
-void BM_LazyGreedySelection(benchmark::State& state) {
-  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ecrs::auction::lazy_greedy_selection(inst));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_LazyGreedySelection)->RangeMultiplier(2)->Range(25, 400)->Complexity();
+BENCHMARK(BM_SsamSelectionLazy)->RangeMultiplier(2)->Range(25, 400)->Complexity();
 
 void BM_LocalSearchImprovement(benchmark::State& state) {
   const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
@@ -72,6 +74,59 @@ void BM_SsamCriticalValuePayments(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SsamCriticalValuePayments)->Arg(10)->Arg(25);
+
+// Before/after pair for the full critical-value mechanism at the paper's
+// largest single-round size (75 sellers × 5 bids): the legacy path (eager
+// rescans, full probe auctions, serial payments) vs the current default
+// (lazy heap, early-exit probes, parallel payments). Both runs are verified
+// to produce identical winner sequences and payments (the bisection
+// tolerance is shared) before timing starts.
+const ecrs::auction::single_stage_instance& critical_value_75x5_instance() {
+  static const auto inst = make_instance(75, 5, 5);
+  return inst;
+}
+
+void verify_eager_lazy_equivalence(benchmark::State& state,
+                                   const ecrs::auction::ssam_result& eager,
+                                   const ecrs::auction::ssam_result& lazy) {
+  if (eager.winners.size() != lazy.winners.size()) {
+    state.SkipWithError("eager/lazy winner counts diverged");
+    return;
+  }
+  for (std::size_t i = 0; i < eager.winners.size(); ++i) {
+    if (eager.winners[i].bid_index != lazy.winners[i].bid_index ||
+        eager.winners[i].payment != lazy.winners[i].payment) {
+      state.SkipWithError("eager/lazy winners or payments diverged");
+      return;
+    }
+  }
+}
+
+void BM_SsamCriticalValue75x5Eager(benchmark::State& state) {
+  const auto& inst = critical_value_75x5_instance();
+  ecrs::auction::ssam_options before;
+  before.rule = ecrs::auction::payment_rule::critical_value;
+  before.eager_reference = true;
+  before.payment_threads = 1;
+  ecrs::auction::ssam_options after;
+  after.rule = ecrs::auction::payment_rule::critical_value;
+  verify_eager_lazy_equivalence(state, ecrs::auction::run_ssam(inst, before),
+                                ecrs::auction::run_ssam(inst, after));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::run_ssam(inst, before));
+  }
+}
+BENCHMARK(BM_SsamCriticalValue75x5Eager);
+
+void BM_SsamCriticalValue75x5Lazy(benchmark::State& state) {
+  const auto& inst = critical_value_75x5_instance();
+  ecrs::auction::ssam_options after;
+  after.rule = ecrs::auction::payment_rule::critical_value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::run_ssam(inst, after));
+  }
+}
+BENCHMARK(BM_SsamCriticalValue75x5Lazy);
 
 void BM_ExactDp(benchmark::State& state) {
   const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 1, 2);

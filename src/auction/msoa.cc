@@ -97,8 +97,18 @@ msoa_round_outcome msoa_session::run_round(const single_stage_instance& round) {
 
     outcome.winner_bids.push_back(orig);
     outcome.true_prices.push_back(b.price);
-    // Unscale the payment; never below the true asking price (IR).
-    outcome.payments.push_back(std::max(b.price, w.payment - scale_term));
+    // Unscale the payment; never below the true asking price (IR). Every
+    // payment rule must pay at least the scaled asking price, so the
+    // unscaled value is finite and non-negative BEFORE the IR clamp — a
+    // payment rule that violates this would otherwise be silently laundered
+    // through std::max below.
+    const double unscaled = w.payment - scale_term;
+    ECRS_CHECK_MSG(std::isfinite(unscaled) && unscaled >= 0.0,
+                   "seller " << b.seller << " round " << t
+                             << ": unscaled payment " << unscaled
+                             << " (scaled " << w.payment << ", scale term "
+                             << scale_term << ") is negative or non-finite");
+    outcome.payments.push_back(std::max(b.price, unscaled));
     outcome.social_cost += b.price;
 
     // Algorithm 2 lines 11-12: ψ and χ updates for winners.

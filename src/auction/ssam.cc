@@ -1,17 +1,25 @@
 #include "auction/ssam.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <queue>
 #include <utility>
 
 #include "common/check.h"
 #include "common/statistics.h"
+#include "common/thread_pool.h"
 
 namespace ecrs::auction {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Hard cap on bisection rounds: the relative-gap criterion can stall only
+// when the critical value degenerates towards zero, in which case the
+// absolute floor below ends the search.
+constexpr std::size_t kMaxBisectionRounds = 200;
+constexpr double kBisectionAbsoluteFloor = 1e-12;
 
 // Cost-effectiveness of a bid given the current coverage state; infinite
 // when the bid adds nothing.
@@ -22,17 +30,37 @@ double ratio_of(const bid& b, double price, const coverage_state& state,
   return price / static_cast<double>(utility_out);
 }
 
-// Shared greedy loop. `price_override` (optional) replaces the price of one
-// bid (for critical-value probing). Reports each selection through `on_win`,
-// which may inspect the candidate set via the provided actives/ratios and
-// returns false to veto the selection and stop (budget exhaustion).
+// Both greedy loops share one callback contract. `price_override` (optional,
+// `override_index == bids.size()` disables it) replaces the price of one bid
+// for critical-value probing. Each selection is reported through `on_win`,
+// which may inspect the candidate set via the provided coverage state and
+// `seller_active` vector (indexed by seller id — a bid is a candidate iff
+// its seller is active, constraint (9)) and returns false to veto the
+// selection and stop the auction (budget exhaustion, probe early exit).
+
+seller_id max_seller_of(const single_stage_instance& instance) {
+  seller_id max_seller = 0;
+  for (const bid& b : instance.bids) {
+    max_seller = std::max(max_seller, b.seller);
+  }
+  return max_seller;
+}
+
+// Reference implementation: full O(n·m) rescan of every active bid per
+// selection, with the original per-bid deactivation sweep. Kept only for
+// equivalence tests and before/after benchmarks — do not "optimize" it, its
+// cost profile IS the baseline being compared against. The seller_active
+// vector exists solely to satisfy the shared callback contract.
 template <typename OnWin>
-void greedy_loop(const single_stage_instance& instance,
-                 std::size_t override_index, double override_price,
-                 OnWin&& on_win) {
+void eager_greedy_loop(const single_stage_instance& instance,
+                       std::size_t override_index, double override_price,
+                       OnWin&& on_win) {
   const std::size_t nbids = instance.bids.size();
   coverage_state state(instance.requirements);
   std::vector<bool> active(nbids, true);
+  std::vector<bool> seller_active(
+      nbids == 0 ? 0 : static_cast<std::size_t>(max_seller_of(instance)) + 1,
+      true);
 
   auto price_of = [&](std::size_t idx) {
     return idx == override_index ? override_price : instance.bids[idx].price;
@@ -57,7 +85,7 @@ void greedy_loop(const single_stage_instance& instance,
     }
     if (best == nbids) break;  // nothing helps: requirements unsatisfiable
 
-    if (!on_win(best, best_utility, best_ratio, state, active)) break;
+    if (!on_win(best, best_utility, best_ratio, state, seller_active)) break;
 
     state.apply(instance.bids[best]);
     // Remove every bid of the winning seller (constraint (9)).
@@ -67,93 +95,280 @@ void greedy_loop(const single_stage_instance& instance,
         active[idx] = false;
       }
     }
+    seller_active[winner_seller] = false;
   }
 }
 
-}  // namespace
-
-std::vector<std::size_t> greedy_selection(
-    const single_stage_instance& instance) {
-  std::vector<std::size_t> winners;
-  greedy_loop(instance, instance.bids.size(), 0.0,
-              [&](std::size_t idx, units, double, const coverage_state&,
-                  const std::vector<bool>&) {
-                winners.push_back(idx);
-                return true;
-              });
-  return winners;
-}
-
-std::vector<std::size_t> lazy_greedy_selection(
-    const single_stage_instance& instance) {
-  instance.validate();
-  std::vector<std::size_t> winners;
+// The hot path: lazy evaluation on a min-heap of (stale ratio, bid index).
+// U_ij(E) is submodular — coverage only grows, so marginal utilities only
+// shrink and a bid's stale ratio is a LOWER bound on its current ratio.
+// A popped bid whose fresh ratio is still no worse than the next stale key
+// is therefore a true minimum; the index tie-break reproduces the eager
+// scan's deterministic ordering bit-for-bit.
+template <typename OnWin>
+void lazy_greedy_loop(const single_stage_instance& instance,
+                      std::size_t override_index, double override_price,
+                      OnWin&& on_win) {
   const std::size_t nbids = instance.bids.size();
   coverage_state state(instance.requirements);
-  std::vector<bool> active(nbids, true);
+  std::vector<bool> seller_active(
+      nbids == 0 ? 0 : static_cast<std::size_t>(max_seller_of(instance)) + 1,
+      true);
 
-  // Min-heap on (stale ratio, bid index); the index tie-break reproduces
-  // the eager loop's deterministic ordering.
+  auto price_of = [&](std::size_t idx) {
+    return idx == override_index ? override_price : instance.bids[idx].price;
+  };
+
   using entry = std::pair<double, std::size_t>;
-  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap;
+  std::vector<entry> seed;
+  seed.reserve(nbids);
   for (std::size_t idx = 0; idx < nbids; ++idx) {
     units utility = 0;
     const double ratio =
-        ratio_of(instance.bids[idx], instance.bids[idx].price, state, utility);
-    if (ratio != kInf) heap.emplace(ratio, idx);
+        ratio_of(instance.bids[idx], price_of(idx), state, utility);
+    if (ratio != kInf) seed.emplace_back(ratio, idx);
   }
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap(
+      std::greater<>{}, std::move(seed));
 
   while (!state.satisfied() && !heap.empty()) {
     const auto [stale_ratio, idx] = heap.top();
     heap.pop();
-    if (!active[idx]) continue;
+    if (!seller_active[instance.bids[idx].seller]) continue;
     units utility = 0;
     const double ratio =
-        ratio_of(instance.bids[idx], instance.bids[idx].price, state, utility);
+        ratio_of(instance.bids[idx], price_of(idx), state, utility);
     if (ratio == kInf) continue;  // no longer contributes
-    // Submodularity: ratio >= stale_ratio. Select only if still no worse
-    // than the next candidate's (lower-bound) key; ties go to the smaller
-    // index, exactly like the eager scan.
+    // Select only if still no worse than the next candidate's (lower-bound)
+    // key; ties go to the smaller index, exactly like the eager scan.
     if (!heap.empty()) {
       const auto& [next_ratio, next_idx] = heap.top();
-      if (ratio > next_ratio ||
-          (ratio == next_ratio && idx > next_idx)) {
+      if (ratio > next_ratio || (ratio == next_ratio && idx > next_idx)) {
         heap.emplace(ratio, idx);
         continue;
       }
     }
-    winners.push_back(idx);
+
+    if (!on_win(idx, utility, ratio, state, seller_active)) break;
+
     state.apply(instance.bids[idx]);
-    const seller_id winner_seller = instance.bids[idx].seller;
-    for (std::size_t other = 0; other < nbids; ++other) {
-      if (active[other] && instance.bids[other].seller == winner_seller) {
-        active[other] = false;
-      }
-    }
+    seller_active[instance.bids[idx].seller] = false;
   }
-  return winners;
 }
 
-bool wins_with_price(const single_stage_instance& instance,
-                     std::size_t bid_index, double price_report) {
-  ECRS_CHECK(bid_index < instance.bids.size());
-  ECRS_CHECK_MSG(price_report >= 0.0, "price reports must be non-negative");
+template <typename OnWin>
+void greedy_loop(const single_stage_instance& instance, bool eager,
+                 std::size_t override_index, double override_price,
+                 OnWin&& on_win) {
+  if (eager) {
+    eager_greedy_loop(instance, override_index, override_price,
+                      std::forward<OnWin>(on_win));
+  } else {
+    lazy_greedy_loop(instance, override_index, override_price,
+                     std::forward<OnWin>(on_win));
+  }
+}
+
+// Marginal utilities against the empty coverage state, shared by every
+// probe of the same instance.
+std::vector<units> initial_utilities_of(const single_stage_instance& instance) {
+  coverage_state state(instance.requirements);
+  std::vector<units> utilities;
+  utilities.reserve(instance.bids.size());
+  for (const bid& b : instance.bids) {
+    utilities.push_back(state.marginal_utility(b));
+  }
+  return utilities;
+}
+
+// Read-only probe context shared by every bisection probe of one instance:
+// the empty-state utilities plus all contributing bids pre-sorted by
+// (initial ratio, bid index) — exactly the order a fresh lazy heap would
+// pop them in. Building it costs one O(n log n) sort; each probe then walks
+// it with a cursor instead of re-heapifying n entries.
+struct probe_seed {
+  std::vector<units> initial_utilities;
+  std::vector<std::pair<double, std::size_t>> entries;  // ascending
+  std::size_t seller_slots = 0;  // max seller id + 1
+};
+
+probe_seed make_probe_seed(const single_stage_instance& instance) {
+  probe_seed seed;
+  seed.initial_utilities = initial_utilities_of(instance);
+  seed.entries.reserve(instance.bids.size());
+  for (std::size_t idx = 0; idx < instance.bids.size(); ++idx) {
+    const units utility = seed.initial_utilities[idx];
+    if (utility > 0) {
+      seed.entries.emplace_back(
+          instance.bids[idx].price / static_cast<double>(utility), idx);
+    }
+  }
+  std::sort(seed.entries.begin(), seed.entries.end());
+  seed.seller_slots = instance.bids.empty()
+                          ? 0
+                          : static_cast<std::size_t>(max_seller_of(instance)) + 1;
+  return seed;
+}
+
+// Lazy probe with early exit: does `bid_index` win when reporting
+// `price_report`? Same selection rule as lazy_greedy_loop, but the candidate
+// heap is split into three sources so nothing O(n) is rebuilt per probe:
+//  - the shared pre-sorted seed, consumed through a cursor (stale initial
+//    keys — lower bounds by submodularity);
+//  - a small heap of entries that were popped and re-keyed this probe;
+//  - one slot for the probed bid (its key uses the overridden price, so it
+//    cannot live in the shared seed).
+// Taking the (key, index)-lexicographic minimum over the three heads is
+// equivalent to popping one heap holding all of them, so the selection
+// sequence — and therefore the win/lose verdict — matches the generic loops
+// bit for bit. The probe exits the moment the verdict is decided: the
+// probed bid is selected (win), its marginal utility hits zero (it can
+// never be selected later — loss), or its seller wins through another bid
+// (constraint (9) — loss).
+bool lazy_probe_wins(const single_stage_instance& instance,
+                     const probe_seed& seed, std::size_t bid_index,
+                     double price_report) {
+  const units probed_utility = seed.initial_utilities[bid_index];
+  if (probed_utility <= 0) return false;  // contributes nothing, never wins
+  const seller_id probed_seller = instance.bids[bid_index].seller;
+
+  coverage_state state(instance.requirements);
+  std::vector<bool> seller_active(seed.seller_slots, true);
+
+  using entry = std::pair<double, std::size_t>;
+  std::size_t cursor = 0;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> requeued;
+  double probed_key = price_report / static_cast<double>(probed_utility);
+  bool probed_pending = true;
+
+  // Position the three heads on live candidates. The probed bid's seed
+  // entry is skipped (the slot represents it); entries of deactivated
+  // sellers are dead forever and are consumed/popped.
+  auto skim = [&] {
+    while (cursor < seed.entries.size() &&
+           (seed.entries[cursor].second == bid_index ||
+            !seller_active[instance.bids[seed.entries[cursor].second].seller])) {
+      ++cursor;
+    }
+    while (!requeued.empty() &&
+           !seller_active[instance.bids[requeued.top().second].seller]) {
+      requeued.pop();
+    }
+  };
+  // Minimum (key, index) over the three heads; false if all exhausted.
+  auto peek = [&](entry& out) {
+    bool found = false;
+    if (cursor < seed.entries.size()) {
+      out = seed.entries[cursor];
+      found = true;
+    }
+    if (!requeued.empty() && (!found || requeued.top() < out)) {
+      out = requeued.top();
+      found = true;
+    }
+    if (probed_pending) {
+      const entry probed{probed_key, bid_index};
+      if (!found || probed < out) {
+        out = probed;
+        found = true;
+      }
+    }
+    return found;
+  };
+
+  while (!state.satisfied()) {
+    skim();
+    entry head;
+    if (!peek(head)) return false;  // nothing helps: auction ends, bid lost
+    const std::size_t idx = head.second;
+    // Pop the head from its source.
+    if (idx == bid_index) {
+      probed_pending = false;
+    } else if (cursor < seed.entries.size() &&
+               seed.entries[cursor].second == idx) {
+      ++cursor;
+    } else {
+      requeued.pop();
+    }
+
+    units utility = 0;
+    const double price =
+        idx == bid_index ? price_report : instance.bids[idx].price;
+    const double ratio = ratio_of(instance.bids[idx], price, state, utility);
+    if (ratio == kInf) {
+      // No longer contributes. For the probed bid this is terminal: its
+      // marginal utility can only shrink further (submodularity).
+      if (idx == bid_index) return false;
+      continue;
+    }
+    entry next;
+    if (peek(next) &&
+        (ratio > next.first || (ratio == next.first && idx > next.second))) {
+      if (idx == bid_index) {
+        probed_key = ratio;
+        probed_pending = true;
+      } else {
+        requeued.emplace(ratio, idx);
+      }
+      continue;
+    }
+
+    // Selected.
+    if (idx == bid_index) return true;
+    if (instance.bids[idx].seller == probed_seller) return false;
+    state.apply(instance.bids[idx]);
+    seller_active[instance.bids[idx].seller] = false;
+  }
+  return false;  // requirements met without the probed bid
+}
+
+// Generic probe core (both loop flavours). With `early_exit`, the replayed
+// auction stops the moment the verdict is decided: the probed bid was
+// selected (won), or another bid of the same seller was selected, which
+// deactivates the probed bid for the rest of the round (lost).
+bool wins_with_price_impl(const single_stage_instance& instance,
+                          std::size_t bid_index, double price_report,
+                          bool eager, bool early_exit) {
+  const seller_id probed_seller = instance.bids[bid_index].seller;
   bool won = false;
-  greedy_loop(instance, bid_index, price_report,
+  greedy_loop(instance, eager, bid_index, price_report,
               [&](std::size_t idx, units, double, const coverage_state&,
                   const std::vector<bool>&) {
-                won = won || idx == bid_index;
+                if (idx == bid_index) {
+                  won = true;
+                  return !early_exit;
+                }
+                if (early_exit &&
+                    instance.bids[idx].seller == probed_seller) {
+                  return false;  // constraint (9) bars the probed bid now
+                }
                 return true;
               });
   return won;
 }
 
-double critical_value_payment(const single_stage_instance& instance,
-                              std::size_t bid_index,
-                              std::size_t search_iterations) {
+// When `seed` is non-null the probes run through `lazy_probe_wins` (the hot
+// path); otherwise the generic loop selected by `eager` replays the full
+// auction per probe (the before/after reference).
+double critical_value_payment_impl(const single_stage_instance& instance,
+                                   std::size_t bid_index, double relative_eps,
+                                   bool eager, const probe_seed* seed) {
   ECRS_CHECK(bid_index < instance.bids.size());
+  ECRS_CHECK_MSG(relative_eps > 0.0 && relative_eps < 1.0,
+                 "bisection tolerance must be in (0, 1)");
+  probe_seed local_seed;
+  if (!eager && seed == nullptr) {
+    local_seed = make_probe_seed(instance);
+    seed = &local_seed;
+  }
+  auto probe = [&](double report) {
+    return seed != nullptr
+               ? lazy_probe_wins(instance, *seed, bid_index, report)
+               : wins_with_price_impl(instance, bid_index, report, eager,
+                                      /*early_exit=*/false);
+  };
   const double own_price = instance.bids[bid_index].price;
-  ECRS_CHECK_MSG(wins_with_price(instance, bid_index, own_price),
+  ECRS_CHECK_MSG(probe(own_price),
                  "critical value requested for a losing bid");
 
   // Upper probe: a report so high the bid can only win if it faces no
@@ -166,16 +381,19 @@ double critical_value_payment(const single_stage_instance& instance,
   }
   const double hi_probe =
       (max_price + 1.0) * static_cast<double>(std::max<units>(total_supply, 1));
-  if (wins_with_price(instance, bid_index, hi_probe)) {
+  if (probe(hi_probe)) {
     // No competition can displace this bid: pay-as-bid fallback.
     return own_price;
   }
 
-  double lo = own_price;   // wins
-  double hi = hi_probe;    // loses
-  for (std::size_t it = 0; it < search_iterations; ++it) {
+  double lo = own_price;  // certified winning
+  double hi = hi_probe;   // certified losing
+  for (std::size_t round = 0;
+       round < kMaxBisectionRounds && hi - lo > relative_eps * hi &&
+       hi - lo > kBisectionAbsoluteFloor;
+       ++round) {
     const double mid = 0.5 * (lo + hi);
-    if (wins_with_price(instance, bid_index, mid)) {
+    if (probe(mid)) {
       lo = mid;
     } else {
       hi = mid;
@@ -184,18 +402,67 @@ double critical_value_payment(const single_stage_instance& instance,
   return lo;
 }
 
+}  // namespace
+
+std::vector<std::size_t> greedy_selection(
+    const single_stage_instance& instance) {
+  std::vector<std::size_t> winners;
+  lazy_greedy_loop(instance, instance.bids.size(), 0.0,
+                   [&](std::size_t idx, units, double, const coverage_state&,
+                       const std::vector<bool>&) {
+                     winners.push_back(idx);
+                     return true;
+                   });
+  return winners;
+}
+
+std::vector<std::size_t> eager_greedy_selection(
+    const single_stage_instance& instance) {
+  std::vector<std::size_t> winners;
+  eager_greedy_loop(instance, instance.bids.size(), 0.0,
+                    [&](std::size_t idx, units, double, const coverage_state&,
+                        const std::vector<bool>&) {
+                      winners.push_back(idx);
+                      return true;
+                    });
+  return winners;
+}
+
+std::vector<std::size_t> lazy_greedy_selection(
+    const single_stage_instance& instance) {
+  instance.validate();
+  return greedy_selection(instance);
+}
+
+bool wins_with_price(const single_stage_instance& instance,
+                     std::size_t bid_index, double price_report) {
+  ECRS_CHECK(bid_index < instance.bids.size());
+  ECRS_CHECK_MSG(price_report >= 0.0, "price reports must be non-negative");
+  const probe_seed seed = make_probe_seed(instance);
+  return lazy_probe_wins(instance, seed, bid_index, price_report);
+}
+
+double critical_value_payment(const single_stage_instance& instance,
+                              std::size_t bid_index, double relative_eps) {
+  return critical_value_payment_impl(instance, bid_index, relative_eps,
+                                     /*eager=*/false, nullptr);
+}
+
 ssam_result run_ssam(const single_stage_instance& instance,
                      const ssam_options& options) {
   instance.validate();
   ECRS_CHECK_MSG(options.payment_budget >= 0.0,
                  "payment budget must be non-negative");
+  ECRS_CHECK_MSG(
+      options.critical_value_eps > 0.0 && options.critical_value_eps < 1.0,
+      "bisection tolerance must be in (0, 1)");
   ssam_result result;
   double budget_spent = 0.0;  // runner-up payment estimates
 
   greedy_loop(
-      instance, instance.bids.size(), 0.0,
+      instance, options.eager_reference, instance.bids.size(), 0.0,
       [&](std::size_t idx, units utility, double ratio,
-          const coverage_state& state, const std::vector<bool>& active) {
+          const coverage_state& state, const std::vector<bool>& seller_active) {
         winning_bid w;
         w.bid_index = idx;
         w.utility_at_selection = utility;
@@ -211,8 +478,9 @@ ssam_result run_ssam(const single_stage_instance& instance,
           const seller_id self = instance.bids[idx].seller;
           double runner_ratio = kInf;
           for (std::size_t other = 0; other < instance.bids.size(); ++other) {
-            if (!active[other] || other == idx) continue;
+            if (other == idx) continue;
             if (instance.bids[other].seller == self) continue;
+            if (!seller_active[instance.bids[other].seller]) continue;
             units u = 0;
             const double r = ratio_of(instance.bids[other],
                                       instance.bids[other].price, state, u);
@@ -244,9 +512,51 @@ ssam_result run_ssam(const single_stage_instance& instance,
       });
 
   if (options.rule == payment_rule::critical_value) {
-    for (winning_bid& w : result.winners) {
-      w.payment = critical_value_payment(instance, w.bid_index,
-                                         options.critical_search_iterations);
+    // Every payment is an independent pure probe of the instance, so they
+    // run concurrently; each worker writes only its own winner's slot, so
+    // the outcome is identical for any thread count. The pre-sorted probe
+    // seed is shared read-only across every probe of every winner.
+    const probe_seed seed = options.eager_reference
+                                ? probe_seed{}
+                                : make_probe_seed(instance);
+    auto pay_one = [&](std::size_t pos) {
+      result.winners[pos].payment = critical_value_payment_impl(
+          instance, result.winners[pos].bid_index, options.critical_value_eps,
+          options.eager_reference,
+          options.eager_reference ? nullptr : &seed);
+    };
+    if (options.payment_threads == 1 || result.winners.size() < 2) {
+      for (std::size_t pos = 0; pos < result.winners.size(); ++pos) {
+        pay_one(pos);
+      }
+    } else {
+      thread_pool::shared().parallel_for(result.winners.size(), pay_one,
+                                         options.payment_threads);
+    }
+
+    // Budget re-verification: the in-loop gate only saw runner-up
+    // ESTIMATES; the actual critical-value payments can exceed them. Drop
+    // trailing winners (reverse selection order) until the realized total
+    // respects W, then let the feasibility replay below re-certify the
+    // surviving set (paper §IV budget feasibility).
+    if (options.payment_budget > 0.0) {
+      double total = 0.0;
+      for (const winning_bid& w : result.winners) total += w.payment;
+      while (!result.winners.empty() && total > options.payment_budget) {
+        const winning_bid& last = result.winners.back();
+        total -= last.payment;
+        result.unit_shares.resize(
+            result.unit_shares.size() -
+            static_cast<std::size_t>(last.utility_at_selection));
+        result.winners.pop_back();
+        ++result.budget_dropped;
+      }
+      if (result.budget_dropped > 0) {
+        result.social_cost = 0.0;
+        for (const winning_bid& w : result.winners) {
+          result.social_cost += instance.bids[w.bid_index].price;
+        }
+      }
     }
   }
 

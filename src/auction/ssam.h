@@ -12,6 +12,16 @@
 //    at which the bid still wins, found by binary search over re-runs of the
 //    greedy selection (monotone by Lemma 2). Exactly truthful.
 //
+// Selection runs on a lazy-greedy heap: U_ij(E) is submodular (marginal
+// utilities only shrink as coverage grows), so a bid's stale heap key is a
+// lower bound on its current ratio and most bids are never re-evaluated.
+// The heap orders (ratio, bid index), reproducing the eager scan's
+// deterministic tie-breaking bit-for-bit; `eager_greedy_selection` and
+// `ssam_options::eager_reference` retain the original O(n²·m) scan as the
+// equivalence/benchmark reference. Critical-value payments are independent
+// pure probes of the instance and are computed in parallel on a shared
+// thread pool (`ssam_options::payment_threads`).
+//
 // The result carries the Theorem 3 dual certificate: per-unit price shares
 // f(i,Ŝ), their spread Ξ, the harmonic factor W, and the ratio bound W·Ξ.
 #pragma once
@@ -27,14 +37,33 @@ enum class payment_rule { runner_up, critical_value };
 
 struct ssam_options {
   payment_rule rule = payment_rule::runner_up;
-  // Binary-search iterations for critical-value payments.
-  std::size_t critical_search_iterations = 60;
+  // Relative termination gap for the critical-value bisection: the search
+  // stops once (hi - lo) / hi < critical_value_eps and returns the last
+  // probe certified to win (lo), so a payment under-approximates the true
+  // critical value by at most this relative amount. Must be in (0, 1).
+  double critical_value_eps = 1e-9;
   // Platform payment budget W (paper §IV: the process continues "until the
   // total budget W is depleted or the last microservice has been
-  // processed"). 0 = unlimited. Enforced against the in-loop runner-up
-  // payment estimates: a bid is not accepted if paying it would exceed W,
-  // and selection stops there; the outcome may then be infeasible.
+  // processed"). 0 = unlimited. Selection is gated by the in-loop runner-up
+  // payment estimates: a bid is not accepted if paying the estimate would
+  // exceed W, and selection stops there (the outcome may then be
+  // infeasible). Under payment_rule::runner_up the estimates ARE the
+  // payments, so the bound is exact. Under payment_rule::critical_value the
+  // actual payments are re-verified after they are computed: trailing
+  // winners are dropped in reverse selection order until
+  // total_payment <= W, with the count in ssam_result::budget_dropped and
+  // feasibility replayed against the surviving set.
   double payment_budget = 0.0;
+  // Worker threads for the critical-value payment probes: 0 = the shared
+  // process-wide pool (sized to the hardware), 1 = serial on the calling
+  // thread, k > 1 = at most k workers. Payments are written to disjoint
+  // slots, so the result is identical for every setting.
+  std::size_t payment_threads = 0;
+  // Route selection and payment probes through the original eager O(n²·m)
+  // scan with full (non-early-exit) probe auctions. Kept for equivalence
+  // tests and the before/after micro-benchmarks; must produce the same
+  // winners and payments as the default lazy path.
+  bool eager_reference = false;
 };
 
 struct winning_bid {
@@ -49,6 +78,9 @@ struct ssam_result {
   bool feasible = false;             // all requirements satisfied
   double social_cost = 0.0;          // sum of winning prices
   double total_payment = 0.0;        // sum of payments
+  // Winners evicted by the post-payment budget re-check (critical-value
+  // rule with payment_budget > 0 only; see ssam_options::payment_budget).
+  std::size_t budget_dropped = 0;
 
   // Theorem 3 dual certificate.
   std::vector<double> unit_shares;   // one f(i,Ŝ) value per covered unit
@@ -64,28 +96,36 @@ struct ssam_result {
 [[nodiscard]] ssam_result run_ssam(const single_stage_instance& instance,
                                    const ssam_options& options = {});
 
-// Selection only (no payments): the greedy winner set in selection order.
+// Selection only (no payments): the greedy winner set in selection order,
+// computed with the lazy-greedy heap.
 [[nodiscard]] std::vector<std::size_t> greedy_selection(
     const single_stage_instance& instance);
 
-// Same winner set as greedy_selection (bitwise-identical tie-breaking), but
-// computed with a lazy-evaluation heap: U_ij(E) is submodular (marginal
-// utilities only shrink as coverage grows), so a bid's stale ratio is a
-// lower bound and most bids are never re-evaluated. Preferable for large
-// instances; see bench/micro_benchmarks for the crossover.
+// The original eager O(n²·m) scan, kept as the bit-for-bit reference for
+// greedy_selection (equivalence tests, before/after benchmarks).
+[[nodiscard]] std::vector<std::size_t> eager_greedy_selection(
+    const single_stage_instance& instance);
+
+// Backwards-compatible alias of greedy_selection (both are lazy now).
 [[nodiscard]] std::vector<std::size_t> lazy_greedy_selection(
     const single_stage_instance& instance);
 
 // Does `bid_index` win the greedy selection if its price is replaced by
-// `price_report` (all other bids unchanged)?
+// `price_report` (all other bids unchanged)? Exits the replayed auction as
+// soon as the verdict is decided: when the probed bid is selected, or when
+// another bid of the same seller is selected (constraint (9) then bars the
+// probed bid for the rest of the round).
 [[nodiscard]] bool wins_with_price(const single_stage_instance& instance,
                                    std::size_t bid_index, double price_report);
 
 // The Myerson critical value for a winning bid: the supremum report that
-// still wins. Returns the bid's own price when it faces no competition
-// (pay-as-bid fallback, documented in DESIGN.md).
+// still wins, bisected until the relative gap drops below `relative_eps`
+// (the returned value is the largest probe certified to win, so it is below
+// the true critical value by at most that relative amount). Returns the
+// bid's own price when it faces no competition (pay-as-bid fallback,
+// documented in DESIGN.md).
 [[nodiscard]] double critical_value_payment(
     const single_stage_instance& instance, std::size_t bid_index,
-    std::size_t search_iterations = 60);
+    double relative_eps = 1e-9);
 
 }  // namespace ecrs::auction

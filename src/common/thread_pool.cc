@@ -1,0 +1,124 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace ecrs {
+namespace {
+
+// Shared drain state of one parallel_for call. Kept alive by shared_ptr so
+// pool tasks that start after the caller already returned (e.g. when an
+// exception cut the range short) find valid state and exit immediately.
+struct drain_state {
+  std::function<void(std::size_t)> fn;
+  std::size_t n = 0;
+  std::mutex m;
+  std::condition_variable done;
+  std::size_t next = 0;       // first unclaimed index
+  std::size_t in_flight = 0;  // claimed but not yet finished
+  std::exception_ptr err;
+};
+
+void drain(const std::shared_ptr<drain_state>& s) {
+  for (;;) {
+    std::size_t index;
+    {
+      std::lock_guard<std::mutex> lock(s->m);
+      if (s->next >= s->n) return;
+      index = s->next++;
+      ++s->in_flight;
+    }
+    try {
+      s->fn(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(s->m);
+      if (!s->err) s->err = std::current_exception();
+      s->next = s->n;  // abandon the rest of the range
+    }
+    {
+      std::lock_guard<std::mutex> lock(s->m);
+      --s->in_flight;
+      if (s->next >= s->n && s->in_flight == 0) s->done.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+thread_pool::thread_pool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void thread_pool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping, queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void thread_pool::parallel_for(std::size_t n,
+                               const std::function<void(std::size_t)>& fn,
+                               std::size_t max_workers) {
+  if (n == 0) return;
+  auto state = std::make_shared<drain_state>();
+  state->fn = fn;
+  state->n = n;
+
+  // One helper per worker (capped by the range and by `max_workers`, which
+  // counts the calling thread); the caller drains too, so n == 1 or a fully
+  // busy pool never deadlocks.
+  std::size_t helpers = n > 1 ? std::min(size(), n) : 0;
+  if (max_workers > 0) helpers = std::min(helpers, max_workers - 1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      tasks_.emplace_back([state] { drain(state); });
+    }
+  }
+  if (helpers > 0) work_ready_.notify_all();
+
+  drain(state);
+  std::unique_lock<std::mutex> lock(state->m);
+  state->done.wait(lock, [&state] {
+    return state->next >= state->n && state->in_flight == 0;
+  });
+  if (state->err) std::rethrow_exception(state->err);
+}
+
+thread_pool& thread_pool::shared() {
+  static thread_pool pool;
+  return pool;
+}
+
+void parallel_for(thread_pool* pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->parallel_for(n, fn);
+}
+
+}  // namespace ecrs

@@ -2,6 +2,8 @@
 // local-search improvement heuristic.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "auction/exact.h"
 #include "auction/instance_gen.h"
 #include "auction/local_search.h"
@@ -36,7 +38,7 @@ TEST_P(LazyGreedySweep, MatchesEagerGreedyExactly) {
   cfg.demanders = 1 + static_cast<std::size_t>(gen.uniform_int(0, 5));
   cfg.bids_per_seller = 1 + static_cast<std::size_t>(gen.uniform_int(0, 3));
   const auto inst = random_instance(cfg, gen);
-  const auto eager = greedy_selection(inst);
+  const auto eager = eager_greedy_selection(inst);
   const auto lazy = lazy_greedy_selection(inst);
   EXPECT_EQ(lazy, eager);
 }
@@ -50,7 +52,7 @@ TEST(LazyGreedy, HandlesTiesLikeEager) {
   inst.requirements = {4};
   inst.bids = {make_bid(0, {0}, 4, 10.0), make_bid(1, {0}, 4, 10.0),
                make_bid(2, {0}, 4, 10.0)};
-  EXPECT_EQ(lazy_greedy_selection(inst), greedy_selection(inst));
+  EXPECT_EQ(lazy_greedy_selection(inst), eager_greedy_selection(inst));
   EXPECT_EQ(lazy_greedy_selection(inst), (std::vector<std::size_t>{0}));
 }
 
@@ -66,7 +68,7 @@ TEST(LazyGreedy, StopsOnUnsatisfiableInstances) {
   inst.requirements = {100};
   inst.bids = {make_bid(0, {0}, 2, 1.0), make_bid(1, {0}, 2, 2.0)};
   const auto lazy = lazy_greedy_selection(inst);
-  EXPECT_EQ(lazy, greedy_selection(inst));
+  EXPECT_EQ(lazy, eager_greedy_selection(inst));
   EXPECT_EQ(lazy.size(), 2u);  // takes everything useful, then stops
 }
 
@@ -77,8 +79,45 @@ TEST(LazyGreedy, LargeInstanceAgreesWithEager) {
   cfg.demanders = 8;
   cfg.bids_per_seller = 2;
   const auto inst = random_instance(cfg, gen);
-  EXPECT_EQ(lazy_greedy_selection(inst), greedy_selection(inst));
+  EXPECT_EQ(lazy_greedy_selection(inst), eager_greedy_selection(inst));
 }
+
+// ------------------------------------------------------- early-exit probes
+
+// Reference verdict without any early exit or price-override machinery: set
+// the probed bid's price in a copy of the instance and check membership in
+// the plain greedy selection.
+bool wins_by_reference(const single_stage_instance& inst, std::size_t idx,
+                       double report) {
+  single_stage_instance modified = inst;
+  modified.bids[idx].price = report;
+  const auto winners = greedy_selection(modified);
+  return std::find(winners.begin(), winners.end(), idx) != winners.end();
+}
+
+class ProbeEarlyExitSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProbeEarlyExitSweep, VerdictMatchesFullReplay) {
+  rng gen(GetParam() * 104729 + 17);
+  instance_config cfg;
+  cfg.sellers = 3 + static_cast<std::size_t>(gen.uniform_int(0, 12));
+  cfg.demanders = 1 + static_cast<std::size_t>(gen.uniform_int(0, 4));
+  cfg.bids_per_seller = 1 + static_cast<std::size_t>(gen.uniform_int(0, 2));
+  const auto inst = random_instance(cfg, gen);
+  for (std::size_t idx = 0; idx < inst.bids.size(); ++idx) {
+    // Probe below, at, and well above the bid's own price; early exit must
+    // never flip a verdict relative to replaying the whole auction.
+    for (const double factor : {0.25, 1.0, 4.0, 64.0}) {
+      const double report = inst.bids[idx].price * factor;
+      EXPECT_EQ(wins_with_price(inst, idx, report),
+                wins_by_reference(inst, idx, report))
+          << "bid " << idx << " report " << report;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProbeEarlyExitSweep,
+                         ::testing::Range<std::uint64_t>(1, 16));
 
 // ------------------------------------------------------------ local search
 

@@ -245,6 +245,78 @@ TEST(BudgetedSsam, RejectsNegativeBudget) {
   EXPECT_THROW(run_ssam(inst, opts), check_error);
 }
 
+// The in-loop budget gate only sees runner-up ESTIMATES; under the
+// critical-value rule the realized Myerson payment can be far larger. In
+// this gadget the winner's at-selection runner-up is a cheap bid covering
+// only part of its coverage (estimate 4 × 0.6 = 2.4) while the alternative
+// that eventually binds the critical value is expensive (40).
+single_stage_instance divergent_budget_instance() {
+  single_stage_instance inst;
+  inst.requirements = {2, 2};
+  inst.bids = {make_bid(0, {0, 1}, 2, 2.0),  // wins everything, ratio 0.5
+               make_bid(1, {0}, 2, 1.2),     // cheap runner-up, ratio 0.6
+               make_bid(2, {1}, 2, 40.0)};   // pricey fallback, ratio 20
+  return inst;
+}
+
+TEST(BudgetedSsam, RunnerUpEstimateUnderstatesCriticalPayment) {
+  const auto inst = divergent_budget_instance();
+  ssam_options critical;
+  critical.rule = payment_rule::critical_value;
+  const auto unbudgeted = run_ssam(inst, critical);
+  ASSERT_EQ(unbudgeted.winners.size(), 1u);
+  EXPECT_EQ(unbudgeted.winners[0].bid_index, 0u);
+  // Bid 0 keeps winning until bid 2's ratio binds: 40/2 = p/2 at p = 40.
+  EXPECT_NEAR(unbudgeted.winners[0].payment, 40.0, 1e-6);
+
+  // The same winner's runner-up estimate — what the in-loop gate charges
+  // against W — is only 2.4.
+  ssam_options runner;
+  runner.payment_budget = 10.0;
+  const auto estimated = run_ssam(inst, runner);
+  ASSERT_EQ(estimated.winners.size(), 1u);
+  EXPECT_NEAR(estimated.total_payment, 2.4, 1e-9);
+}
+
+TEST(BudgetedSsam, CriticalPaymentsReverifiedAgainstBudget) {
+  // Regression: with W = 10 the estimate (2.4) passes the in-loop gate but
+  // the realized critical payment (40) violates the budget. Before the
+  // re-verification pass this returned total_payment = 40 > W.
+  const auto inst = divergent_budget_instance();
+  ssam_options opts;
+  opts.rule = payment_rule::critical_value;
+  opts.payment_budget = 10.0;
+  const auto res = run_ssam(inst, opts);
+  EXPECT_EQ(res.budget_dropped, 1u);
+  EXPECT_TRUE(res.winners.empty());
+  EXPECT_DOUBLE_EQ(res.total_payment, 0.0);
+  EXPECT_TRUE(res.unit_shares.empty());
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(BudgetedSsam, DropsOnlyTrailingWinnersOnPartialOverrun) {
+  // Two independent winners: a cheap one (critical payment 2) selected
+  // first and the divergent gadget (critical payment 40) selected second.
+  // With W = 30 only the trailing winner must go.
+  single_stage_instance inst;
+  inst.requirements = {2, 2, 2};
+  inst.bids = {make_bid(0, {2}, 2, 0.8),     // ratio 0.4, selected first
+               make_bid(1, {0, 1}, 2, 2.0),  // ratio 0.5, selected second
+               make_bid(2, {0}, 2, 1.2),     // gadget runner-up
+               make_bid(3, {2}, 2, 2.0),     // binds bid 0's critical value
+               make_bid(4, {1}, 2, 40.0)};   // binds bid 1's critical value
+  ssam_options opts;
+  opts.rule = payment_rule::critical_value;
+  opts.payment_budget = 30.0;
+  const auto res = run_ssam(inst, opts);
+  EXPECT_EQ(res.budget_dropped, 1u);
+  ASSERT_EQ(res.winners.size(), 1u);
+  EXPECT_EQ(res.winners[0].bid_index, 0u);
+  EXPECT_NEAR(res.total_payment, 2.0, 1e-6);
+  EXPECT_LE(res.total_payment, opts.payment_budget + 1e-9);
+  EXPECT_FALSE(res.feasible);  // demanders 0 and 1 lost their coverage
+}
+
 class BudgetSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BudgetSweep, PaymentsNeverExceedBudget) {
@@ -258,6 +330,25 @@ TEST_P(BudgetSweep, PaymentsNeverExceedBudget) {
   opts.payment_budget = budget;
   const auto res = run_ssam(inst, opts);
   EXPECT_LE(res.total_payment, budget + 1e-9);
+}
+
+TEST_P(BudgetSweep, CriticalPaymentsNeverExceedBudget) {
+  rng gen(GetParam() * 29 + 5);
+  instance_config cfg;
+  cfg.sellers = 10;
+  cfg.demanders = 3;
+  const auto inst = random_instance(cfg, gen);
+  const double budget = gen.uniform_real(10.0, 200.0);
+  ssam_options opts;
+  opts.rule = payment_rule::critical_value;
+  opts.payment_budget = budget;
+  const auto res = run_ssam(inst, opts);
+  EXPECT_LE(res.total_payment, budget + 1e-9);
+  // Dropping a winner never leaves a cheaper-than-payment total behind:
+  // every surviving payment is still at least the asking price.
+  for (const winning_bid& w : res.winners) {
+    EXPECT_GE(w.payment, inst.bids[w.bid_index].price - 1e-9);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BudgetSweep,

@@ -1,9 +1,11 @@
 // Unit tests for ecrs::common (rng, statistics, table, flags, check).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "common/check.h"
 #include "common/flags.h"
@@ -11,6 +13,7 @@
 #include "common/statistics.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 
 namespace ecrs {
 namespace {
@@ -441,6 +444,71 @@ TEST(Stopwatch, RestartResets) {
   const double before = w.elapsed_seconds();
   w.restart();
   EXPECT_LE(w.elapsed_seconds(), before + 1.0);
+}
+
+// ------------------------------------------------------------- thread pool
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  thread_pool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeReturnsImmediately) {
+  thread_pool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  thread_pool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(10, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 45u);
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  thread_pool pool(2);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 7) throw check_error("boom");
+                                 }),
+               check_error);
+}
+
+TEST(ThreadPool, NestedParallelForMakesProgress) {
+  // The caller drains its own range, so nesting inside a worker cannot
+  // deadlock even when every pool thread is busy.
+  thread_pool pool(1);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32u);
+}
+
+TEST(ThreadPool, MaxWorkersOneRunsOnCaller) {
+  thread_pool pool(4);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(
+      16, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), caller); },
+      /*max_workers=*/1);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  EXPECT_EQ(&thread_pool::shared(), &thread_pool::shared());
+  EXPECT_GE(thread_pool::shared().size(), 1u);
+}
+
+TEST(ParallelForFreeFunction, NullPoolRunsInline) {
+  std::vector<std::size_t> order;
+  parallel_for(nullptr, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
 }
 
 }  // namespace

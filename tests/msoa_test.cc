@@ -2,6 +2,7 @@
 // payments, the competitive bound, and the evaluation variants.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <sstream>
 
@@ -96,6 +97,23 @@ TEST(Msoa, PaymentsAreIndividuallyRationalAgainstTruePrices) {
   const auto res = run_msoa(two_round_instance());
   for (const auto& round : res.rounds) {
     for (std::size_t i = 0; i < round.winner_bids.size(); ++i) {
+      EXPECT_GE(round.payments[i], round.true_prices[i] - 1e-9);
+    }
+  }
+}
+
+TEST(Msoa, CriticalValueStagePaymentsUnscaleSafely) {
+  // Critical-value payments pass through the ψ-unscaling step, which now
+  // asserts the unscaled value is finite and non-negative before the IR
+  // clamp. A multi-round run with growing ψ must stay clean and IR.
+  online_instance inst = two_round_instance();
+  msoa_options opts;
+  opts.stage.rule = payment_rule::critical_value;
+  const auto res = run_msoa(inst, opts);
+  ASSERT_TRUE(res.feasible);
+  for (const auto& round : res.rounds) {
+    for (std::size_t i = 0; i < round.winner_bids.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(round.payments[i]));
       EXPECT_GE(round.payments[i], round.true_prices[i] - 1e-9);
     }
   }

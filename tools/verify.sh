@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the plain build + test suite (what CI gates on),
+# followed by the same suite under AddressSanitizer + UBSan.
+#
+#   tools/verify.sh            # both passes
+#   tools/verify.sh --fast     # plain pass only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== plain build + ctest =="
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$JOBS"
+ctest --preset default -j "$JOBS"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  exit 0
+fi
+
+echo "== ASan+UBSan build + ctest =="
+cmake --preset sanitize >/dev/null
+cmake --build --preset sanitize -j "$JOBS"
+ctest --preset sanitize -j "$JOBS"
+
+echo "verify: all passes green"
