@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "auction/properties.h"
 #include "common/check.h"
 
 namespace ecrs::auction {
@@ -145,6 +146,13 @@ msoa_result run_msoa(const online_instance& instance,
   for (seller_id s = 0; s < instance.sellers.size(); ++s) {
     result.psi_final.push_back(session.psi(s));
     result.capacity_used.push_back(session.capacity_used(s));
+  }
+
+  // Per-round stages already self-audited inside run_ssam (scaled prices);
+  // this pass re-checks the online invariants — windows, lifetime
+  // capacities, IR against TRUE prices — and the cross-round accounting.
+  if (options.stage.self_audit) {
+    audit_or_throw(instance, result, audit_options{});
   }
   return result;
 }

@@ -82,7 +82,8 @@ class msoa_session {
 
   // Execute the next auction round. Bids must reference sellers known to
   // the session and carry true (unscaled) prices.
-  msoa_round_outcome run_round(const single_stage_instance& round);
+  [[nodiscard]] msoa_round_outcome run_round(
+      const single_stage_instance& round);
 
  private:
   std::vector<seller_profile> profiles_;

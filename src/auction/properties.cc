@@ -1,6 +1,7 @@
 #include "auction/properties.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <sstream>
 #include <unordered_set>
@@ -37,6 +38,150 @@ ir_audit audit_individual_rationality(const single_stage_instance& instance,
   }
   if (result.winners.empty()) audit.min_surplus = 0.0;
   return audit;
+}
+
+void audit_or_throw(const single_stage_instance& instance,
+                    const ssam_result& result, const audit_options& options) {
+  const double tol = options.tolerance;
+
+  // Structural validity: every winner names a real bid, one bid per seller.
+  std::unordered_set<seller_id> sellers;
+  for (const winning_bid& w : result.winners) {
+    ECRS_CHECK_MSG(w.bid_index < instance.bids.size(),
+                   "audit[structure]: winner references bid "
+                       << w.bid_index << " but the instance has only "
+                       << instance.bids.size() << " bids");
+    ECRS_CHECK_MSG(sellers.insert(instance.bids[w.bid_index].seller).second,
+                   "audit[structure]: seller "
+                       << instance.bids[w.bid_index].seller
+                       << " wins more than one bid (constraint (9))");
+  }
+
+  // Coverage: the feasible flag must match a replay of the winner set.
+  coverage_state state(instance.requirements);
+  for (const winning_bid& w : result.winners) {
+    state.apply(instance.bids[w.bid_index]);
+  }
+  ECRS_CHECK_MSG(result.feasible == state.satisfied(),
+                 "audit[coverage]: result.feasible == "
+                     << (result.feasible ? "true" : "false")
+                     << " but replaying the winners leaves a deficit of "
+                     << state.deficit() << " units");
+
+  // Individual rationality: every winner's payment covers its asking price.
+  double social_cost = 0.0;
+  double total_payment = 0.0;
+  for (std::size_t pos = 0; pos < result.winners.size(); ++pos) {
+    const winning_bid& w = result.winners[pos];
+    const double price = instance.bids[w.bid_index].price;
+    ECRS_CHECK_MSG(w.payment >= price - tol,
+                   "audit[ir]: winner " << pos << " (bid " << w.bid_index
+                                        << ") is paid " << w.payment
+                                        << " below its asking price "
+                                        << price);
+    social_cost += price;
+    total_payment += w.payment;
+  }
+
+  // Accounting: the advertised aggregates match the winner list.
+  ECRS_CHECK_MSG(std::abs(result.social_cost - social_cost) <=
+                     tol * (1.0 + std::abs(social_cost)),
+                 "audit[accounting]: social_cost " << result.social_cost
+                     << " != sum of winning prices " << social_cost);
+  ECRS_CHECK_MSG(std::abs(result.total_payment - total_payment) <=
+                     tol * (1.0 + std::abs(total_payment)),
+                 "audit[accounting]: total_payment " << result.total_payment
+                     << " != sum of payments " << total_payment);
+
+  // Budget balance: realized payments respect the platform budget W.
+  if (options.payment_budget > 0.0) {
+    ECRS_CHECK_MSG(total_payment <= options.payment_budget + tol,
+                   "audit[budget]: total payment "
+                       << total_payment << " exceeds the platform budget "
+                       << options.payment_budget);
+  }
+
+  // Dual-certificate sanity (Theorem 3): one share per covered unit, and
+  // the bound factors are well-formed.
+  units covered = 0;
+  for (const winning_bid& w : result.winners) {
+    covered += w.utility_at_selection;
+  }
+  ECRS_CHECK_MSG(result.unit_shares.size() == static_cast<std::size_t>(covered),
+                 "audit[certificate]: " << result.unit_shares.size()
+                     << " unit shares but winners covered " << covered
+                     << " units");
+  ECRS_CHECK_MSG(result.xi >= 1.0 - tol,
+                 "audit[certificate]: share spread xi = " << result.xi
+                                                          << " < 1");
+  ECRS_CHECK_MSG(result.ratio_bound >= 1.0 - tol,
+                 "audit[certificate]: ratio bound " << result.ratio_bound
+                                                    << " < 1");
+}
+
+void audit_or_throw(const online_instance& instance, const msoa_result& result,
+                    const audit_options& options) {
+  const double tol = options.tolerance;
+
+  // Per-round structural validity first, so audit_msoa can index safely.
+  double social_cost = 0.0;
+  double total_payment = 0.0;
+  bool all_feasible = true;
+  for (const msoa_round_outcome& round : result.rounds) {
+    ECRS_CHECK_MSG(round.round >= 1 && round.round <= instance.rounds.size(),
+                   "audit[structure]: outcome references round "
+                       << round.round << " of an instance with "
+                       << instance.rounds.size() << " rounds");
+    ECRS_CHECK_MSG(round.winner_bids.size() == round.payments.size() &&
+                       round.winner_bids.size() == round.true_prices.size(),
+                   "audit[structure]: round "
+                       << round.round << " has " << round.winner_bids.size()
+                       << " winners but " << round.payments.size()
+                       << " payments / " << round.true_prices.size()
+                       << " prices");
+    for (std::size_t b : round.winner_bids) {
+      ECRS_CHECK_MSG(b < instance.rounds[round.round - 1].bids.size(),
+                     "audit[structure]: round " << round.round
+                         << " winner references bid " << b
+                         << " out of range");
+    }
+    social_cost += round.social_cost;
+    for (double p : round.payments) total_payment += p;
+    all_feasible = all_feasible && round.feasible;
+  }
+
+  const msoa_audit audit = audit_msoa(instance, result);
+  ECRS_CHECK_MSG(audit.windows_ok,
+                 "audit[window]: a winner was selected outside its seller's "
+                 "[t-, t+] window");
+  ECRS_CHECK_MSG(audit.capacity_ok,
+                 "audit[capacity]: a seller's lifetime capacity Theta was "
+                 "exceeded");
+  ECRS_CHECK_MSG(audit.coverage_ok,
+                 "audit[coverage]: a round marked feasible does not satisfy "
+                 "its requirements");
+  ECRS_CHECK_MSG(audit.ir_ok,
+                 "audit[ir]: a winner was paid below its true asking price");
+
+  ECRS_CHECK_MSG(result.feasible == all_feasible,
+                 "audit[accounting]: result.feasible == "
+                     << (result.feasible ? "true" : "false")
+                     << " but the per-round flags say "
+                     << (all_feasible ? "true" : "false"));
+  ECRS_CHECK_MSG(std::abs(result.social_cost - social_cost) <=
+                     tol * (1.0 + std::abs(social_cost)),
+                 "audit[accounting]: social_cost " << result.social_cost
+                     << " != sum over rounds " << social_cost);
+  ECRS_CHECK_MSG(std::abs(result.total_payment - total_payment) <=
+                     tol * (1.0 + std::abs(total_payment)),
+                 "audit[accounting]: total_payment " << result.total_payment
+                     << " != sum over rounds " << total_payment);
+  if (options.payment_budget > 0.0) {
+    ECRS_CHECK_MSG(total_payment <= options.payment_budget + tol,
+                   "audit[budget]: total payment "
+                       << total_payment << " exceeds the platform budget "
+                       << options.payment_budget);
+  }
 }
 
 msoa_audit audit_msoa(const online_instance& instance,

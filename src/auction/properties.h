@@ -20,6 +20,38 @@ namespace ecrs::auction {
 [[nodiscard]] bool selection_feasible(const single_stage_instance& instance,
                                       const std::vector<std::size_t>& winners);
 
+// ---------------------------------------------------------------------------
+// Always-on invariant auditor. `run_ssam` / `run_msoa` call these on their
+// own output when `ssam_options::self_audit` is set (the default in debug
+// and sanitizer builds), so feasibility, individual rationality, and budget
+// balance are re-checked on every mechanism invocation in every test — not
+// only in properties_test.cc. Each violated invariant throws
+// ecrs::check_error with a distinct message naming the invariant.
+
+struct audit_options {
+  // Numeric slack for price/payment comparisons (absolute).
+  double tolerance = 1e-9;
+  // The platform budget W the run was gated by; 0 = unlimited. When set,
+  // the audit asserts total_payment <= W + tolerance.
+  double payment_budget = 0.0;
+};
+
+// Audit a single-stage outcome: winner indices in range, at most one bid
+// per seller, the `feasible` flag consistent with a coverage replay,
+// individual rationality (payment >= asking price), social-cost and
+// total-payment accounting, dual-certificate sanity, and the payment
+// budget. Throws ecrs::check_error on the first violation.
+void audit_or_throw(const single_stage_instance& instance,
+                    const ssam_result& result,
+                    const audit_options& options = {});
+
+// Audit an online outcome: per-round windows, lifetime capacities,
+// coverage, IR against true prices (via audit_msoa), plus social-cost /
+// total-payment accounting across rounds. Throws ecrs::check_error on the
+// first violation.
+void audit_or_throw(const online_instance& instance, const msoa_result& result,
+                    const audit_options& options = {});
+
 struct ir_audit {
   bool ok = true;
   std::size_t winners = 0;

@@ -6,6 +6,7 @@
 #include <queue>
 #include <utility>
 
+#include "auction/properties.h"
 #include "common/check.h"
 #include "common/statistics.h"
 #include "common/thread_pool.h"
@@ -580,6 +581,12 @@ ssam_result run_ssam(const single_stage_instance& instance,
   result.harmonic = harmonic_number(result.unit_shares.size());
   result.ratio_bound = std::max(1.0, result.harmonic * result.xi);
   result.dual_objective = result.social_cost / result.ratio_bound;
+
+  if (options.self_audit) {
+    audit_options audit;
+    audit.payment_budget = options.payment_budget;
+    audit_or_throw(instance, result, audit);
+  }
   return result;
 }
 

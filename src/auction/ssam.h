@@ -35,6 +35,15 @@ namespace ecrs::auction {
 
 enum class payment_rule { runner_up, critical_value };
 
+// Default for ssam_options::self_audit: every mechanism invocation re-checks
+// its own output in debug and sanitizer builds; plain release builds skip
+// the audit on the hot path (it can be turned on per call).
+#if !defined(NDEBUG) || defined(ECRS_SANITIZE_BUILD)
+inline constexpr bool kSelfAuditDefault = true;
+#else
+inline constexpr bool kSelfAuditDefault = false;
+#endif
+
 struct ssam_options {
   payment_rule rule = payment_rule::runner_up;
   // Relative termination gap for the critical-value bisection: the search
@@ -64,6 +73,11 @@ struct ssam_options {
   // tests and the before/after micro-benchmarks; must produce the same
   // winners and payments as the default lazy path.
   bool eager_reference = false;
+  // Re-check the returned result (feasibility, individual rationality,
+  // accounting, budget balance, certificate sanity) with
+  // auction::audit_or_throw before returning; a violation throws
+  // ecrs::check_error. On by default in debug and sanitizer builds.
+  bool self_audit = kSelfAuditDefault;
 };
 
 struct winning_bid {

@@ -1,0 +1,269 @@
+// Violation-injection tests for the invariant auditor (properties.h).
+//
+// Each test takes a *valid* mechanism outcome from a seeded instance,
+// corrupts exactly one invariant (underpay a winner, break coverage, exceed
+// a capacity, ...), and asserts audit_or_throw rejects it with the
+// diagnostic naming that invariant. A final set checks the clean outcomes
+// pass, so the auditor neither under- nor over-triggers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "auction/instance_gen.h"
+#include "auction/msoa.h"
+#include "auction/properties.h"
+#include "auction/ssam.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ecrs::auction {
+namespace {
+
+single_stage_instance seeded_instance(std::uint64_t seed = 0xa0d1) {
+  instance_config config;
+  config.sellers = 20;
+  config.demanders = 4;
+  rng gen(seed);
+  return random_instance(config, gen);
+}
+
+online_instance seeded_online_instance(std::uint64_t seed = 0xa0d2) {
+  online_config config;
+  config.stage.sellers = 12;
+  config.stage.demanders = 3;
+  config.rounds = 4;
+  rng gen(seed);
+  return random_online_instance(config, gen);
+}
+
+// The audit diagnostic for a corrupted result, or "" if it (wrongly) passed.
+template <typename Instance, typename Result>
+std::string audit_diagnostic(const Instance& instance, const Result& result,
+                             const audit_options& options = {}) {
+  try {
+    audit_or_throw(instance, result, options);
+  } catch (const check_error& err) {
+    return err.what();
+  }
+  return "";
+}
+
+// ------------------------------------------------------------- single stage
+
+class SsamAuditInjection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    instance_ = seeded_instance();
+    ssam_options options;
+    options.rule = payment_rule::critical_value;
+    options.self_audit = true;  // the clean run must audit green
+    result_ = run_ssam(instance_, options);
+    ASSERT_TRUE(result_.feasible);
+    ASSERT_GE(result_.winners.size(), 2u);
+  }
+
+  single_stage_instance instance_;
+  ssam_result result_;
+};
+
+TEST_F(SsamAuditInjection, CleanResultPasses) {
+  EXPECT_EQ(audit_diagnostic(instance_, result_), "");
+}
+
+TEST_F(SsamAuditInjection, UnderpaidWinnerTripsIr) {
+  ssam_result bad = result_;
+  winning_bid& w = bad.winners.front();
+  const double delta =
+      w.payment - 0.5 * instance_.bids[w.bid_index].price;
+  w.payment -= delta;  // now strictly below the asking price
+  bad.total_payment -= delta;
+  EXPECT_NE(audit_diagnostic(instance_, bad).find("audit[ir]"),
+            std::string::npos);
+}
+
+TEST_F(SsamAuditInjection, DroppedWinnerTripsCoverage) {
+  ssam_result bad = result_;
+  const winning_bid last = bad.winners.back();
+  bad.winners.pop_back();  // feasible flag now lies about the replay
+  bad.social_cost -= instance_.bids[last.bid_index].price;
+  bad.total_payment -= last.payment;
+  bad.unit_shares.resize(bad.unit_shares.size() -
+                         static_cast<std::size_t>(last.utility_at_selection));
+  EXPECT_NE(audit_diagnostic(instance_, bad).find("audit[coverage]"),
+            std::string::npos);
+}
+
+TEST_F(SsamAuditInjection, DuplicateSellerTripsStructure) {
+  ssam_result bad = result_;
+  bad.winners.push_back(bad.winners.front());
+  EXPECT_NE(audit_diagnostic(instance_, bad).find("audit[structure]"),
+            std::string::npos);
+}
+
+TEST_F(SsamAuditInjection, OutOfRangeBidTripsStructure) {
+  ssam_result bad = result_;
+  bad.winners.front().bid_index = instance_.bids.size() + 7;
+  EXPECT_NE(audit_diagnostic(instance_, bad).find("audit[structure]"),
+            std::string::npos);
+}
+
+TEST_F(SsamAuditInjection, TamperedSocialCostTripsAccounting) {
+  ssam_result bad = result_;
+  bad.social_cost += 1.0;
+  EXPECT_NE(audit_diagnostic(instance_, bad).find("audit[accounting]"),
+            std::string::npos);
+}
+
+TEST_F(SsamAuditInjection, TamperedTotalPaymentTripsAccounting) {
+  ssam_result bad = result_;
+  bad.total_payment -= 1.0;
+  EXPECT_NE(audit_diagnostic(instance_, bad).find("audit[accounting]"),
+            std::string::npos);
+}
+
+TEST_F(SsamAuditInjection, OverchargedBudgetTripsBudget) {
+  // The platform believes it gated payments by W, but the realized total
+  // (e.g. after a buggy re-verification) exceeds it.
+  audit_options options;
+  options.payment_budget = 0.9 * result_.total_payment;
+  EXPECT_NE(audit_diagnostic(instance_, result_, options).find("audit[budget]"),
+            std::string::npos);
+}
+
+TEST_F(SsamAuditInjection, ShareCountMismatchTripsCertificate) {
+  ssam_result bad = result_;
+  bad.unit_shares.push_back(1.0);
+  EXPECT_NE(audit_diagnostic(instance_, bad).find("audit[certificate]"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------------- online
+
+class MsoaAuditInjection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    instance_ = seeded_online_instance();
+    msoa_options options;
+    options.stage.self_audit = true;
+    result_ = run_msoa(instance_, options);
+    winners_total_ = 0;
+    for (const msoa_round_outcome& round : result_.rounds) {
+      winners_total_ += round.winner_bids.size();
+    }
+    ASSERT_GE(winners_total_, 1u);
+  }
+
+  // First round with at least one winner.
+  msoa_round_outcome& round_with_winner(msoa_result& result) {
+    for (msoa_round_outcome& round : result.rounds) {
+      if (!round.winner_bids.empty()) return round;
+    }
+    ECRS_CHECK_MSG(false, "no round with winners");
+    return result.rounds.front();  // unreachable: the check above throws
+  }
+
+  online_instance instance_;
+  msoa_result result_;
+  std::size_t winners_total_ = 0;
+};
+
+TEST_F(MsoaAuditInjection, CleanResultPasses) {
+  EXPECT_EQ(audit_diagnostic(instance_, result_), "");
+}
+
+TEST_F(MsoaAuditInjection, UnderpaidWinnerTripsIr) {
+  msoa_result bad = result_;
+  msoa_round_outcome& round = round_with_winner(bad);
+  const double delta = round.payments.front() - 0.25;
+  round.payments.front() = 0.25;  // below any generated asking price
+  bad.total_payment -= delta;
+  EXPECT_NE(audit_diagnostic(instance_, bad).find("audit[ir]"),
+            std::string::npos);
+}
+
+TEST_F(MsoaAuditInjection, ShrunkenCapacityTripsCapacity) {
+  // Same outcome, meaner instance: a winning seller suddenly has capacity 0,
+  // so the recorded participation exceeds Theta.
+  online_instance bad_instance = instance_;
+  msoa_round_outcome& round = round_with_winner(result_);
+  const bid& b =
+      instance_.rounds[round.round - 1].bids[round.winner_bids.front()];
+  bad_instance.sellers[b.seller].capacity = 0;
+  EXPECT_NE(audit_diagnostic(bad_instance, result_).find("audit[capacity]"),
+            std::string::npos);
+}
+
+TEST_F(MsoaAuditInjection, ShiftedWindowTripsWindow) {
+  // The winning seller's window no longer contains the round it won in.
+  online_instance bad_instance = instance_;
+  msoa_round_outcome& round = round_with_winner(result_);
+  const bid& b =
+      instance_.rounds[round.round - 1].bids[round.winner_bids.front()];
+  bad_instance.sellers[b.seller].t_arrive = round.round + 1;
+  bad_instance.sellers[b.seller].t_depart = round.round + 1;
+  EXPECT_NE(audit_diagnostic(bad_instance, result_).find("audit[window]"),
+            std::string::npos);
+}
+
+TEST_F(MsoaAuditInjection, DroppedWinnerTripsCoverage) {
+  msoa_result bad = result_;
+  msoa_round_outcome& round = round_with_winner(bad);
+  ASSERT_TRUE(round.feasible);
+  bad.social_cost -= round.true_prices.back();
+  bad.total_payment -= round.payments.back();
+  round.social_cost -= round.true_prices.back();
+  round.winner_bids.pop_back();
+  round.true_prices.pop_back();
+  round.payments.pop_back();
+  EXPECT_NE(audit_diagnostic(instance_, bad).find("audit[coverage]"),
+            std::string::npos);
+}
+
+TEST_F(MsoaAuditInjection, OutOfRangeRoundTripsStructure) {
+  msoa_result bad = result_;
+  round_with_winner(bad).round =
+      static_cast<std::uint32_t>(instance_.rounds.size()) + 3;
+  EXPECT_NE(audit_diagnostic(instance_, bad).find("audit[structure]"),
+            std::string::npos);
+}
+
+TEST_F(MsoaAuditInjection, RaggedPaymentVectorsTripStructure) {
+  msoa_result bad = result_;
+  round_with_winner(bad).payments.push_back(1.0);
+  EXPECT_NE(audit_diagnostic(instance_, bad).find("audit[structure]"),
+            std::string::npos);
+}
+
+TEST_F(MsoaAuditInjection, TamperedTotalsTripAccounting) {
+  msoa_result bad = result_;
+  bad.social_cost += 5.0;
+  EXPECT_NE(audit_diagnostic(instance_, bad).find("audit[accounting]"),
+            std::string::npos);
+
+  msoa_result bad2 = result_;
+  bad2.feasible = !bad2.feasible;
+  EXPECT_NE(audit_diagnostic(instance_, bad2).find("audit[accounting]"),
+            std::string::npos);
+}
+
+// --------------------------------------------------- self-audit integration
+
+TEST(SelfAudit, RunSsamHonoursExplicitOptIn) {
+  const auto instance = seeded_instance(0x5e1f);
+  ssam_options options;
+  options.self_audit = true;
+  const auto result = run_ssam(instance, options);  // must not throw
+  EXPECT_TRUE(result.feasible);
+}
+
+TEST(SelfAudit, DefaultMatchesBuildKind) {
+#if !defined(NDEBUG) || defined(ECRS_SANITIZE_BUILD)
+  EXPECT_TRUE(kSelfAuditDefault);
+#else
+  EXPECT_FALSE(kSelfAuditDefault);
+#endif
+  EXPECT_EQ(ssam_options{}.self_audit, kSelfAuditDefault);
+}
+
+}  // namespace
+}  // namespace ecrs::auction

@@ -1,15 +1,60 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the plain build + test suite (what CI gates on),
-# followed by the same suite under AddressSanitizer + UBSan.
+# Tier-1 verification: four stages, mirrored one-to-one by the CI jobs in
+# .github/workflows/ci.yml (docs/ANALYSIS.md describes the matrix):
 #
-#   tools/verify.sh            # both passes
-#   tools/verify.sh --fast     # plain pass only
+#   1. plain     — RelWithDebInfo build + full ctest (what CI gates on)
+#   2. asan      — the same suite under AddressSanitizer + UBSan, with
+#                  warnings-as-errors and the mechanism self-audit on
+#   3. tsan      — ThreadSanitizer build; runs the concurrency stress
+#                  harness (pool sizes 1, 2, hardware_concurrency) plus the
+#                  mechanism/property suites that exercise the parallel
+#                  payment fan-out
+#   4. lint      — ecrs-lint + clang-format check (format check is skipped
+#                  with a notice when clang-format is not installed)
+#
+#   tools/verify.sh            # all four stages
+#   tools/verify.sh --fast     # stage 1 only
+#   tools/verify.sh --format   # format check only
+#   tools/verify.sh --lint     # stage 4 only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== plain build + ctest =="
+format_check() {
+  echo "== format check (clang-format, check-only) =="
+  local clang_format
+  clang_format="$(command -v clang-format || true)"
+  if [[ -z "${clang_format}" ]]; then
+    echo "clang-format not installed; skipping (ecrs-lint still enforces the"
+    echo "whitespace baseline — see docs/ANALYSIS.md)"
+    return 0
+  fi
+  # Check-only: a diff fails the stage but nothing is rewritten.
+  find src tests tools bench examples \
+    \( -name '*.h' -o -name '*.cc' -o -name '*.cpp' \) -print0 |
+    xargs -0 "${clang_format}" --dry-run -Werror
+  echo "format: clean"
+}
+
+lint_stage() {
+  echo "== ecrs-lint =="
+  python3 tools/ecrs_lint.py --root .
+  format_check
+}
+
+case "${1:-}" in
+  --format)
+    format_check
+    exit 0
+    ;;
+  --lint)
+    lint_stage
+    exit 0
+    ;;
+esac
+
+echo "== stage 1/4: plain build + ctest =="
 cmake --preset default >/dev/null
 cmake --build --preset default -j "$JOBS"
 ctest --preset default -j "$JOBS"
@@ -18,9 +63,23 @@ if [[ "${1:-}" == "--fast" ]]; then
   exit 0
 fi
 
-echo "== ASan+UBSan build + ctest =="
+echo "== stage 2/4: ASan+UBSan build + ctest =="
 cmake --preset sanitize >/dev/null
 cmake --build --preset sanitize -j "$JOBS"
 ctest --preset sanitize -j "$JOBS"
 
-echo "verify: all passes green"
+echo "== stage 3/4: TSan build + concurrency suite =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$JOBS"
+# The stress harness iterates pool sizes {1, 2, hardware_concurrency}
+# internally (tests/concurrency_stress_test.cc); the companion suites cover
+# the parallel SSAM payment fan-out end to end. halt_on_error: any report
+# fails the stage.
+TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+ $TSAN_OPTIONS}" \
+  ctest --preset tsan -j "$JOBS" \
+    -R 'concurrency_stress_test|common_test|ssam_test|msoa_test|properties_test|audit_test'
+
+echo "== stage 4/4: lint + format =="
+lint_stage
+
+echo "verify: all four stages green"
