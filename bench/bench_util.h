@@ -4,6 +4,8 @@
 // Every binary accepts:
 //   --trials=N   instances averaged per data point
 //   --seed=N     master seed
+//   --threads=N  sweep workers: 0 = hardware width, 1 = serial (tables are
+//                byte-identical for every setting)
 //   --csv=PATH   also write the table as CSV
 #pragma once
 
@@ -24,6 +26,7 @@ inline harness::sweep_config sweep_from_flags(const flags& f,
   cfg.seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
   cfg.demanders =
       static_cast<std::size_t>(f.get_int("demanders", 5));
+  cfg.threads = static_cast<std::size_t>(f.get_int("threads", 0));
   return cfg;
 }
 

@@ -49,6 +49,47 @@ void BM_SsamSelectionLazy(benchmark::State& state) {
 }
 BENCHMARK(BM_SsamSelectionLazy)->RangeMultiplier(2)->Range(25, 400)->Complexity();
 
+// Selection-only under the full mechanism, per selection_mode: `automatic`
+// resolves runner_up calls to the eager scan (the BENCH_pr2 regression fix),
+// `lazy` forces the heap path the old default used. Same winners either way.
+void BM_SsamRunnerUpAuto(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::run_ssam(inst));
+  }
+}
+BENCHMARK(BM_SsamRunnerUpAuto)->Arg(100)->Arg(400);
+
+void BM_SsamRunnerUpLazy(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
+  ecrs::auction::ssam_options opts;
+  opts.selection = ecrs::auction::selection_mode::lazy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::run_ssam(inst, opts));
+  }
+}
+BENCHMARK(BM_SsamRunnerUpLazy)->Arg(100)->Arg(400);
+
+// Allocation-reuse pair: the same mechanism call with and without a
+// persistent ssam_scratch (what msoa_session and the sweep engine thread
+// through every call).
+void BM_SsamFreshWorkspace(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::run_ssam(inst, {}, nullptr));
+  }
+}
+BENCHMARK(BM_SsamFreshWorkspace)->Arg(100)->Arg(400);
+
+void BM_SsamPersistentWorkspace(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
+  ecrs::auction::ssam_scratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ecrs::auction::run_ssam(inst, {}, &scratch));
+  }
+}
+BENCHMARK(BM_SsamPersistentWorkspace)->Arg(100)->Arg(400);
+
 void BM_LocalSearchImprovement(benchmark::State& state) {
   const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 5, 2);
   for (auto _ : state) {

@@ -1,0 +1,187 @@
+// End-to-end numbers for BENCH_pr3.json: wall-clock of whole figure sweeps
+// at different worker counts (the harness::sweep_runner fan-out), and
+// heap-allocation counts per mechanism call with and without a persistent
+// ssam_scratch (the allocation-free hot path).
+//
+// Flags:
+//   --trials=N    instances per data point (default 10)
+//   --seed=N      master seed (default 1)
+//   --threads=N   worker count for the "parallel" sweep timings
+//                 (default 0 = hardware width)
+//   --repeats=N   timing repeats, fastest wins (default 3)
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "auction/instance_gen.h"
+#include "auction/msoa.h"
+#include "auction/ssam.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "harness/experiments.h"
+#include "harness/internal.h"
+
+namespace {
+
+// Process-wide allocation counter: every operator new in the binary bumps
+// it. Counter reads around a call give allocations per call.
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using ecrs::harness::sweep_config;
+
+std::uint64_t allocations_now() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+template <typename Fn>
+double time_best_ms(std::size_t repeats, Fn&& fn) {
+  double best = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    ecrs::stopwatch clock;
+    fn();
+    const double ms = clock.elapsed_ms();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+struct sweep_timing {
+  const char* name;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+};
+
+void print_timing(const sweep_timing& t, bool trailing_comma) {
+  std::printf("    {\"sweep\": \"%s\", \"serial_ms\": %.2f, "
+              "\"parallel_ms\": %.2f, \"speedup\": %.2f}%s\n",
+              t.name, t.serial_ms, t.parallel_ms,
+              t.parallel_ms > 0.0 ? t.serial_ms / t.parallel_ms : 0.0,
+              trailing_comma ? "," : "");
+}
+
+// Mean allocations per call over `calls` invocations of fn().
+template <typename Fn>
+double allocations_per_call(std::size_t calls, Fn&& fn) {
+  fn();  // warm-up: buffers grow to steady state before counting
+  const std::uint64_t before = allocations_now();
+  for (std::size_t c = 0; c < calls; ++c) fn();
+  return static_cast<double>(allocations_now() - before) /
+         static_cast<double>(calls);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto trials = static_cast<std::size_t>(f.get_int("trials", 10));
+  const auto seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
+  const auto threads = static_cast<std::size_t>(f.get_int("threads", 0));
+  const auto repeats = static_cast<std::size_t>(f.get_int("repeats", 3));
+
+  sweep_config serial;
+  serial.trials = trials;
+  serial.seed = seed;
+  serial.threads = 1;
+  sweep_config parallel = serial;
+  parallel.threads = threads;
+
+  // ---- whole-figure sweep wall clock, serial vs parallel ------------------
+  sweep_timing fig3a{"fig3a_ssam_ratio"};
+  fig3a.serial_ms = time_best_ms(repeats, [&] {
+    (void)ecrs::harness::fig3a_ssam_ratio(serial, {5, 10, 15, 25});
+  });
+  fig3a.parallel_ms = time_best_ms(repeats, [&] {
+    (void)ecrs::harness::fig3a_ssam_ratio(parallel, {5, 10, 15, 25});
+  });
+
+  sweep_timing fig6a{"fig6a_rounds_bids"};
+  fig6a.serial_ms = time_best_ms(repeats, [&] {
+    (void)ecrs::harness::fig6a_rounds_bids(serial, {2, 4, 6}, {1, 2}, 15);
+  });
+  fig6a.parallel_ms = time_best_ms(repeats, [&] {
+    (void)ecrs::harness::fig6a_rounds_bids(parallel, {2, 4, 6}, {1, 2}, 15);
+  });
+
+  // ---- allocations per mechanism call, fresh vs persistent scratch --------
+  ecrs::rng gen(seed);
+  const auto instance = ecrs::auction::random_instance(
+      ecrs::harness::internal::paper_stage(75, 5, 2), gen);
+  ecrs::auction::ssam_options runner_up;
+  runner_up.payment_threads = 1;
+  ecrs::auction::ssam_options critical = runner_up;
+  critical.rule = ecrs::auction::payment_rule::critical_value;
+
+  ecrs::auction::ssam_scratch scratch;
+  const double fresh_runner = allocations_per_call(50, [&] {
+    (void)ecrs::auction::run_ssam(instance, runner_up, nullptr);
+  });
+  const double reused_runner = allocations_per_call(50, [&] {
+    (void)ecrs::auction::run_ssam(instance, runner_up, &scratch);
+  });
+  const double fresh_critical = allocations_per_call(20, [&] {
+    (void)ecrs::auction::run_ssam(instance, critical, nullptr);
+  });
+  const double reused_critical = allocations_per_call(20, [&] {
+    (void)ecrs::auction::run_ssam(instance, critical, &scratch);
+  });
+
+  // MSOA: the session's internal scratch + reused scaled instance make
+  // steady-state rounds allocation-light; measured per whole horizon.
+  ecrs::rng ogen(seed + 1);
+  ecrs::auction::online_config ocfg;
+  ocfg.stage = ecrs::harness::internal::paper_stage(25, 5, 2);
+  ocfg.rounds = 10;
+  const auto online = ecrs::auction::random_online_instance(ocfg, ogen);
+  ecrs::auction::msoa_options mopts;
+  mopts.stage.payment_threads = 1;
+  const double msoa_allocs = allocations_per_call(10, [&] {
+    (void)ecrs::auction::run_msoa(online, mopts);
+  });
+
+  std::printf("{\n");
+  std::printf("  \"config\": {\"trials\": %zu, \"seed\": %llu, "
+              "\"threads\": %zu, \"hardware_concurrency\": %u},\n",
+              trials, static_cast<unsigned long long>(seed), threads,
+              std::thread::hardware_concurrency());
+  std::printf("  \"sweep_wall_clock\": [\n");
+  print_timing(fig3a, true);
+  print_timing(fig6a, false);
+  std::printf("  ],\n");
+  std::printf("  \"allocations_per_call\": {\n");
+  std::printf("    \"run_ssam_runner_up_fresh\": %.1f,\n", fresh_runner);
+  std::printf("    \"run_ssam_runner_up_scratch\": %.1f,\n", reused_runner);
+  std::printf("    \"run_ssam_critical_value_fresh\": %.1f,\n",
+              fresh_critical);
+  std::printf("    \"run_ssam_critical_value_scratch\": %.1f,\n",
+              reused_critical);
+  std::printf("    \"run_msoa_10_rounds\": %.1f\n", msoa_allocs);
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -61,8 +61,13 @@ bool single_stage_instance::coverable() const {
   return true;
 }
 
-coverage_state::coverage_state(const std::vector<units>& requirements)
-    : remaining_(requirements) {
+coverage_state::coverage_state(const std::vector<units>& requirements) {
+  reset(requirements);
+}
+
+void coverage_state::reset(const std::vector<units>& requirements) {
+  remaining_.assign(requirements.begin(), requirements.end());
+  deficit_ = 0;
   for (units r : remaining_) {
     ECRS_CHECK_MSG(r >= 0, "negative requirement");
     deficit_ += r;

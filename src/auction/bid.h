@@ -69,7 +69,14 @@ struct single_stage_instance {
 // the property checkers.
 class coverage_state {
  public:
+  // An empty state (no demanders, trivially satisfied); reset() rebinds it.
+  coverage_state() = default;
   explicit coverage_state(const std::vector<units>& requirements);
+
+  // Rebind to a new requirement vector, reusing the existing buffer
+  // capacity — the allocation-free path for workspaces that replay many
+  // auctions (see auction::ssam_scratch).
+  void reset(const std::vector<units>& requirements);
 
   [[nodiscard]] bool satisfied() const { return deficit_ == 0; }
   [[nodiscard]] units deficit() const { return deficit_; }

@@ -54,10 +54,14 @@ msoa_round_outcome msoa_session::run_round(const single_stage_instance& round) {
   const std::uint32_t t = ++round_;
 
   // Admit bids: window + remaining capacity (Algorithm 2 lines 4-8), and
-  // scale prices with the current ψ.
-  single_stage_instance scaled;
-  scaled.requirements = round.requirements;
-  std::vector<std::size_t> original_index;
+  // scale prices with the current ψ. The candidate instance lives in the
+  // session (`scaled_`) so steady-state rounds reuse its buffers — admitted
+  // bids are copy-assigned into existing slots to keep their coverage
+  // vectors' capacity.
+  scaled_.requirements.assign(round.requirements.begin(),
+                              round.requirements.end());
+  original_index_.clear();
+  std::size_t admitted = 0;
   for (std::size_t idx = 0; idx < round.bids.size(); ++idx) {
     const bid& b = round.bids[idx];
     ECRS_CHECK_MSG(b.seller < profiles_.size(),
@@ -69,20 +73,23 @@ msoa_round_outcome msoa_session::run_round(const single_stage_instance& round) {
     if (used_[b.seller] + weight > profiles_[b.seller].capacity) {
       continue;  // lines 5-6: exceeds Θ_i, excluded from the candidate set
     }
-    bid sb = b;
+    if (admitted == scaled_.bids.size()) scaled_.bids.emplace_back();
+    bid& sb = scaled_.bids[admitted];
+    sb = b;
     sb.price = b.price + static_cast<double>(weight) * psi_[b.seller];
-    scaled.bids.push_back(std::move(sb));
-    original_index.push_back(idx);
+    ++admitted;
+    original_index_.push_back(idx);
     // β = min Θ_i/|S_ij| over admissible bids (Lemma 4).
     beta_ = std::min(beta_,
                      static_cast<double>(profiles_[b.seller].capacity) /
                          static_cast<double>(weight));
   }
+  scaled_.bids.resize(admitted);
 
   msoa_round_outcome outcome;
   outcome.round = t;
-  outcome.admitted_bids = scaled.bids.size();
-  outcome.stage = run_ssam(scaled, options_.stage);
+  outcome.admitted_bids = scaled_.bids.size();
+  outcome.stage = run_ssam(scaled_, options_.stage, &scratch_);
   outcome.feasible = outcome.stage.feasible;
 
   // Freeze α on the first round that actually selected something.
@@ -91,7 +98,7 @@ msoa_round_outcome msoa_session::run_round(const single_stage_instance& round) {
   }
 
   for (const winning_bid& w : outcome.stage.winners) {
-    const std::size_t orig = original_index[w.bid_index];
+    const std::size_t orig = original_index_[w.bid_index];
     const bid& b = round.bids[orig];
     const auto weight = static_cast<units>(b.coverage_size());
     const double scale_term = static_cast<double>(weight) * psi_[b.seller];

@@ -93,6 +93,13 @@ class msoa_session {
   double beta_ = std::numeric_limits<double>::infinity();
   std::vector<double> psi_;
   std::vector<units> used_;
+  // Per-round working storage, reused across run_round calls so steady-state
+  // rounds stay off the allocator: the scaled-price candidate instance, its
+  // admitted-bid -> original-bid map, and the SSAM workspace. Makes the
+  // session move-only (and, like the ψ/χ state, not thread-safe).
+  single_stage_instance scaled_;
+  std::vector<std::size_t> original_index_;
+  ssam_scratch scratch_;
 };
 
 // Run a complete online instance through a fresh session.

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
+#include <optional>
 #include <utility>
 
 #include "auction/properties.h"
@@ -22,6 +22,23 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr std::size_t kMaxBisectionRounds = 200;
 constexpr double kBisectionAbsoluteFloor = 1e-12;
 
+using entry = std::pair<double, std::size_t>;  // (ratio, bid index)
+
+// Manual min-heap over (ratio, bid index) entries, operating on a borrowed
+// vector so the storage survives across calls. std::priority_queue would
+// force a fresh container per auction.
+void heap_push(std::vector<entry>& heap, entry e) {
+  heap.push_back(e);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+}
+
+entry heap_pop(std::vector<entry>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+  const entry top = heap.back();
+  heap.pop_back();
+  return top;
+}
+
 // Cost-effectiveness of a bid given the current coverage state; infinite
 // when the bid adds nothing.
 double ratio_of(const bid& b, double price, const coverage_state& state,
@@ -31,14 +48,6 @@ double ratio_of(const bid& b, double price, const coverage_state& state,
   return price / static_cast<double>(utility_out);
 }
 
-// Both greedy loops share one callback contract. `price_override` (optional,
-// `override_index == bids.size()` disables it) replaces the price of one bid
-// for critical-value probing. Each selection is reported through `on_win`,
-// which may inspect the candidate set via the provided coverage state and
-// `seller_active` vector (indexed by seller id — a bid is a candidate iff
-// its seller is active, constraint (9)) and returns false to veto the
-// selection and stop the auction (budget exhaustion, probe early exit).
-
 seller_id max_seller_of(const single_stage_instance& instance) {
   seller_id max_seller = 0;
   for (const bid& b : instance.bids) {
@@ -47,21 +56,77 @@ seller_id max_seller_of(const single_stage_instance& instance) {
   return max_seller;
 }
 
+std::size_t seller_slots_of(const single_stage_instance& instance) {
+  return instance.bids.empty()
+             ? 0
+             : static_cast<std::size_t>(max_seller_of(instance)) + 1;
+}
+
+// Read-only probe context shared by every bisection probe of one instance:
+// the empty-state utilities plus all contributing bids pre-sorted by
+// (initial ratio, bid index) — exactly the order a fresh lazy heap would
+// pop them in. Building it costs one O(n log n) sort; each probe then walks
+// it with a cursor instead of re-heapifying n entries.
+struct probe_seed {
+  std::vector<units> initial_utilities;
+  std::vector<entry> entries;  // ascending
+  std::size_t seller_slots = 0;  // max seller id + 1
+};
+
+// Mutable per-probe workspace (one per concurrently running probe).
+struct probe_scratch {
+  coverage_state state;
+  std::vector<char> seller_active;
+  std::vector<entry> requeued;  // min-heap storage
+};
+
+}  // namespace
+
+// Every buffer the selection loops and payment probes touch, grown on
+// demand and reused across calls. The per-winner `probes` slots make the
+// parallel payment fan-out safe with a single scratch: worker `pos` only
+// touches probes[pos].
+struct ssam_scratch::impl {
+  coverage_state state;             // selection loops
+  std::vector<char> active;         // eager loop: per-bid liveness
+  std::vector<char> seller_active;  // both loops: per-seller liveness
+  std::vector<entry> heap;          // lazy loop storage
+  probe_seed seed;                  // shared by all critical-value probes
+  std::vector<probe_scratch> probes;  // one slot per winner position
+  coverage_state replay;            // feasibility re-check
+};
+
+ssam_scratch::ssam_scratch() : impl_(std::make_unique<impl>()) {}
+ssam_scratch::~ssam_scratch() = default;
+ssam_scratch::ssam_scratch(ssam_scratch&&) noexcept = default;
+ssam_scratch& ssam_scratch::operator=(ssam_scratch&&) noexcept = default;
+
+ssam_scratch::impl& ssam_scratch::buffers() { return *impl_; }
+
+namespace {
+
+// Both greedy loops share one callback contract. `price_override` (optional,
+// `override_index == bids.size()` disables it) replaces the price of one bid
+// for critical-value probing. Each selection is reported through `on_win`,
+// which may inspect the candidate set via the provided coverage state and
+// `seller_active` vector (indexed by seller id — a bid is a candidate iff
+// its seller is active, constraint (9)) and returns false to veto the
+// selection and stop the auction (budget exhaustion, probe early exit).
+
 // Reference implementation: full O(n·m) rescan of every active bid per
-// selection, with the original per-bid deactivation sweep. Kept only for
-// equivalence tests and before/after benchmarks — do not "optimize" it, its
-// cost profile IS the baseline being compared against. The seller_active
-// vector exists solely to satisfy the shared callback contract.
+// selection, with the original per-bid deactivation sweep. Its cost profile
+// IS the eager baseline the benchmarks compare against, but it is also the
+// fastest selection loop when no probes run (selection_mode::automatic
+// routes runner_up calls here).
 template <typename OnWin>
 void eager_greedy_loop(const single_stage_instance& instance,
-                       std::size_t override_index, double override_price,
-                       OnWin&& on_win) {
+                       ssam_scratch::impl& ws, std::size_t override_index,
+                       double override_price, OnWin&& on_win) {
   const std::size_t nbids = instance.bids.size();
-  coverage_state state(instance.requirements);
-  std::vector<bool> active(nbids, true);
-  std::vector<bool> seller_active(
-      nbids == 0 ? 0 : static_cast<std::size_t>(max_seller_of(instance)) + 1,
-      true);
+  coverage_state& state = ws.state;
+  state.reset(instance.requirements);
+  ws.active.assign(nbids, 1);
+  ws.seller_active.assign(seller_slots_of(instance), 1);
 
   auto price_of = [&](std::size_t idx) {
     return idx == override_index ? override_price : instance.bids[idx].price;
@@ -74,7 +139,7 @@ void eager_greedy_loop(const single_stage_instance& instance,
     units best_utility = 0;
     double best_ratio = kInf;
     for (std::size_t idx = 0; idx < nbids; ++idx) {
-      if (!active[idx]) continue;
+      if (!ws.active[idx]) continue;
       units utility = 0;
       const double ratio =
           ratio_of(instance.bids[idx], price_of(idx), state, utility);
@@ -86,56 +151,54 @@ void eager_greedy_loop(const single_stage_instance& instance,
     }
     if (best == nbids) break;  // nothing helps: requirements unsatisfiable
 
-    if (!on_win(best, best_utility, best_ratio, state, seller_active)) break;
+    if (!on_win(best, best_utility, best_ratio, state, ws.seller_active)) {
+      break;
+    }
 
     state.apply(instance.bids[best]);
     // Remove every bid of the winning seller (constraint (9)).
     const seller_id winner_seller = instance.bids[best].seller;
     for (std::size_t idx = 0; idx < nbids; ++idx) {
-      if (active[idx] && instance.bids[idx].seller == winner_seller) {
-        active[idx] = false;
+      if (ws.active[idx] && instance.bids[idx].seller == winner_seller) {
+        ws.active[idx] = 0;
       }
     }
-    seller_active[winner_seller] = false;
+    ws.seller_active[winner_seller] = 0;
   }
 }
 
-// The hot path: lazy evaluation on a min-heap of (stale ratio, bid index).
-// U_ij(E) is submodular — coverage only grows, so marginal utilities only
-// shrink and a bid's stale ratio is a LOWER bound on its current ratio.
-// A popped bid whose fresh ratio is still no worse than the next stale key
-// is therefore a true minimum; the index tie-break reproduces the eager
-// scan's deterministic ordering bit-for-bit.
+// The probe-friendly path: lazy evaluation on a min-heap of (stale ratio,
+// bid index). U_ij(E) is submodular — coverage only grows, so marginal
+// utilities only shrink and a bid's stale ratio is a LOWER bound on its
+// current ratio. A popped bid whose fresh ratio is still no worse than the
+// next stale key is therefore a true minimum; the index tie-break
+// reproduces the eager scan's deterministic ordering bit-for-bit.
 template <typename OnWin>
 void lazy_greedy_loop(const single_stage_instance& instance,
-                      std::size_t override_index, double override_price,
-                      OnWin&& on_win) {
+                      ssam_scratch::impl& ws, std::size_t override_index,
+                      double override_price, OnWin&& on_win) {
   const std::size_t nbids = instance.bids.size();
-  coverage_state state(instance.requirements);
-  std::vector<bool> seller_active(
-      nbids == 0 ? 0 : static_cast<std::size_t>(max_seller_of(instance)) + 1,
-      true);
+  coverage_state& state = ws.state;
+  state.reset(instance.requirements);
+  ws.seller_active.assign(seller_slots_of(instance), 1);
 
   auto price_of = [&](std::size_t idx) {
     return idx == override_index ? override_price : instance.bids[idx].price;
   };
 
-  using entry = std::pair<double, std::size_t>;
-  std::vector<entry> seed;
-  seed.reserve(nbids);
+  std::vector<entry>& heap = ws.heap;
+  heap.clear();
   for (std::size_t idx = 0; idx < nbids; ++idx) {
     units utility = 0;
     const double ratio =
         ratio_of(instance.bids[idx], price_of(idx), state, utility);
-    if (ratio != kInf) seed.emplace_back(ratio, idx);
+    if (ratio != kInf) heap.emplace_back(ratio, idx);
   }
-  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap(
-      std::greater<>{}, std::move(seed));
+  std::make_heap(heap.begin(), heap.end(), std::greater<>{});
 
   while (!state.satisfied() && !heap.empty()) {
-    const auto [stale_ratio, idx] = heap.top();
-    heap.pop();
-    if (!seller_active[instance.bids[idx].seller]) continue;
+    const auto [stale_ratio, idx] = heap_pop(heap);
+    if (!ws.seller_active[instance.bids[idx].seller]) continue;
     units utility = 0;
     const double ratio =
         ratio_of(instance.bids[idx], price_of(idx), state, utility);
@@ -143,72 +206,55 @@ void lazy_greedy_loop(const single_stage_instance& instance,
     // Select only if still no worse than the next candidate's (lower-bound)
     // key; ties go to the smaller index, exactly like the eager scan.
     if (!heap.empty()) {
-      const auto& [next_ratio, next_idx] = heap.top();
+      const auto& [next_ratio, next_idx] = heap.front();
       if (ratio > next_ratio || (ratio == next_ratio && idx > next_idx)) {
-        heap.emplace(ratio, idx);
+        heap_push(heap, {ratio, idx});
         continue;
       }
     }
 
-    if (!on_win(idx, utility, ratio, state, seller_active)) break;
+    if (!on_win(idx, utility, ratio, state, ws.seller_active)) break;
 
     state.apply(instance.bids[idx]);
-    seller_active[instance.bids[idx].seller] = false;
+    ws.seller_active[instance.bids[idx].seller] = 0;
   }
 }
 
 template <typename OnWin>
-void greedy_loop(const single_stage_instance& instance, bool eager,
-                 std::size_t override_index, double override_price,
+void greedy_loop(const single_stage_instance& instance, ssam_scratch::impl& ws,
+                 bool eager, std::size_t override_index, double override_price,
                  OnWin&& on_win) {
   if (eager) {
-    eager_greedy_loop(instance, override_index, override_price,
+    eager_greedy_loop(instance, ws, override_index, override_price,
                       std::forward<OnWin>(on_win));
   } else {
-    lazy_greedy_loop(instance, override_index, override_price,
+    lazy_greedy_loop(instance, ws, override_index, override_price,
                      std::forward<OnWin>(on_win));
   }
 }
 
-// Marginal utilities against the empty coverage state, shared by every
-// probe of the same instance.
-std::vector<units> initial_utilities_of(const single_stage_instance& instance) {
-  coverage_state state(instance.requirements);
-  std::vector<units> utilities;
-  utilities.reserve(instance.bids.size());
-  for (const bid& b : instance.bids) {
-    utilities.push_back(state.marginal_utility(b));
-  }
-  return utilities;
-}
-
-// Read-only probe context shared by every bisection probe of one instance:
-// the empty-state utilities plus all contributing bids pre-sorted by
-// (initial ratio, bid index) — exactly the order a fresh lazy heap would
-// pop them in. Building it costs one O(n log n) sort; each probe then walks
-// it with a cursor instead of re-heapifying n entries.
-struct probe_seed {
-  std::vector<units> initial_utilities;
-  std::vector<std::pair<double, std::size_t>> entries;  // ascending
-  std::size_t seller_slots = 0;  // max seller id + 1
-};
-
-probe_seed make_probe_seed(const single_stage_instance& instance) {
-  probe_seed seed;
-  seed.initial_utilities = initial_utilities_of(instance);
+// Rebuild the shared probe context in `seed`, reusing its storage. The
+// empty-state marginal utility needs no coverage_state: it is
+// sum_k min(amount, requirement_k) over the covered demanders.
+void build_probe_seed(const single_stage_instance& instance,
+                      probe_seed& seed) {
+  seed.initial_utilities.clear();
+  seed.initial_utilities.reserve(instance.bids.size());
+  seed.entries.clear();
   seed.entries.reserve(instance.bids.size());
   for (std::size_t idx = 0; idx < instance.bids.size(); ++idx) {
-    const units utility = seed.initial_utilities[idx];
+    const bid& b = instance.bids[idx];
+    units utility = 0;
+    for (const demander_id k : b.coverage) {
+      utility += std::min(b.amount, instance.requirements[k]);
+    }
+    seed.initial_utilities.push_back(utility);
     if (utility > 0) {
-      seed.entries.emplace_back(
-          instance.bids[idx].price / static_cast<double>(utility), idx);
+      seed.entries.emplace_back(b.price / static_cast<double>(utility), idx);
     }
   }
   std::sort(seed.entries.begin(), seed.entries.end());
-  seed.seller_slots = instance.bids.empty()
-                          ? 0
-                          : static_cast<std::size_t>(max_seller_of(instance)) + 1;
-  return seed;
+  seed.seller_slots = seller_slots_of(instance);
 }
 
 // Lazy probe with early exit: does `bid_index` win when reporting
@@ -227,18 +273,19 @@ probe_seed make_probe_seed(const single_stage_instance& instance) {
 // never be selected later — loss), or its seller wins through another bid
 // (constraint (9) — loss).
 bool lazy_probe_wins(const single_stage_instance& instance,
-                     const probe_seed& seed, std::size_t bid_index,
-                     double price_report) {
+                     const probe_seed& seed, probe_scratch& ws,
+                     std::size_t bid_index, double price_report) {
   const units probed_utility = seed.initial_utilities[bid_index];
   if (probed_utility <= 0) return false;  // contributes nothing, never wins
   const seller_id probed_seller = instance.bids[bid_index].seller;
 
-  coverage_state state(instance.requirements);
-  std::vector<bool> seller_active(seed.seller_slots, true);
+  coverage_state& state = ws.state;
+  state.reset(instance.requirements);
+  ws.seller_active.assign(seed.seller_slots, 1);
+  std::vector<entry>& requeued = ws.requeued;
+  requeued.clear();
 
-  using entry = std::pair<double, std::size_t>;
   std::size_t cursor = 0;
-  std::priority_queue<entry, std::vector<entry>, std::greater<>> requeued;
   double probed_key = price_report / static_cast<double>(probed_utility);
   bool probed_pending = true;
 
@@ -248,12 +295,13 @@ bool lazy_probe_wins(const single_stage_instance& instance,
   auto skim = [&] {
     while (cursor < seed.entries.size() &&
            (seed.entries[cursor].second == bid_index ||
-            !seller_active[instance.bids[seed.entries[cursor].second].seller])) {
+            !ws.seller_active[instance.bids[seed.entries[cursor].second]
+                                  .seller])) {
       ++cursor;
     }
     while (!requeued.empty() &&
-           !seller_active[instance.bids[requeued.top().second].seller]) {
-      requeued.pop();
+           !ws.seller_active[instance.bids[requeued.front().second].seller]) {
+      heap_pop(requeued);
     }
   };
   // Minimum (key, index) over the three heads; false if all exhausted.
@@ -263,8 +311,8 @@ bool lazy_probe_wins(const single_stage_instance& instance,
       out = seed.entries[cursor];
       found = true;
     }
-    if (!requeued.empty() && (!found || requeued.top() < out)) {
-      out = requeued.top();
+    if (!requeued.empty() && (!found || requeued.front() < out)) {
+      out = requeued.front();
       found = true;
     }
     if (probed_pending) {
@@ -289,7 +337,7 @@ bool lazy_probe_wins(const single_stage_instance& instance,
                seed.entries[cursor].second == idx) {
       ++cursor;
     } else {
-      requeued.pop();
+      heap_pop(requeued);
     }
 
     units utility = 0;
@@ -309,7 +357,7 @@ bool lazy_probe_wins(const single_stage_instance& instance,
         probed_key = ratio;
         probed_pending = true;
       } else {
-        requeued.emplace(ratio, idx);
+        heap_push(requeued, {ratio, idx});
       }
       continue;
     }
@@ -318,7 +366,7 @@ bool lazy_probe_wins(const single_stage_instance& instance,
     if (idx == bid_index) return true;
     if (instance.bids[idx].seller == probed_seller) return false;
     state.apply(instance.bids[idx]);
-    seller_active[instance.bids[idx].seller] = false;
+    ws.seller_active[instance.bids[idx].seller] = 0;
   }
   return false;  // requirements met without the probed bid
 }
@@ -326,15 +374,17 @@ bool lazy_probe_wins(const single_stage_instance& instance,
 // Generic probe core (both loop flavours). With `early_exit`, the replayed
 // auction stops the moment the verdict is decided: the probed bid was
 // selected (won), or another bid of the same seller was selected, which
-// deactivates the probed bid for the rest of the round (lost).
+// deactivates the probed bid for the rest of the round (lost). Allocates
+// its own workspace — this is the eager reference path, not the hot one.
 bool wins_with_price_impl(const single_stage_instance& instance,
                           std::size_t bid_index, double price_report,
                           bool eager, bool early_exit) {
+  ssam_scratch local;
   const seller_id probed_seller = instance.bids[bid_index].seller;
   bool won = false;
-  greedy_loop(instance, eager, bid_index, price_report,
+  greedy_loop(instance, local.buffers(), eager, bid_index, price_report,
               [&](std::size_t idx, units, double, const coverage_state&,
-                  const std::vector<bool>&) {
+                  const std::vector<char>&) {
                 if (idx == bid_index) {
                   won = true;
                   return !early_exit;
@@ -349,22 +399,26 @@ bool wins_with_price_impl(const single_stage_instance& instance,
 }
 
 // When `seed` is non-null the probes run through `lazy_probe_wins` (the hot
-// path); otherwise the generic loop selected by `eager` replays the full
-// auction per probe (the before/after reference).
+// path, with `probe_ws` as its workspace); otherwise the generic loop
+// selected by `eager` replays the full auction per probe (the before/after
+// reference).
 double critical_value_payment_impl(const single_stage_instance& instance,
                                    std::size_t bid_index, double relative_eps,
-                                   bool eager, const probe_seed* seed) {
+                                   bool eager, const probe_seed* seed,
+                                   probe_scratch* probe_ws) {
   ECRS_CHECK(bid_index < instance.bids.size());
   ECRS_CHECK_MSG(relative_eps > 0.0 && relative_eps < 1.0,
                  "bisection tolerance must be in (0, 1)");
   probe_seed local_seed;
+  probe_scratch local_ws;
   if (!eager && seed == nullptr) {
-    local_seed = make_probe_seed(instance);
+    build_probe_seed(instance, local_seed);
     seed = &local_seed;
   }
+  if (probe_ws == nullptr) probe_ws = &local_ws;
   auto probe = [&](double report) {
     return seed != nullptr
-               ? lazy_probe_wins(instance, *seed, bid_index, report)
+               ? lazy_probe_wins(instance, *seed, *probe_ws, bid_index, report)
                : wins_with_price_impl(instance, bid_index, report, eager,
                                       /*early_exit=*/false);
   };
@@ -403,14 +457,30 @@ double critical_value_payment_impl(const single_stage_instance& instance,
   return lo;
 }
 
+// Resolve an options struct to "run the selection loop eagerly?".
+bool eager_selection_of(const ssam_options& options) {
+  if (options.eager_reference) return true;
+  switch (options.selection) {
+    case selection_mode::eager: return true;
+    case selection_mode::lazy: return false;
+    case selection_mode::automatic:
+      // No probes to amortize the lazy heap against → eager's lower
+      // constant wins (see BENCH_pr3.json for the measured crossover).
+      return options.rule != payment_rule::critical_value;
+  }
+  return false;
+}
+
 }  // namespace
 
-std::vector<std::size_t> greedy_selection(
-    const single_stage_instance& instance) {
+std::vector<std::size_t> greedy_selection(const single_stage_instance& instance,
+                                          ssam_scratch* scratch) {
+  std::optional<ssam_scratch> local;
+  if (scratch == nullptr) scratch = &local.emplace();
   std::vector<std::size_t> winners;
-  lazy_greedy_loop(instance, instance.bids.size(), 0.0,
+  lazy_greedy_loop(instance, scratch->buffers(), instance.bids.size(), 0.0,
                    [&](std::size_t idx, units, double, const coverage_state&,
-                       const std::vector<bool>&) {
+                       const std::vector<char>&) {
                      winners.push_back(idx);
                      return true;
                    });
@@ -418,11 +488,13 @@ std::vector<std::size_t> greedy_selection(
 }
 
 std::vector<std::size_t> eager_greedy_selection(
-    const single_stage_instance& instance) {
+    const single_stage_instance& instance, ssam_scratch* scratch) {
+  std::optional<ssam_scratch> local;
+  if (scratch == nullptr) scratch = &local.emplace();
   std::vector<std::size_t> winners;
-  eager_greedy_loop(instance, instance.bids.size(), 0.0,
+  eager_greedy_loop(instance, scratch->buffers(), instance.bids.size(), 0.0,
                     [&](std::size_t idx, units, double, const coverage_state&,
-                        const std::vector<bool>&) {
+                        const std::vector<char>&) {
                       winners.push_back(idx);
                       return true;
                     });
@@ -439,31 +511,37 @@ bool wins_with_price(const single_stage_instance& instance,
                      std::size_t bid_index, double price_report) {
   ECRS_CHECK(bid_index < instance.bids.size());
   ECRS_CHECK_MSG(price_report >= 0.0, "price reports must be non-negative");
-  const probe_seed seed = make_probe_seed(instance);
-  return lazy_probe_wins(instance, seed, bid_index, price_report);
+  probe_seed seed;
+  build_probe_seed(instance, seed);
+  probe_scratch ws;
+  return lazy_probe_wins(instance, seed, ws, bid_index, price_report);
 }
 
 double critical_value_payment(const single_stage_instance& instance,
                               std::size_t bid_index, double relative_eps) {
   return critical_value_payment_impl(instance, bid_index, relative_eps,
-                                     /*eager=*/false, nullptr);
+                                     /*eager=*/false, nullptr, nullptr);
 }
 
 ssam_result run_ssam(const single_stage_instance& instance,
-                     const ssam_options& options) {
+                     const ssam_options& options, ssam_scratch* scratch) {
   instance.validate();
   ECRS_CHECK_MSG(options.payment_budget >= 0.0,
                  "payment budget must be non-negative");
   ECRS_CHECK_MSG(
       options.critical_value_eps > 0.0 && options.critical_value_eps < 1.0,
       "bisection tolerance must be in (0, 1)");
+  std::optional<ssam_scratch> local;
+  if (scratch == nullptr) scratch = &local.emplace();
+  ssam_scratch::impl& ws = scratch->buffers();
+
   ssam_result result;
   double budget_spent = 0.0;  // runner-up payment estimates
 
   greedy_loop(
-      instance, options.eager_reference, instance.bids.size(), 0.0,
+      instance, ws, eager_selection_of(options), instance.bids.size(), 0.0,
       [&](std::size_t idx, units utility, double ratio,
-          const coverage_state& state, const std::vector<bool>& seller_active) {
+          const coverage_state& state, const std::vector<char>& seller_active) {
         winning_bid w;
         w.bid_index = idx;
         w.utility_at_selection = utility;
@@ -514,17 +592,23 @@ ssam_result run_ssam(const single_stage_instance& instance,
 
   if (options.rule == payment_rule::critical_value) {
     // Every payment is an independent pure probe of the instance, so they
-    // run concurrently; each worker writes only its own winner's slot, so
-    // the outcome is identical for any thread count. The pre-sorted probe
-    // seed is shared read-only across every probe of every winner.
-    const probe_seed seed = options.eager_reference
-                                ? probe_seed{}
-                                : make_probe_seed(instance);
+    // run concurrently; each worker writes only its own winner's slot and
+    // uses its own probe workspace, so the outcome is identical for any
+    // thread count. The pre-sorted probe seed is shared read-only across
+    // every probe of every winner.
+    const probe_seed* seed = nullptr;
+    if (!options.eager_reference) {
+      build_probe_seed(instance, ws.seed);
+      seed = &ws.seed;
+    }
+    if (ws.probes.size() < result.winners.size()) {
+      ws.probes.resize(result.winners.size());
+    }
     auto pay_one = [&](std::size_t pos) {
       result.winners[pos].payment = critical_value_payment_impl(
           instance, result.winners[pos].bid_index, options.critical_value_eps,
-          options.eager_reference,
-          options.eager_reference ? nullptr : &seed);
+          options.eager_reference, seed,
+          options.eager_reference ? nullptr : &ws.probes[pos]);
     };
     if (options.payment_threads == 1 || result.winners.size() < 2) {
       for (std::size_t pos = 0; pos < result.winners.size(); ++pos) {
@@ -566,11 +650,12 @@ ssam_result run_ssam(const single_stage_instance& instance,
   }
 
   // Feasibility: replay the winners against a fresh state.
-  coverage_state state(instance.requirements);
+  coverage_state& replay = ws.replay;
+  replay.reset(instance.requirements);
   for (const winning_bid& w : result.winners) {
-    state.apply(instance.bids[w.bid_index]);
+    replay.apply(instance.bids[w.bid_index]);
   }
-  result.feasible = state.satisfied();
+  result.feasible = replay.satisfied();
 
   // Dual certificate.
   if (!result.unit_shares.empty()) {

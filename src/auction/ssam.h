@@ -12,21 +12,27 @@
 //    at which the bid still wins, found by binary search over re-runs of the
 //    greedy selection (monotone by Lemma 2). Exactly truthful.
 //
-// Selection runs on a lazy-greedy heap: U_ij(E) is submodular (marginal
+// Selection runs on one of two equivalent greedy loops (see
+// selection_mode): a lazy-greedy heap — U_ij(E) is submodular (marginal
 // utilities only shrink as coverage grows), so a bid's stale heap key is a
-// lower bound on its current ratio and most bids are never re-evaluated.
-// The heap orders (ratio, bid index), reproducing the eager scan's
-// deterministic tie-breaking bit-for-bit; `eager_greedy_selection` and
-// `ssam_options::eager_reference` retain the original O(n²·m) scan as the
-// equivalence/benchmark reference. Critical-value payments are independent
-// pure probes of the instance and are computed in parallel on a shared
-// thread pool (`ssam_options::payment_threads`).
+// lower bound on its current ratio and most bids are never re-evaluated —
+// or the eager full rescan, which has the lower constant and is the default
+// when no critical-value probes will run. The heap orders (ratio, bid
+// index), reproducing the eager scan's deterministic tie-breaking
+// bit-for-bit; `eager_greedy_selection` and `ssam_options::eager_reference`
+// retain the original O(n²·m) scan as the equivalence/benchmark reference.
+// Critical-value payments are independent pure probes of the instance and
+// are computed in parallel on a shared thread pool
+// (`ssam_options::payment_threads`). All entry points accept an optional
+// `ssam_scratch` so repeated calls reuse their internal buffers instead of
+// reallocating (see the class comment for the contract).
 //
 // The result carries the Theorem 3 dual certificate: per-unit price shares
 // f(i,Ŝ), their spread Ξ, the harmonic factor W, and the ratio bound W·Ξ.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "auction/bid.h"
@@ -34,6 +40,40 @@
 namespace ecrs::auction {
 
 enum class payment_rule { runner_up, critical_value };
+
+// Which greedy loop drives winner selection. Eager (full rescan per pick)
+// has the lower constant and wins when selection is all the call does; the
+// lazy heap wins once critical-value probes amortize its seed across many
+// replayed auctions. `automatic` picks eager when no probes will run
+// (payment_rule::runner_up) and lazy otherwise. Both loops produce the same
+// winner sequence bit for bit, so this is a pure performance knob.
+enum class selection_mode { automatic, eager, lazy };
+
+// Reusable workspace for the SSAM hot path. run_ssam and the selection
+// entry points accept an optional scratch; when provided, every internal
+// buffer (coverage state, seller/bid masks, the lazy heap, the pre-sorted
+// probe seed, per-winner probe workspaces) is borrowed from it instead of
+// allocated per call, so repeated rounds and sweep trials stop hitting the
+// allocator once the buffers have grown to the largest instance seen.
+// Results are bit-identical with and without a scratch.
+//
+// NOT thread-safe: a scratch serves one call at a time — use one per
+// worker. The parallel payment fan-out inside a single run_ssam call is
+// safe: each winner's probes get their own sub-workspace slot.
+class ssam_scratch {
+ public:
+  ssam_scratch();
+  ~ssam_scratch();
+  ssam_scratch(ssam_scratch&&) noexcept;
+  ssam_scratch& operator=(ssam_scratch&&) noexcept;
+
+  // Internal buffer block (defined in ssam.cc); treat as opaque.
+  struct impl;
+  [[nodiscard]] impl& buffers();
+
+ private:
+  std::unique_ptr<impl> impl_;
+};
 
 // Default for ssam_options::self_audit: every mechanism invocation re-checks
 // its own output in debug and sanitizer builds; plain release builds skip
@@ -46,6 +86,10 @@ inline constexpr bool kSelfAuditDefault = false;
 
 struct ssam_options {
   payment_rule rule = payment_rule::runner_up;
+  // Greedy loop used for winner selection (see selection_mode). The default
+  // resolves to eager under runner_up payments and lazy under
+  // critical_value; identical winners either way.
+  selection_mode selection = selection_mode::automatic;
   // Relative termination gap for the critical-value bisection: the search
   // stops once (hi - lo) / hi < critical_value_eps and returns the last
   // probe certified to win (lo), so a payment under-approximates the true
@@ -107,18 +151,20 @@ struct ssam_result {
 // Run the full mechanism: selection + payments + dual certificate.
 // The instance must validate(); an unsatisfiable instance yields
 // feasible == false with the partial selection that was reachable.
+// `scratch` (optional) supplies the reusable workspace; see ssam_scratch.
 [[nodiscard]] ssam_result run_ssam(const single_stage_instance& instance,
-                                   const ssam_options& options = {});
+                                   const ssam_options& options = {},
+                                   ssam_scratch* scratch = nullptr);
 
 // Selection only (no payments): the greedy winner set in selection order,
 // computed with the lazy-greedy heap.
 [[nodiscard]] std::vector<std::size_t> greedy_selection(
-    const single_stage_instance& instance);
+    const single_stage_instance& instance, ssam_scratch* scratch = nullptr);
 
 // The original eager O(n²·m) scan, kept as the bit-for-bit reference for
 // greedy_selection (equivalence tests, before/after benchmarks).
 [[nodiscard]] std::vector<std::size_t> eager_greedy_selection(
-    const single_stage_instance& instance);
+    const single_stage_instance& instance, ssam_scratch* scratch = nullptr);
 
 // Backwards-compatible alias of greedy_selection (both are lazy now).
 [[nodiscard]] std::vector<std::size_t> lazy_greedy_selection(

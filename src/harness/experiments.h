@@ -16,6 +16,10 @@ struct sweep_config {
   std::size_t trials = 5;    // instances averaged per data point
   std::uint64_t seed = 1;    // master seed; every point derives from it
   std::size_t demanders = 5; // |Ŝ|: demanding microservices per round
+  // Worker threads for the (point, trial) sweep grid: 0 = shared pool at
+  // hardware width, 1 = serial, k = at most k workers. Tables are
+  // byte-identical for every setting (see harness/sweep.h).
+  std::size_t threads = 0;
 };
 
 // --- Figure 3(a): SSAM performance ratio vs number of microservices, for

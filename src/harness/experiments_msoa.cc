@@ -1,5 +1,15 @@
 // Drivers for the online (MSOA) figures 5(a), 5(b), 6(a), 6(b), the
 // theorem-bound ablation, and the posted-price baseline comparison.
+//
+// All sweeps run on harness::sweep_runner: cells fan out across the shared
+// thread pool, every cell derives its RNG stream from the same
+// (seed, figure, point, trial) fork chain the serial loops used, and
+// reduction is serial in point/trial order — the tables are byte-identical
+// at any thread count (sweep_test enforces this). Drivers whose point
+// spans several grid values (fig5a/fig5b variants, ablation_scaling modes)
+// compute the shared ground truth once per cell and evaluate every
+// variant/mode from an identical generator state, exactly as the serial
+// loops re-derived it.
 #include <array>
 #include <iomanip>
 #include <sstream>
@@ -12,6 +22,7 @@
 #include "auction/ssam.h"
 #include "harness/experiments.h"
 #include "harness/internal.h"
+#include "harness/sweep.h"
 #include "metrics/metrics.h"
 
 namespace ecrs::harness {
@@ -45,6 +56,46 @@ auction::online_config paper_online(std::size_t sellers, std::size_t demanders,
   return cfg;
 }
 
+// MSOA options for swept cells: per-round payments stay on the calling
+// thread — the sweep already keeps every core busy with whole cells.
+// Results are identical either way (payments go to disjoint slots).
+auction::msoa_options sweep_msoa_options(double alpha = 0.0) {
+  auction::msoa_options opts;
+  opts.alpha = alpha;
+  opts.stage.payment_threads = 1;
+  return opts;
+}
+
+// One variant's outcome within a fig5a/fig5b cell.
+struct variant_outcome {
+  double social_cost = 0.0;
+  double payment = 0.0;
+};
+
+// Shared cell body of fig5a/fig5b: generate the ground truth, bound it
+// offline once, then run every variant from an identical generator state
+// (rng::fork is const, so each fork(99) below sees the same post-truth
+// state the serial driver re-derived per variant).
+struct variant_cell {
+  double offline = 0.0;
+  std::array<variant_outcome, kVariants.size()> variants;
+};
+
+variant_cell run_variant_cell(const auction::online_config& cfg,
+                              sweep_cell& cell) {
+  variant_cell out;
+  const auto truth = auction::random_online_instance(cfg, cell.gen);
+  out.offline = auction::offline_lp_bound(truth);
+  for (std::size_t v = 0; v < kVariants.size(); ++v) {
+    rng noise = cell.gen.fork(99);
+    const auto shaped =
+        auction::apply_variant(truth, kVariants[v], {}, noise);
+    const auto res = auction::run_msoa(shaped, sweep_msoa_options());
+    out.variants[v] = {res.social_cost, res.total_payment};
+  }
+  return out;
+}
+
 }  // namespace
 
 table fig5a_msoa_ratio_vs_sellers(const sweep_config& cfg,
@@ -52,30 +103,28 @@ table fig5a_msoa_ratio_vs_sellers(const sweep_config& cfg,
                                   std::size_t rounds) {
   table out({"microservices", "variant", "ratio_mean", "cost_mean",
              "offline_bound_mean", "trials", "ratio_ci95"});
-  std::uint64_t point = 0;
-  for (const std::size_t n : seller_counts) {
-    for (const auction::msoa_variant variant : kVariants) {
-      metrics::trial_accumulator acc;
-      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-        rng gen = internal::point_rng(cfg.seed, 51, point, trial);
-        const auto truth = auction::random_online_instance(
-            paper_online(n, cfg.demanders, 2, rounds, 100,
-                         /*tight_capacity=*/true),
-            gen);
-        const double offline = auction::offline_lp_bound(truth);
-        rng noise = gen.fork(99);
-        const auto shaped =
-            auction::apply_variant(truth, variant, {}, noise);
-        const auto res = auction::run_msoa(shaped);
-        acc.add_trial(res.social_cost, res.total_payment, offline);
-      }
-      out.add_row({static_cast<long long>(n),
-                   std::string(auction::to_string(variant)), acc.mean_ratio(),
-                   acc.mean_cost(), acc.mean_reference(),
-                   static_cast<long long>(cfg.trials), acc.ratio_ci95()});
-    }
-    ++point;
-  }
+  sweep_runner runner(cfg.seed, 51, cfg.trials, cfg.threads);
+  runner.run<variant_cell>(
+      seller_counts.size(),
+      [&](sweep_cell& cell) {
+        return run_variant_cell(
+            paper_online(seller_counts[cell.point], cfg.demanders, 2, rounds,
+                         100, /*tight_capacity=*/true),
+            cell);
+      },
+      [&](std::size_t point, std::span<const variant_cell> results) {
+        for (std::size_t v = 0; v < kVariants.size(); ++v) {
+          metrics::trial_accumulator acc;
+          for (const variant_cell& r : results) {
+            acc.add_trial(r.variants[v].social_cost, r.variants[v].payment,
+                          r.offline);
+          }
+          out.add_row({static_cast<long long>(seller_counts[point]),
+                       std::string(auction::to_string(kVariants[v])),
+                       acc.mean_ratio(), acc.mean_cost(), acc.mean_reference(),
+                       static_cast<long long>(cfg.trials), acc.ratio_ci95()});
+        }
+      });
   return out;
 }
 
@@ -84,30 +133,28 @@ table fig5b_msoa_ratio_vs_requests(const sweep_config& cfg,
                                    std::size_t sellers, std::size_t rounds) {
   table out({"requests", "variant", "ratio_mean", "cost_mean",
              "offline_bound_mean", "trials"});
-  std::uint64_t point = 0;
-  for (const std::size_t load : request_loads) {
-    for (const auction::msoa_variant variant : kVariants) {
-      metrics::trial_accumulator acc;
-      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-        rng gen = internal::point_rng(cfg.seed, 52, point, trial);
-        const auto truth = auction::random_online_instance(
-            paper_online(sellers, cfg.demanders, 2, rounds, load,
-                         /*tight_capacity=*/true),
-            gen);
-        const double offline = auction::offline_lp_bound(truth);
-        rng noise = gen.fork(99);
-        const auto shaped =
-            auction::apply_variant(truth, variant, {}, noise);
-        const auto res = auction::run_msoa(shaped);
-        acc.add_trial(res.social_cost, res.total_payment, offline);
-      }
-      out.add_row({static_cast<long long>(load),
-                   std::string(auction::to_string(variant)), acc.mean_ratio(),
-                   acc.mean_cost(), acc.mean_reference(),
-                   static_cast<long long>(cfg.trials)});
-    }
-    ++point;
-  }
+  sweep_runner runner(cfg.seed, 52, cfg.trials, cfg.threads);
+  runner.run<variant_cell>(
+      request_loads.size(),
+      [&](sweep_cell& cell) {
+        return run_variant_cell(
+            paper_online(sellers, cfg.demanders, 2, rounds,
+                         request_loads[cell.point], /*tight_capacity=*/true),
+            cell);
+      },
+      [&](std::size_t point, std::span<const variant_cell> results) {
+        for (std::size_t v = 0; v < kVariants.size(); ++v) {
+          metrics::trial_accumulator acc;
+          for (const variant_cell& r : results) {
+            acc.add_trial(r.variants[v].social_cost, r.variants[v].payment,
+                          r.offline);
+          }
+          out.add_row({static_cast<long long>(request_loads[point]),
+                       std::string(auction::to_string(kVariants[v])),
+                       acc.mean_ratio(), acc.mean_cost(), acc.mean_reference(),
+                       static_cast<long long>(cfg.trials)});
+        }
+      });
   return out;
 }
 
@@ -117,30 +164,41 @@ table fig6a_rounds_bids(const sweep_config& cfg,
                         std::size_t sellers) {
   table out({"rounds", "bids_per_seller", "ratio_mean", "ratio_max",
              "competitive_bound", "trials"});
-  std::uint64_t point = 0;
-  for (const std::size_t j : bids_per_seller) {
-    for (const std::size_t rounds : round_counts) {
-      metrics::trial_accumulator acc;
-      running_stats bound;
-      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-        rng gen = internal::point_rng(cfg.seed, 61, point, trial);
+  struct cell_result {
+    double social_cost = 0.0;
+    double payment = 0.0;
+    double offline = 0.0;
+    double competitive_bound = std::numeric_limits<double>::infinity();
+  };
+  const std::size_t rsizes = round_counts.size();
+  sweep_runner runner(cfg.seed, 61, cfg.trials, cfg.threads);
+  runner.run<cell_result>(
+      bids_per_seller.size() * rsizes,
+      [&](sweep_cell& cell) {
+        const std::size_t j = bids_per_seller[cell.point / rsizes];
+        const std::size_t rounds = round_counts[cell.point % rsizes];
         const auto truth = auction::random_online_instance(
-            paper_online(sellers, cfg.demanders, j, rounds), gen);
+            paper_online(sellers, cfg.demanders, j, rounds), cell.gen);
         const double offline = auction::offline_lp_bound(truth);
-        const auto res = auction::run_msoa(truth);
-        acc.add_trial(res.social_cost, res.total_payment, offline);
-        if (res.competitive_bound <
-            std::numeric_limits<double>::infinity()) {
-          bound.add(res.competitive_bound);
+        const auto res = auction::run_msoa(truth, sweep_msoa_options());
+        return cell_result{res.social_cost, res.total_payment, offline,
+                           res.competitive_bound};
+      },
+      [&](std::size_t point, std::span<const cell_result> results) {
+        metrics::trial_accumulator acc;
+        running_stats bound;
+        for (const cell_result& r : results) {
+          acc.add_trial(r.social_cost, r.payment, r.offline);
+          if (r.competitive_bound < std::numeric_limits<double>::infinity()) {
+            bound.add(r.competitive_bound);
+          }
         }
-      }
-      out.add_row({static_cast<long long>(rounds), static_cast<long long>(j),
-                   acc.mean_ratio(), acc.max_ratio(),
-                   bound.empty() ? 0.0 : bound.mean(),
-                   static_cast<long long>(cfg.trials)});
-      ++point;
-    }
-  }
+        out.add_row({static_cast<long long>(round_counts[point % rsizes]),
+                     static_cast<long long>(bids_per_seller[point / rsizes]),
+                     acc.mean_ratio(), acc.max_ratio(),
+                     bound.empty() ? 0.0 : bound.mean(),
+                     static_cast<long long>(cfg.trials)});
+      });
   return out;
 }
 
@@ -150,24 +208,34 @@ table fig6b_msoa_cost(const sweep_config& cfg,
                       std::size_t rounds) {
   table out({"microservices", "requests", "social_cost", "payment",
              "offline_bound", "trials"});
-  std::uint64_t point = 0;
-  for (const std::size_t load : request_loads) {
-    for (const std::size_t n : seller_counts) {
-      metrics::trial_accumulator acc;
-      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-        rng gen = internal::point_rng(cfg.seed, 62, point, trial);
+  struct cell_result {
+    double social_cost = 0.0;
+    double payment = 0.0;
+    double offline = 0.0;
+  };
+  const std::size_t sizes = seller_counts.size();
+  sweep_runner runner(cfg.seed, 62, cfg.trials, cfg.threads);
+  runner.run<cell_result>(
+      request_loads.size() * sizes,
+      [&](sweep_cell& cell) {
+        const std::size_t load = request_loads[cell.point / sizes];
+        const std::size_t n = seller_counts[cell.point % sizes];
         const auto truth = auction::random_online_instance(
-            paper_online(n, cfg.demanders, 2, rounds, load), gen);
+            paper_online(n, cfg.demanders, 2, rounds, load), cell.gen);
         const double offline = auction::offline_lp_bound(truth);
-        const auto res = auction::run_msoa(truth);
-        acc.add_trial(res.social_cost, res.total_payment, offline);
-      }
-      out.add_row({static_cast<long long>(n), static_cast<long long>(load),
-                   acc.mean_cost(), acc.mean_payment(), acc.mean_reference(),
-                   static_cast<long long>(cfg.trials)});
-      ++point;
-    }
-  }
+        const auto res = auction::run_msoa(truth, sweep_msoa_options());
+        return cell_result{res.social_cost, res.total_payment, offline};
+      },
+      [&](std::size_t point, std::span<const cell_result> results) {
+        metrics::trial_accumulator acc;
+        for (const cell_result& r : results) {
+          acc.add_trial(r.social_cost, r.payment, r.offline);
+        }
+        out.add_row({static_cast<long long>(seller_counts[point % sizes]),
+                     static_cast<long long>(request_loads[point / sizes]),
+                     acc.mean_cost(), acc.mean_payment(), acc.mean_reference(),
+                     static_cast<long long>(cfg.trials)});
+      });
   return out;
 }
 
@@ -175,62 +243,108 @@ table ablation_bounds(const sweep_config& cfg,
                       const std::vector<std::size_t>& bids_per_seller) {
   table out({"stage", "bids_per_seller", "ratio_mean", "ratio_max",
              "bound_mean", "all_within_bound", "trials"});
-  // Single-stage: measured vs W·Ξ (Theorem 3); exact denominators.
-  std::uint64_t point = 0;
-  for (const std::size_t j : bids_per_seller) {
-    metrics::trial_accumulator acc;
-    running_stats bound;
-    bool within = true;
-    for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-      rng gen = internal::point_rng(cfg.seed, 71, point, trial);
-      const auto instance = auction::random_instance(
-          internal::paper_stage(10, cfg.demanders, j), gen);
-      const auto res = auction::run_ssam(instance);
-      const auto ref = internal::single_stage_reference(instance, 2000000);
-      acc.add_trial(res.social_cost, res.total_payment, ref.value);
-      bound.add(res.ratio_bound);
-      if (ref.exact &&
-          res.social_cost > res.ratio_bound * ref.value + 1e-6) {
-        within = false;
-      }
-    }
-    out.add_row({std::string("SSAM_theorem3"), static_cast<long long>(j),
-                 acc.mean_ratio(), acc.max_ratio(), bound.mean(),
-                 std::string(within ? "yes" : "NO"),
-                 static_cast<long long>(cfg.trials)});
-    ++point;
+  // Single-stage phase: measured vs W·Ξ (Theorem 3); exact denominators.
+  // Stream id 71; one point per J.
+  struct stage_result {
+    double social_cost = 0.0;
+    double payment = 0.0;
+    double reference = 0.0;
+    double ratio_bound = 0.0;
+    bool violates = false;
+  };
+  {
+    sweep_runner runner(cfg.seed, 71, cfg.trials, cfg.threads);
+    runner.run<stage_result>(
+        bids_per_seller.size(),
+        [&](sweep_cell& cell) {
+          const auto instance = auction::random_instance(
+              internal::paper_stage(10, cfg.demanders,
+                                    bids_per_seller[cell.point]),
+              cell.gen);
+          auction::ssam_options opts;
+          opts.payment_threads = 1;
+          const auto res = auction::run_ssam(instance, opts, cell.scratch);
+          const auto ref = internal::single_stage_reference(instance, 2000000);
+          return stage_result{
+              res.social_cost, res.total_payment, ref.value, res.ratio_bound,
+              ref.exact &&
+                  res.social_cost > res.ratio_bound * ref.value + 1e-6};
+        },
+        [&](std::size_t point, std::span<const stage_result> results) {
+          metrics::trial_accumulator acc;
+          running_stats bound;
+          bool within = true;
+          for (const stage_result& r : results) {
+            acc.add_trial(r.social_cost, r.payment, r.reference);
+            bound.add(r.ratio_bound);
+            if (r.violates) within = false;
+          }
+          out.add_row({std::string("SSAM_theorem3"),
+                       static_cast<long long>(bids_per_seller[point]),
+                       acc.mean_ratio(), acc.max_ratio(), bound.mean(),
+                       std::string(within ? "yes" : "NO"),
+                       static_cast<long long>(cfg.trials)});
+        });
   }
-  // Online: measured vs αβ/(β−1) (Theorem 7); tiny instances solved exactly.
-  for (const std::size_t j : bids_per_seller) {
-    metrics::trial_accumulator acc;
-    running_stats bound;
-    bool within = true;
-    for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-      rng gen = internal::point_rng(cfg.seed, 72, point, trial);
-      auction::online_config ocfg;
-      ocfg.stage = internal::paper_stage(5, 2, j);
-      ocfg.rounds = 3;
-      ocfg.capacity_lo = 4;
-      ocfg.capacity_hi = 8;
-      const auto truth = auction::random_online_instance(ocfg, gen);
-      const auto exact = auction::offline_exact(truth, 2000000);
-      if (!exact.exact || !exact.feasible) continue;
-      const auto res = auction::run_msoa(truth);
-      acc.add_trial(res.social_cost, res.total_payment, exact.cost);
-      if (res.competitive_bound < std::numeric_limits<double>::infinity()) {
-        bound.add(res.competitive_bound);
-        if (res.social_cost > res.competitive_bound * exact.cost + 1e-6) {
-          within = false;
-        }
-      }
-    }
-    out.add_row({std::string("MSOA_theorem7"), static_cast<long long>(j),
-                 acc.trials() > 0 ? acc.mean_ratio() : 0.0,
-                 acc.trials() > 0 ? acc.max_ratio() : 0.0,
-                 bound.empty() ? 0.0 : bound.mean(),
-                 std::string(within ? "yes" : "NO"),
-                 static_cast<long long>(acc.trials())});
-    ++point;
+  // Online phase: measured vs αβ/(β−1) (Theorem 7); tiny instances solved
+  // exactly. Stream id 72; the point counter continues where the first
+  // phase stopped (historical stream layout, preserved for reproducibility).
+  struct online_result {
+    double social_cost = 0.0;
+    double payment = 0.0;
+    double reference = 0.0;
+    double competitive_bound = std::numeric_limits<double>::infinity();
+    bool usable = false;  // offline solve was exact and feasible
+    bool violates = false;
+  };
+  {
+    sweep_runner runner(cfg.seed, 72, cfg.trials, cfg.threads,
+                        /*point_offset=*/bids_per_seller.size());
+    runner.run<online_result>(
+        bids_per_seller.size(),
+        [&](sweep_cell& cell) {
+          auction::online_config ocfg;
+          ocfg.stage =
+              internal::paper_stage(5, 2, bids_per_seller[cell.point]);
+          ocfg.rounds = 3;
+          ocfg.capacity_lo = 4;
+          ocfg.capacity_hi = 8;
+          const auto truth = auction::random_online_instance(ocfg, cell.gen);
+          const auto exact = auction::offline_exact(truth, 2000000);
+          online_result r;
+          if (!exact.exact || !exact.feasible) return r;
+          const auto res = auction::run_msoa(truth, sweep_msoa_options());
+          r.usable = true;
+          r.social_cost = res.social_cost;
+          r.payment = res.total_payment;
+          r.reference = exact.cost;
+          r.competitive_bound = res.competitive_bound;
+          r.violates =
+              res.competitive_bound < std::numeric_limits<double>::infinity() &&
+              res.social_cost > res.competitive_bound * exact.cost + 1e-6;
+          return r;
+        },
+        [&](std::size_t point, std::span<const online_result> results) {
+          metrics::trial_accumulator acc;
+          running_stats bound;
+          bool within = true;
+          for (const online_result& r : results) {
+            if (!r.usable) continue;
+            acc.add_trial(r.social_cost, r.payment, r.reference);
+            if (r.competitive_bound <
+                std::numeric_limits<double>::infinity()) {
+              bound.add(r.competitive_bound);
+              if (r.violates) within = false;
+            }
+          }
+          out.add_row({std::string("MSOA_theorem7"),
+                       static_cast<long long>(bids_per_seller[point]),
+                       acc.trials() > 0 ? acc.mean_ratio() : 0.0,
+                       acc.trials() > 0 ? acc.max_ratio() : 0.0,
+                       bound.empty() ? 0.0 : bound.mean(),
+                       std::string(within ? "yes" : "NO"),
+                       static_cast<long long>(acc.trials())});
+        });
   }
   return out;
 }
@@ -240,28 +354,35 @@ table ablation_scaling(const sweep_config& cfg,
                        std::size_t sellers) {
   table out({"rounds", "mode", "cost_mean", "infeasible_rounds_mean",
              "offline_bound_mean", "trials"});
-  std::uint64_t point = 0;
-  for (const std::size_t rounds : round_counts) {
-    struct mode {
-      const char* name;
-      double alpha;  // 0 = Algorithm 2's auto α; huge ⇒ ψ ≈ 0 (no scaling)
-    };
-    // "paper" uses Algorithm 2's α = SSAM's realized ratio bound (large, so
-    // ψ is gentle); "aggressive" sets α = 1 (strong capacity protection);
-    // "myopic" neutralizes scaling entirely.
-    for (const mode m : {mode{"paper_alpha", 0.0}, mode{"aggressive", 1.0},
-                         mode{"myopic", 1e12}}) {
-      metrics::trial_accumulator acc;
-      running_stats infeasible;
-      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-        rng gen = internal::point_rng(cfg.seed, 73, point, trial);
+  struct mode {
+    const char* name;
+    double alpha;  // 0 = Algorithm 2's auto α; huge ⇒ ψ ≈ 0 (no scaling)
+  };
+  // "paper" uses Algorithm 2's α = SSAM's realized ratio bound (large, so
+  // ψ is gentle); "aggressive" sets α = 1 (strong capacity protection);
+  // "myopic" neutralizes scaling entirely.
+  constexpr std::array<mode, 3> kModes = {mode{"paper_alpha", 0.0},
+                                          mode{"aggressive", 1.0},
+                                          mode{"myopic", 1e12}};
+  struct cell_result {
+    double offline = 0.0;
+    std::array<double, kModes.size()> cost{};
+    std::array<double, kModes.size()> payment{};
+    std::array<double, kModes.size()> infeasible{};
+  };
+  sweep_runner runner(cfg.seed, 73, cfg.trials, cfg.threads);
+  runner.run<cell_result>(
+      round_counts.size(),
+      [&](sweep_cell& cell) {
+        const std::size_t rounds = round_counts[cell.point];
         // Persistently cheap sellers + moderately binding capacity, no
         // windows: the regime where myopic selection burns the cheap
         // sellers early. (The measured effect of ψ-scaling is consistent
         // but small — a few percent — which EXPERIMENTS.md reports
-        // honestly.)
-        auction::online_config ocfg = paper_online(
-            sellers, cfg.demanders, 2, rounds, 100);
+        // honestly.) Every mode runs on the same ground truth, generated
+        // once per cell (the serial loops re-derived it identically).
+        auction::online_config ocfg =
+            paper_online(sellers, cfg.demanders, 2, rounds, 100);
         ocfg.windowed_fraction = 0.0;
         ocfg.seller_price_bias = 0.6;
         ocfg.stage.supply_margin = 0.5;
@@ -270,24 +391,36 @@ table ablation_scaling(const sweep_config& cfg,
             static_cast<auction::units>(std::max(1.0, budget * 0.8));
         ocfg.capacity_hi =
             static_cast<auction::units>(std::max(2.0, budget * 1.2));
-        const auto truth = auction::random_online_instance(ocfg, gen);
-        const double offline = auction::offline_lp_bound(truth);
-        auction::msoa_options opts;
-        opts.alpha = m.alpha;
-        const auto res = auction::run_msoa(truth, opts);
-        acc.add_trial(res.social_cost, res.total_payment, offline);
-        std::size_t failed = 0;
-        for (const auto& round : res.rounds) {
-          if (!round.feasible) ++failed;
+        const auto truth = auction::random_online_instance(ocfg, cell.gen);
+        cell_result r;
+        r.offline = auction::offline_lp_bound(truth);
+        for (std::size_t m = 0; m < kModes.size(); ++m) {
+          const auto res =
+              auction::run_msoa(truth, sweep_msoa_options(kModes[m].alpha));
+          r.cost[m] = res.social_cost;
+          r.payment[m] = res.total_payment;
+          std::size_t failed = 0;
+          for (const auto& round : res.rounds) {
+            if (!round.feasible) ++failed;
+          }
+          r.infeasible[m] = static_cast<double>(failed);
         }
-        infeasible.add(static_cast<double>(failed));
-      }
-      out.add_row({static_cast<long long>(rounds), std::string(m.name),
-                   acc.mean_cost(), infeasible.mean(), acc.mean_reference(),
-                   static_cast<long long>(cfg.trials)});
-    }
-    ++point;
-  }
+        return r;
+      },
+      [&](std::size_t point, std::span<const cell_result> results) {
+        for (std::size_t m = 0; m < kModes.size(); ++m) {
+          metrics::trial_accumulator acc;
+          running_stats infeasible;
+          for (const cell_result& r : results) {
+            acc.add_trial(r.cost[m], r.payment[m], r.offline);
+            infeasible.add(r.infeasible[m]);
+          }
+          out.add_row({static_cast<long long>(round_counts[point]),
+                       std::string(kModes[m].name), acc.mean_cost(),
+                       infeasible.mean(), acc.mean_reference(),
+                       static_cast<long long>(cfg.trials)});
+        }
+      });
   return out;
 }
 
@@ -306,48 +439,48 @@ table baseline_comparison(const sweep_config& cfg,
     return total / static_cast<double>(inst.bids.size());
   };
 
-  // Auction row.
-  {
-    metrics::trial_accumulator acc;
-    std::size_t feasible = 0;
-    for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-      rng gen = internal::point_rng(cfg.seed, 81, 0, trial);
-      const auto instance = auction::random_instance(
-          internal::paper_stage(25, cfg.demanders, 2), gen);
-      const auto res = auction::run_ssam(instance);
-      acc.add_trial(res.social_cost, res.total_payment, 1.0);
-      if (res.feasible) ++feasible;
-    }
-    out.add_row({std::string("SSAM_auction"), acc.mean_cost(),
-                 acc.mean_payment(),
-                 static_cast<double>(feasible) /
-                     static_cast<double>(cfg.trials),
-                 static_cast<long long>(cfg.trials)});
-  }
-
-  // Posted-price rows.
-  std::uint64_t point = 1;
-  for (const double mult : price_multipliers) {
-    metrics::trial_accumulator acc;
-    std::size_t feasible = 0;
-    for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-      rng gen = internal::point_rng(cfg.seed, 81, point, trial);
-      const auto instance = auction::random_instance(
-          internal::paper_stage(25, cfg.demanders, 2), gen);
-      const double posted = mult * mean_unit_cost(instance);
-      const auto res = auction::fixed_price_mechanism(instance, posted);
-      acc.add_trial(res.social_cost, res.total_payment, 1.0);
-      if (res.feasible) ++feasible;
-    }
-    std::ostringstream label;
-    label << "posted_x" << std::setprecision(3) << mult;
-    out.add_row({label.str(),
-                 acc.mean_cost(), acc.mean_payment(),
-                 static_cast<double>(feasible) /
-                     static_cast<double>(cfg.trials),
-                 static_cast<long long>(cfg.trials)});
-    ++point;
-  }
+  // Point 0 is the auction; points 1..k are the posted-price multipliers.
+  struct cell_result {
+    double social_cost = 0.0;
+    double payment = 0.0;
+    bool feasible = false;
+  };
+  sweep_runner runner(cfg.seed, 81, cfg.trials, cfg.threads);
+  runner.run<cell_result>(
+      1 + price_multipliers.size(),
+      [&](sweep_cell& cell) {
+        const auto instance = auction::random_instance(
+            internal::paper_stage(25, cfg.demanders, 2), cell.gen);
+        if (cell.point == 0) {
+          auction::ssam_options opts;
+          opts.payment_threads = 1;
+          const auto res = auction::run_ssam(instance, opts, cell.scratch);
+          return cell_result{res.social_cost, res.total_payment, res.feasible};
+        }
+        const double posted = price_multipliers[cell.point - 1] *
+                              mean_unit_cost(instance);
+        const auto res = auction::fixed_price_mechanism(instance, posted);
+        return cell_result{res.social_cost, res.total_payment, res.feasible};
+      },
+      [&](std::size_t point, std::span<const cell_result> results) {
+        metrics::trial_accumulator acc;
+        std::size_t feasible = 0;
+        for (const cell_result& r : results) {
+          acc.add_trial(r.social_cost, r.payment, 1.0);
+          if (r.feasible) ++feasible;
+        }
+        std::string label = "SSAM_auction";
+        if (point > 0) {
+          std::ostringstream os;
+          os << "posted_x" << std::setprecision(3)
+             << price_multipliers[point - 1];
+          label = os.str();
+        }
+        out.add_row({label, acc.mean_cost(), acc.mean_payment(),
+                     static_cast<double>(feasible) /
+                         static_cast<double>(cfg.trials),
+                     static_cast<long long>(cfg.trials)});
+      });
   return out;
 }
 

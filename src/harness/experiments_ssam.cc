@@ -1,4 +1,10 @@
 // Drivers for the single-stage (SSAM) figures: 3(a), 3(b), 4(a), 4(b).
+//
+// The sweep drivers fan their (point, trial) cells across the shared thread
+// pool via harness::sweep_runner; every cell derives its RNG stream from the
+// same (seed, figure, point, trial) fork chain the serial loops used, and
+// reduction happens in serial point/trial order, so the tables are
+// byte-identical at any thread count (sweep_test enforces this).
 #include <string>
 
 #include "auction/exact.h"
@@ -7,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "harness/experiments.h"
 #include "harness/internal.h"
+#include "harness/sweep.h"
 #include "metrics/metrics.h"
 
 namespace ecrs::harness {
@@ -31,34 +38,62 @@ reference_cost single_stage_reference(
 
 }  // namespace internal
 
+namespace {
+
+// Per-cell SSAM options for swept drivers: payments stay on the calling
+// thread — the sweep already keeps every core busy with whole cells, and
+// nested fan-out would only add contention. Values are identical either way.
+auction::ssam_options sweep_stage_options() {
+  auction::ssam_options options;
+  options.payment_threads = 1;
+  return options;
+}
+
+}  // namespace
+
 table fig3a_ssam_ratio(const sweep_config& cfg,
                        const std::vector<std::size_t>& seller_counts) {
   table out({"microservices", "bids_per_seller", "ratio_mean", "ratio_max",
              "bound_WXi", "exact_frac", "trials", "ratio_ci95"});
-  std::uint64_t point = 0;
-  for (const std::size_t j : {std::size_t{1}, std::size_t{2}}) {
-    for (const std::size_t n : seller_counts) {
-      metrics::trial_accumulator acc;
-      running_stats bound;
-      std::size_t exact_count = 0;
-      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-        rng gen = internal::point_rng(cfg.seed, 31, point, trial);
+  struct cell_result {
+    double social_cost = 0.0;
+    double payment = 0.0;
+    double reference = 0.0;
+    double ratio_bound = 0.0;
+    bool exact = false;
+  };
+  const std::size_t sizes = seller_counts.size();
+  sweep_runner runner(cfg.seed, 31, cfg.trials, cfg.threads);
+  runner.run<cell_result>(
+      2 * sizes,
+      [&](sweep_cell& cell) {
+        const std::size_t j = cell.point / sizes + 1;  // J in {1, 2}
+        const std::size_t n = seller_counts[cell.point % sizes];
         const auto instance = auction::random_instance(
-            internal::paper_stage(n, cfg.demanders, j), gen);
-        const auction::ssam_result res = auction::run_ssam(instance);
+            internal::paper_stage(n, cfg.demanders, j), cell.gen);
+        const auction::ssam_result res =
+            auction::run_ssam(instance, sweep_stage_options(), cell.scratch);
         const auto ref = internal::single_stage_reference(instance);
-        acc.add_trial(res.social_cost, res.total_payment, ref.value);
-        bound.add(res.ratio_bound);
-        if (ref.exact) ++exact_count;
-      }
-      out.add_row({static_cast<long long>(n), static_cast<long long>(j),
-                   acc.mean_ratio(), acc.max_ratio(), bound.mean(),
-                   static_cast<double>(exact_count) /
-                       static_cast<double>(cfg.trials),
-                   static_cast<long long>(cfg.trials), acc.ratio_ci95()});
-      ++point;
-    }
-  }
+        return cell_result{res.social_cost, res.total_payment, ref.value,
+                           res.ratio_bound, ref.exact};
+      },
+      [&](std::size_t point, std::span<const cell_result> results) {
+        metrics::trial_accumulator acc;
+        running_stats bound;
+        std::size_t exact_count = 0;
+        for (const cell_result& r : results) {
+          acc.add_trial(r.social_cost, r.payment, r.reference);
+          bound.add(r.ratio_bound);
+          if (r.exact) ++exact_count;
+        }
+        const std::size_t j = point / sizes + 1;
+        const std::size_t n = seller_counts[point % sizes];
+        out.add_row({static_cast<long long>(n), static_cast<long long>(j),
+                     acc.mean_ratio(), acc.max_ratio(), bound.mean(),
+                     static_cast<double>(exact_count) /
+                         static_cast<double>(cfg.trials),
+                     static_cast<long long>(cfg.trials), acc.ratio_ci95()});
+      });
   return out;
 }
 
@@ -67,24 +102,35 @@ table fig3b_ssam_cost(const sweep_config& cfg,
                       const std::vector<std::size_t>& request_loads) {
   table out({"microservices", "requests", "social_cost", "payment",
              "optimal_cost", "trials"});
-  std::uint64_t point = 0;
-  for (const std::size_t load : request_loads) {
-    for (const std::size_t n : seller_counts) {
-      metrics::trial_accumulator acc;
-      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-        rng gen = internal::point_rng(cfg.seed, 32, point, trial);
+  struct cell_result {
+    double social_cost = 0.0;
+    double payment = 0.0;
+    double reference = 0.0;
+  };
+  const std::size_t sizes = seller_counts.size();
+  sweep_runner runner(cfg.seed, 32, cfg.trials, cfg.threads);
+  runner.run<cell_result>(
+      request_loads.size() * sizes,
+      [&](sweep_cell& cell) {
+        const std::size_t load = request_loads[cell.point / sizes];
+        const std::size_t n = seller_counts[cell.point % sizes];
         const auto instance = auction::random_instance(
-            internal::paper_stage(n, cfg.demanders, 2, load), gen);
-        const auction::ssam_result res = auction::run_ssam(instance);
+            internal::paper_stage(n, cfg.demanders, 2, load), cell.gen);
+        const auction::ssam_result res =
+            auction::run_ssam(instance, sweep_stage_options(), cell.scratch);
         const auto ref = internal::single_stage_reference(instance);
-        acc.add_trial(res.social_cost, res.total_payment, ref.value);
-      }
-      out.add_row({static_cast<long long>(n), static_cast<long long>(load),
-                   acc.mean_cost(), acc.mean_payment(), acc.mean_reference(),
-                   static_cast<long long>(cfg.trials)});
-      ++point;
-    }
-  }
+        return cell_result{res.social_cost, res.total_payment, ref.value};
+      },
+      [&](std::size_t point, std::span<const cell_result> results) {
+        metrics::trial_accumulator acc;
+        for (const cell_result& r : results) {
+          acc.add_trial(r.social_cost, r.payment, r.reference);
+        }
+        out.add_row({static_cast<long long>(seller_counts[point % sizes]),
+                     static_cast<long long>(request_loads[point / sizes]),
+                     acc.mean_cost(), acc.mean_payment(), acc.mean_reference(),
+                     static_cast<long long>(cfg.trials)});
+      });
   return out;
 }
 
@@ -108,26 +154,37 @@ table fig4b_runtime(const sweep_config& cfg,
                     const std::vector<std::size_t>& request_loads) {
   table out({"microservices", "requests", "runtime_ms_mean", "runtime_ms_max",
              "winners_mean", "trials"});
-  std::uint64_t point = 0;
-  for (const std::size_t load : request_loads) {
-    for (const std::size_t n : seller_counts) {
-      running_stats runtime;
-      running_stats winners;
-      for (std::size_t trial = 0; trial < cfg.trials; ++trial) {
-        rng gen = internal::point_rng(cfg.seed, 42, point, trial);
+  struct cell_result {
+    double runtime_ms = 0.0;  // wall-clock: the one non-deterministic column
+    double winners = 0.0;
+  };
+  const std::size_t sizes = seller_counts.size();
+  sweep_runner runner(cfg.seed, 42, cfg.trials, cfg.threads);
+  runner.run<cell_result>(
+      request_loads.size() * sizes,
+      [&](sweep_cell& cell) {
+        const std::size_t load = request_loads[cell.point / sizes];
+        const std::size_t n = seller_counts[cell.point % sizes];
         const auto instance = auction::random_instance(
-            internal::paper_stage(n, cfg.demanders, 2, load), gen);
+            internal::paper_stage(n, cfg.demanders, 2, load), cell.gen);
         stopwatch clock;
-        const auction::ssam_result res = auction::run_ssam(instance);
-        runtime.add(clock.elapsed_ms());
-        winners.add(static_cast<double>(res.winners.size()));
-      }
-      out.add_row({static_cast<long long>(n), static_cast<long long>(load),
-                   runtime.mean(), runtime.max(), winners.mean(),
-                   static_cast<long long>(cfg.trials)});
-      ++point;
-    }
-  }
+        const auction::ssam_result res =
+            auction::run_ssam(instance, sweep_stage_options(), cell.scratch);
+        return cell_result{clock.elapsed_ms(),
+                           static_cast<double>(res.winners.size())};
+      },
+      [&](std::size_t point, std::span<const cell_result> results) {
+        running_stats runtime;
+        running_stats winners;
+        for (const cell_result& r : results) {
+          runtime.add(r.runtime_ms);
+          winners.add(r.winners);
+        }
+        out.add_row({static_cast<long long>(seller_counts[point % sizes]),
+                     static_cast<long long>(request_loads[point / sizes]),
+                     runtime.mean(), runtime.max(), winners.mean(),
+                     static_cast<long long>(cfg.trials)});
+      });
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "auction/instance_gen.h"
+#include "harness/sweep.h"
 
 namespace ecrs::harness::internal {
 
@@ -35,12 +36,12 @@ namespace ecrs::harness::internal {
 }
 
 // Deterministic per-point substream: every (figure, point, trial) triple
-// gets an independent generator.
+// gets an independent generator. Same fork chain the sweep engine hands to
+// parallel cells, so serial and swept drivers draw identical streams.
 [[nodiscard]] inline rng point_rng(std::uint64_t master_seed,
                                    std::uint64_t figure, std::uint64_t point,
                                    std::uint64_t trial) {
-  rng root(master_seed);
-  return root.fork(figure).fork(point).fork(trial);
+  return sweep_stream(master_seed, figure, point, trial);
 }
 
 // Reference cost for a single-stage instance: exact when the search

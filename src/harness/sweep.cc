@@ -1,0 +1,50 @@
+#include "harness/sweep.h"
+
+#include <memory>
+#include <mutex>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace ecrs::harness {
+
+void sweep_runner::dispatch(
+    std::size_t cells,
+    const std::function<void(std::size_t, auction::ssam_scratch&)>& fn) {
+  ECRS_CHECK_MSG(trials_ > 0, "sweep needs at least one trial");
+  if (cells == 0) return;
+  if (threads_ == 1 || cells == 1) {
+    auction::ssam_scratch scratch;
+    for (std::size_t c = 0; c < cells; ++c) fn(c, scratch);
+    return;
+  }
+
+  // Workspace pool: grows to the number of cells actually in flight at
+  // once (bounded by the worker count), and every workspace is reused for
+  // many cells. The handout order is scheduling-dependent, but a scratch
+  // only ever affects performance, never results.
+  std::mutex mu;
+  std::vector<std::unique_ptr<auction::ssam_scratch>> owned;
+  std::vector<auction::ssam_scratch*> idle;
+  thread_pool::shared().parallel_for(
+      cells,
+      [&](std::size_t c) {
+        auction::ssam_scratch* scratch = nullptr;
+        {
+          const std::lock_guard<std::mutex> lock(mu);
+          if (idle.empty()) {
+            owned.push_back(std::make_unique<auction::ssam_scratch>());
+            scratch = owned.back().get();
+          } else {
+            scratch = idle.back();
+            idle.pop_back();
+          }
+        }
+        fn(c, *scratch);
+        const std::lock_guard<std::mutex> lock(mu);
+        idle.push_back(scratch);
+      },
+      threads_);
+}
+
+}  // namespace ecrs::harness

@@ -1,0 +1,109 @@
+// Deterministic parallel sweep engine for the experiment drivers.
+//
+// Every paper figure is a grid of independent (point, trial) cells: generate
+// an instance from a per-cell RNG stream, run a mechanism, record numbers.
+// sweep_runner fans those cells out across the shared thread pool and then
+// reduces per point IN SERIAL ORDER, so the produced table is byte-identical
+// to a serial run at any thread count:
+//
+//  - each cell's generator comes from sweep_stream(master_seed, figure,
+//    point, trial) — a pure function of the cell's coordinates, never of
+//    scheduling order;
+//  - each cell writes one pre-allocated result slot; no shared accumulator
+//    is touched concurrently;
+//  - the reduce callback sees each point's trial results in ascending trial
+//    order, one point at a time, so floating-point accumulation order is
+//    fixed.
+//
+// Worker threads draw reusable auction::ssam_scratch workspaces from a small
+// pool (one in flight per running cell), so a sweep's allocator traffic
+// stays flat no matter how many cells it visits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "auction/ssam.h"
+#include "common/rng.h"
+
+namespace ecrs::harness {
+
+// The per-cell substream: every (figure, point, trial) triple gets an
+// independent generator, identical to the fork chain the serial drivers
+// have always used (internal::point_rng delegates here).
+[[nodiscard]] inline rng sweep_stream(std::uint64_t master_seed,
+                                      std::uint64_t figure,
+                                      std::uint64_t point,
+                                      std::uint64_t trial) {
+  rng root(master_seed);
+  return root.fork(figure).fork(point).fork(trial);
+}
+
+// What a cell callback receives: its grid coordinates, its private RNG
+// stream, and a reusable mechanism workspace (exclusive to this cell while
+// the callback runs; contents are unspecified).
+struct sweep_cell {
+  std::size_t point = 0;  // grid index within this run() call
+  std::size_t trial = 0;
+  rng gen;
+  auction::ssam_scratch* scratch = nullptr;
+};
+
+class sweep_runner {
+ public:
+  // `threads`: 1 = run cells serially on the caller (no pool), 0 = use the
+  // shared pool at full hardware width, k > 1 = at most k workers. Results
+  // are identical for every setting. `point_offset` shifts the stream ids
+  // (not the grid indices) — for drivers whose point counter spans several
+  // phases (ablation_bounds).
+  sweep_runner(std::uint64_t master_seed, std::uint64_t figure,
+               std::size_t trials, std::size_t threads,
+               std::uint64_t point_offset = 0)
+      : master_seed_(master_seed),
+        figure_(figure),
+        trials_(trials),
+        threads_(threads),
+        point_offset_(point_offset) {}
+
+  [[nodiscard]] std::size_t trials() const { return trials_; }
+
+  // Evaluate `cell` for every (point, trial) in the grid — concurrently when
+  // threads allow — then call `reduce(point, results)` for each point in
+  // ascending order, where `results` holds that point's trial outcomes in
+  // ascending trial order.
+  template <typename Result, typename Cell, typename Reduce>
+  void run(std::size_t points, Cell&& cell, Reduce&& reduce) {
+    std::vector<Result> slots(points * trials_);
+    dispatch(points * trials_,
+             [&](std::size_t c, auction::ssam_scratch& scratch) {
+               sweep_cell ctx;
+               ctx.point = c / trials_;
+               ctx.trial = c % trials_;
+               ctx.gen = sweep_stream(master_seed_, figure_,
+                                      point_offset_ + ctx.point, ctx.trial);
+               ctx.scratch = &scratch;
+               slots[c] = cell(ctx);
+             });
+    for (std::size_t p = 0; p < points; ++p) {
+      reduce(p, std::span<const Result>(slots.data() + p * trials_, trials_));
+    }
+  }
+
+ private:
+  // Run fn(cell_index, scratch) for every cell, scratches handed out so no
+  // two concurrent cells share one. Defined in sweep.cc.
+  void dispatch(
+      std::size_t cells,
+      const std::function<void(std::size_t, auction::ssam_scratch&)>& fn);
+
+  std::uint64_t master_seed_;
+  std::uint64_t figure_;
+  std::size_t trials_;
+  std::size_t threads_;
+  std::uint64_t point_offset_;
+};
+
+}  // namespace ecrs::harness

@@ -17,6 +17,7 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "harness/experiments.h"
 
 namespace ecrs {
 namespace {
@@ -121,6 +122,86 @@ TEST(ThreadPoolStress, ConstructDestroyChurn) {
       done.fetch_add(1, std::memory_order_relaxed);
     });
     ASSERT_EQ(done.load(), 16u);
+  }
+}
+
+TEST(ThreadPoolStress, MaxWorkersCapRespectedUnderChurn) {
+  // Hammer the max_workers cap: many concurrent callers, each asking the
+  // shared pool for a different (small) cap. Observed concurrency per call
+  // must never exceed the cap (+1 for the participating caller is already
+  // inside the cap's contract: cap counts workers incl. the caller).
+  constexpr std::size_t kCallers = 4;
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  std::atomic<bool> violated{false};
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([c, &violated] {
+      const std::size_t cap = 1 + c % 3;
+      std::atomic<std::size_t> inside{0};
+      for (int repeat = 0; repeat < 8; ++repeat) {
+        thread_pool::shared().parallel_for(
+            97,
+            [&inside, &violated, cap](std::size_t) {
+              const std::size_t now =
+                  inside.fetch_add(1, std::memory_order_acq_rel) + 1;
+              if (now > cap) violated.store(true, std::memory_order_relaxed);
+              inside.fetch_sub(1, std::memory_order_acq_rel);
+            },
+            cap);
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_FALSE(violated.load());
+}
+
+// ------------------------------------------------------------ sweep runner
+
+TEST(SweepRunnerStress, ConcurrentSweepsProduceIdenticalTables) {
+  // Several whole figure sweeps in flight at once, all drawing cells and
+  // payment probes from the one shared pool. Every caller must reproduce
+  // the serial table byte-for-byte.
+  harness::sweep_config serial_cfg;
+  serial_cfg.trials = 2;
+  serial_cfg.seed = 5;
+  serial_cfg.demanders = 3;
+  serial_cfg.threads = 1;
+  const std::string expected =
+      harness::fig3a_ssam_ratio(serial_cfg, {4, 6}).to_csv();
+
+  constexpr std::size_t kCallers = 3;
+  std::vector<std::string> tables(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&tables, c] {
+      harness::sweep_config cfg;
+      cfg.trials = 2;
+      cfg.seed = 5;
+      cfg.demanders = 3;
+      cfg.threads = 0;  // shared pool
+      tables[c] = harness::fig3a_ssam_ratio(cfg, {4, 6}).to_csv();
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(tables[c], expected) << "caller " << c;
+  }
+}
+
+TEST(SweepRunnerStress, RepeatedParallelSweepsStayDeterministic) {
+  // Back-to-back parallel sweeps reuse pooled scratch workspaces in
+  // scheduler-dependent order; the tables must not care.
+  harness::sweep_config cfg;
+  cfg.trials = 3;
+  cfg.seed = 11;
+  cfg.demanders = 3;
+  cfg.threads = 0;
+  const std::string first = harness::fig6a_rounds_bids(cfg, {2}, {1, 2}, 5)
+                                .to_csv();
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    EXPECT_EQ(harness::fig6a_rounds_bids(cfg, {2}, {1, 2}, 5).to_csv(), first)
+        << "repeat " << repeat;
   }
 }
 
