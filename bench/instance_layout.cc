@@ -1,0 +1,269 @@
+// Before/after numbers for BENCH_pr4.json: the compiled CSR instance layout
+// (auction/compiled.h) and the MSOA warm-start cache vs. the PR 3
+// bid-vector path (ssam_options::legacy_reference).
+//
+// Workloads, all with critical-value payments on one thread:
+//  - a standing-bid MSOA session (same bid vector every round, one demand
+//    entry re-drawn per round) over T rounds with n bids: legacy per-round
+//    path vs. compiled cold rounds (warm_start=false) vs. compiled +
+//    warm-start patching;
+//  - a single-shot run_ssam on the same stage size: legacy vs. compiled;
+//  - the cost of compile() itself, and allocations per session horizon.
+// A bitwise checksum cross-check aborts if any variant diverges.
+//
+// Flags:
+//   --trials=N    repeats per timing, mean/stddev reported (default 7)
+//   --seed=N      master seed (default 1)
+//   --threads=N   payment probe threads (default 1: the acceptance numbers
+//                 isolate the layout, not the parallel fan-out)
+//   --rounds=N    session horizon T (default 12)
+//   --sellers=N   sellers, 2 bids each => n = 2N bids (default 110)
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "auction/compiled.h"
+#include "auction/instance_gen.h"
+#include "auction/msoa.h"
+#include "auction/online.h"
+#include "auction/ssam.h"
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+
+namespace {
+
+// Process-wide allocation counter (same device as bench/sweep_scaling.cc):
+// counter reads around a call give allocations per call.
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace ecrs;
+using namespace ecrs::auction;
+
+std::uint64_t allocations_now() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+struct timing {
+  double mean_ns = 0.0;
+  double stddev_ns = 0.0;
+};
+
+// Mean/stddev of fn()'s wall clock over `trials` runs (one warm-up first).
+template <typename Fn>
+timing time_ns(std::size_t trials, Fn&& fn) {
+  fn();  // warm-up: page in code, grow buffers
+  std::vector<double> samples;
+  samples.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    stopwatch clock;
+    fn();
+    samples.push_back(clock.elapsed_seconds() * 1e9);
+  }
+  timing out;
+  for (double s : samples) out.mean_ns += s;
+  out.mean_ns /= static_cast<double>(samples.size());
+  for (double s : samples) {
+    out.stddev_ns += (s - out.mean_ns) * (s - out.mean_ns);
+  }
+  out.stddev_ns = std::sqrt(out.stddev_ns / static_cast<double>(samples.size()));
+  return out;
+}
+
+void print_result(const char* name, const timing& t, bool trailing_comma) {
+  std::printf("    \"%s\": {\"mean_ns\": %.0f, \"stddev_ns\": %.0f}%s\n",
+              name, t.mean_ns, t.stddev_ns, trailing_comma ? "," : "");
+}
+
+// The standing-bid horizon: the same bid vector every round; one demand
+// entry is re-drawn per round so the warm path patches both prices (ψ) and
+// requirements.
+std::vector<single_stage_instance> make_rounds(const single_stage_instance& base,
+                                               std::size_t rounds, rng& gen) {
+  std::vector<single_stage_instance> out;
+  out.reserve(rounds);
+  single_stage_instance round = base;
+  for (std::size_t t = 0; t < rounds; ++t) {
+    if (t > 0) {
+      const auto k = static_cast<std::size_t>(gen.uniform_int(
+          0, static_cast<std::int64_t>(round.requirements.size()) - 1));
+      round.requirements[k] = gen.uniform_int(
+          base.requirements[k] / 2, base.requirements[k]);
+    }
+    out.push_back(round);
+  }
+  return out;
+}
+
+// One full session horizon; returns a bitwise-comparable checksum.
+double run_session(const std::vector<seller_profile>& profiles,
+                   const std::vector<single_stage_instance>& rounds,
+                   const msoa_options& opts) {
+  msoa_session session(profiles, opts);
+  double checksum = 0.0;
+  for (const auto& round : rounds) {
+    const auto outcome = session.run_round(round);
+    checksum += outcome.social_cost;
+    for (double p : outcome.payments) checksum += p;
+  }
+  return checksum;
+}
+
+template <typename Fn>
+double allocations_per_call(std::size_t calls, Fn&& fn) {
+  fn();  // warm-up
+  const std::uint64_t before = allocations_now();
+  for (std::size_t c = 0; c < calls; ++c) fn();
+  return static_cast<double>(allocations_now() - before) /
+         static_cast<double>(calls);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const flags f(argc, argv);
+  const auto trials = static_cast<std::size_t>(f.get_int("trials", 7));
+  const auto seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
+  const auto threads = static_cast<std::size_t>(f.get_int("threads", 1));
+  const auto rounds = static_cast<std::size_t>(f.get_int("rounds", 12));
+  const auto sellers = static_cast<std::size_t>(f.get_int("sellers", 110));
+
+  rng gen(seed);
+  instance_config cfg;
+  cfg.sellers = sellers;
+  cfg.demanders = 5;
+  cfg.bids_per_seller = 2;  // n = 2 * sellers bids
+  const auto base = random_instance(cfg, gen);
+  const auto round_instances = make_rounds(base, rounds, gen);
+
+  seller_id max_seller = 0;
+  for (const bid& b : base.bids) {
+    if (b.seller > max_seller) max_seller = b.seller;
+  }
+  std::vector<seller_profile> profiles(max_seller + 1);
+  for (auto& p : profiles) {
+    p.capacity = 1000000;  // ample: admission is stable, warm-start stays on
+    p.t_arrive = 1;
+    p.t_depart = static_cast<std::uint32_t>(rounds);
+  }
+
+  msoa_options warm_opts;
+  warm_opts.stage.rule = payment_rule::critical_value;
+  warm_opts.stage.payment_threads = threads;
+  warm_opts.stage.self_audit = false;
+  msoa_options cold_opts = warm_opts;
+  cold_opts.warm_start = false;
+  msoa_options legacy_opts = warm_opts;
+  legacy_opts.stage.legacy_reference = true;
+
+  // Bitwise cross-check before timing anything.
+  const double check_warm = run_session(profiles, round_instances, warm_opts);
+  const double check_cold = run_session(profiles, round_instances, cold_opts);
+  const double check_legacy =
+      run_session(profiles, round_instances, legacy_opts);
+  ECRS_CHECK_MSG(check_warm == check_cold && check_warm == check_legacy,
+                 "session variants diverged: warm " << check_warm << " cold "
+                     << check_cold << " legacy " << check_legacy);
+  {
+    msoa_session probe(profiles, warm_opts);
+    for (const auto& round : round_instances) (void)probe.run_round(round);
+    ECRS_CHECK_MSG(probe.warm_rounds() == rounds - 1,
+                   "warm-start did not engage: " << probe.warm_rounds()
+                       << " of " << rounds - 1 << " rounds warm");
+  }
+
+  const timing session_legacy = time_ns(trials, [&] {
+    (void)run_session(profiles, round_instances, legacy_opts);
+  });
+  const timing session_cold = time_ns(trials, [&] {
+    (void)run_session(profiles, round_instances, cold_opts);
+  });
+  const timing session_warm = time_ns(trials, [&] {
+    (void)run_session(profiles, round_instances, warm_opts);
+  });
+
+  // Single-shot run_ssam on the same stage size.
+  ssam_options stage_legacy;
+  stage_legacy.rule = payment_rule::critical_value;
+  stage_legacy.payment_threads = threads;
+  stage_legacy.self_audit = false;
+  stage_legacy.legacy_reference = true;
+  ssam_options stage_compiled = stage_legacy;
+  stage_compiled.legacy_reference = false;
+
+  ssam_scratch scratch;
+  const timing single_legacy = time_ns(trials, [&] {
+    (void)run_ssam(base, stage_legacy, &scratch);
+  });
+  const timing single_compiled = time_ns(trials, [&] {
+    (void)run_ssam(base, stage_compiled, &scratch);
+  });
+
+  // compile() itself (the cost a warm round avoids, besides validate/copy).
+  compiled_instance compiled;
+  const timing compile_cost = time_ns(trials, [&] {
+    compiled.compile(base);
+  });
+
+  const double allocs_cold = allocations_per_call(5, [&] {
+    (void)run_session(profiles, round_instances, cold_opts);
+  });
+  const double allocs_warm = allocations_per_call(5, [&] {
+    (void)run_session(profiles, round_instances, warm_opts);
+  });
+
+  std::printf("{\n");
+  std::printf("  \"config\": {\"trials\": %zu, \"seed\": %llu, "
+              "\"threads\": %zu, \"rounds\": %zu, \"bids\": %zu, "
+              "\"demanders\": %zu},\n",
+              trials, static_cast<unsigned long long>(seed), threads, rounds,
+              base.bids.size(), base.requirements.size());
+  std::printf("  \"bit_identical\": true,\n");
+  std::printf("  \"results_ns_mean\": {\n");
+  print_result("MsoaSessionCriticalLegacy", session_legacy, true);
+  print_result("MsoaSessionCriticalCold", session_cold, true);
+  print_result("MsoaSessionCriticalWarm", session_warm, true);
+  print_result("SsamCriticalValueLegacy", single_legacy, true);
+  print_result("SsamCriticalValueCompiled", single_compiled, true);
+  print_result("CompileInstance", compile_cost, false);
+  std::printf("  },\n");
+  std::printf("  \"allocations_per_session\": {\"cold\": %.1f, "
+              "\"warm\": %.1f},\n",
+              allocs_cold, allocs_warm);
+  std::printf("  \"speedups\": {\n");
+  std::printf("    \"session_warm_over_legacy\": %.2f,\n",
+              session_legacy.mean_ns / session_warm.mean_ns);
+  std::printf("    \"session_warm_over_cold\": %.2f,\n",
+              session_cold.mean_ns / session_warm.mean_ns);
+  std::printf("    \"single_compiled_over_legacy\": %.2f\n",
+              single_legacy.mean_ns / single_compiled.mean_ns);
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -44,7 +44,9 @@ struct single_stage_instance {
 
   [[nodiscard]] std::size_t demanders() const { return requirements.size(); }
 
-  // Number of distinct sellers appearing in `bids`.
+  // Number of distinct sellers appearing in `bids`. Recomputed with a hash
+  // set on EVERY call — per-round / hot-path callers should read the cached
+  // compiled_instance::seller_count() (auction/compiled.h) instead.
   [[nodiscard]] std::size_t seller_count() const;
 
   // Sum of all requirements (units).

@@ -1,0 +1,250 @@
+#include "auction/compiled.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ecrs::auction {
+
+void compiled_instance::compile(const single_stage_instance& instance) {
+  const std::size_t nbids = instance.bids.size();
+  const std::size_t ndem = instance.requirements.size();
+
+  requirements_.assign(instance.requirements.begin(),
+                       instance.requirements.end());
+  total_requirement_ = 0;
+  for (units x : requirements_) {
+    ECRS_CHECK_MSG(x >= 0, "compile: negative requirement");
+    total_requirement_ += x;
+  }
+
+  price_.clear();
+  amount_.clear();
+  seller_.clear();
+  cov_off_.clear();
+  cov_arena_.clear();
+  price_.reserve(nbids);
+  amount_.reserve(nbids);
+  seller_.reserve(nbids);
+  cov_off_.reserve(nbids + 1);
+  cov_off_.push_back(0);
+
+  seller_slots_ = 0;
+  total_supply_ = 0;
+  price_bound_ = 1.0;
+  for (const bid& b : instance.bids) {
+    price_.push_back(b.price);
+    amount_.push_back(b.amount);
+    seller_.push_back(b.seller);
+    for (demander_id k : b.coverage) {
+      ECRS_CHECK_MSG(k < ndem, "compile: coverage id out of range");
+      cov_arena_.push_back(k);
+    }
+    cov_off_.push_back(static_cast<std::uint32_t>(cov_arena_.size()));
+    seller_slots_ = std::max(seller_slots_,
+                             static_cast<std::size_t>(b.seller) + 1);
+    total_supply_ += b.amount * static_cast<units>(b.coverage_size());
+    price_bound_ = std::max(price_bound_, b.price);
+  }
+
+  // Distinct seller count (cached; the bid-vector API recomputes this).
+  seller_seen_.assign(seller_slots_, 0);
+  seller_count_ = 0;
+  for (seller_id s : seller_) {
+    if (!seller_seen_[s]) {
+      seller_seen_[s] = 1;
+      ++seller_count_;
+    }
+  }
+
+  // Inverted index by counting sort: per-demander degree, prefix sums,
+  // then a fill pass — bids land in ascending index order per demander.
+  inv_off_.assign(ndem + 1, 0);
+  for (demander_id k : cov_arena_) ++inv_off_[k + 1];
+  for (std::size_t k = 0; k < ndem; ++k) inv_off_[k + 1] += inv_off_[k];
+  inv_arena_.resize(cov_arena_.size());
+  {
+    // Reuse fresh_'s allocation? No — cursors are uint32; use a scoped
+    // borrow of dirty_ (same element type, unused during compile).
+    std::vector<std::uint32_t>& cursor = dirty_;
+    cursor.assign(inv_off_.begin(), inv_off_.end() - 1);
+    for (std::uint32_t i = 0; i < nbids; ++i) {
+      for (std::uint32_t j = cov_off_[i]; j < cov_off_[i + 1]; ++j) {
+        inv_arena_[cursor[cov_arena_[j]]++] = i;
+      }
+    }
+    cursor.clear();
+  }
+
+  // Empty-state utilities and the price-sorted order.
+  util0_.clear();
+  util0_.reserve(nbids);
+  order_.clear();
+  order_.reserve(nbids);
+  for (std::uint32_t i = 0; i < nbids; ++i) {
+    units utility = 0;
+    for (std::uint32_t j = cov_off_[i]; j < cov_off_[i + 1]; ++j) {
+      utility += std::min(amount_[i], requirements_[cov_arena_[j]]);
+    }
+    util0_.push_back(utility);
+    if (utility > 0) {
+      order_.push_back({price_[i] / static_cast<double>(utility), i,
+                        seller_[i]});
+    }
+  }
+  std::sort(order_.begin(), order_.end(), entry_ascending{});
+
+  dirty_.clear();
+  dirty_flag_.assign(nbids, 0);
+}
+
+void compiled_instance::mark_dirty(std::uint32_t i) {
+  if (!dirty_flag_[i]) {
+    dirty_flag_[i] = 1;
+    dirty_.push_back(i);
+  }
+}
+
+void compiled_instance::set_price(std::size_t i, double p) {
+  ECRS_CHECK(i < price_.size());
+  ECRS_CHECK_MSG(p >= 0.0, "set_price: negative price");
+  if (price_[i] == p) return;
+  price_[i] = p;
+  mark_dirty(static_cast<std::uint32_t>(i));
+}
+
+void compiled_instance::set_requirement(demander_id k, units x) {
+  ECRS_CHECK(k < requirements_.size());
+  ECRS_CHECK_MSG(x >= 0, "set_requirement: negative requirement");
+  const units old = requirements_[k];
+  if (old == x) return;
+  requirements_[k] = x;
+  total_requirement_ += x - old;
+  for (const std::uint32_t* it = covering_begin(k); it != covering_end(k);
+       ++it) {
+    const std::uint32_t i = *it;
+    const units delta =
+        std::min(amount_[i], x) - std::min(amount_[i], old);
+    if (delta == 0) continue;
+    util0_[i] += delta;
+    mark_dirty(i);
+  }
+}
+
+void compiled_instance::refresh_order() {
+  if (dirty_.empty()) return;
+
+  // Stable compaction: drop the dirty bids' (now stale) entries while
+  // preserving the relative order of everything else.
+  std::size_t keep = 0;
+  for (const compiled_entry& e : order_) {
+    if (!dirty_flag_[e.idx]) order_[keep++] = e;
+  }
+  order_.resize(keep);
+
+  // Re-key the dirty bids that still contribute, sort just those, and
+  // merge. Keys are recomputed with the same division a cold compile()
+  // uses, and (key, idx) pairs are unique, so the merged order is
+  // bit-identical to a full re-sort.
+  fresh_.clear();
+  for (std::uint32_t i : dirty_) {
+    dirty_flag_[i] = 0;
+    if (util0_[i] > 0) {
+      fresh_.push_back({price_[i] / static_cast<double>(util0_[i]), i,
+                        seller_[i]});
+    }
+  }
+  dirty_.clear();
+  std::sort(fresh_.begin(), fresh_.end(), entry_ascending{});
+
+  order_tmp_.clear();
+  order_tmp_.reserve(order_.size() + fresh_.size());
+  std::merge(order_.begin(), order_.end(), fresh_.begin(), fresh_.end(),
+             std::back_inserter(order_tmp_), entry_ascending{});
+  order_.swap(order_tmp_);
+
+  // Prices may have moved in either direction: recompute the probe bound
+  // (O(bids), branch-free scan — the patched round runs many probes
+  // against it).
+  price_bound_ = 1.0;
+  for (double p : price_) price_bound_ = std::max(price_bound_, p);
+}
+
+// ----------------------------------------------------------- compiled_state
+
+void compiled_state::reset(const compiled_instance& c) {
+  remaining_.assign(c.requirements().begin(), c.requirements().end());
+  deficit_ = c.total_requirement();
+}
+
+// ------------------------------------------------------------- scored_state
+
+void scored_state::reset(const compiled_instance& c) {
+  remaining_.assign(c.requirements().begin(), c.requirements().end());
+  deficit_ = c.total_requirement();
+  util_.resize(c.bid_count());
+  for (std::size_t i = 0; i < c.bid_count(); ++i) {
+    util_[i] = c.initial_utility(i);
+  }
+  touched_.assign(c.bid_count(), 0);
+}
+
+units scored_state::apply(const compiled_instance& c, std::size_t w,
+                          std::vector<std::uint32_t>& dirty) {
+  const std::size_t dirty_base = dirty.size();
+  const units amount = c.amount(w);
+  units gain = 0;
+  for (const demander_id* kp = c.coverage_begin(w); kp != c.coverage_end(w);
+       ++kp) {
+    const demander_id k = *kp;
+    const units before = remaining_[k];
+    const units used = std::min(amount, before);
+    if (used == 0) continue;
+    const units after = before - used;
+    remaining_[k] = after;
+    gain += used;
+    // Re-score exactly the bids touched by this demander's change.
+    for (const std::uint32_t* it = c.covering_begin(k);
+         it != c.covering_end(k); ++it) {
+      const std::uint32_t b = *it;
+      const units a = c.amount(b);
+      const units delta = std::min(a, before) - std::min(a, after);
+      if (delta == 0) continue;
+      util_[b] -= delta;
+      if (!touched_[b]) {
+        touched_[b] = 1;
+        dirty.push_back(b);
+      }
+    }
+  }
+  deficit_ -= gain;
+  for (std::size_t pos = dirty_base; pos < dirty.size(); ++pos) {
+    touched_[dirty[pos]] = 0;
+  }
+  return gain;
+}
+
+units scored_state::apply(const compiled_instance& c, std::size_t w) {
+  const units amount = c.amount(w);
+  units gain = 0;
+  for (const demander_id* kp = c.coverage_begin(w); kp != c.coverage_end(w);
+       ++kp) {
+    const demander_id k = *kp;
+    const units before = remaining_[k];
+    const units used = std::min(amount, before);
+    if (used == 0) continue;
+    const units after = before - used;
+    remaining_[k] = after;
+    gain += used;
+    for (const std::uint32_t* it = c.covering_begin(k);
+         it != c.covering_end(k); ++it) {
+      const std::uint32_t b = *it;
+      const units a = c.amount(b);
+      util_[b] -= std::min(a, before) - std::min(a, after);
+    }
+  }
+  deficit_ -= gain;
+  return gain;
+}
+
+}  // namespace ecrs::auction

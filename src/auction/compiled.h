@@ -1,0 +1,255 @@
+// Compiled (CSR / structure-of-arrays) view of a single_stage_instance.
+//
+// The mechanism hot paths (ssam.cc) used to walk `bid::coverage` — one
+// heap-allocated vector per bid — for every marginal-utility evaluation.
+// A compiled_instance flattens the whole instance once:
+//
+//  - per-bid SoA rows: price, amount, seller, and a (offset, length) slice
+//    into one contiguous demander-id arena (CSR over coverage sets);
+//  - an inverted index (demander -> bids covering it, also CSR), so
+//    applying a winner re-scores exactly the bids whose marginal utility
+//    actually changed (the scored_state the eager loop and the probe
+//    trajectories run on), and requirement patches touch only the
+//    affected rows;
+//  - the empty-state marginal utilities U_ij(∅) and the price-sorted
+//    (initial ratio, bid) order — the lazy-selection heap seed and the
+//    critical-value probe seed, built once instead of per call;
+//  - cached instance-level scalars (distinct seller count, max seller id,
+//    total requirement, the probe price bound) that the bid-vector API
+//    recomputes per call.
+//
+// Warm-start patching (MSOA, §IV-E): across rounds of an online session
+// only per-seller price offsets ∇ = J + |S_ij|·ψ_i and the requirement
+// vector change. set_price / set_requirement update the affected rows in
+// place and mark them dirty; refresh_order() then restores the sorted
+// order with a stable partial re-sort (remove dirty entries, re-key, merge)
+// whose cost is proportional to what changed, not to |bids|. The result is
+// bit-identical to a cold compile() of the patched instance.
+//
+// All structures reuse their buffer capacity across compile() calls, so a
+// long-lived compiled_instance (ssam_scratch, msoa_session) stops hitting
+// the allocator once it has seen its largest instance.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "auction/bid.h"
+
+namespace ecrs::auction {
+
+// One candidate entry of the selection heap / probe seed: the bid's
+// cost-effectiveness key with its index and seller inlined so the hot loops
+// never chase a pointer back into the bid table.
+struct compiled_entry {
+  double key = 0.0;          // price / U_ij at key time
+  std::uint32_t idx = 0;     // bid row
+  seller_id seller = 0;
+};
+
+// (key, idx)-lexicographic order — the deterministic tie-break every
+// selection loop shares (seller is payload, never compared).
+[[nodiscard]] inline bool entry_less(const compiled_entry& a,
+                                     const compiled_entry& b) {
+  return a.key < b.key || (a.key == b.key && a.idx < b.idx);
+}
+
+// Comparator adapter for std::*_heap (min-heap on (key, idx)).
+struct entry_greater {
+  [[nodiscard]] bool operator()(const compiled_entry& a,
+                                const compiled_entry& b) const {
+    return entry_less(b, a);
+  }
+};
+
+// Functor flavour for std::sort/std::merge — passing the free function by
+// name hands the algorithm a function pointer and blocks comparator
+// inlining, which roughly doubles compile()'s sort cost.
+struct entry_ascending {
+  [[nodiscard]] bool operator()(const compiled_entry& a,
+                                const compiled_entry& b) const {
+    return entry_less(a, b);
+  }
+};
+
+class compiled_instance {
+ public:
+  compiled_instance() = default;
+
+  // Full rebuild from a *validated* instance (see
+  // single_stage_instance::validate; compile re-checks only cheap bounds).
+  // Reuses existing buffer capacity.
+  void compile(const single_stage_instance& instance);
+
+  // ------------------------------------------------------------- topology
+  [[nodiscard]] std::size_t bid_count() const { return price_.size(); }
+  [[nodiscard]] std::size_t demander_count() const {
+    return requirements_.size();
+  }
+  // Distinct sellers appearing in the bids — cached at compile time (the
+  // bid-vector single_stage_instance::seller_count() recomputes a
+  // distinct-count on every call).
+  [[nodiscard]] std::size_t seller_count() const { return seller_count_; }
+  // Max seller id + 1: the size of per-seller liveness tables.
+  [[nodiscard]] std::size_t seller_slots() const { return seller_slots_; }
+  [[nodiscard]] const std::vector<units>& requirements() const {
+    return requirements_;
+  }
+  [[nodiscard]] units total_requirement() const { return total_requirement_; }
+
+  [[nodiscard]] double price(std::size_t i) const { return price_[i]; }
+  [[nodiscard]] units amount(std::size_t i) const { return amount_[i]; }
+  [[nodiscard]] seller_id seller(std::size_t i) const { return seller_[i]; }
+  [[nodiscard]] std::size_t coverage_size(std::size_t i) const {
+    return cov_off_[i + 1] - cov_off_[i];
+  }
+  // CSR slice of bid i's coverage set (sorted unique demander ids).
+  [[nodiscard]] const demander_id* coverage_begin(std::size_t i) const {
+    return cov_arena_.data() + cov_off_[i];
+  }
+  [[nodiscard]] const demander_id* coverage_end(std::size_t i) const {
+    return cov_arena_.data() + cov_off_[i + 1];
+  }
+  // Inverted CSR slice: the bids covering demander k, ascending bid index.
+  [[nodiscard]] const std::uint32_t* covering_begin(demander_id k) const {
+    return inv_arena_.data() + inv_off_[k];
+  }
+  [[nodiscard]] const std::uint32_t* covering_end(demander_id k) const {
+    return inv_arena_.data() + inv_off_[k + 1];
+  }
+
+  // Empty-state marginal utility U_ij(∅) = sum_k min(a_ij, X_k).
+  [[nodiscard]] units initial_utility(std::size_t i) const {
+    return util0_[i];
+  }
+  // Bids with positive initial utility sorted ascending by
+  // (price / U_ij(∅), bid index): the critical-value probe seed, and — a
+  // sorted array being a valid min-heap — the lazy-selection heap seed.
+  [[nodiscard]] const std::vector<compiled_entry>& order() const {
+    return order_;
+  }
+  // Σ over bids of amount · |coverage| — the probe upper-bound supply.
+  [[nodiscard]] units total_supply() const { return total_supply_; }
+  // max(1, max bid price): the other probe upper-bound factor.
+  [[nodiscard]] double price_bound() const { return price_bound_; }
+
+  // ------------------------------------------------- warm-start patching
+  // Patch one bid's price / one demander's requirement in place. Both mark
+  // the affected bids dirty; call refresh_order() before running any
+  // auction on the patched view. set_requirement re-derives the initial
+  // utilities of the covering bids through the inverted index.
+  void set_price(std::size_t i, double p);
+  void set_requirement(demander_id k, units x);
+  // Re-key the dirty bids and restore order() with a stable partial
+  // re-sort; O(dirty·log dirty + |order|) and allocation-free at steady
+  // state. The result is bit-identical to a cold compile().
+  void refresh_order();
+
+ private:
+  void mark_dirty(std::uint32_t i);
+
+  std::vector<double> price_;
+  std::vector<units> amount_;
+  std::vector<seller_id> seller_;
+  std::vector<std::uint32_t> cov_off_;   // bid_count + 1
+  std::vector<demander_id> cov_arena_;   // all coverage sets, concatenated
+  std::vector<std::uint32_t> inv_off_;   // demander_count + 1
+  std::vector<std::uint32_t> inv_arena_; // bid ids, ascending per demander
+  std::vector<units> util0_;
+  std::vector<units> requirements_;
+  std::vector<compiled_entry> order_;
+  units total_requirement_ = 0;
+  units total_supply_ = 0;
+  double price_bound_ = 1.0;
+  std::size_t seller_count_ = 0;
+  std::size_t seller_slots_ = 0;
+  // Patch bookkeeping (reused buffers).
+  std::vector<std::uint32_t> dirty_;
+  std::vector<char> dirty_flag_;
+  std::vector<compiled_entry> fresh_;      // re-keyed dirty entries
+  std::vector<compiled_entry> order_tmp_;  // merge target
+  std::vector<char> seller_seen_;          // compile(): distinct count
+};
+
+// Remaining-requirement tracking over a compiled instance — the CSR
+// analogue of coverage_state, used by the probe replays and the
+// feasibility re-check. reset() is O(demanders) and allocation-free at
+// steady state.
+class compiled_state {
+ public:
+  void reset(const compiled_instance& c);
+
+  [[nodiscard]] bool satisfied() const { return deficit_ == 0; }
+  [[nodiscard]] units deficit() const { return deficit_; }
+  [[nodiscard]] units remaining(demander_id k) const { return remaining_[k]; }
+
+  // U_ij(E): walks the bid's CSR coverage slice. Defined inline — this is
+  // the per-pop recompute of the lazy selection loop and the probe replays.
+  [[nodiscard]] units marginal_utility(const compiled_instance& c,
+                                       std::size_t i) const {
+    const units amount = c.amount(i);
+    units gain = 0;
+    for (const demander_id* k = c.coverage_begin(i); k != c.coverage_end(i);
+         ++k) {
+      gain += std::min(amount, remaining_[*k]);
+    }
+    return gain;
+  }
+
+  // Apply a winning bid; returns its marginal utility.
+  // ecrs-lint: allow(nodiscard)
+  units apply(const compiled_instance& c, std::size_t i) {
+    const units amount = c.amount(i);
+    units gain = 0;
+    for (const demander_id* k = c.coverage_begin(i); k != c.coverage_end(i);
+         ++k) {
+      const units used = std::min(amount, remaining_[*k]);
+      remaining_[*k] -= used;
+      gain += used;
+    }
+    deficit_ -= gain;
+    return gain;
+  }
+
+ private:
+  std::vector<units> remaining_;
+  units deficit_ = 0;
+};
+
+// Selection-loop state that additionally keeps the *exact* current marginal
+// utility of every bid, maintained incrementally: apply() walks the
+// inverted index of each demander whose remaining requirement changed and
+// re-scores only the bids actually touched, reporting them (deduplicated)
+// so the selection heap can be repaired instead of rebuilt. utility() is
+// then O(1) where coverage_state::marginal_utility is O(|S_ij|).
+class scored_state {
+ public:
+  void reset(const compiled_instance& c);
+
+  [[nodiscard]] bool satisfied() const { return deficit_ == 0; }
+  [[nodiscard]] units deficit() const { return deficit_; }
+  [[nodiscard]] units remaining(demander_id k) const { return remaining_[k]; }
+  // Exact current U_ij(E) of bid i.
+  [[nodiscard]] units utility(std::size_t i) const { return util_[i]; }
+
+  // Apply winner w. Every bid whose utility changed is appended to `dirty`
+  // exactly once (w itself included). Returns w's marginal utility.
+  // ecrs-lint: allow(nodiscard)
+  units apply(const compiled_instance& c, std::size_t w,
+              std::vector<std::uint32_t>& dirty);
+
+  // Same update without reporting which bids changed — skips the
+  // touched-flag bookkeeping for callers that re-read utilities directly.
+  // ecrs-lint: allow(nodiscard)
+  units apply(const compiled_instance& c, std::size_t w);
+
+ private:
+  std::vector<units> remaining_;
+  std::vector<units> util_;
+  std::vector<char> touched_;
+  units deficit_ = 0;
+};
+
+}  // namespace ecrs::auction

@@ -7,6 +7,29 @@
 #include "common/check.h"
 
 namespace ecrs::auction {
+namespace {
+
+// Do the admitted bids of `round` have exactly the topology the compiled
+// warm-start cache was built from? Prices are NOT compared — the warm path
+// re-patches every price from the current round, so only the structure the
+// patch API cannot change (seller, amount, coverage) must match.
+bool topology_matches(const compiled_instance& compiled,
+                      const single_stage_instance& round,
+                      const std::vector<std::size_t>& admitted) {
+  if (compiled.bid_count() != admitted.size()) return false;
+  for (std::size_t j = 0; j < admitted.size(); ++j) {
+    const bid& b = round.bids[admitted[j]];
+    if (b.seller != compiled.seller(j) || b.amount != compiled.amount(j) ||
+        b.coverage_size() != compiled.coverage_size(j) ||
+        !std::equal(compiled.coverage_begin(j), compiled.coverage_end(j),
+                    b.coverage.begin())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 msoa_session::msoa_session(std::vector<seller_profile> sellers,
                            msoa_options options)
@@ -53,15 +76,11 @@ msoa_round_outcome msoa_session::run_round(const single_stage_instance& round) {
   round.validate();
   const std::uint32_t t = ++round_;
 
-  // Admit bids: window + remaining capacity (Algorithm 2 lines 4-8), and
-  // scale prices with the current ψ. The candidate instance lives in the
-  // session (`scaled_`) so steady-state rounds reuse its buffers — admitted
-  // bids are copy-assigned into existing slots to keep their coverage
-  // vectors' capacity.
-  scaled_.requirements.assign(round.requirements.begin(),
-                              round.requirements.end());
+  // Admit bids: window + remaining capacity (Algorithm 2 lines 4-8). The
+  // first pass only decides WHO participates (and updates β); whether the
+  // admitted set is materialized as a scaled-price bid vector or patched
+  // into the warm-start cache is decided afterwards.
   original_index_.clear();
-  std::size_t admitted = 0;
   for (std::size_t idx = 0; idx < round.bids.size(); ++idx) {
     const bid& b = round.bids[idx];
     ECRS_CHECK_MSG(b.seller < profiles_.size(),
@@ -73,23 +92,68 @@ msoa_round_outcome msoa_session::run_round(const single_stage_instance& round) {
     if (used_[b.seller] + weight > profiles_[b.seller].capacity) {
       continue;  // lines 5-6: exceeds Θ_i, excluded from the candidate set
     }
-    if (admitted == scaled_.bids.size()) scaled_.bids.emplace_back();
-    bid& sb = scaled_.bids[admitted];
-    sb = b;
-    sb.price = b.price + static_cast<double>(weight) * psi_[b.seller];
-    ++admitted;
     original_index_.push_back(idx);
     // β = min Θ_i/|S_ij| over admissible bids (Lemma 4).
     beta_ = std::min(beta_,
                      static_cast<double>(profiles_[b.seller].capacity) /
                          static_cast<double>(weight));
   }
-  scaled_.bids.resize(admitted);
+
+  const bool reference =
+      options_.stage.eager_reference || options_.stage.legacy_reference;
+  const bool warm = options_.warm_start && !reference && cache_valid_ &&
+                    round.requirements.size() == compiled_.demander_count() &&
+                    topology_matches(compiled_, round, original_index_);
 
   msoa_round_outcome outcome;
   outcome.round = t;
-  outcome.admitted_bids = scaled_.bids.size();
-  outcome.stage = run_ssam(scaled_, options_.stage, &scratch_);
+  outcome.admitted_bids = original_index_.size();
+  if (warm) {
+    // Standing bids: patch the per-seller ψ offsets ∇ = J + |S_ij|·ψ_i and
+    // the demand vector in place (both no-ops where nothing moved), restore
+    // the sorted candidate order with the stable partial re-sort, and run
+    // on the cached view — no validate, no bid copies, no recompile. The
+    // patched view is bit-identical to a cold compile of the scaled round.
+    for (std::size_t j = 0; j < original_index_.size(); ++j) {
+      const bid& b = round.bids[original_index_[j]];
+      const auto weight = static_cast<units>(b.coverage_size());
+      compiled_.set_price(
+          j, b.price + static_cast<double>(weight) * psi_[b.seller]);
+    }
+    for (demander_id k = 0; k < round.requirements.size(); ++k) {
+      compiled_.set_requirement(k, round.requirements[k]);
+    }
+    compiled_.refresh_order();
+    ++warm_rounds_;
+    outcome.stage = run_ssam(compiled_, options_.stage, &scratch_);
+  } else {
+    // Cold round: materialize the scaled candidate instance in the session
+    // (`scaled_`) so steady-state rounds reuse its buffers — admitted bids
+    // are copy-assigned into existing slots to keep their coverage
+    // vectors' capacity.
+    scaled_.requirements.assign(round.requirements.begin(),
+                                round.requirements.end());
+    std::size_t admitted = 0;
+    for (const std::size_t idx : original_index_) {
+      const bid& b = round.bids[idx];
+      if (admitted == scaled_.bids.size()) scaled_.bids.emplace_back();
+      bid& sb = scaled_.bids[admitted];
+      sb = b;
+      sb.price = b.price + static_cast<double>(static_cast<units>(
+                               b.coverage_size())) *
+                               psi_[b.seller];
+      ++admitted;
+    }
+    scaled_.bids.resize(admitted);
+    if (reference) {
+      outcome.stage = run_ssam(scaled_, options_.stage, &scratch_);
+    } else {
+      scaled_.validate();
+      compiled_.compile(scaled_);
+      cache_valid_ = true;
+      outcome.stage = run_ssam(compiled_, options_.stage, &scratch_);
+    }
+  }
   outcome.feasible = outcome.stage.feasible;
 
   // Freeze α on the first round that actually selected something.

@@ -24,6 +24,7 @@
 #include <limits>
 #include <vector>
 
+#include "auction/compiled.h"
 #include "auction/online.h"
 #include "auction/ssam.h"
 #include "common/rng.h"
@@ -35,6 +36,15 @@ struct msoa_options {
   // α used in the ψ update. 0 = auto: freeze the first non-trivial round's
   // realized ratio bound (max(1, W·Ξ)).
   double alpha = 0.0;
+  // Cross-round warm start: when a round's admitted bids have the same
+  // topology (seller, amount, coverage) as the session's cached compiled
+  // view — the standing-bid workload, where only the per-seller ψ offsets
+  // ∇ = J + |S_ij|·ψ_i and the demand vector move between rounds — the
+  // round is served by patching prices/requirements in place and restoring
+  // the sorted candidate order with a stable partial re-sort, instead of
+  // re-validating, re-copying and re-compiling the whole instance. Results
+  // are bit-identical either way; disable to force cold rounds.
+  bool warm_start = true;
 };
 
 struct msoa_round_outcome {
@@ -76,6 +86,9 @@ class msoa_session {
   [[nodiscard]] units capacity_left(seller_id s) const;
   [[nodiscard]] double alpha() const { return alpha_ > 0.0 ? alpha_ : 1.0; }
   [[nodiscard]] double beta() const { return beta_; }
+  // Rounds served by patching the warm-start cache instead of a cold
+  // validate + compile (see msoa_options::warm_start).
+  [[nodiscard]] std::size_t warm_rounds() const { return warm_rounds_; }
   // αβ/(β−1) over the rounds seen so far (α if no bid was ever admitted,
   // infinity if β <= 1).
   [[nodiscard]] double competitive_bound() const;
@@ -100,6 +113,14 @@ class msoa_session {
   single_stage_instance scaled_;
   std::vector<std::size_t> original_index_;
   ssam_scratch scratch_;
+  // Warm-start cache: the compiled view of the last cold-compiled round's
+  // admitted scaled instance. The compiled rows double as the topology
+  // snapshot the warm check compares against; the warm path then re-patches
+  // every price and requirement (no-ops when unchanged), so the view always
+  // represents the CURRENT round exactly, whatever happened in between.
+  compiled_instance compiled_;
+  bool cache_valid_ = false;  // compiled_ holds a compiled topology
+  std::size_t warm_rounds_ = 0;
 };
 
 // Run a complete online instance through a fresh session.

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "auction/compiled.h"
 #include "common/check.h"
 
 namespace ecrs::auction {
@@ -42,25 +43,33 @@ ir_audit audit_individual_rationality(const single_stage_instance& instance,
 
 void audit_or_throw(const single_stage_instance& instance,
                     const ssam_result& result, const audit_options& options) {
+  compiled_instance compiled;
+  compiled.compile(instance);
+  audit_or_throw(compiled, result, options);
+}
+
+void audit_or_throw(const compiled_instance& instance,
+                    const ssam_result& result, const audit_options& options) {
   const double tol = options.tolerance;
 
   // Structural validity: every winner names a real bid, one bid per seller.
   std::unordered_set<seller_id> sellers;
   for (const winning_bid& w : result.winners) {
-    ECRS_CHECK_MSG(w.bid_index < instance.bids.size(),
+    ECRS_CHECK_MSG(w.bid_index < instance.bid_count(),
                    "audit[structure]: winner references bid "
                        << w.bid_index << " but the instance has only "
-                       << instance.bids.size() << " bids");
-    ECRS_CHECK_MSG(sellers.insert(instance.bids[w.bid_index].seller).second,
+                       << instance.bid_count() << " bids");
+    ECRS_CHECK_MSG(sellers.insert(instance.seller(w.bid_index)).second,
                    "audit[structure]: seller "
-                       << instance.bids[w.bid_index].seller
+                       << instance.seller(w.bid_index)
                        << " wins more than one bid (constraint (9))");
   }
 
   // Coverage: the feasible flag must match a replay of the winner set.
-  coverage_state state(instance.requirements);
+  compiled_state state;
+  state.reset(instance);
   for (const winning_bid& w : result.winners) {
-    state.apply(instance.bids[w.bid_index]);
+    state.apply(instance, w.bid_index);
   }
   ECRS_CHECK_MSG(result.feasible == state.satisfied(),
                  "audit[coverage]: result.feasible == "
@@ -73,7 +82,7 @@ void audit_or_throw(const single_stage_instance& instance,
   double total_payment = 0.0;
   for (std::size_t pos = 0; pos < result.winners.size(); ++pos) {
     const winning_bid& w = result.winners[pos];
-    const double price = instance.bids[w.bid_index].price;
+    const double price = instance.price(w.bid_index);
     ECRS_CHECK_MSG(w.payment >= price - tol,
                    "audit[ir]: winner " << pos << " (bid " << w.bid_index
                                         << ") is paid " << w.payment

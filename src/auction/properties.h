@@ -40,8 +40,14 @@ struct audit_options {
 // per seller, the `feasible` flag consistent with a coverage replay,
 // individual rationality (payment >= asking price), social-cost and
 // total-payment accounting, dual-certificate sanity, and the payment
-// budget. Throws ecrs::check_error on the first violation.
+// budget. Throws ecrs::check_error on the first violation. The
+// bid-vector overload compiles the instance and delegates to the
+// compiled-view auditor (the core implementation, and the one run_ssam's
+// self-audit uses on its hot path).
 void audit_or_throw(const single_stage_instance& instance,
+                    const ssam_result& result,
+                    const audit_options& options = {});
+void audit_or_throw(const compiled_instance& instance,
                     const ssam_result& result,
                     const audit_options& options = {});
 

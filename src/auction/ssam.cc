@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "auction/compiled.h"
 #include "auction/properties.h"
 #include "common/check.h"
 #include "common/statistics.h"
@@ -62,31 +63,59 @@ std::size_t seller_slots_of(const single_stage_instance& instance) {
              : static_cast<std::size_t>(max_seller_of(instance)) + 1;
 }
 
-// Read-only probe context shared by every bisection probe of one instance:
-// the empty-state utilities plus all contributing bids pre-sorted by
-// (initial ratio, bid index) — exactly the order a fresh lazy heap would
-// pop them in. Building it costs one O(n log n) sort; each probe then walks
-// it with a cursor instead of re-heapifying n entries.
+// Read-only probe context shared by every bisection probe of one instance
+// on the bid-vector reference paths: the empty-state utilities plus all
+// contributing bids pre-sorted by (initial ratio, bid index) — exactly the
+// order a fresh lazy heap would pop them in. The compiled path gets the
+// same thing for free from compiled_instance::order().
 struct probe_seed {
   std::vector<units> initial_utilities;
   std::vector<entry> entries;  // ascending
   std::size_t seller_slots = 0;  // max seller id + 1
 };
 
-// Mutable per-probe workspace (one per concurrently running probe).
+// Mutable per-probe workspace (one per concurrently running probe) for the
+// bid-vector reference probes.
 struct probe_scratch {
   coverage_state state;
   std::vector<char> seller_active;
   std::vector<entry> requeued;  // min-heap storage
 };
 
+// One step of a winner's probe trajectory: the competing bid the greedy
+// selects at this step when the probed bid never wins, with its exact
+// ratio, and the probed bid's marginal utility entering the step. A
+// bisection probe at report p then resolves by walking these steps with
+// two comparisons each (see trajectory_probe_wins) instead of replaying
+// the whole auction.
+struct probe_step {
+  double ratio = 0.0;        // exact price / U of the selected competitor
+  std::uint32_t idx = 0;     // its bid row (the (ratio, idx) tie-break)
+  units probed_utility = 0;  // U_i(E) before this selection
+  bool collision = false;    // competitor shares the probed bid's seller
+};
+
+// Mutable per-probe workspace for the compiled probes.
+struct compiled_probe_scratch {
+  compiled_state state;
+  std::vector<char> seller_active;
+  std::vector<compiled_entry> requeued;  // min-heap storage
+  // Critical-value trajectory precompute (one per winner, reused across
+  // every probe of that winner's bisection).
+  scored_state scored;
+  std::vector<probe_step> steps;
+  units end_probed_utility = 0;  // U_i when the trajectory ran out of bids
+  bool end_satisfied = false;    // trajectory ended with demand met
+};
+
 }  // namespace
 
 // Every buffer the selection loops and payment probes touch, grown on
-// demand and reused across calls. The per-winner `probes` slots make the
+// demand and reused across calls. The per-winner probe slots make the
 // parallel payment fan-out safe with a single scratch: worker `pos` only
-// touches probes[pos].
+// touches probes[pos] / cprobes[pos].
 struct ssam_scratch::impl {
+  // Bid-vector reference paths.
   coverage_state state;             // selection loops
   std::vector<char> active;         // eager loop: per-bid liveness
   std::vector<char> seller_active;  // both loops: per-seller liveness
@@ -94,6 +123,14 @@ struct ssam_scratch::impl {
   probe_seed seed;                  // shared by all critical-value probes
   std::vector<probe_scratch> probes;  // one slot per winner position
   coverage_state replay;            // feasibility re-check
+  // Compiled path.
+  compiled_instance compiled;            // compile-on-entry shim target
+  scored_state scored;                   // eager selection: exact utilities
+  compiled_state cstate;                 // lazy selection: coverage only
+  std::vector<compiled_entry> cheap;     // compiled lazy-loop heap storage
+  std::vector<char> cseller_active;      // per-seller liveness
+  compiled_state creplay;                // feasibility re-check
+  std::vector<compiled_probe_scratch> cprobes;  // one slot per winner
 };
 
 ssam_scratch::ssam_scratch() : impl_(std::make_unique<impl>()) {}
@@ -105,7 +142,9 @@ ssam_scratch::impl& ssam_scratch::buffers() { return *impl_; }
 
 namespace {
 
-// Both greedy loops share one callback contract. `price_override` (optional,
+// ---------------------------------------------------------------------------
+// Bid-vector reference loops (eager_reference / legacy_reference). Both
+// greedy loops share one callback contract. `price_override` (optional,
 // `override_index == bids.size()` disables it) replaces the price of one bid
 // for critical-value probing. Each selection is reported through `on_win`,
 // which may inspect the candidate set via the provided coverage state and
@@ -115,9 +154,7 @@ namespace {
 
 // Reference implementation: full O(n·m) rescan of every active bid per
 // selection, with the original per-bid deactivation sweep. Its cost profile
-// IS the eager baseline the benchmarks compare against, but it is also the
-// fastest selection loop when no probes run (selection_mode::automatic
-// routes runner_up calls here).
+// IS the eager baseline the benchmarks compare against.
 template <typename OnWin>
 void eager_greedy_loop(const single_stage_instance& instance,
                        ssam_scratch::impl& ws, std::size_t override_index,
@@ -167,8 +204,8 @@ void eager_greedy_loop(const single_stage_instance& instance,
   }
 }
 
-// The probe-friendly path: lazy evaluation on a min-heap of (stale ratio,
-// bid index). U_ij(E) is submodular — coverage only grows, so marginal
+// The PR 3 lazy path: lazy evaluation on a min-heap of (stale ratio, bid
+// index). U_ij(E) is submodular — coverage only grows, so marginal
 // utilities only shrink and a bid's stale ratio is a LOWER bound on its
 // current ratio. A popped bid whose fresh ratio is still no worse than the
 // next stale key is therefore a true minimum; the index tie-break
@@ -234,20 +271,19 @@ void greedy_loop(const single_stage_instance& instance, ssam_scratch::impl& ws,
 }
 
 // Rebuild the shared probe context in `seed`, reusing its storage. The
-// empty-state marginal utility needs no coverage_state: it is
-// sum_k min(amount, requirement_k) over the covered demanders.
-void build_probe_seed(const single_stage_instance& instance,
-                      probe_seed& seed) {
+// empty-state marginal utility is evaluated against a freshly reset
+// coverage state (borrowed from the caller), where U_ij(∅) is exactly the
+// marginal utility.
+void build_probe_seed(const single_stage_instance& instance, probe_seed& seed,
+                      coverage_state& state) {
+  state.reset(instance.requirements);
   seed.initial_utilities.clear();
   seed.initial_utilities.reserve(instance.bids.size());
   seed.entries.clear();
   seed.entries.reserve(instance.bids.size());
   for (std::size_t idx = 0; idx < instance.bids.size(); ++idx) {
     const bid& b = instance.bids[idx];
-    units utility = 0;
-    for (const demander_id k : b.coverage) {
-      utility += std::min(b.amount, instance.requirements[k]);
-    }
+    const units utility = state.marginal_utility(b);
     seed.initial_utilities.push_back(utility);
     if (utility > 0) {
       seed.entries.emplace_back(b.price / static_cast<double>(utility), idx);
@@ -371,9 +407,9 @@ bool lazy_probe_wins(const single_stage_instance& instance,
   return false;  // requirements met without the probed bid
 }
 
-// Generic probe core (both loop flavours). With `early_exit`, the replayed
-// auction stops the moment the verdict is decided: the probed bid was
-// selected (won), or another bid of the same seller was selected, which
+// Generic probe core (both reference loop flavours). With `early_exit`, the
+// replayed auction stops the moment the verdict is decided: the probed bid
+// was selected (won), or another bid of the same seller was selected, which
 // deactivates the probed bid for the rest of the round (lost). Allocates
 // its own workspace — this is the eager reference path, not the hot one.
 bool wins_with_price_impl(const single_stage_instance& instance,
@@ -398,10 +434,9 @@ bool wins_with_price_impl(const single_stage_instance& instance,
   return won;
 }
 
-// When `seed` is non-null the probes run through `lazy_probe_wins` (the hot
-// path, with `probe_ws` as its workspace); otherwise the generic loop
-// selected by `eager` replays the full auction per probe (the before/after
-// reference).
+// When `seed` is non-null the probes run through `lazy_probe_wins` (with
+// `probe_ws` as workspace); otherwise the generic loop selected by `eager`
+// replays the full auction per probe (the eager reference).
 double critical_value_payment_impl(const single_stage_instance& instance,
                                    std::size_t bid_index, double relative_eps,
                                    bool eager, const probe_seed* seed,
@@ -412,7 +447,7 @@ double critical_value_payment_impl(const single_stage_instance& instance,
   probe_seed local_seed;
   probe_scratch local_ws;
   if (!eager && seed == nullptr) {
-    build_probe_seed(instance, local_seed);
+    build_probe_seed(instance, local_seed, local_ws.state);
     seed = &local_seed;
   }
   if (probe_ws == nullptr) probe_ws = &local_ws;
@@ -432,7 +467,7 @@ double critical_value_payment_impl(const single_stage_instance& instance,
   units total_supply = 0;
   for (const bid& b : instance.bids) {
     max_price = std::max(max_price, b.price);
-    total_supply += b.amount * static_cast<units>(b.coverage.size());
+    total_supply += b.amount * static_cast<units>(b.coverage_size());
   }
   const double hi_probe =
       (max_price + 1.0) * static_cast<double>(std::max<units>(total_supply, 1));
@@ -471,70 +506,506 @@ bool eager_selection_of(const ssam_options& options) {
   return false;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Compiled selection loops. Same callback contract as the reference loops
+// except the coverage view passed to `on_win` is a `utility_of` callable
+// returning the bid's exact current U_ij(E) (O(1) from the eager loop's
+// scored state, O(|coverage|) from the lazy loop's compiled state).
 
-std::vector<std::size_t> greedy_selection(const single_stage_instance& instance,
-                                          ssam_scratch* scratch) {
-  std::optional<ssam_scratch> local;
-  if (scratch == nullptr) scratch = &local.emplace();
-  std::vector<std::size_t> winners;
-  lazy_greedy_loop(instance, scratch->buffers(), instance.bids.size(), 0.0,
-                   [&](std::size_t idx, units, double, const coverage_state&,
-                       const std::vector<char>&) {
-                     winners.push_back(idx);
-                     return true;
-                   });
-  return winners;
+// Eager: full O(n) argmin scan per pick over the exact utilities, which the
+// scored state serves in O(1) per candidate (the apply that keeps them
+// exact walks only the inverted-index rows of the covered demanders).
+template <typename OnWin>
+void compiled_eager_loop(const compiled_instance& c, ssam_scratch::impl& ws,
+                         OnWin&& on_win) {
+  const std::size_t nbids = c.bid_count();
+  scored_state& scored = ws.scored;
+  scored.reset(c);
+  ws.cseller_active.assign(c.seller_slots(), 1);
+  auto utility_of = [&](std::size_t j) { return scored.utility(j); };
+
+  while (!scored.satisfied()) {
+    std::size_t best = nbids;
+    units best_utility = 0;
+    double best_ratio = kInf;
+    for (std::size_t idx = 0; idx < nbids; ++idx) {
+      if (!ws.cseller_active[c.seller(idx)]) continue;
+      const units utility = scored.utility(idx);
+      if (utility <= 0) continue;
+      const double ratio = c.price(idx) / static_cast<double>(utility);
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = idx;
+        best_utility = utility;
+      }
+    }
+    if (best == nbids) break;  // nothing helps: requirements unsatisfiable
+
+    if (!on_win(best, best_utility, best_ratio, utility_of,
+                ws.cseller_active)) {
+      break;
+    }
+
+    scored.apply(c, best);
+    ws.cseller_active[c.seller(best)] = 0;
+  }
 }
 
-std::vector<std::size_t> eager_greedy_selection(
-    const single_stage_instance& instance, ssam_scratch* scratch) {
-  std::optional<ssam_scratch> local;
-  if (scratch == nullptr) scratch = &local.emplace();
-  std::vector<std::size_t> winners;
-  eager_greedy_loop(instance, scratch->buffers(), instance.bids.size(), 0.0,
-                    [&](std::size_t idx, units, double, const coverage_state&,
-                        const std::vector<char>&) {
-                      winners.push_back(idx);
-                      return true;
-                    });
-  return winners;
+// Lazy: the two-source candidate merge of compiled_probe_wins, without the
+// probed-bid slot. The pre-sorted order() is consumed through a cursor —
+// its keys are the bids' initial ratios, lower bounds by submodularity, so
+// advancing the cursor replaces an O(log n) heap pop with a pointer bump —
+// and bids whose exact recomputed ratio no longer beats the next head are
+// re-keyed into a small requeue heap (a bid lives in exactly one source).
+// Taking the (key, idx)-lexicographic minimum over the two heads is
+// equivalent to popping one heap holding all entries, so the selection
+// sequence matches the eager scan bit for bit.
+template <typename OnWin>
+void compiled_lazy_loop(const compiled_instance& c, ssam_scratch::impl& ws,
+                        OnWin&& on_win) {
+  compiled_state& state = ws.cstate;
+  state.reset(c);
+  ws.cseller_active.assign(c.seller_slots(), 1);
+  auto utility_of = [&](std::size_t j) { return state.marginal_utility(c, j); };
+
+  const std::vector<compiled_entry>& seed = c.order();
+  std::size_t cursor = 0;
+  std::vector<compiled_entry>& requeued = ws.cheap;
+  requeued.clear();
+
+  // Position both heads on live candidates (entries of deactivated sellers
+  // are dead forever and are consumed/popped).
+  auto skim = [&] {
+    while (cursor < seed.size() && !ws.cseller_active[seed[cursor].seller]) {
+      ++cursor;
+    }
+    while (!requeued.empty() && !ws.cseller_active[requeued.front().seller]) {
+      std::pop_heap(requeued.begin(), requeued.end(), entry_greater{});
+      requeued.pop_back();
+    }
+  };
+  // Minimum (key, idx) over the two heads; false if both exhausted.
+  auto peek = [&](compiled_entry& out) {
+    bool found = false;
+    if (cursor < seed.size()) {
+      out = seed[cursor];
+      found = true;
+    }
+    if (!requeued.empty() && (!found || entry_less(requeued.front(), out))) {
+      out = requeued.front();
+      found = true;
+    }
+    return found;
+  };
+
+  while (!state.satisfied()) {
+    skim();
+    compiled_entry head;
+    if (!peek(head)) break;  // nothing helps: requirements unsatisfiable
+    // Pop the head from its source (a bid sits in the unconsumed seed or in
+    // the requeue heap, never both, so the idx match is unambiguous).
+    if (cursor < seed.size() && seed[cursor].idx == head.idx) {
+      ++cursor;
+    } else {
+      std::pop_heap(requeued.begin(), requeued.end(), entry_greater{});
+      requeued.pop_back();
+    }
+
+    const units utility = state.marginal_utility(c, head.idx);
+    if (utility <= 0) continue;  // dead forever (submodularity)
+    const double ratio = c.price(head.idx) / static_cast<double>(utility);
+    // Select only if still no worse than the next candidate's (lower-bound)
+    // key; ties go to the smaller index, exactly like the eager scan.
+    compiled_entry next;
+    if (peek(next) &&
+        (ratio > next.key || (ratio == next.key && head.idx > next.idx))) {
+      requeued.push_back({ratio, head.idx, head.seller});
+      std::push_heap(requeued.begin(), requeued.end(), entry_greater{});
+      continue;
+    }
+
+    if (!on_win(head.idx, utility, ratio, utility_of, ws.cseller_active)) {
+      break;
+    }
+
+    state.apply(c, head.idx);
+    ws.cseller_active[head.seller] = 0;
+  }
 }
 
-std::vector<std::size_t> lazy_greedy_selection(
-    const single_stage_instance& instance) {
-  instance.validate();
-  return greedy_selection(instance);
+// Compiled port of lazy_probe_wins: identical three-source candidate merge
+// and early exits, with the shared seed and all per-bid lookups served by
+// the compiled view (no per-call seed build, no pointer chasing into the
+// bid table).
+bool compiled_probe_wins(const compiled_instance& c,
+                         compiled_probe_scratch& ws, std::size_t bid_index,
+                         double price_report) {
+  const units probed_utility = c.initial_utility(bid_index);
+  if (probed_utility <= 0) return false;  // contributes nothing, never wins
+  const seller_id probed_seller = c.seller(bid_index);
+
+  compiled_state& state = ws.state;
+  state.reset(c);
+  ws.seller_active.assign(c.seller_slots(), 1);
+  std::vector<compiled_entry>& requeued = ws.requeued;
+  requeued.clear();
+
+  const std::vector<compiled_entry>& seed = c.order();
+  std::size_t cursor = 0;
+  double probed_key = price_report / static_cast<double>(probed_utility);
+  bool probed_pending = true;
+
+  auto skim = [&] {
+    while (cursor < seed.size() &&
+           (seed[cursor].idx == bid_index ||
+            !ws.seller_active[seed[cursor].seller])) {
+      ++cursor;
+    }
+    while (!requeued.empty() && !ws.seller_active[requeued.front().seller]) {
+      std::pop_heap(requeued.begin(), requeued.end(), entry_greater{});
+      requeued.pop_back();
+    }
+  };
+  auto peek = [&](compiled_entry& out) {
+    bool found = false;
+    if (cursor < seed.size()) {
+      out = seed[cursor];
+      found = true;
+    }
+    if (!requeued.empty() && (!found || entry_less(requeued.front(), out))) {
+      out = requeued.front();
+      found = true;
+    }
+    if (probed_pending) {
+      const compiled_entry probed{probed_key,
+                                  static_cast<std::uint32_t>(bid_index),
+                                  probed_seller};
+      if (!found || entry_less(probed, out)) {
+        out = probed;
+        found = true;
+      }
+    }
+    return found;
+  };
+
+  while (!state.satisfied()) {
+    skim();
+    compiled_entry head;
+    if (!peek(head)) return false;  // nothing helps: auction ends, bid lost
+    const std::size_t idx = head.idx;
+    // Pop the head from its source.
+    if (idx == bid_index) {
+      probed_pending = false;
+    } else if (cursor < seed.size() && seed[cursor].idx == idx) {
+      ++cursor;
+    } else {
+      std::pop_heap(requeued.begin(), requeued.end(), entry_greater{});
+      requeued.pop_back();
+    }
+
+    const units utility = state.marginal_utility(c, idx);
+    if (utility <= 0) {
+      // No longer contributes. For the probed bid this is terminal: its
+      // marginal utility can only shrink further (submodularity).
+      if (idx == bid_index) return false;
+      continue;
+    }
+    const double price = idx == bid_index ? price_report : c.price(idx);
+    const double ratio = price / static_cast<double>(utility);
+    compiled_entry next;
+    if (peek(next) &&
+        (ratio > next.key || (ratio == next.key && idx > next.idx))) {
+      if (idx == bid_index) {
+        probed_key = ratio;
+        probed_pending = true;
+      } else {
+        requeued.push_back({ratio, static_cast<std::uint32_t>(idx),
+                            head.seller});
+        std::push_heap(requeued.begin(), requeued.end(), entry_greater{});
+      }
+      continue;
+    }
+
+    // Selected.
+    if (idx == bid_index) return true;
+    if (head.seller == probed_seller) return false;
+    state.apply(c, idx);
+    ws.seller_active[head.seller] = 0;
+  }
+  return false;  // requirements met without the probed bid
 }
 
-bool wins_with_price(const single_stage_instance& instance,
-                     std::size_t bid_index, double price_report) {
-  ECRS_CHECK(bid_index < instance.bids.size());
-  ECRS_CHECK_MSG(price_report >= 0.0, "price reports must be non-negative");
-  probe_seed seed;
-  build_probe_seed(instance, seed);
-  probe_scratch ws;
-  return lazy_probe_wins(instance, seed, ws, bid_index, price_report);
+// Record the probe trajectory for one winner: the greedy selection sequence
+// with the probed bid excluded, each step carrying the selected competitor's
+// exact (ratio, idx) and the probed bid's marginal utility entering the
+// step. Why this suffices for every probe price p: until the probed bid is
+// selected it occupies no seller slot and covers nothing, so the
+// competitors' selections are exactly this excluded sequence. At step s the
+// probed bid wins iff its exact key p / U_i(s) beats the step's
+// (ratio, idx) lexicographically; a step whose competitor shares the probed
+// bid's seller is terminal (constraint (9) bars the bid from then on), as
+// is U_i(s) = 0 (utilities only shrink). If the trajectory exhausts all
+// competitors with demand unmet, the probed bid is the last resort and wins
+// at any price. The recording stops at the first terminal step, so |steps|
+// is at most the winner count.
+void build_probe_trajectory(const compiled_instance& c,
+                            compiled_probe_scratch& ws,
+                            std::size_t bid_index) {
+  scored_state& scored = ws.scored;
+  scored.reset(c);
+  ws.seller_active.assign(c.seller_slots(), 1);
+  ws.steps.clear();
+  ws.end_probed_utility = 0;
+  ws.end_satisfied = false;
+  const seller_id probed_seller = c.seller(bid_index);
+
+  while (!scored.satisfied()) {
+    // Exact argmin over the active competitors (the eager scan; the scored
+    // state serves every utility in O(1)).
+    double best_ratio = kInf;
+    std::size_t best = c.bid_count();
+    for (std::size_t j = 0; j < c.bid_count(); ++j) {
+      if (j == bid_index || !ws.seller_active[c.seller(j)]) continue;
+      const units u = scored.utility(j);
+      if (u <= 0) continue;
+      const double r = c.price(j) / static_cast<double>(u);
+      if (r < best_ratio || (r == best_ratio && j < best)) {
+        best_ratio = r;
+        best = j;
+      }
+    }
+    const units probed_u = scored.utility(bid_index);
+    if (best == c.bid_count()) {
+      ws.end_probed_utility = probed_u;  // last resort; end_satisfied false
+      return;
+    }
+    probe_step step;
+    step.ratio = best_ratio;
+    step.idx = static_cast<std::uint32_t>(best);
+    step.probed_utility = probed_u;
+    step.collision = c.seller(best) == probed_seller;
+    ws.steps.push_back(step);
+    if (step.collision || probed_u <= 0) return;  // terminal for every probe
+    scored.apply(c, best);
+    ws.seller_active[c.seller(best)] = 0;
+  }
+  ws.end_satisfied = true;
 }
 
-double critical_value_payment(const single_stage_instance& instance,
-                              std::size_t bid_index, double relative_eps) {
-  return critical_value_payment_impl(instance, bid_index, relative_eps,
-                                     /*eager=*/false, nullptr, nullptr);
+// Does the probed bid win at report p, resolved against the precomputed
+// trajectory? Identical verdicts to a full replay (compiled_probe_wins):
+// both decide "is the bid ever selected by the exact greedy", this one in
+// O(|steps|).
+bool trajectory_probe_wins(const compiled_probe_scratch& ws,
+                           std::size_t bid_index, double report) {
+  const auto probed_idx = static_cast<std::uint32_t>(bid_index);
+  for (const probe_step& s : ws.steps) {
+    if (s.probed_utility <= 0) return false;  // can never contribute again
+    const double key = report / static_cast<double>(s.probed_utility);
+    if (key < s.ratio || (key == s.ratio && probed_idx < s.idx)) return true;
+    if (s.collision) return false;  // seller slot taken (constraint (9))
+  }
+  if (ws.end_satisfied) return false;  // demand met without the bid
+  return ws.end_probed_utility > 0;    // last useful bid wins at any price
 }
 
-ssam_result run_ssam(const single_stage_instance& instance,
-                     const ssam_options& options, ssam_scratch* scratch) {
-  instance.validate();
-  ECRS_CHECK_MSG(options.payment_budget >= 0.0,
-                 "payment budget must be non-negative");
-  ECRS_CHECK_MSG(
-      options.critical_value_eps > 0.0 && options.critical_value_eps < 1.0,
-      "bisection tolerance must be in (0, 1)");
-  std::optional<ssam_scratch> local;
-  if (scratch == nullptr) scratch = &local.emplace();
-  ssam_scratch::impl& ws = scratch->buffers();
+// Compiled critical-value bisection: same bounds, same probe sequence, same
+// arithmetic as the reference — the upper probe reuses the compile-time
+// price bound and total supply instead of re-scanning the bids, and every
+// probe resolves against the winner's precomputed trajectory instead of
+// replaying the auction (bit-identical verdicts, so bit-identical
+// payments).
+double compiled_critical_value(const compiled_instance& c,
+                               std::size_t bid_index, double relative_eps,
+                               compiled_probe_scratch& ws) {
+  ECRS_CHECK(bid_index < c.bid_count());
+  ECRS_CHECK_MSG(relative_eps > 0.0 && relative_eps < 1.0,
+                 "bisection tolerance must be in (0, 1)");
+  build_probe_trajectory(c, ws, bid_index);
+  auto probe = [&](double report) {
+    return trajectory_probe_wins(ws, bid_index, report);
+  };
+  const double own_price = c.price(bid_index);
+  ECRS_CHECK_MSG(probe(own_price),
+                 "critical value requested for a losing bid");
 
+  // Upper probe: a report so high the bid can only win if it faces no
+  // competition at all.
+  const double hi_probe =
+      (c.price_bound() + 1.0) *
+      static_cast<double>(std::max<units>(c.total_supply(), 1));
+  if (probe(hi_probe)) {
+    // No competition can displace this bid: pay-as-bid fallback.
+    return own_price;
+  }
+
+  double lo = own_price;  // certified winning
+  double hi = hi_probe;   // certified losing
+  for (std::size_t round = 0;
+       round < kMaxBisectionRounds && hi - lo > relative_eps * hi &&
+       hi - lo > kBisectionAbsoluteFloor;
+       ++round) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// The production mechanism body, running entirely on the compiled view.
+ssam_result run_ssam_compiled(const compiled_instance& c,
+                              const ssam_options& options,
+                              ssam_scratch::impl& ws) {
+  ssam_result result;
+  double budget_spent = 0.0;  // runner-up payment estimates
+
+  auto on_win = [&](std::size_t idx, units utility, double ratio,
+                    auto&& utility_of,
+                    const std::vector<char>& seller_active) {
+    winning_bid w;
+    w.bid_index = idx;
+    w.utility_at_selection = utility;
+    w.ratio_at_selection = ratio;
+
+    const bool need_estimate = options.rule == payment_rule::runner_up ||
+                               options.payment_budget > 0.0;
+    double estimate = c.price(idx);
+    if (need_estimate) {
+      // Best competing ratio among bids of *other* sellers still active
+      // (Algorithm 1 line 6; see DESIGN.md for why same-seller
+      // alternatives are excluded). `utility_of` serves each candidate's
+      // exact utility against the loop's own coverage view.
+      const seller_id self = c.seller(idx);
+      double runner_ratio = kInf;
+      for (std::size_t other = 0; other < c.bid_count(); ++other) {
+        if (other == idx) continue;
+        const seller_id other_seller = c.seller(other);
+        if (other_seller == self) continue;
+        if (!seller_active[other_seller]) continue;
+        const units u = utility_of(other);
+        if (u <= 0) continue;  // ratio would be infinite
+        runner_ratio = std::min(runner_ratio,
+                                c.price(other) / static_cast<double>(u));
+      }
+      if (runner_ratio != kInf) {
+        estimate = static_cast<double>(utility) * runner_ratio;
+      }
+      // Line 7 pays U·(runner ratio); the winner was selected because its
+      // own ratio is minimal, so payment >= price always.
+      estimate = std::max(estimate, c.price(idx));
+    }
+    if (options.payment_budget > 0.0 &&
+        budget_spent + estimate > options.payment_budget) {
+      return false;  // W depleted: stop the auction here (paper §IV)
+    }
+    budget_spent += estimate;
+    if (options.rule == payment_rule::runner_up) w.payment = estimate;
+
+    // Theorem 3 accounting: the winning price is distributed over the
+    // `utility` covered units as equal shares f = ratio.
+    for (units u = 0; u < utility; ++u) {
+      result.unit_shares.push_back(ratio);
+    }
+
+    result.winners.push_back(w);
+    result.social_cost += c.price(idx);
+    return true;
+  };
+
+  if (eager_selection_of(options)) {
+    compiled_eager_loop(c, ws, on_win);
+  } else {
+    compiled_lazy_loop(c, ws, on_win);
+  }
+
+  if (options.rule == payment_rule::critical_value) {
+    // Every payment is an independent pure probe of the instance, so they
+    // run concurrently; each worker writes only its own winner's slot and
+    // uses its own probe workspace, so the outcome is identical for any
+    // thread count. The pre-sorted probe seed is the compiled order(),
+    // shared read-only across every probe of every winner.
+    if (ws.cprobes.size() < result.winners.size()) {
+      ws.cprobes.resize(result.winners.size());
+    }
+    auto pay_one = [&](std::size_t pos) {
+      result.winners[pos].payment = compiled_critical_value(
+          c, result.winners[pos].bid_index, options.critical_value_eps,
+          ws.cprobes[pos]);
+    };
+    if (options.payment_threads == 1 || result.winners.size() < 2) {
+      for (std::size_t pos = 0; pos < result.winners.size(); ++pos) {
+        pay_one(pos);
+      }
+    } else {
+      thread_pool::shared().parallel_for(result.winners.size(), pay_one,
+                                         options.payment_threads);
+    }
+
+    // Budget re-verification: the in-loop gate only saw runner-up
+    // ESTIMATES; the actual critical-value payments can exceed them. Drop
+    // trailing winners (reverse selection order) until the realized total
+    // respects W, then let the feasibility replay below re-certify the
+    // surviving set (paper §IV budget feasibility).
+    if (options.payment_budget > 0.0) {
+      double total = 0.0;
+      for (const winning_bid& w : result.winners) total += w.payment;
+      while (!result.winners.empty() && total > options.payment_budget) {
+        const winning_bid& last = result.winners.back();
+        total -= last.payment;
+        result.unit_shares.resize(
+            result.unit_shares.size() -
+            static_cast<std::size_t>(last.utility_at_selection));
+        result.winners.pop_back();
+        ++result.budget_dropped;
+      }
+      if (result.budget_dropped > 0) {
+        result.social_cost = 0.0;
+        for (const winning_bid& w : result.winners) {
+          result.social_cost += c.price(w.bid_index);
+        }
+      }
+    }
+  }
+
+  for (const winning_bid& w : result.winners) {
+    result.total_payment += w.payment;
+  }
+
+  // Feasibility: replay the winners against a fresh state.
+  compiled_state& replay = ws.creplay;
+  replay.reset(c);
+  for (const winning_bid& w : result.winners) {
+    replay.apply(c, w.bid_index);
+  }
+  result.feasible = replay.satisfied();
+
+  // Dual certificate.
+  if (!result.unit_shares.empty()) {
+    const auto [lo_it, hi_it] = std::minmax_element(
+        result.unit_shares.begin(), result.unit_shares.end());
+    result.xi = *lo_it > 0.0 ? *hi_it / *lo_it : 1.0;
+  }
+  result.harmonic = harmonic_number(result.unit_shares.size());
+  result.ratio_bound = std::max(1.0, result.harmonic * result.xi);
+  result.dual_objective = result.social_cost / result.ratio_bound;
+
+  if (options.self_audit) {
+    audit_options audit;
+    audit.payment_budget = options.payment_budget;
+    audit_or_throw(c, result, audit);
+  }
+  return result;
+}
+
+// The bid-vector reference body (eager_reference / legacy_reference): the
+// pre-compiled-view mechanism, kept verbatim as the equivalence and
+// benchmark baseline.
+ssam_result run_ssam_reference(const single_stage_instance& instance,
+                               const ssam_options& options,
+                               ssam_scratch::impl& ws) {
   ssam_result result;
   double budget_spent = 0.0;  // runner-up payment estimates
 
@@ -598,7 +1069,7 @@ ssam_result run_ssam(const single_stage_instance& instance,
     // every probe of every winner.
     const probe_seed* seed = nullptr;
     if (!options.eager_reference) {
-      build_probe_seed(instance, ws.seed);
+      build_probe_seed(instance, ws.seed, ws.state);
       seed = &ws.seed;
     }
     if (ws.probes.size() < result.winners.size()) {
@@ -673,6 +1144,102 @@ ssam_result run_ssam(const single_stage_instance& instance,
     audit_or_throw(instance, result, audit);
   }
   return result;
+}
+
+void check_run_options(const ssam_options& options) {
+  ECRS_CHECK_MSG(options.payment_budget >= 0.0,
+                 "payment budget must be non-negative");
+  ECRS_CHECK_MSG(
+      options.critical_value_eps > 0.0 && options.critical_value_eps < 1.0,
+      "bisection tolerance must be in (0, 1)");
+}
+
+}  // namespace
+
+std::vector<std::size_t> greedy_selection(const single_stage_instance& instance,
+                                          ssam_scratch* scratch) {
+  std::optional<ssam_scratch> local;
+  if (scratch == nullptr) scratch = &local.emplace();
+  ssam_scratch::impl& ws = scratch->buffers();
+  ws.compiled.compile(instance);
+  std::vector<std::size_t> winners;
+  compiled_lazy_loop(ws.compiled, ws,
+                     [&](std::size_t idx, units, double, auto&&,
+                         const std::vector<char>&) {
+                       winners.push_back(idx);
+                       return true;
+                     });
+  return winners;
+}
+
+std::vector<std::size_t> eager_greedy_selection(
+    const single_stage_instance& instance, ssam_scratch* scratch) {
+  std::optional<ssam_scratch> local;
+  if (scratch == nullptr) scratch = &local.emplace();
+  std::vector<std::size_t> winners;
+  eager_greedy_loop(instance, scratch->buffers(), instance.bids.size(), 0.0,
+                    [&](std::size_t idx, units, double, const coverage_state&,
+                        const std::vector<char>&) {
+                      winners.push_back(idx);
+                      return true;
+                    });
+  return winners;
+}
+
+std::vector<std::size_t> lazy_greedy_selection(
+    const single_stage_instance& instance) {
+  instance.validate();
+  return greedy_selection(instance);
+}
+
+bool wins_with_price(const single_stage_instance& instance,
+                     std::size_t bid_index, double price_report) {
+  ECRS_CHECK(bid_index < instance.bids.size());
+  ECRS_CHECK_MSG(price_report >= 0.0, "price reports must be non-negative");
+  ssam_scratch local;
+  ssam_scratch::impl& ws = local.buffers();
+  ws.compiled.compile(instance);
+  if (ws.cprobes.empty()) ws.cprobes.resize(1);
+  return compiled_probe_wins(ws.compiled, ws.cprobes[0], bid_index,
+                             price_report);
+}
+
+double critical_value_payment(const single_stage_instance& instance,
+                              std::size_t bid_index, double relative_eps) {
+  ECRS_CHECK(bid_index < instance.bids.size());
+  ssam_scratch local;
+  ssam_scratch::impl& ws = local.buffers();
+  ws.compiled.compile(instance);
+  if (ws.cprobes.empty()) ws.cprobes.resize(1);
+  return compiled_critical_value(ws.compiled, bid_index, relative_eps,
+                                 ws.cprobes[0]);
+}
+
+ssam_result run_ssam(const single_stage_instance& instance,
+                     const ssam_options& options, ssam_scratch* scratch) {
+  instance.validate();
+  check_run_options(options);
+  ECRS_CHECK_MSG(!(options.eager_reference && options.legacy_reference),
+                 "pick at most one bid-vector reference path");
+  std::optional<ssam_scratch> local;
+  if (scratch == nullptr) scratch = &local.emplace();
+  ssam_scratch::impl& ws = scratch->buffers();
+  if (options.eager_reference || options.legacy_reference) {
+    return run_ssam_reference(instance, options, ws);
+  }
+  ws.compiled.compile(instance);
+  return run_ssam_compiled(ws.compiled, options, ws);
+}
+
+ssam_result run_ssam(const compiled_instance& compiled,
+                     const ssam_options& options, ssam_scratch* scratch) {
+  ECRS_CHECK_MSG(!options.eager_reference && !options.legacy_reference,
+                 "the bid-vector reference paths need the original instance; "
+                 "call run_ssam(single_stage_instance) instead");
+  check_run_options(options);
+  std::optional<ssam_scratch> local;
+  if (scratch == nullptr) scratch = &local.emplace();
+  return run_ssam_compiled(compiled, options, scratch->buffers());
 }
 
 }  // namespace ecrs::auction

@@ -12,15 +12,29 @@
 //    at which the bid still wins, found by binary search over re-runs of the
 //    greedy selection (monotone by Lemma 2). Exactly truthful.
 //
-// Selection runs on one of two equivalent greedy loops (see
-// selection_mode): a lazy-greedy heap — U_ij(E) is submodular (marginal
-// utilities only shrink as coverage grows), so a bid's stale heap key is a
-// lower bound on its current ratio and most bids are never re-evaluated —
-// or the eager full rescan, which has the lower constant and is the default
-// when no critical-value probes will run. The heap orders (ratio, bid
-// index), reproducing the eager scan's deterministic tie-breaking
-// bit-for-bit; `eager_greedy_selection` and `ssam_options::eager_reference`
-// retain the original O(n²·m) scan as the equivalence/benchmark reference.
+// Selection and payments run on a *compiled* CSR view of the instance
+// (auction/compiled.h): the bid-vector entry points below compile on entry
+// (into the scratch, so steady-state callers pay no allocation), and every
+// hot loop — greedy selection in all modes, the runner-up estimate scans,
+// the critical-value probes, the feasibility replay, and the self-audit —
+// walks contiguous structure-of-arrays rows instead of per-bid
+// heap-allocated `bid::coverage` vectors. The lazy selection loop keeps
+// exact marginal utilities incrementally through the inverted demander
+// index (scored_state): applying a winner re-scores only the bids whose
+// utility actually changed and repairs the heap with fresh exact keys,
+// instead of lazily re-popping stale lower bounds. The heap orders
+// (ratio, bid index), reproducing the eager scan's deterministic
+// tie-breaking bit-for-bit.
+//
+// Two bid-vector reference paths are kept for equivalence tests and the
+// before/after benchmarks, selected by ssam_options:
+//  - eager_reference  — the original O(n²·m) eager scan with full
+//    (non-early-exit) probe auctions (the PR 1 baseline);
+//  - legacy_reference — the PR 3 path: lazy-greedy heap over bid vectors
+//    with the per-call pre-sorted probe seed and early-exit probes.
+// Both must produce winners and payments bit-identical to the compiled
+// default.
+//
 // Critical-value payments are independent pure probes of the instance and
 // are computed in parallel on a shared thread pool
 // (`ssam_options::payment_threads`). All entry points accept an optional
@@ -38,6 +52,8 @@
 #include "auction/bid.h"
 
 namespace ecrs::auction {
+
+class compiled_instance;  // auction/compiled.h
 
 enum class payment_rule { runner_up, critical_value };
 
@@ -115,8 +131,15 @@ struct ssam_options {
   // Route selection and payment probes through the original eager O(n²·m)
   // scan with full (non-early-exit) probe auctions. Kept for equivalence
   // tests and the before/after micro-benchmarks; must produce the same
-  // winners and payments as the default lazy path.
+  // winners and payments as the default compiled path.
   bool eager_reference = false;
+  // Route the call through the PR 3 bid-vector path: lazy-greedy heap over
+  // `bid` vectors with the per-call probe seed and early-exit probes, no
+  // compiled view. Kept as the before/after benchmark baseline and the
+  // second equivalence reference; must produce the same winners and
+  // payments as the default compiled path. Only meaningful on the
+  // single_stage_instance overload (the compiled overload rejects it).
+  bool legacy_reference = false;
   // Re-check the returned result (feasibility, individual rationality,
   // accounting, budget balance, certificate sanity) with
   // auction::audit_or_throw before returning; a violation throws
@@ -153,6 +176,16 @@ struct ssam_result {
 // feasible == false with the partial selection that was reachable.
 // `scratch` (optional) supplies the reusable workspace; see ssam_scratch.
 [[nodiscard]] ssam_result run_ssam(const single_stage_instance& instance,
+                                   const ssam_options& options = {},
+                                   ssam_scratch* scratch = nullptr);
+
+// Run the full mechanism directly on a pre-compiled view (no per-call
+// compile). The caller owns the compiled_instance and must have called
+// refresh_order() after any patches. Rejects the bid-vector reference
+// modes (eager_reference / legacy_reference). This is the MSOA warm-start
+// entry point; results are bit-identical to run_ssam on the equivalent
+// single_stage_instance.
+[[nodiscard]] ssam_result run_ssam(const compiled_instance& compiled,
                                    const ssam_options& options = {},
                                    ssam_scratch* scratch = nullptr);
 

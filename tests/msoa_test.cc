@@ -221,6 +221,143 @@ TEST(MsoaSession, BetaOneMakesBoundInfinite) {
             std::numeric_limits<double>::infinity());
 }
 
+// ------------------------------------------------------ warm-start cache
+
+// T rounds of the same standing bid vector (the workload the warm-start
+// cache targets); requirements optionally vary per round.
+std::vector<single_stage_instance> standing_rounds(
+    std::size_t rounds, const std::vector<std::vector<units>>& requirements) {
+  single_stage_instance base;
+  base.bids = {make_bid(0, {0, 1}, 2, 3.0), make_bid(1, {0}, 3, 4.0),
+               make_bid(2, {1}, 2, 2.5), make_bid(3, {0, 1}, 1, 6.0)};
+  std::vector<single_stage_instance> out;
+  for (std::size_t t = 0; t < rounds; ++t) {
+    base.requirements = requirements[t % requirements.size()];
+    out.push_back(base);
+  }
+  return out;
+}
+
+std::vector<seller_profile> ample_profiles(std::size_t sellers,
+                                           std::uint32_t horizon,
+                                           units capacity = 1000) {
+  std::vector<seller_profile> profiles(sellers);
+  for (auto& p : profiles) {
+    p.capacity = capacity;
+    p.t_arrive = 1;
+    p.t_depart = horizon;
+  }
+  return profiles;
+}
+
+void expect_rounds_equal(const msoa_round_outcome& a,
+                         const msoa_round_outcome& b) {
+  EXPECT_EQ(a.winner_bids, b.winner_bids);
+  EXPECT_EQ(a.payments, b.payments);  // bitwise
+  EXPECT_EQ(a.true_prices, b.true_prices);
+  EXPECT_EQ(a.social_cost, b.social_cost);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.admitted_bids, b.admitted_bids);
+  EXPECT_EQ(a.stage.total_payment, b.stage.total_payment);
+  EXPECT_EQ(a.stage.budget_dropped, b.stage.budget_dropped);
+}
+
+TEST(MsoaWarmStart, StandingBidsMatchColdStartBitwise) {
+  const std::size_t rounds = 6;
+  const auto instances = standing_rounds(rounds, {{4, 3}});
+  msoa_options warm_opts;
+  warm_opts.stage.rule = payment_rule::critical_value;
+  warm_opts.stage.payment_threads = 1;
+  msoa_options cold_opts = warm_opts;
+  cold_opts.warm_start = false;
+
+  msoa_session warm(ample_profiles(4, rounds), warm_opts);
+  msoa_session cold(ample_profiles(4, rounds), cold_opts);
+  for (const auto& round : instances) {
+    expect_rounds_equal(warm.run_round(round), cold.run_round(round));
+  }
+  // Round 1 compiles cold; every later round is served from the cache.
+  EXPECT_EQ(warm.warm_rounds(), rounds - 1);
+  EXPECT_EQ(cold.warm_rounds(), 0u);
+  for (seller_id s = 0; s < 4; ++s) {
+    EXPECT_EQ(warm.psi(s), cold.psi(s));
+    EXPECT_EQ(warm.capacity_used(s), cold.capacity_used(s));
+  }
+}
+
+TEST(MsoaWarmStart, VaryingRequirementsStayWarm) {
+  // Changing the demand vector between rounds is a patch (set_requirement),
+  // not a topology change — the cache must stay warm and bit-identical.
+  const std::size_t rounds = 6;
+  const auto instances = standing_rounds(rounds, {{4, 3}, {1, 5}, {0, 2}});
+  msoa_options warm_opts;
+  warm_opts.stage.rule = payment_rule::critical_value;
+  warm_opts.stage.payment_threads = 1;
+  msoa_options cold_opts = warm_opts;
+  cold_opts.warm_start = false;
+
+  msoa_session warm(ample_profiles(4, rounds), warm_opts);
+  msoa_session cold(ample_profiles(4, rounds), cold_opts);
+  for (const auto& round : instances) {
+    expect_rounds_equal(warm.run_round(round), cold.run_round(round));
+  }
+  EXPECT_EQ(warm.warm_rounds(), rounds - 1);
+}
+
+TEST(MsoaWarmStart, CapacityDepletionFallsBackToColdCompile) {
+  // Seller capacities deplete after a few wins, shrinking the admitted set:
+  // those rounds miss the topology check and recompile cold, and the results
+  // still match a warm_start=false session exactly.
+  const std::size_t rounds = 5;
+  const auto instances = standing_rounds(rounds, {{4, 3}});
+  msoa_options warm_opts;
+  warm_opts.stage.rule = payment_rule::critical_value;
+  warm_opts.stage.payment_threads = 1;
+  msoa_options cold_opts = warm_opts;
+  cold_opts.warm_start = false;
+
+  // Participation weight is |S| (1 or 2): capacity 4 allows ~2 wins.
+  msoa_session warm(ample_profiles(4, rounds, 4), warm_opts);
+  msoa_session cold(ample_profiles(4, rounds, 4), cold_opts);
+  bool any_depleted = false;
+  for (const auto& round : instances) {
+    const auto warm_out = warm.run_round(round);
+    const auto cold_out = cold.run_round(round);
+    expect_rounds_equal(warm_out, cold_out);
+    any_depleted = any_depleted || warm_out.admitted_bids < round.bids.size();
+  }
+  ASSERT_TRUE(any_depleted);  // the scenario actually exercises the fallback
+  EXPECT_LT(warm.warm_rounds(), rounds - 1);
+}
+
+TEST(MsoaWarmStart, DisabledSessionNeverWarms) {
+  const auto instances = standing_rounds(4, {{4, 3}});
+  msoa_options opts;
+  opts.warm_start = false;
+  msoa_session session(ample_profiles(4, 4), opts);
+  for (const auto& round : instances) {
+    (void)session.run_round(round);
+  }
+  EXPECT_EQ(session.warm_rounds(), 0u);
+}
+
+TEST(MsoaWarmStart, FreshBidsEachRoundNeverWarm) {
+  // random_online_instance draws new bids per round, so the topology check
+  // must reject the cache every time (warm-start is a standing-bid
+  // optimization, not a correctness hazard for churning bids).
+  rng gen(31);
+  online_config cfg;
+  cfg.stage.sellers = 8;
+  cfg.stage.demanders = 3;
+  cfg.rounds = 5;
+  const auto inst = random_online_instance(cfg, gen);
+  msoa_session session(inst.sellers, {});
+  for (const auto& round : inst.rounds) {
+    (void)session.run_round(round);
+  }
+  EXPECT_EQ(session.warm_rounds(), 0u);
+}
+
 // ------------------------------------------------------- property sweeps
 
 class MsoaRandomSweep : public ::testing::TestWithParam<std::uint64_t> {};

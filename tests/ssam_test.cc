@@ -291,6 +291,72 @@ TEST(SsamSingleBidPerSeller, CloseToOptimalOnSmallInstances) {
   EXPECT_GE(ratios.min(), 1.0 - 1e-9);
 }
 
+// ------------------------------------------- compiled-path equivalence
+
+TEST(CompiledEquivalence, ReferencePathsMatchDefaultOnRandomInstances) {
+  // Smoke-level check that the compiled CSR default and both bid-vector
+  // reference paths agree bit for bit (tests/compiled_fuzz_test.cc is the
+  // heavyweight sweep).
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    rng gen(seed);
+    instance_config cfg;
+    cfg.sellers = 30;
+    cfg.demanders = 4;
+    const auto inst = random_instance(cfg, gen);
+    for (const payment_rule rule :
+         {payment_rule::runner_up, payment_rule::critical_value}) {
+      ssam_options opts;
+      opts.rule = rule;
+      opts.payment_threads = 1;
+      const auto base = run_ssam(inst, opts);
+
+      ssam_options eager_ref = opts;
+      eager_ref.eager_reference = true;
+      ssam_options legacy_ref = opts;
+      legacy_ref.legacy_reference = true;
+      for (const auto& other :
+           {run_ssam(inst, eager_ref), run_ssam(inst, legacy_ref)}) {
+        ASSERT_EQ(base.winners.size(), other.winners.size());
+        for (std::size_t pos = 0; pos < base.winners.size(); ++pos) {
+          EXPECT_EQ(base.winners[pos].bid_index, other.winners[pos].bid_index);
+          EXPECT_EQ(base.winners[pos].payment, other.winners[pos].payment);
+        }
+        EXPECT_EQ(base.social_cost, other.social_cost);
+        EXPECT_EQ(base.total_payment, other.total_payment);
+        EXPECT_EQ(base.feasible, other.feasible);
+      }
+    }
+  }
+}
+
+TEST(CompiledEquivalence, SelectionModesAreAPurePerformanceKnob) {
+  rng gen(11);
+  instance_config cfg;
+  cfg.sellers = 25;
+  cfg.demanders = 5;
+  const auto inst = random_instance(cfg, gen);
+  const auto base = greedy_selection(inst);
+  EXPECT_EQ(base, eager_greedy_selection(inst));
+  for (const selection_mode mode :
+       {selection_mode::eager, selection_mode::lazy}) {
+    ssam_options opts;
+    opts.selection = mode;
+    const auto res = run_ssam(inst, opts);
+    ASSERT_EQ(res.winners.size(), base.size());
+    for (std::size_t pos = 0; pos < base.size(); ++pos) {
+      EXPECT_EQ(res.winners[pos].bid_index, base[pos]);
+    }
+  }
+}
+
+TEST(CompiledEquivalence, AtMostOneReferencePathPerCall) {
+  const auto inst = two_seller_instance();
+  ssam_options opts;
+  opts.eager_reference = true;
+  opts.legacy_reference = true;
+  EXPECT_THROW(run_ssam(inst, opts), check_error);
+}
+
 // --------------------------------------------------------------- runtime
 
 TEST(SsamComplexity, GrowsPolynomially) {

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""bench_compare: diff a fresh benchmark JSON against a committed baseline.
+
+Guards against perf regressions slipping into a PR: re-run the bench binary
+(e.g. `build/bench/instance_layout` or `build/bench/micro_benchmarks
+--benchmark_out_format=json`), then compare its output against the
+repository's committed BENCH_pr*.json snapshot. A named timing that got more
+than THRESHOLD slower (default 25%) fails the comparison; a baseline timing
+missing from the fresh run only warns (bench workloads evolve — see
+docs/API.md for the BENCH JSON schema).
+
+Accepted input formats (auto-detected, both sides):
+  - the repo BENCH schema:   {"results_ns_mean": {name: {"mean_ns": ...}}}
+  - google-benchmark JSON:   {"benchmarks": [{"name": ..., "real_time": ...,
+                              "time_unit": "ns"|"us"|"ms"|"s"}]}
+
+Usage:
+  bench_compare.py --baseline BENCH_pr4.json --fresh fresh.json \
+      [--threshold 0.25] [--only name1,name2,...]
+
+Exit status: 0 within threshold, 1 regression found, 2 usage/parse error.
+Intended to run as a non-blocking CI step (continue-on-error): shared
+runners are too noisy for a hard wall-clock gate, but the report makes
+regressions visible in the job log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_results(path: Path) -> dict[str, float]:
+    """Map benchmark name -> mean wall clock in nanoseconds."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"bench_compare: cannot read {path}: {err}")
+
+    results: dict[str, float] = {}
+    if "results_ns_mean" in doc:  # repo BENCH schema
+        for name, entry in doc["results_ns_mean"].items():
+            results[name] = float(entry["mean_ns"])
+    elif "benchmarks" in doc:  # google-benchmark --benchmark_out JSON
+        for entry in doc["benchmarks"]:
+            if entry.get("run_type") == "aggregate":
+                continue
+            unit = TIME_UNIT_NS.get(entry.get("time_unit", "ns"))
+            if unit is None:
+                raise SystemExit(
+                    f"bench_compare: {path}: unknown time_unit "
+                    f"{entry.get('time_unit')!r}")
+            results[entry["name"]] = float(entry["real_time"]) * unit
+    else:
+        raise SystemExit(
+            f"bench_compare: {path}: neither 'results_ns_mean' nor "
+            "'benchmarks' found (see docs/API.md for the schema)")
+    if not results:
+        raise SystemExit(f"bench_compare: {path}: no benchmark entries")
+    return results
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_pr*.json snapshot")
+    parser.add_argument("--fresh", required=True,
+                        help="JSON emitted by the freshly-run bench binary")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative slowdown (default 0.25 = 25%%)")
+    parser.add_argument("--only", default="",
+                        help="comma-separated subset of names to compare")
+    args = parser.parse_args()
+    if not 0.0 < args.threshold < 10.0:
+        print("bench_compare: --threshold out of range", file=sys.stderr)
+        return 2
+
+    baseline = load_results(Path(args.baseline))
+    fresh = load_results(Path(args.fresh))
+    if args.only:
+        wanted = {n.strip() for n in args.only.split(",") if n.strip()}
+        baseline = {n: v for n, v in baseline.items() if n in wanted}
+        missing = wanted - set(baseline)
+        if missing:
+            print(f"bench_compare: --only names not in baseline: "
+                  f"{', '.join(sorted(missing))}", file=sys.stderr)
+            return 2
+
+    regressions = 0
+    width = max((len(n) for n in baseline), default=4)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  ratio")
+    for name in sorted(baseline):
+        base_ns = baseline[name]
+        if name not in fresh:
+            print(f"{name:<{width}}  {base_ns:>10.0f}ns  {'MISSING':>12}  "
+                  "(warn: not measured by the fresh run)")
+            continue
+        fresh_ns = fresh[name]
+        ratio = fresh_ns / base_ns if base_ns > 0 else float("inf")
+        verdict = ""
+        if ratio > 1.0 + args.threshold:
+            verdict = f"  REGRESSION (> +{args.threshold:.0%})"
+            regressions += 1
+        print(f"{name:<{width}}  {base_ns:>10.0f}ns  {fresh_ns:>10.0f}ns  "
+              f"{ratio:5.2f}x{verdict}")
+
+    if regressions:
+        print(f"bench_compare: {regressions} regression(s) beyond "
+              f"+{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    print("bench_compare: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

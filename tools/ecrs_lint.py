@@ -19,6 +19,11 @@ tools/verify.sh in the lint stage. Rules (docs/ANALYSIS.md has the rationale):
                    src/auction/*.h must be [[nodiscard]]: auction results
                    encode money and feasibility, silently dropping them is
                    always a bug.
+  coverage-hot-loop src/auction/ssam.cc must not touch bid::coverage (the
+                   per-bid heap-allocated vector). Every mechanism hot loop
+                   goes through the compiled CSR view (auction/compiled.h);
+                   bid::coverage_size() and coverage_state (which walk it
+                   outside ssam.cc) remain fine.
   whitespace       no trailing whitespace, no tab indentation, file ends
                    with exactly one newline. (Also the clang-format
                    fallback baseline for toolchains without clang-format.)
@@ -228,6 +233,14 @@ def lint_file(path: Path, rel: Path, findings: list[Finding]) -> None:
                     path, idx + 1, "iostream-include",
                     "library code must not include <iostream>; return data "
                     "and let tools/ print it"))
+        if (rel.as_posix() == "src/auction/ssam.cc"
+                and re.search(r"(\.|->)coverage\b", line)):
+            if not allow("coverage-hot-loop"):
+                findings.append(Finding(
+                    path, idx + 1, "coverage-hot-loop",
+                    "ssam.cc hot loops must use the compiled CSR view "
+                    "(auction/compiled.h), not bid::coverage "
+                    "(coverage_size() is fine)"))
 
     if path.suffix == ".h":
         check_header_banner(path, raw_lines, findings)
