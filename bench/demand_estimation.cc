@@ -1,7 +1,9 @@
 // §V-A setup validation: the full workload → edge queueing → demand
 // estimation pipeline (300 users, 25 microservices, 10 edge clouds,
 // Poisson 5/10 workloads). Expected shape: overloaded microservices score
-// visibly higher estimated demand than idle ones.
+// visibly higher estimated demand than idle ones. Two drivers: the
+// analytic per-round loop, and the event-accurate DES driver (batched
+// arrival streams, trials swept over --threads workers).
 #include "bench_util.h"
 
 int main(int argc, char** argv) {
@@ -15,5 +17,11 @@ int main(int argc, char** argv) {
   ecrs::bench::emit(f, "Demand estimation pipeline (paper Sec. III + V-A)",
                     ecrs::harness::demand_estimation_pipeline(
                         seed, rounds, users, services, clouds));
+  ecrs::harness::sweep_config cfg = ecrs::bench::sweep_from_flags(f, 3);
+  cfg.seed = seed;
+  ecrs::bench::emit(
+      f, "Event-driven demand estimation (DES driver, batched arrivals)",
+      ecrs::harness::demand_estimation_event_driven(cfg, rounds, users,
+                                                    services, clouds));
   return 0;
 }

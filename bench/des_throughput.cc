@@ -1,0 +1,628 @@
+// End-to-end numbers for BENCH_pr5.json: DES engine throughput (events/sec
+// and heap allocations per event) for the slab/indexed-heap simulator
+// against the frozen pre-PR5 reference engine, and for the full simrun
+// driver scenario. All driver variants replay one pre-recorded trace (so
+// generation cost — reported separately — cancels out): the verbatim
+// pre-PR configuration, the reference engine under the current lazy
+// advance policy, and the new engine under per-event and batched delivery.
+//
+// Before any timing the binary cross-checks correctness: the reference
+// engine and both new delivery shapes must agree BITWISE on every
+// per-round cluster statistic and demand estimate, and the pre-PR baseline
+// must agree on all integer observables and total served work (its eager
+// advance-all sweep perturbs low-order floating-point bits), otherwise the
+// bench exits nonzero without printing results.
+//
+// Flags:
+//   --seed=N             master seed (default 1)
+//   --repeats=N          timing repeats per measurement (default 3)
+//   --engine_requests=N  largest engine-only size (default 10000000)
+//   --driver_requests=N  largest driver-scenario size (default 1000000)
+//
+// Output: one JSON document on stdout in the repo BENCH schema
+// (results_ns_mean + auxiliary sections); redirect to BENCH_pr5.json.
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "demand/estimator.h"
+#include "des/reference_simulator.h"
+#include "des/simulator.h"
+#include "edge/cluster.h"
+#include "simrun/des_driver.h"
+#include "workload/generator.h"
+
+namespace {
+
+// Process-wide allocation counter: every operator new in the binary bumps
+// it. Counter reads around a call give allocations per call.
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+std::uint64_t allocations_now() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------ measurement
+
+struct measurement {
+  std::string name;
+  double mean_ns = 0.0;
+  double stddev_ns = 0.0;
+  double events_per_sec = 0.0;
+  double allocs_per_event = -1.0;  // < 0: not measured
+};
+
+// Times `events` events worth of work `repeats` times; the last repeat also
+// counts heap allocations. fn() must run one complete instance.
+template <typename Fn>
+measurement measure(std::string name, std::uint64_t events,
+                    std::size_t repeats, Fn&& fn) {
+  measurement m;
+  m.name = std::move(name);
+  std::vector<double> ns;
+  ns.reserve(repeats);
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const std::uint64_t allocs_before = allocations_now();
+    ecrs::stopwatch clock;
+    fn();
+    ns.push_back(clock.elapsed_seconds() * 1e9);
+    if (r + 1 == repeats) {
+      m.allocs_per_event =
+          static_cast<double>(allocations_now() - allocs_before) /
+          static_cast<double>(events);
+    }
+  }
+  double sum = 0.0;
+  for (double x : ns) sum += x;
+  m.mean_ns = sum / static_cast<double>(ns.size());
+  double var = 0.0;
+  for (double x : ns) var += (x - m.mean_ns) * (x - m.mean_ns);
+  m.stddev_ns = ns.size() > 1
+                    ? std::sqrt(var / static_cast<double>(ns.size() - 1))
+                    : 0.0;
+  m.events_per_sec =
+      m.mean_ns > 0.0 ? static_cast<double>(events) / (m.mean_ns * 1e-9) : 0.0;
+  return m;
+}
+
+const char* size_label(std::uint64_t n) {
+  switch (n) {
+    case 10000: return "1e4";
+    case 100000: return "1e5";
+    case 1000000: return "1e6";
+    case 10000000: return "1e7";
+    default: return "n";
+  }
+}
+
+// ------------------------------------------------- engine-only throughput
+
+// Steady-state schedule+fire churn: `inflight` events stay pending; every
+// firing schedules a replacement until `total` have been scheduled. The
+// same code drives both engines, so the reference pays its honest old-shape
+// costs (std::function copy, unordered_map insert/erase, heap push/pop).
+template <typename Sim>
+void churn(Sim& sim, std::uint64_t total, std::uint64_t seed) {
+  ecrs::rng gen(seed);
+  const std::uint64_t inflight = std::min<std::uint64_t>(total, 4096);
+  std::uint64_t scheduled = 0;
+  std::uint64_t fired = 0;
+  struct hop {
+    Sim* sim;
+    ecrs::rng* gen;
+    std::uint64_t* scheduled;
+    std::uint64_t* fired;
+    std::uint64_t total;
+    void operator()() const {
+      ++*fired;
+      if (*scheduled < total) {
+        ++*scheduled;
+        sim->schedule_at(sim->now() + gen->uniform_real(0.0, 1.0), *this);
+      }
+    }
+  };
+  const hop h{&sim, &gen, &scheduled, &fired, total};
+  for (std::uint64_t i = 0; i < inflight; ++i) {
+    sim.schedule_at(gen.uniform_real(0.0, 1.0), h);
+    ++scheduled;
+  }
+  sim.run();
+  ECRS_CHECK(fired == total);
+}
+
+// Batched lane: one stream record drains `total` pre-sorted timestamps.
+void stream_drain(std::uint64_t total, std::uint64_t seed) {
+  ecrs::rng gen(seed);
+  std::vector<ecrs::des::sim_time> times(total);
+  double t = 0.0;
+  for (auto& x : times) {
+    t += gen.uniform_real(0.0, 0.01);
+    x = t;
+  }
+  ecrs::des::simulator sim;
+  std::uint64_t fired = 0;
+  sim.schedule_stream(times, [&fired](std::size_t) { ++fired; });
+  sim.run();
+  ECRS_CHECK(fired == total);
+}
+
+// ------------------------------------------------ driver scenario plumbing
+
+// The §V-A-shaped scenario from harness::demand_estimation_event_driven:
+// 300 users over 25 microservices on 10 clouds at 130% of mean load,
+// ~4500 Poisson arrivals per 600 s round. `rounds` scales total requests.
+struct scenario {
+  std::size_t users = 300;
+  std::size_t services = 25;
+  std::size_t clouds = 10;
+  double round_duration = 600.0;
+
+  [[nodiscard]] double arrivals_per_round(
+      const ecrs::workload::generator& gen) const {
+    return gen.expected_arrivals_per_round();
+  }
+};
+
+struct pipeline {
+  ecrs::workload::generator traffic;
+  ecrs::edge::cluster cl;
+  ecrs::demand::estimator est;
+
+  pipeline(const scenario& sc, std::uint64_t seed)
+      : traffic(generator_config(sc, seed)),
+        cl(cluster_config(sc, seed), qos_of(traffic, sc.services)),
+        est(ecrs::demand::make_default_config()) {}
+
+  static ecrs::workload::generator_config generator_config(
+      const scenario& sc, std::uint64_t seed) {
+    ecrs::workload::generator_config cfg;
+    cfg.users = static_cast<std::uint32_t>(sc.users);
+    cfg.microservices = static_cast<std::uint32_t>(sc.services);
+    cfg.seed = seed;
+    return cfg;
+  }
+  static ecrs::edge::cluster_config cluster_config(const scenario& sc,
+                                                   std::uint64_t seed) {
+    const auto gcfg = generator_config(sc, seed);
+    const double expected_work = static_cast<double>(sc.users) *
+                                 (gcfg.sensitive_mean + gcfg.tolerant_mean) *
+                                 gcfg.mean_service_demand;
+    ecrs::edge::cluster_config cfg;
+    cfg.clouds = static_cast<std::uint32_t>(sc.clouds);
+    cfg.capacity_per_cloud = 1.3 * expected_work / sc.round_duration /
+                             static_cast<double>(sc.clouds);
+    cfg.seed = seed ^ 0x9e37u;
+    return cfg;
+  }
+  static std::vector<ecrs::workload::qos_class> qos_of(
+      const ecrs::workload::generator& gen, std::size_t services) {
+    std::vector<ecrs::workload::qos_class> qos;
+    qos.reserve(services);
+    for (std::uint32_t s = 0; s < services; ++s) {
+      qos.push_back(gen.class_of(s));
+    }
+    return qos;
+  }
+};
+
+// Reproduction of the pre-PR5 simrun driver shape: the frozen std::function
+// engine, a freshly allocated batch vector per round, and one scheduled
+// closure per request holding a COPY of the request.
+//
+// Two cluster-advance policies:
+//  - advance_all = true reproduces the seed driver verbatim (every delivery
+//    sweeps ALL services forward) — the honest "pre-PR" baseline;
+//  - advance_all = false uses the same lazy per-service advance as the
+//    current des_driver, so the timed difference against the new engine is
+//    the DES engine + delivery mechanism alone, and per-round stats are
+//    BITWISE comparable (the eager sweep slices the drain integral
+//    differently, which perturbs low-order floating-point bits).
+class reference_driver {
+ public:
+  using round_callback =
+      std::function<void(std::uint64_t, const std::vector<ecrs::edge::round_stats>&,
+                         const std::vector<double>&)>;
+
+  reference_driver(ecrs::des::reference_simulator& sim, pipeline& p,
+                   ecrs::workload::round_source& traffic, const scenario& sc,
+                   std::uint64_t rounds, bool advance_all)
+      : sim_(sim),
+        p_(p),
+        traffic_(traffic),
+        duration_(sc.round_duration),
+        rounds_(rounds),
+        advance_all_(advance_all),
+        service_clock_(sc.services, 0.0) {}
+
+  void set_round_callback(round_callback cb) { callback_ = std::move(cb); }
+
+  void run() {
+    schedule_round(1);
+    sim_.run();
+  }
+
+  [[nodiscard]] std::uint64_t requests_delivered() const { return delivered_; }
+
+ private:
+  void advance_to_now() {
+    const double now = sim_.now();
+    if (now > last_advance_) {
+      p_.cl.advance(last_advance_, now - last_advance_);
+      last_advance_ = now;
+    }
+  }
+
+  void catch_up(std::uint32_t m, double now) {
+    double& mark = service_clock_[m];
+    if (now > mark) {
+      p_.cl.service(m).advance(mark, now - mark);
+      mark = now;
+    }
+  }
+
+  void deliver(const ecrs::workload::request& r) {
+    if (advance_all_) {
+      advance_to_now();
+    } else {
+      catch_up(r.microservice, sim_.now());
+    }
+    p_.cl.service(r.microservice).enqueue(r);
+    ++delivered_;
+  }
+
+  void schedule_round(std::uint64_t round) {
+    const double start = static_cast<double>(round - 1) * duration_;
+    const double end = start + duration_;
+    p_.cl.allocate_fair(duration_);
+    std::vector<ecrs::workload::request> batch;  // fresh per round: old shape
+    traffic_.round_into(start, duration_, batch);
+    for (const auto& r : batch) {
+      sim_.schedule_at(r.arrival_time, [this, r] { deliver(r); });
+    }
+    sim_.schedule_at(end, [this, round, end] {
+      if (advance_all_) {
+        advance_to_now();
+      } else {
+        for (std::uint32_t m = 0; m < service_clock_.size(); ++m) {
+          catch_up(m, end);
+        }
+      }
+      const auto stats = p_.cl.end_round(round, duration_);
+      const auto estimates = p_.est.estimate_round(stats);
+      if (callback_) callback_(round, stats, estimates);
+      if (round < rounds_) schedule_round(round + 1);
+    });
+  }
+
+  ecrs::des::reference_simulator& sim_;
+  pipeline& p_;
+  ecrs::workload::round_source& traffic_;
+  double duration_;
+  std::uint64_t rounds_;
+  bool advance_all_;
+  double last_advance_ = 0.0;
+  std::vector<double> service_clock_;
+  std::uint64_t delivered_ = 0;
+  round_callback callback_;
+};
+
+// Record `rounds` rounds of traffic once; all timed driver variants replay
+// this trace so workload generation (RNG + sort, measured separately as
+// WorkloadGeneration_*) is excluded from every driver timing symmetrically.
+ecrs::workload::replay_source record_trace(const scenario& sc,
+                                           std::uint64_t seed,
+                                           std::uint64_t rounds) {
+  ecrs::workload::generator gen(pipeline::generator_config(sc, seed));
+  std::vector<std::vector<ecrs::workload::request>> recorded;
+  recorded.reserve(rounds);
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    recorded.push_back(gen.round(static_cast<double>(r) * sc.round_duration,
+                                 sc.round_duration));
+  }
+  return ecrs::workload::replay_source(std::move(recorded),
+                                       gen.microservice_count());
+}
+
+// Everything a driver run observes, for the cross-checks.
+struct fingerprint {
+  std::uint64_t delivered = 0;
+  std::vector<std::vector<ecrs::edge::round_stats>> stats;
+  std::vector<std::vector<double>> estimates;
+};
+
+template <typename Driver>
+void record_rounds(Driver& driver, fingerprint& fp) {
+  driver.set_round_callback(
+      [&fp](std::uint64_t, const std::vector<ecrs::edge::round_stats>& stats,
+            const std::vector<double>& estimates) {
+        fp.stats.push_back(stats);
+        fp.estimates.push_back(estimates);
+      });
+}
+
+fingerprint run_reference(const scenario& sc, std::uint64_t seed,
+                          std::uint64_t rounds,
+                          ecrs::workload::replay_source& replay,
+                          bool advance_all, bool record) {
+  replay.reset();
+  pipeline p(sc, seed);
+  ecrs::des::reference_simulator sim;
+  reference_driver driver(sim, p, replay, sc, rounds, advance_all);
+  fingerprint fp;
+  if (record) record_rounds(driver, fp);
+  driver.run();
+  fp.delivered = driver.requests_delivered();
+  return fp;
+}
+
+fingerprint run_new_shape(const scenario& sc, std::uint64_t seed,
+                          std::uint64_t rounds,
+                          ecrs::workload::replay_source& replay,
+                          ecrs::edge::delivery_mode delivery, bool record) {
+  replay.reset();
+  pipeline p(sc, seed);
+  ecrs::des::simulator sim;
+  ecrs::edge::des_driver_config cfg;
+  cfg.round_duration = sc.round_duration;
+  cfg.rounds = rounds;
+  cfg.delivery = delivery;
+  ecrs::edge::des_driver driver(sim, p.cl, replay, p.est, cfg);
+  fingerprint fp;
+  if (record) record_rounds(driver, fp);
+  driver.run();
+  fp.delivered = driver.requests_delivered();
+  return fp;
+}
+
+bool identical(const fingerprint& a, const fingerprint& b) {
+  if (a.delivered != b.delivered) return false;
+  if (a.stats.size() != b.stats.size()) return false;
+  if (a.estimates.size() != b.estimates.size()) return false;
+  for (std::size_t r = 0; r < a.stats.size(); ++r) {
+    if (a.stats[r].size() != b.stats[r].size()) return false;
+    for (std::size_t s = 0; s < a.stats[r].size(); ++s) {
+      const auto& x = a.stats[r][s];
+      const auto& y = b.stats[r][s];
+      if (x.received != y.received || x.served != y.served ||
+          x.arrived_work != y.arrived_work ||
+          x.served_work != y.served_work ||
+          x.backlog_work != y.backlog_work || x.allocation != y.allocation ||
+          x.utilization != y.utilization || x.mean_wait != y.mean_wait) {
+        return false;
+      }
+    }
+    if (a.estimates[r] != b.estimates[r]) return false;
+  }
+  return true;
+}
+
+// The pre-PR advance-all sweep slices each service's drain integral into
+// different sub-intervals than the lazy policy, which perturbs low-order
+// floating-point bits — so against that baseline the check is exact on
+// integer observables and tight-relative on accumulated work.
+bool physically_consistent(const fingerprint& a, const fingerprint& b) {
+  if (a.delivered != b.delivered) return false;
+  if (a.stats.size() != b.stats.size()) return false;
+  double work_a = 0.0;
+  double work_b = 0.0;
+  for (std::size_t r = 0; r < a.stats.size(); ++r) {
+    if (a.stats[r].size() != b.stats[r].size()) return false;
+    for (std::size_t s = 0; s < a.stats[r].size(); ++s) {
+      if (a.stats[r][s].received != b.stats[r][s].received) return false;
+      work_a += a.stats[r][s].served_work;
+      work_b += b.stats[r][s].served_work;
+    }
+  }
+  const double scale = std::max({std::abs(work_a), std::abs(work_b), 1.0});
+  return std::abs(work_a - work_b) <= 1e-6 * scale;
+}
+
+// Cross-checks before any timing: the old engine (under the same lazy
+// advance policy) and both new delivery shapes must agree BITWISE on every
+// per-round statistic and demand estimate; the verbatim pre-PR baseline
+// must agree on all integer observables and total served work.
+bool cross_check(const scenario& sc, std::uint64_t seed) {
+  constexpr std::uint64_t rounds = 4;
+  auto replay = record_trace(sc, seed, rounds);
+  const auto ref_lazy = run_reference(sc, seed, rounds, replay,
+                                      /*advance_all=*/false, /*record=*/true);
+  const auto per_event = run_new_shape(sc, seed, rounds, replay,
+                                       ecrs::edge::delivery_mode::per_event,
+                                       /*record=*/true);
+  const auto batched = run_new_shape(sc, seed, rounds, replay,
+                                     ecrs::edge::delivery_mode::batched,
+                                     /*record=*/true);
+  const auto pre_pr = run_reference(sc, seed, rounds, replay,
+                                    /*advance_all=*/true, /*record=*/true);
+  if (!identical(ref_lazy, per_event)) {
+    std::fprintf(stderr, "cross-check FAILED: per-event != reference engine\n");
+    return false;
+  }
+  if (!identical(ref_lazy, batched)) {
+    std::fprintf(stderr, "cross-check FAILED: batched != reference engine\n");
+    return false;
+  }
+  if (!physically_consistent(ref_lazy, pre_pr)) {
+    std::fprintf(stderr,
+                 "cross-check FAILED: pre-PR baseline diverges physically\n");
+    return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- printing
+
+void print_measurements(const std::vector<measurement>& ms) {
+  std::printf("  \"results_ns_mean\": {\n");
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    std::printf("    \"%s\": {\"mean_ns\": %.0f, \"stddev_ns\": %.0f}%s\n",
+                ms[i].name.c_str(), ms[i].mean_ns, ms[i].stddev_ns,
+                i + 1 < ms.size() ? "," : "");
+  }
+  std::printf("  },\n");
+  std::printf("  \"events_per_sec\": {\n");
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    std::printf("    \"%s\": %.0f%s\n", ms[i].name.c_str(),
+                ms[i].events_per_sec, i + 1 < ms.size() ? "," : "");
+  }
+  std::printf("  },\n");
+  std::printf("  \"allocations_per_event\": {\n");
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    std::printf("    \"%s\": %.3f%s\n", ms[i].name.c_str(),
+                ms[i].allocs_per_event, i + 1 < ms.size() ? "," : "");
+  }
+  std::printf("  },\n");
+}
+
+double mean_ns_of(const std::vector<measurement>& ms, const std::string& name) {
+  for (const auto& m : ms) {
+    if (m.name == name) return m.mean_ns;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
+  const auto repeats = static_cast<std::size_t>(f.get_int("repeats", 3));
+  const auto engine_max =
+      static_cast<std::uint64_t>(f.get_int("engine_requests", 10000000));
+  const auto driver_max =
+      static_cast<std::uint64_t>(f.get_int("driver_requests", 1000000));
+
+  const scenario sc;
+  if (!cross_check(sc, seed)) return 1;
+
+  std::vector<measurement> ms;
+
+  // ---- engine-only: schedule+fire churn and the batched stream lane ------
+  for (std::uint64_t n : {10000ull, 100000ull, 1000000ull, 10000000ull}) {
+    if (n > engine_max) break;
+    const std::string tag = size_label(n);
+    ms.push_back(measure("EngineChurnReference_" + tag, n, repeats, [&] {
+      ecrs::des::reference_simulator sim;
+      churn(sim, n, seed);
+    }));
+    ms.push_back(measure("EngineChurnSlab_" + tag, n, repeats, [&] {
+      ecrs::des::simulator sim;
+      churn(sim, n, seed);
+    }));
+    ms.push_back(measure("EngineStreamSlab_" + tag, n, repeats,
+                         [&] { stream_drain(n, seed); }));
+  }
+
+  // ---- full driver scenario over a replayed trace ------------------------
+  // Every variant replays the SAME recorded trace, so workload generation
+  // (RNG + sort, reported separately) is excluded from driver timings
+  // symmetrically. DriverPrePR is the seed configuration verbatim: frozen
+  // engine, per-request closure copies, fresh batch vector per round, and
+  // an advance-ALL-services sweep on every delivery.
+  pipeline sizing(sc, seed);
+  const double per_round = sc.arrivals_per_round(sizing.traffic);
+  for (std::uint64_t n : {10000ull, 100000ull, 1000000ull}) {
+    if (n > driver_max) break;
+    const auto rounds = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(
+               static_cast<double>(n) / per_round)));
+    const std::string tag = size_label(n);
+    ms.push_back(measure("WorkloadGeneration_" + tag, n, repeats, [&] {
+      ecrs::workload::generator gen(pipeline::generator_config(sc, seed));
+      std::vector<ecrs::workload::request> batch;
+      for (std::uint64_t r = 0; r < rounds; ++r) {
+        gen.round_into(static_cast<double>(r) * sc.round_duration,
+                       sc.round_duration, batch);
+      }
+    }));
+    auto replay = record_trace(sc, seed, rounds);
+    ms.push_back(measure("DriverPrePR_" + tag, n, repeats, [&] {
+      (void)run_reference(sc, seed, rounds, replay, /*advance_all=*/true,
+                          /*record=*/false);
+    }));
+    ms.push_back(measure("DriverRefEngineLazy_" + tag, n, repeats, [&] {
+      (void)run_reference(sc, seed, rounds, replay, /*advance_all=*/false,
+                          /*record=*/false);
+    }));
+    ms.push_back(measure("DriverPerEvent_" + tag, n, repeats, [&] {
+      (void)run_new_shape(sc, seed, rounds, replay,
+                          ecrs::edge::delivery_mode::per_event,
+                          /*record=*/false);
+    }));
+    ms.push_back(measure("DriverBatched_" + tag, n, repeats, [&] {
+      (void)run_new_shape(sc, seed, rounds, replay,
+                          ecrs::edge::delivery_mode::batched,
+                          /*record=*/false);
+    }));
+  }
+
+  std::printf("{\n");
+  std::printf("  \"pr\": 5,\n");
+  std::printf(
+      "  \"benchmark\": \"DES engine throughput: slab/indexed-heap engine vs "
+      "frozen pre-PR5 reference (schedule+fire churn, 4096 in flight), "
+      "batched stream lane, and the Sec. V-A driver scenario (300 users, 25 "
+      "microservices, 10 clouds, ~4500 arrivals/round) replaying one "
+      "recorded trace through the verbatim pre-PR configuration, the "
+      "reference engine with lazy advance, and the new engine under "
+      "per-event and batched delivery; per-round stats and estimates "
+      "cross-checked (bitwise vs the reference engine) before timing "
+      "(bench/des_throughput.cc)\",\n");
+  std::printf("  \"config\": {\"seed\": %llu, \"repeats\": %zu, "
+              "\"engine_requests\": %llu, \"driver_requests\": %llu},\n",
+              static_cast<unsigned long long>(seed), repeats,
+              static_cast<unsigned long long>(engine_max),
+              static_cast<unsigned long long>(driver_max));
+  print_measurements(ms);
+
+  const std::string big = size_label(std::min<std::uint64_t>(
+      driver_max, 1000000ull));
+  const double pre_pr_ns = mean_ns_of(ms, "DriverPrePR_" + big);
+  const double ref_lazy_ns = mean_ns_of(ms, "DriverRefEngineLazy_" + big);
+  const double batched_ns = mean_ns_of(ms, "DriverBatched_" + big);
+  const double per_event_ns = mean_ns_of(ms, "DriverPerEvent_" + big);
+  std::printf("  \"speedups\": {\n");
+  std::printf("    \"driver_batched_over_pre_pr_%s\": %.2f,\n", big.c_str(),
+              batched_ns > 0.0 ? pre_pr_ns / batched_ns : 0.0);
+  std::printf("    \"driver_per_event_over_pre_pr_%s\": %.2f,\n", big.c_str(),
+              per_event_ns > 0.0 ? pre_pr_ns / per_event_ns : 0.0);
+  std::printf("    \"driver_batched_over_ref_engine_lazy_%s\": %.2f\n",
+              big.c_str(),
+              batched_ns > 0.0 ? ref_lazy_ns / batched_ns : 0.0);
+  std::printf("  },\n");
+  std::printf("  \"bit_identical\": true\n");
+  std::printf("}\n");
+  return 0;
+}

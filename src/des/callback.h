@@ -1,0 +1,139 @@
+// Small-buffer callable storage for the event engine.
+//
+// basic_callback<Sig> is a move-only type-erased callable like
+// std::function, minus the copyability requirement and minus the allocator
+// round-trip for small targets: callables up to `inline_capacity` bytes
+// (comfortably a lambda capturing a `this` pointer plus a
+// workload::request) live inside the object itself. Larger or
+// throwing-move targets fall back to a single heap cell so moves stay
+// noexcept pointer swaps. The event slab (des/simulator.h) stores millions
+// of these; per-event allocator traffic is what this type exists to avoid.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ecrs::des {
+
+template <typename Sig>
+class basic_callback;
+
+template <typename R, typename... Args>
+class basic_callback<R(Args...)> {
+ public:
+  // Sized so a lambda capturing `this` + one workload::request stays
+  // inline; std::function<void()> (32 bytes on libstdc++) also fits, so
+  // wrapping one never double-allocates.
+  static constexpr std::size_t inline_capacity = 48;
+
+  basic_callback() noexcept = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  basic_callback(std::nullptr_t) noexcept {}
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, basic_callback> &&
+                !std::is_same_v<D, std::nullptr_t> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function.
+  basic_callback(F&& f) {
+    if constexpr (stored_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &boxed_ops<D>;
+    }
+  }
+
+  basic_callback(basic_callback&& other) noexcept { take(other); }
+
+  basic_callback& operator=(basic_callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  basic_callback& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  basic_callback(const basic_callback&) = delete;
+  basic_callback& operator=(const basic_callback&) = delete;
+
+  ~basic_callback() { reset(); }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  friend bool operator==(const basic_callback& cb, std::nullptr_t) noexcept {
+    return cb.ops_ == nullptr;
+  }
+
+ private:
+  struct ops_table {
+    R (*invoke)(void* storage, Args&&... args);
+    // Move-construct into `dst` from `src`, then destroy `src`'s target.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool stored_inline =
+      sizeof(D) <= inline_capacity &&
+      alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static constexpr ops_table inline_ops = {
+      [](void* storage, Args&&... args) -> R {
+        return (*static_cast<D*>(storage))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+      },
+      [](void* storage) noexcept { static_cast<D*>(storage)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr ops_table boxed_ops = {
+      [](void* storage, Args&&... args) -> R {
+        return (**static_cast<D**>(storage))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* storage) noexcept { delete *static_cast<D**>(storage); },
+  };
+
+  void take(basic_callback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[inline_capacity];
+  const ops_table* ops_ = nullptr;
+};
+
+}  // namespace ecrs::des

@@ -1,0 +1,141 @@
+#include "des/reference_simulator.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ecrs::des {
+
+// The pre-PR5 engine, verbatim (see the header for why it is preserved).
+struct reference_simulator::impl {
+  struct heap_entry {
+    sim_time when;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    event_id id;
+  };
+  struct heap_order {
+    bool operator()(const heap_entry& a, const heap_entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+  struct record {
+    callback fn;
+    sim_time period = 0.0;  // > 0 for periodic series
+  };
+
+  sim_time now = 0.0;
+  std::uint64_t next_seq = 0;
+  event_id next_id = 1;
+  std::uint64_t executed = 0;
+  std::priority_queue<heap_entry, std::vector<heap_entry>, heap_order> heap;
+  std::unordered_map<event_id, record> records;
+
+  void push(sim_time when, event_id id) {
+    heap.push(heap_entry{when, next_seq++, id});
+  }
+
+  // Pops the next live entry, discarding stale/cancelled ones. Returns
+  // false when the queue is exhausted.
+  bool pop_next(heap_entry& out) {
+    while (!heap.empty()) {
+      heap_entry top = heap.top();
+      heap.pop();
+      if (records.count(top.id) == 0) continue;  // cancelled or stale
+      out = top;
+      return true;
+    }
+    return false;
+  }
+
+  bool step() {
+    heap_entry next{};
+    if (!pop_next(next)) return false;
+    now = next.when;
+    auto it = records.find(next.id);
+    ECRS_DCHECK(it != records.end());
+    ++executed;
+    if (it->second.period > 0.0) {
+      // Re-arm before running so cancel(id) from inside the callback
+      // removes the record and pop_next discards the re-armed entry.
+      push(now + it->second.period, next.id);
+      // Copy: the callback may mutate records (schedule/cancel), which can
+      // invalidate `it`.
+      callback fn = it->second.fn;
+      fn();
+    } else {
+      callback fn = std::move(it->second.fn);
+      records.erase(it);
+      fn();
+    }
+    return true;
+  }
+};
+
+reference_simulator::reference_simulator() : impl_(std::make_unique<impl>()) {}
+reference_simulator::~reference_simulator() = default;
+
+sim_time reference_simulator::now() const { return impl_->now; }
+
+std::size_t reference_simulator::pending_events() const {
+  return impl_->records.size();
+}
+
+std::uint64_t reference_simulator::executed_events() const {
+  return impl_->executed;
+}
+
+event_id reference_simulator::schedule_at(sim_time when, callback fn) {
+  ECRS_CHECK_MSG(when >= impl_->now, "cannot schedule in the past: "
+                                         << when << " < " << impl_->now);
+  ECRS_CHECK_MSG(fn != nullptr, "null event callback");
+  const event_id id = impl_->next_id++;
+  impl_->records.emplace(id, impl::record{std::move(fn), 0.0});
+  impl_->push(when, id);
+  return id;
+}
+
+event_id reference_simulator::schedule_in(sim_time delay, callback fn) {
+  ECRS_CHECK_MSG(delay >= 0.0, "negative delay: " << delay);
+  return schedule_at(impl_->now + delay, std::move(fn));
+}
+
+event_id reference_simulator::schedule_periodic(sim_time period, callback fn) {
+  ECRS_CHECK_MSG(period > 0.0, "periodic events need a positive period");
+  ECRS_CHECK_MSG(fn != nullptr, "null event callback");
+  const event_id id = impl_->next_id++;
+  impl_->records.emplace(id, impl::record{std::move(fn), period});
+  impl_->push(impl_->now + period, id);
+  return id;
+}
+
+bool reference_simulator::cancel(event_id id) {
+  return impl_->records.erase(id) > 0;
+}
+
+bool reference_simulator::step() { return impl_->step(); }
+
+void reference_simulator::run_until(sim_time horizon) {
+  ECRS_CHECK_MSG(horizon >= impl_->now, "horizon is in the past");
+  impl::heap_entry next{};
+  while (impl_->pop_next(next)) {
+    if (next.when > horizon) {
+      impl_->heap.push(next);  // keep it pending beyond the horizon
+      break;
+    }
+    impl_->heap.push(next);  // step() re-pops; both paths share bookkeeping
+    impl_->step();
+  }
+  impl_->now = std::max(impl_->now, horizon);
+}
+
+void reference_simulator::run() {
+  while (impl_->step()) {
+  }
+}
+
+}  // namespace ecrs::des

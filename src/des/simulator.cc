@@ -5,18 +5,121 @@
 
 namespace ecrs::des {
 
-void simulator::push(sim_time when, event_id id) {
-  heap_.push(heap_entry{when, next_seq_++, id});
+std::uint32_t simulator::acquire_slot() {
+  std::uint32_t s;
+  if (free_head_ != npos) {
+    s = free_head_;
+    free_head_ = slot(s).next_free;
+  } else {
+    if ((slots_in_use_ >> chunk_shift) >= chunks_.size()) {
+      chunks_.push_back(std::make_unique<record[]>(chunk_size));
+    }
+    s = slots_in_use_++;
+  }
+  record& rec = slot(s);
+  rec.live = true;
+  rec.heap_pos = npos;
+  rec.next_free = npos;
+  return s;
+}
+
+void simulator::release_slot(std::uint32_t s) {
+  record& rec = slot(s);
+  rec.live = false;
+  ++rec.generation;  // stale handles to this slot stop resolving
+  rec.fn = nullptr;
+  rec.drain = nullptr;
+  rec.stream_times = nullptr;
+  rec.period = 0.0;
+  rec.heap_pos = npos;
+  rec.next_free = free_head_;
+  free_head_ = s;
+}
+
+std::uint32_t simulator::resolve(event_id id) const {
+  const auto s = static_cast<std::uint32_t>(id & 0xffffffffULL);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (generation == 0 || s >= slots_in_use_) return npos;
+  const record& rec = slot(s);
+  if (!rec.live || rec.generation != generation) return npos;
+  return s;
+}
+
+void simulator::sift_up(std::uint32_t pos) {
+  const heap_entry e = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) >> 2;
+    const heap_entry& pe = heap_[parent];
+    if (!before(e, pe)) break;
+    heap_[pos] = pe;
+    slot(pe.slot).heap_pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = e;
+  slot(e.slot).heap_pos = pos;
+}
+
+void simulator::sift_down(std::uint32_t pos) {
+  const std::size_t n = heap_.size();
+  const heap_entry e = heap_[pos];
+  while (true) {
+    const std::size_t first = 4 * static_cast<std::size_t>(pos) + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[pos] = heap_[best];
+    slot(heap_[pos].slot).heap_pos = pos;
+    pos = static_cast<std::uint32_t>(best);
+  }
+  heap_[pos] = e;
+  slot(e.slot).heap_pos = pos;
+}
+
+void simulator::heap_push(std::uint32_t s) {
+  const record& rec = slot(s);
+  const auto pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(heap_entry{rec.when, rec.seq, s});
+  slot(s).heap_pos = pos;
+  sift_up(pos);
+}
+
+void simulator::heap_remove(std::uint32_t pos) {
+  ECRS_DCHECK(pos < heap_.size());
+  slot(heap_[pos].slot).heap_pos = npos;
+  const auto last = static_cast<std::uint32_t>(heap_.size()) - 1;
+  heap_[pos] = heap_[last];
+  heap_.pop_back();
+  if (pos == last) return;
+  slot(heap_[pos].slot).heap_pos = pos;
+  if (pos > 0 && before(heap_[pos], heap_[(pos - 1) >> 2])) {
+    sift_up(pos);
+  } else {
+    sift_down(pos);
+  }
+}
+
+void simulator::rekey_top(sim_time when, std::uint64_t seq) {
+  heap_[0].when = when;
+  heap_[0].seq = seq;
+  sift_down(0);
 }
 
 event_id simulator::schedule_at(sim_time when, callback fn) {
   ECRS_CHECK_MSG(when >= now_,
                  "cannot schedule in the past: " << when << " < " << now_);
   ECRS_CHECK_MSG(fn != nullptr, "null event callback");
-  const event_id id = next_id_++;
-  records_.emplace(id, record{std::move(fn), 0.0});
-  push(when, id);
-  return id;
+  const std::uint32_t s = acquire_slot();
+  record& rec = slot(s);
+  rec.kind = event_kind::one_shot;
+  rec.when = when;
+  rec.seq = next_seq_++;
+  rec.fn = std::move(fn);
+  heap_push(s);
+  return encode(rec.generation, s);
 }
 
 event_id simulator::schedule_in(sim_time delay, callback fn) {
@@ -27,59 +130,129 @@ event_id simulator::schedule_in(sim_time delay, callback fn) {
 event_id simulator::schedule_periodic(sim_time period, callback fn) {
   ECRS_CHECK_MSG(period > 0.0, "periodic events need a positive period");
   ECRS_CHECK_MSG(fn != nullptr, "null event callback");
-  const event_id id = next_id_++;
-  records_.emplace(id, record{std::move(fn), period});
-  push(now_ + period, id);
-  return id;
+  const std::uint32_t s = acquire_slot();
+  record& rec = slot(s);
+  rec.kind = event_kind::periodic;
+  rec.period = period;
+  rec.anchor = now_;
+  rec.firing = 1;
+  rec.when = rec.anchor + period;
+  rec.seq = next_seq_++;
+  rec.fn = std::move(fn);
+  heap_push(s);
+  return encode(rec.generation, s);
 }
 
-bool simulator::cancel(event_id id) { return records_.erase(id) > 0; }
+event_id simulator::schedule_stream(std::span<const sim_time> times,
+                                    drain_callback on_item) {
+  if (times.empty()) return 0;
+  ECRS_CHECK_MSG(on_item != nullptr, "null stream callback");
+  ECRS_CHECK_MSG(times.front() >= now_,
+                 "stream starts in the past: " << times.front() << " < "
+                                               << now_);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    ECRS_CHECK_MSG(times[i] >= times[i - 1],
+                   "stream times must be sorted ascending (entry " << i << ")");
+  }
+  const std::uint32_t s = acquire_slot();
+  record& rec = slot(s);
+  rec.kind = event_kind::stream;
+  rec.stream_times = times.data();
+  rec.stream_len = times.size();
+  rec.stream_pos = 0;
+  // Claim one sequence number per entry, exactly as per-entry schedule_at
+  // calls would have: equal-timestamp ties against heap events resolve
+  // identically to the unbatched reference.
+  rec.stream_seq_base = next_seq_;
+  next_seq_ += times.size();
+  rec.when = times.front();
+  rec.seq = rec.stream_seq_base;
+  rec.drain = std::move(on_item);
+  heap_push(s);
+  return encode(rec.generation, s);
+}
 
-bool simulator::pop_next(heap_entry& out) {
-  while (!heap_.empty()) {
-    heap_entry top = heap_.top();
-    heap_.pop();
-    if (records_.count(top.id) == 0) continue;  // cancelled or stale
-    out = top;
+bool simulator::cancel(event_id id) {
+  const std::uint32_t s = resolve(id);
+  if (s == npos) return false;
+  record& rec = slot(s);
+  if (rec.heap_pos != npos) heap_remove(rec.heap_pos);
+  if (s == running_slot_) {
+    // The record's own callback is executing right now; destroying the
+    // callable would pull the lambda out from under itself. Mark dead and
+    // let step() release the slot once the callback returns.
+    rec.live = false;
+    running_cancelled_ = true;
     return true;
   }
-  return false;
+  release_slot(s);
+  return true;
 }
 
 bool simulator::step() {
-  heap_entry next{};
-  if (!pop_next(next)) return false;
-  now_ = next.when;
-  auto it = records_.find(next.id);
-  ECRS_DCHECK(it != records_.end());
+  if (heap_.empty()) return false;
+  const std::uint32_t s = heap_[0].slot;
+  record& rec = slot(s);  // chunked slab: stays valid across scheduling
+  now_ = rec.when;
   ++executed_;
-  if (it->second.period > 0.0) {
-    // Re-arm before running so cancel(id) from inside the callback removes
-    // the record and pop_next discards the re-armed entry.
-    push(now_ + it->second.period, next.id);
-    // Copy: the callback may mutate records_ (schedule/cancel), which can
-    // invalidate `it`.
-    callback fn = it->second.fn;
-    fn();
-  } else {
-    callback fn = std::move(it->second.fn);
-    records_.erase(it);
-    fn();
+  switch (rec.kind) {
+    case event_kind::one_shot: {
+      heap_remove(0);
+      callback fn = std::move(rec.fn);
+      // Released before running, so a cancel of the own id from inside the
+      // callback reports "already ran" — same contract as before.
+      release_slot(s);
+      fn();
+      break;
+    }
+    case event_kind::periodic: {
+      // Re-arm in place (the key only grows, so one sift-down) before
+      // running, so cancel(id) from inside the callback removes the series.
+      // Firings stay anchored at schedule_time + k * period: repeated
+      // `when += period` would accumulate floating-point drift.
+      ++rec.firing;
+      rec.when = rec.anchor + static_cast<sim_time>(rec.firing) * rec.period;
+      rec.seq = next_seq_++;
+      rekey_top(rec.when, rec.seq);
+      running_slot_ = s;
+      running_cancelled_ = false;
+      rec.fn();  // runs out of the stable slab record: no per-firing copy
+      running_slot_ = npos;
+      if (running_cancelled_) {
+        running_cancelled_ = false;
+        release_slot(s);
+      }
+      break;
+    }
+    case event_kind::stream: {
+      const std::size_t item = rec.stream_pos++;
+      if (rec.stream_pos < rec.stream_len) {
+        rec.when = rec.stream_times[rec.stream_pos];
+        rec.seq = rec.stream_seq_base + rec.stream_pos;
+        rekey_top(rec.when, rec.seq);
+        running_slot_ = s;
+        running_cancelled_ = false;
+        rec.drain(item);
+        running_slot_ = npos;
+        if (running_cancelled_) {
+          running_cancelled_ = false;
+          release_slot(s);
+        }
+      } else {
+        heap_remove(0);
+        drain_callback on_item = std::move(rec.drain);
+        release_slot(s);
+        on_item(item);
+      }
+      break;
+    }
   }
   return true;
 }
 
 void simulator::run_until(sim_time horizon) {
   ECRS_CHECK_MSG(horizon >= now_, "horizon is in the past");
-  heap_entry next{};
-  while (pop_next(next)) {
-    if (next.when > horizon) {
-      heap_.push(next);  // keep it pending beyond the horizon
-      break;
-    }
-    heap_.push(next);  // step() re-pops; both paths share bookkeeping
-    step();
-  }
+  while (!heap_.empty() && heap_[0].when <= horizon) step();
   now_ = std::max(now_, horizon);
 }
 

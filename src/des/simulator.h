@@ -2,20 +2,33 @@
 //
 // A single-threaded event loop with a virtual clock: events are callbacks
 // scheduled at absolute or relative simulated times and executed in
-// timestamp order (FIFO among equal timestamps). Supports cancellation and
-// periodic processes. The edge-cloud queueing simulation (src/edge) and the
-// workload generators (src/workload) are built on top of this.
+// timestamp order (FIFO among equal timestamps). Supports cancellation,
+// periodic processes, and batched time-sorted arrival streams. The
+// edge-cloud queueing simulation (src/edge) and the workload generators
+// (src/workload) are built on top of this.
+//
+// Engine layout (DESIGN.md section 10): pending events live in a slab of
+// intrusive records addressed by generation-tagged handles (event_id =
+// generation << 32 | slot). The slab is chunked so records never move —
+// a periodic callback runs straight out of its own record — and freed
+// slots recycle through an intrusive free list. Ordering is an indexed
+// 4-ary heap whose entries cache the (timestamp, sequence) sort key next
+// to the slot index, so sift comparisons stay inside the heap array
+// instead of chasing into the slab: cancel removes its entry in place,
+// periodic re-arm and stream advance are in-place sift-downs, so no stale
+// entry is ever popped and run_until never re-pushes what it peeks.
+// Callbacks use small-buffer storage (des/callback.h); typical lambdas
+// never touch the allocator.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
+#include "des/callback.h"
 
 namespace ecrs::des {
 
@@ -24,14 +37,18 @@ using event_id = std::uint64_t;
 
 class simulator {
  public:
-  using callback = std::function<void()>;
+  using callback = basic_callback<void()>;
+  // Receives the index of the stream entry that is firing.
+  using drain_callback = basic_callback<void(std::size_t)>;
 
   simulator() = default;
   simulator(const simulator&) = delete;
   simulator& operator=(const simulator&) = delete;
 
   [[nodiscard]] sim_time now() const { return now_; }
-  [[nodiscard]] std::size_t pending_events() const { return records_.size(); }
+  // Pending records: one-shots and periodic series count 1 each; a stream
+  // counts 1 no matter how many entries it still holds.
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
   // Schedule `fn` at absolute time `when` (must be >= now()).
@@ -42,11 +59,25 @@ class simulator {
 
   // Schedule `fn` every `period`, starting at now() + period. The returned
   // id identifies the whole series; cancel(id) stops it (including from
-  // within the callback itself).
+  // within the callback itself). Firing k lands exactly on
+  // schedule_time + k * period — no floating-point drift accumulates
+  // across firings.
   event_id schedule_periodic(sim_time period, callback fn);
 
-  // Cancel a pending event or periodic series. Returns false if the event
-  // already ran or does not exist (cancelling twice is harmless).
+  // Register a time-sorted batch of events as ONE pending record: on_item(i)
+  // fires at times[i], interleaved with heap events exactly as if each entry
+  // had been schedule_at'ed individually (in order) at registration time —
+  // same FIFO tie-breaks, same executed_events() accounting — but with O(1)
+  // schedules and allocations per batch. `times` must be sorted ascending
+  // with times.front() >= now(), and the span must stay valid until the
+  // stream drains or is cancelled. The returned id cancels the remainder of
+  // the stream. An empty span is a no-op returning 0 (never a valid id).
+  event_id schedule_stream(std::span<const sim_time> times,
+                           drain_callback on_item);
+
+  // Cancel a pending event, periodic series, or stream remainder. Returns
+  // false if the event already ran or does not exist (cancelling twice is
+  // harmless).
   bool cancel(event_id id);
 
   // Run events with timestamp <= horizon, then advance the clock to at
@@ -62,33 +93,83 @@ class simulator {
   bool step();
 
  private:
-  struct heap_entry {
-    sim_time when;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    event_id id;
-  };
-  struct heap_order {
-    bool operator()(const heap_entry& a, const heap_entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  enum class event_kind : std::uint8_t { one_shot, periodic, stream };
+
+  static constexpr std::uint32_t npos = 0xffffffffu;
+  static constexpr std::size_t chunk_shift = 8;
+  static constexpr std::size_t chunk_size = std::size_t{1} << chunk_shift;
+
   struct record {
+    sim_time when = 0.0;
+    std::uint64_t seq = 0;  // FIFO tie-break among equal timestamps
     callback fn;
-    sim_time period = 0.0;  // > 0 for periodic series
+    drain_callback drain;
+    // Periodic series: firing k fires at anchor + k * period.
+    sim_time period = 0.0;
+    sim_time anchor = 0.0;
+    std::uint64_t firing = 0;  // index of the next firing (1-based)
+    // Stream lane.
+    const sim_time* stream_times = nullptr;
+    std::size_t stream_len = 0;
+    std::size_t stream_pos = 0;
+    std::uint64_t stream_seq_base = 0;
+    // Handle/slab bookkeeping.
+    std::uint32_t generation = 1;  // bumped on release; id must match
+    std::uint32_t heap_pos = npos;
+    std::uint32_t next_free = npos;
+    event_kind kind = event_kind::one_shot;
+    bool live = false;
   };
 
-  // Pops the next live entry, discarding stale/cancelled ones. Returns
-  // false when the queue is exhausted.
-  bool pop_next(heap_entry& out);
-  void push(sim_time when, event_id id);
+  // Heap entries carry a copy of the record's sort key: comparisons during
+  // sifts touch only the (hot, contiguous) heap array, never the slab.
+  struct heap_entry {
+    sim_time when = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = npos;
+  };
+
+  [[nodiscard]] record& slot(std::uint32_t s) {
+    return chunks_[s >> chunk_shift][s & (chunk_size - 1)];
+  }
+  [[nodiscard]] const record& slot(std::uint32_t s) const {
+    return chunks_[s >> chunk_shift][s & (chunk_size - 1)];
+  }
+
+  // (timestamp, sequence) lexicographic heap order.
+  [[nodiscard]] static bool before(const heap_entry& a, const heap_entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t s);
+  static event_id encode(std::uint32_t generation, std::uint32_t s) {
+    return (static_cast<event_id>(generation) << 32) | s;
+  }
+  // Returns the slot if `id` names a live record, npos otherwise.
+  [[nodiscard]] std::uint32_t resolve(event_id id) const;
+
+  void heap_push(std::uint32_t s);
+  void heap_remove(std::uint32_t pos);
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+  // Re-key the heap top (periodic re-arm / stream cursor advance: the key
+  // only grows) and restore heap order with one in-place sift-down.
+  void rekey_top(sim_time when, std::uint64_t seq);
 
   sim_time now_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  event_id next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<heap_entry, std::vector<heap_entry>, heap_order> heap_;
-  std::unordered_map<event_id, record> records_;
+  std::vector<std::unique_ptr<record[]>> chunks_;
+  std::uint32_t slots_in_use_ = 0;  // high-water slot count across chunks
+  std::uint32_t free_head_ = npos;
+  std::vector<heap_entry> heap_;  // 4-ary, indexed via record::heap_pos
+  // Slot whose callback is currently executing out of its own record
+  // (periodic firing / stream drain); a self-cancel defers the release
+  // until the callback returns.
+  std::uint32_t running_slot_ = npos;
+  bool running_cancelled_ = false;
 };
 
 }  // namespace ecrs::des

@@ -20,9 +20,11 @@ microservice::microservice(std::uint32_t id, workload::qos_class qos)
     : id_(id), qos_(qos) {}
 
 double microservice::backlog_work() const {
-  double total = 0.0;
-  for (const queued& q : queue_) total += q.remaining;
-  return total;
+  if (queue_.empty()) return 0.0;
+  const queued& head = queue_.front();
+  const double total =
+      queued_demand_sum_ - (head.req.service_demand - head.remaining);
+  return total > 0.0 ? total : 0.0;
 }
 
 void microservice::set_allocation(double resources) {
@@ -36,6 +38,7 @@ void microservice::enqueue(const workload::request& r) {
                                              << " routed to " << id_);
   ECRS_CHECK_MSG(r.service_demand >= 0.0, "negative service demand");
   queue_.push_back(queued{r, r.service_demand});
+  queued_demand_sum_ += r.service_demand;
   ++round_received_;
   ++total_received_;
   round_arrived_work_ += r.service_demand;
@@ -60,9 +63,13 @@ void microservice::advance(double now, double duration) {
       ++round_served_;
       ++total_served_;
       round_wait_sum_ += std::max(0.0, clock - head.req.arrival_time);
+      queued_demand_sum_ -= head.req.service_demand;
       queue_.pop_front();
     }
   }
+  // Pin the incremental sum back to exact zero whenever the queue drains so
+  // rounding residue cannot accumulate across rounds.
+  if (queue_.empty()) queued_demand_sum_ = 0.0;
 }
 
 round_stats microservice::end_round(std::uint64_t round, double round_duration,

@@ -79,6 +79,13 @@ class microservice {
   workload::qos_class qos_;
   double allocation_ = 1.0;
   std::deque<queued> queue_;
+  // Sum of the FULL service demands of queued requests, maintained
+  // incrementally so backlog_work() is O(1) instead of an O(queue) scan
+  // (allocate_fair and end_round both read it every round, and a
+  // persistently under-allocated service's queue grows without bound).
+  // Only the head request is ever partially served, so
+  // backlog = this sum minus the head's consumed portion.
+  double queued_demand_sum_ = 0.0;
 
   // Per-round accumulators.
   std::uint64_t round_received_ = 0;

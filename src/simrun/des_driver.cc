@@ -7,8 +7,8 @@
 namespace ecrs::edge {
 
 des_driver::des_driver(des::simulator& sim, cluster& cl,
-                       workload::generator& traffic, demand::estimator& est,
-                       des_driver_config config)
+                       workload::round_source& traffic,
+                       demand::estimator& est, des_driver_config config)
     : sim_(sim),
       cluster_(cl),
       traffic_(traffic),
@@ -18,16 +18,29 @@ des_driver::des_driver(des::simulator& sim, cluster& cl,
                  "round duration must be positive");
   ECRS_CHECK_MSG(config_.rounds >= 1, "need at least one round");
   ECRS_CHECK_MSG(
-      traffic_.config().microservices == cluster_.microservice_count(),
-      "generator and cluster disagree on the number of microservices");
+      traffic_.microservice_count() == cluster_.microservice_count(),
+      "traffic source and cluster disagree on the number of microservices");
+  service_clock_.assign(cluster_.microservice_count(), 0.0);
 }
 
-void des_driver::advance_to_now() {
-  const double now = sim_.now();
-  if (now > last_advance_) {
-    cluster_.advance(last_advance_, now - last_advance_);
-    last_advance_ = now;
+void des_driver::catch_up(std::uint32_t m, double now) {
+  double& mark = service_clock_[m];
+  if (now > mark) {
+    cluster_.service(m).advance(mark, now - mark);
+    mark = now;
   }
+}
+
+void des_driver::deliver(const workload::request& r) {
+  microservice& svc = cluster_.service(r.microservice);
+  const double now = sim_.now();
+  double& mark = service_clock_[r.microservice];
+  if (now > mark) {
+    svc.advance(mark, now - mark);
+    mark = now;
+  }
+  svc.enqueue(r);
+  ++delivered_;
 }
 
 void des_driver::schedule_round(std::uint64_t round) {
@@ -38,23 +51,44 @@ void des_driver::schedule_round(std::uint64_t round) {
   // Allocate for the round using the state visible at its start.
   cluster_.allocate_fair(config_.round_duration);
 
-  // Deliver each generated request at its own arrival instant, advancing
-  // service up to that instant first.
-  for (const workload::request& r :
-       traffic_.round(start, config_.round_duration)) {
-    sim_.schedule_at(r.arrival_time, [this, r] {
-      advance_to_now();
-      cluster_.service(r.microservice).enqueue(r);
-      ++delivered_;
-    });
+  // Prefer the source's zero-copy view (replay sources hand out the stored
+  // round directly); otherwise generate into the reusable batch buffer. The
+  // buffer is safe to overwrite: the previous round's deliveries all carry
+  // timestamps strictly before its boundary, which fired before this call,
+  // so the old stream/closures have fully drained.
+  current_ = traffic_.round_view(start, config_.round_duration);
+  if (current_ == nullptr) {
+    traffic_.round_into(start, config_.round_duration, batch_);
+    current_ = &batch_;
+  }
+  const std::vector<workload::request>& batch = *current_;
+
+  if (config_.delivery == delivery_mode::per_event) {
+    // Reference shape: one scheduled closure per request, capturing a
+    // reference into the round-lived batch (no per-request copy).
+    for (const workload::request& r : batch) {
+      sim_.schedule_at(r.arrival_time, [this, &r] { deliver(r); });
+    }
+  } else if (!batch.empty()) {
+    // Batched: register the whole time-sorted batch as one stream record;
+    // a single cursor drains it in arrival order, interleaved with the
+    // round boundary exactly like the per-event reference.
+    arrivals_.resize(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      arrivals_[i] = batch[i].arrival_time;
+    }
+    sim_.schedule_stream(arrivals_,
+                         [this](std::size_t i) { deliver((*current_)[i]); });
   }
 
   // Round boundary: drain up to the boundary, close the round, estimate,
   // hand over to the callback, then arm the next round.
   sim_.schedule_at(end, [this, round, end] {
-    advance_to_now();
-    // advance_to_now() stops exactly at `end` because this event runs at it.
-    ECRS_DCHECK(last_advance_ == end);
+    // Sync every service to the boundary before closing the round (and
+    // before allocate_fair changes allocations for the next one).
+    for (std::uint32_t m = 0; m < service_clock_.size(); ++m) {
+      catch_up(m, end);
+    }
     const auto stats = cluster_.end_round(round, config_.round_duration);
     const auto estimates = estimator_.estimate_round(stats);
     ++completed_;

@@ -1,6 +1,7 @@
 #include "workload/generator.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
@@ -55,8 +56,22 @@ double generator::expected_arrivals_per_round() const {
 }
 
 std::vector<request> generator::round(double round_start, double duration) {
-  ECRS_CHECK_MSG(duration > 0.0, "round duration must be positive");
   std::vector<request> batch;
+  round_into(round_start, duration, batch);
+  return batch;
+}
+
+void generator::round_into(double round_start, double duration,
+                           std::vector<request>& batch) {
+  ECRS_CHECK_MSG(duration > 0.0, "round duration must be positive");
+  batch.clear();
+  // Expected count plus ~4 sigma of Poisson headroom: typical rounds fill
+  // the reservation without regrowing, so a reused buffer stops allocating
+  // after its first round.
+  const double expected = expected_arrivals_per_round();
+  const auto want = static_cast<std::size_t>(
+      expected + 4.0 * std::sqrt(std::max(expected, 1.0)) + 16.0);
+  if (batch.capacity() < want) batch.reserve(want);
   for (std::uint32_t user = 0; user < config_.users; ++user) {
     // Each user issues a Poisson number of requests per class per round and
     // spreads them over microservices of that class uniformly at random.
@@ -93,7 +108,6 @@ std::vector<request> generator::round(double round_start, double duration) {
     if (a.arrival_time != b.arrival_time) return a.arrival_time < b.arrival_time;
     return static_cast<int>(a.qos) < static_cast<int>(b.qos);
   });
-  return batch;
 }
 
 }  // namespace ecrs::workload

@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "workload/request.h"
+#include "workload/round_source.h"
 
 namespace ecrs::workload {
 
@@ -34,11 +35,15 @@ struct generator_config {
 
 // Per-round batch: the requests that arrived during one auction round,
 // sorted by arrival time, delay-sensitive first among equal times (priority).
-class generator {
+class generator final : public round_source {
  public:
   explicit generator(generator_config config);
 
   [[nodiscard]] const generator_config& config() const { return config_; }
+
+  [[nodiscard]] std::uint32_t microservice_count() const override {
+    return config_.microservices;
+  }
 
   // QoS class assigned to each microservice (index = microservice id).
   [[nodiscard]] qos_class class_of(std::uint32_t microservice) const;
@@ -46,6 +51,12 @@ class generator {
   // Generate all requests arriving in [round_start, round_start + duration).
   [[nodiscard]] std::vector<request> round(double round_start,
                                            double duration);
+
+  // Same stream of requests, written into a caller-owned buffer: `batch` is
+  // cleared, reserved from expected_arrivals_per_round(), and refilled, so
+  // a driver that reuses one buffer pays no allocation in steady state.
+  void round_into(double round_start, double duration,
+                  std::vector<request>& batch) override;
 
   // Total expected arrivals per round across all users (sanity metric).
   [[nodiscard]] double expected_arrivals_per_round() const;

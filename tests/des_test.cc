@@ -1,10 +1,18 @@
-// Unit tests for the discrete-event simulation core.
+// Unit tests for the discrete-event simulation core: the slab/indexed-heap
+// engine, the batched stream lane, and behavioural equivalence against the
+// frozen pre-PR5 reference engine.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "des/reference_simulator.h"
 #include "des/simulator.h"
 
 namespace ecrs::des {
@@ -178,6 +186,269 @@ TEST(Simulator, CancelInsideEarlierEvent) {
   second = sim.schedule_at(2.0, [&] { second_ran = true; });
   sim.run();
   EXPECT_FALSE(second_ran);
+}
+
+// --- Edge cases pinned before the PR 5 engine rewrite -----------------------
+
+TEST(Simulator, CancelFromInsideOwnCallbackReportsAlreadyRan) {
+  simulator sim;
+  bool cancel_result = true;
+  event_id id = 0;
+  id = sim.schedule_at(1.0, [&] { cancel_result = sim.cancel(id); });
+  sim.run();
+  EXPECT_FALSE(cancel_result);  // the event already ran when cancel() hit
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(Simulator, CancelOfAlreadyFiredIdIsNoOpEvenAfterSlotReuse) {
+  simulator sim;
+  int second_fired = 0;
+  const event_id first = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(first));
+  // The freed slot is recycled by the next schedule; the stale handle must
+  // not cancel the new tenant.
+  const event_id second = sim.schedule_at(2.0, [&] { ++second_fired; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(sim.cancel(first));
+  sim.run();
+  EXPECT_EQ(second_fired, 1);
+}
+
+TEST(Simulator, EqualTimestampFifoAcross1000Events) {
+  simulator sim;
+  std::vector<int> order;
+  order.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, RunUntilExactlyAtTimestampThenNothingLeft) {
+  simulator sim;
+  int fired = 0;
+  sim.schedule_at(3.0, [&] { ++fired; });
+  sim.schedule_at(3.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+// Regression for the periodic floating-point drift bug: `now += period`
+// accumulates rounding error, so firing 10^6 of a 0.1-period series missed
+// the time computed as k * 0.1. Anchored firings (start + k * period) land
+// bitwise-exactly on every boundary that is computed the same way.
+TEST(Simulator, PeriodicFiringsStayAnchoredOverMillionFirings) {
+  simulator sim;
+  std::uint64_t count = 0;
+  constexpr std::uint64_t kFirings = 1000000;
+  constexpr double kPeriod = 0.1;
+  sim.schedule_periodic(kPeriod, [&] {
+    ++count;
+    if (count % 100000 == 0) {
+      // Bitwise equality with the round boundary start + k * period: no
+      // accumulated drift, however many firings have passed.
+      ASSERT_EQ(sim.now(), static_cast<double>(count) * kPeriod);
+    }
+  });
+  sim.run_until(static_cast<double>(kFirings) * kPeriod);
+  EXPECT_EQ(count, kFirings);
+}
+
+// The periodic callback runs out of its stable slab record (no per-firing
+// copy of the callable); cancelling and rescheduling itself from inside the
+// callback must still be safe.
+TEST(Simulator, PeriodicCanCancelAndRescheduleItselfFromCallback) {
+  simulator sim;
+  std::vector<double> times;
+  event_id id = 0;
+  struct rearm {
+    simulator& sim;
+    event_id& id;
+    std::vector<double>& times;
+    void operator()() const {
+      times.push_back(sim.now());
+      sim.cancel(id);
+      if (times.size() < 3) id = sim.schedule_periodic(2.0, *this);
+    }
+  };
+  id = sim.schedule_periodic(1.0, rearm{sim, id, times});
+  sim.run_until(20.0);
+  // Fires at 1 (period 1), then re-arms with period 2: 3, then 5.
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0, 5.0}));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, PeriodicSelfCancelReleasesTheSlotForReuse) {
+  simulator sim;
+  int periodic_fires = 0;
+  int later_fires = 0;
+  event_id id = 0;
+  id = sim.schedule_periodic(1.0, [&] {
+    if (++periodic_fires == 2) sim.cancel(id);
+  });
+  sim.run_until(5.0);
+  EXPECT_EQ(periodic_fires, 2);
+  // New work after the self-cancel recycles the slot without confusion.
+  sim.schedule_at(6.0, [&] { ++later_fires; });
+  sim.run();
+  EXPECT_EQ(later_fires, 1);
+}
+
+// --- Batched stream lane ----------------------------------------------------
+
+TEST(SimulatorStream, DrainsInOrderWithIndices) {
+  simulator sim;
+  const std::array<sim_time, 4> times{1.0, 2.5, 2.5, 7.0};
+  std::vector<std::pair<std::size_t, double>> seen;
+  sim.schedule_stream(times, [&](std::size_t i) {
+    seen.emplace_back(i, sim.now());
+  });
+  EXPECT_EQ(sim.pending_events(), 1u);  // whole stream = one record
+  sim.run();
+  ASSERT_EQ(seen.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(seen[i].first, i);
+    EXPECT_DOUBLE_EQ(seen[i].second, times[i]);
+  }
+  EXPECT_EQ(sim.executed_events(), 4u);  // one executed event per entry
+}
+
+TEST(SimulatorStream, InterleavesWithHeapEventsFifoByRegistration) {
+  simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&] { order.push_back(-1); });  // before the stream
+  const std::array<sim_time, 3> times{1.0, 2.0, 3.0};
+  sim.schedule_stream(times, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  sim.schedule_at(2.0, [&] { order.push_back(-2); });  // after the stream
+  sim.schedule_at(0.5, [&] { order.push_back(-3); });
+  sim.run();
+  // At t=2.0 three things fire: the earlier one-shot, stream entry 1, the
+  // later one-shot — in registration order, exactly as if every stream
+  // entry had been schedule_at'ed at registration time.
+  EXPECT_EQ(order, (std::vector<int>{-3, 0, -1, 1, -2, 2}));
+}
+
+TEST(SimulatorStream, CancelStopsTheRemainder) {
+  simulator sim;
+  const std::array<sim_time, 4> times{1.0, 2.0, 3.0, 4.0};
+  int delivered = 0;
+  const event_id id =
+      sim.schedule_stream(times, [&](std::size_t) { ++delivered; });
+  sim.run_until(2.0);
+  EXPECT_EQ(delivered, 2);
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run_until(10.0);
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorStream, CanCancelItselfFromInsideTheDrainCallback) {
+  simulator sim;
+  const std::array<sim_time, 4> times{1.0, 2.0, 3.0, 4.0};
+  int delivered = 0;
+  event_id id = 0;
+  id = sim.schedule_stream(times, [&](std::size_t i) {
+    ++delivered;
+    if (i == 1) {
+      EXPECT_TRUE(sim.cancel(id));
+    }
+  });
+  sim.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorStream, RejectsUnsortedAndPastTimes) {
+  simulator sim;
+  sim.run_until(5.0);
+  const std::array<sim_time, 2> past{1.0, 2.0};
+  EXPECT_THROW(sim.schedule_stream(past, [](std::size_t) {}), check_error);
+  const std::array<sim_time, 3> unsorted{6.0, 8.0, 7.0};
+  EXPECT_THROW(sim.schedule_stream(unsorted, [](std::size_t) {}),
+               check_error);
+  EXPECT_THROW(sim.schedule_stream(std::array<sim_time, 1>{6.0}, nullptr),
+               check_error);
+}
+
+TEST(SimulatorStream, EmptyStreamIsANoOp) {
+  simulator sim;
+  const event_id id =
+      sim.schedule_stream(std::span<const sim_time>{}, [](std::size_t) {});
+  EXPECT_EQ(id, 0u);
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// --- Equivalence against the frozen pre-PR5 reference engine ----------------
+
+// Applies an identical random script of schedule/cancel operations to both
+// engines and requires identical firing traces. Periods are dyadic so the
+// reference's accumulated `now + period` re-arm is bitwise equal to the new
+// engine's anchored `start + k * period`.
+template <typename Sim>
+std::vector<std::pair<int, double>> run_script(Sim& sim, std::uint64_t seed) {
+  std::vector<std::pair<int, double>> trace;
+  rng gen(seed);
+  std::vector<event_id> ids;
+  constexpr std::array<double, 3> periods{0.25, 0.5, 1.0};
+  for (int op = 0; op < 400; ++op) {
+    const int kind = static_cast<int>(gen.uniform_int(0, 9));
+    if (kind < 6) {  // schedule a one-shot
+      const double when = gen.uniform_real(0.0, 50.0);
+      const int tag = op;
+      ids.push_back(sim.schedule_at(when, [&trace, &sim, tag] {
+        trace.emplace_back(tag, sim.now());
+      }));
+    } else if (kind < 8 && !ids.empty()) {  // cancel a random earlier event
+      const auto pick = static_cast<std::size_t>(
+          gen.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+      sim.cancel(ids[pick]);
+    } else {  // periodic series, cancelled by firing count from inside
+      const double period = periods[static_cast<std::size_t>(
+          gen.uniform_int(0, static_cast<std::int64_t>(periods.size()) - 1))];
+      const int tag = 10000 + op;
+      const auto fires =
+          std::make_shared<int>(static_cast<int>(gen.uniform_int(1, 5)));
+      auto id = std::make_shared<event_id>(0);
+      *id = sim.schedule_periodic(period, [&trace, &sim, tag, fires, id] {
+        trace.emplace_back(tag, sim.now());
+        if (--*fires == 0) sim.cancel(*id);
+      });
+      ids.push_back(*id);
+    }
+  }
+  sim.run_until(200.0);
+  // Whatever survives (cancelled periodics aside) has fired by now; any
+  // periodic the script never self-cancelled was cancelled above. Drain the
+  // rest defensively.
+  for (const event_id id : ids) sim.cancel(id);
+  sim.run();
+  return trace;
+}
+
+TEST(SimulatorEquivalence, MatchesReferenceEngineOnRandomScripts) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    simulator fresh;
+    reference_simulator frozen;
+    const auto new_trace = run_script(fresh, seed);
+    const auto ref_trace = run_script(frozen, seed);
+    ASSERT_EQ(new_trace.size(), ref_trace.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < new_trace.size(); ++i) {
+      EXPECT_EQ(new_trace[i].first, ref_trace[i].first)
+          << "seed " << seed << " index " << i;
+      EXPECT_EQ(new_trace[i].second, ref_trace[i].second)
+          << "seed " << seed << " index " << i;
+    }
+    EXPECT_EQ(fresh.executed_events(), frozen.executed_events());
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "common/rng.h"
 #include "common/statistics.h"
 #include "demand/estimator.h"
 #include "des/simulator.h"
@@ -151,6 +152,81 @@ TEST(DesDriver, RejectsReuseAndMismatchedPipelines) {
   EXPECT_THROW(
       des_driver(sim2, q.cl, wrong, q.est, driver_config(1)),
       check_error);
+}
+
+// Fingerprint of everything a driver run observes: per-round cluster stats
+// and demand estimates, plus the delivery/round counters. Two runs are
+// "bit-identical" when these match with EXPECT_EQ on every double.
+struct run_fingerprint {
+  std::uint64_t rounds_completed = 0;
+  std::uint64_t requests_delivered = 0;
+  std::vector<std::vector<edge::round_stats>> stats;
+  std::vector<std::vector<double>> estimates;
+};
+
+run_fingerprint run_driver(std::uint64_t seed, std::uint32_t services,
+                           std::uint32_t users, double capacity,
+                           std::size_t rounds, delivery_mode delivery) {
+  pipeline p(seed, services, users, capacity);
+  des::simulator sim;
+  des_driver_config cfg = driver_config(rounds);
+  cfg.delivery = delivery;
+  des_driver driver(sim, p.cl, p.traffic, p.est, cfg);
+  run_fingerprint fp;
+  driver.set_round_callback([&](std::uint64_t,
+                                const std::vector<round_stats>& stats,
+                                const std::vector<double>& estimates) {
+    fp.stats.push_back(stats);
+    fp.estimates.push_back(estimates);
+  });
+  driver.run();
+  fp.rounds_completed = driver.rounds_completed();
+  fp.requests_delivered = driver.requests_delivered();
+  return fp;
+}
+
+// The tentpole contract: batched arrival streams are a pure throughput
+// optimisation. Across 50 fuzzed configurations, every per-round statistic
+// and every demand estimate must be bitwise identical to per-event delivery.
+TEST(DesDriver, BatchedDeliveryBitIdenticalToPerEventAcrossFuzzedConfigs) {
+  ecrs::rng fuzz(0xdecaf);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto seed = fuzz();
+    const auto services =
+        static_cast<std::uint32_t>(fuzz.uniform_int(2, 12));
+    const auto users = static_cast<std::uint32_t>(fuzz.uniform_int(5, 60));
+    const double capacity = fuzz.uniform_real(0.2, 4.0);
+    const auto rounds = static_cast<std::size_t>(fuzz.uniform_int(1, 5));
+    SCOPED_TRACE(testing::Message()
+                 << "trial " << trial << " seed " << seed << " services "
+                 << services << " users " << users << " capacity " << capacity
+                 << " rounds " << rounds);
+
+    const auto batched = run_driver(seed, services, users, capacity, rounds,
+                                    delivery_mode::batched);
+    const auto per_event = run_driver(seed, services, users, capacity, rounds,
+                                      delivery_mode::per_event);
+
+    EXPECT_EQ(batched.rounds_completed, per_event.rounds_completed);
+    EXPECT_EQ(batched.requests_delivered, per_event.requests_delivered);
+    ASSERT_EQ(batched.stats.size(), per_event.stats.size());
+    for (std::size_t r = 0; r < batched.stats.size(); ++r) {
+      ASSERT_EQ(batched.stats[r].size(), per_event.stats[r].size());
+      for (std::size_t s = 0; s < batched.stats[r].size(); ++s) {
+        const auto& b = batched.stats[r][s];
+        const auto& e = per_event.stats[r][s];
+        EXPECT_EQ(b.received, e.received);
+        EXPECT_EQ(b.served, e.served);
+        EXPECT_EQ(b.backlog_work, e.backlog_work);
+        EXPECT_EQ(b.mean_wait, e.mean_wait);
+        EXPECT_EQ(b.utilization, e.utilization);
+      }
+      ASSERT_EQ(batched.estimates[r].size(), per_event.estimates[r].size());
+      for (std::size_t s = 0; s < batched.estimates[r].size(); ++s) {
+        EXPECT_EQ(batched.estimates[r][s], per_event.estimates[r][s]);
+      }
+    }
+  }
 }
 
 TEST(DesDriver, RejectsBadConfig) {

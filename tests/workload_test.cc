@@ -149,6 +149,60 @@ TEST(Generator, RequestsTargetMatchingClass) {
   }
 }
 
+TEST(Generator, RoundIntoMatchesRoundExactly) {
+  generator_config cfg;
+  cfg.users = 40;
+  cfg.microservices = 6;
+  cfg.seed = 99;
+  generator by_value(cfg);
+  generator in_place(cfg);
+  std::vector<request> batch;
+  for (int r = 0; r < 4; ++r) {
+    const auto expected = by_value.round(r * 50.0, 50.0);
+    in_place.round_into(r * 50.0, 50.0, batch);
+    ASSERT_EQ(batch.size(), expected.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch[i].id, expected[i].id);
+      EXPECT_EQ(batch[i].user, expected[i].user);
+      EXPECT_EQ(batch[i].microservice, expected[i].microservice);
+      EXPECT_EQ(batch[i].qos, expected[i].qos);
+      EXPECT_EQ(batch[i].arrival_time, expected[i].arrival_time);
+      EXPECT_EQ(batch[i].service_demand, expected[i].service_demand);
+    }
+  }
+}
+
+TEST(Generator, RoundIntoReusesCapacityAcrossRounds) {
+  generator_config cfg;
+  cfg.users = 100;
+  cfg.microservices = 10;
+  generator g(cfg);
+  std::vector<request> batch;
+  g.round_into(0.0, 100.0, batch);
+  // The first fill reserves from expected_arrivals_per_round() with slack,
+  // so steady-state rounds fit in the existing buffer: no reallocation.
+  const auto capacity = batch.capacity();
+  EXPECT_GE(capacity, batch.size());
+  for (int r = 1; r < 10; ++r) {
+    g.round_into(r * 100.0, 100.0, batch);
+    EXPECT_EQ(batch.capacity(), capacity);
+  }
+}
+
+TEST(Generator, ExpectedArrivalsPerRoundMatchesEmpiricalMean) {
+  generator_config cfg;
+  cfg.users = 80;
+  cfg.microservices = 8;
+  generator g(cfg);
+  running_stats per_round;
+  std::vector<request> batch;
+  for (int r = 0; r < 30; ++r) {
+    g.round_into(r * 10.0, 10.0, batch);
+    per_round.add(static_cast<double>(batch.size()));
+  }
+  EXPECT_NEAR(per_round.mean(), g.expected_arrivals_per_round(), 60.0);
+}
+
 TEST(Generator, RejectsBadConfig) {
   generator_config cfg;
   cfg.users = 0;

@@ -24,6 +24,12 @@ tools/verify.sh in the lint stage. Rules (docs/ANALYSIS.md has the rationale):
                    goes through the compiled CSR view (auction/compiled.h);
                    bid::coverage_size() and coverage_state (which walk it
                    outside ssam.cc) remain fine.
+  des-std-function std::function in src/des/ headers. The DES hot path
+                   stores callbacks inline (des/callback.h basic_callback);
+                   a std::function member re-introduces a heap allocation
+                   per scheduled event. Only the public
+                   `using callback = std::function<...>` alias on the
+                   frozen reference engine is exempt.
   whitespace       no trailing whitespace, no tab indentation, file ends
                    with exactly one newline. (Also the clang-format
                    fallback baseline for toolchains without clang-format.)
@@ -233,6 +239,17 @@ def lint_file(path: Path, rel: Path, findings: list[Finding]) -> None:
                     path, idx + 1, "iostream-include",
                     "library code must not include <iostream>; return data "
                     "and let tools/ print it"))
+        if (rel.parts[:2] == (LIBRARY_DIR, "des") and path.suffix == ".h"
+                and "std::function" in line
+                and not re.search(r"\busing\s+callback\s*=", line)):
+            if not allow("des-std-function"):
+                findings.append(Finding(
+                    path, idx + 1, "des-std-function",
+                    "DES headers must store callbacks via des/callback.h "
+                    "basic_callback (inline storage), not std::function "
+                    "(one heap allocation per scheduled event); only the "
+                    "reference engine's public `using callback = ...` "
+                    "alias is exempt"))
         if (rel.as_posix() == "src/auction/ssam.cc"
                 and re.search(r"(\.|->)coverage\b", line)):
             if not allow("coverage-hot-loop"):
