@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   std::printf("  target: mean queueing delay <= 0.1 s at service rate 1/s\n");
   std::printf("  arrival rate | servers needed | achieved Wq\n");
   for (const double lambda : {2.0, 5.0, 10.0, 20.0, 50.0}) {
-    const std::size_t c = edge::servers_for_waiting_time(lambda, 1.0, 0.1);
+    const std::size_t c = edge::servers_for_waiting_time(lambda, 1.0, 0.1).value();
     std::printf("  %12.0f | %14zu | %.4f s\n", lambda, c,
                 edge::mmc_waiting_time(lambda, 1.0, c));
   }

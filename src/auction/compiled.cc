@@ -82,10 +82,9 @@ void compiled_instance::compile(const single_stage_instance& instance) {
   order_.clear();
   order_.reserve(nbids);
   for (std::uint32_t i = 0; i < nbids; ++i) {
-    units utility = 0;
-    for (std::uint32_t j = cov_off_[i]; j < cov_off_[i + 1]; ++j) {
-      utility += std::min(amount_[i], requirements_[cov_arena_[j]]);
-    }
+    const units utility = simd::sum_min_indexed(
+        requirements_.data(), cov_arena_.data() + cov_off_[i],
+        cov_off_[i + 1] - cov_off_[i], amount_[i]);
     util0_.push_back(utility);
     if (utility > 0) {
       order_.push_back({price_[i] / static_cast<double>(utility), i,
@@ -179,13 +178,42 @@ void compiled_state::reset(const compiled_instance& c) {
 
 // ------------------------------------------------------------- scored_state
 
-void scored_state::reset(const compiled_instance& c) {
-  remaining_.assign(c.requirements().begin(), c.requirements().end());
-  deficit_ = c.total_requirement();
-  util_.resize(c.bid_count());
+units scored_reset(const compiled_instance& c, units* remaining, units* util) {
+  const std::vector<units>& req = c.requirements();
+  std::copy(req.begin(), req.end(), remaining);
   for (std::size_t i = 0; i < c.bid_count(); ++i) {
-    util_[i] = c.initial_utility(i);
+    util[i] = c.initial_utility(i);
   }
+  return c.total_requirement();
+}
+
+units scored_apply(const compiled_instance& c, units* remaining, units* util,
+                   std::size_t w) {
+  const units amount = c.amount(w);
+  units gain = 0;
+  for (const demander_id* kp = c.coverage_begin(w); kp != c.coverage_end(w);
+       ++kp) {
+    const demander_id k = *kp;
+    const units before = remaining[k];
+    const units used = std::min(amount, before);
+    if (used == 0) continue;
+    const units after = before - used;
+    remaining[k] = after;
+    gain += used;
+    for (const std::uint32_t* it = c.covering_begin(k);
+         it != c.covering_end(k); ++it) {
+      const std::uint32_t b = *it;
+      const units a = c.amount(b);
+      util[b] -= std::min(a, before) - std::min(a, after);
+    }
+  }
+  return gain;
+}
+
+void scored_state::reset(const compiled_instance& c) {
+  remaining_.resize(c.demander_count());
+  util_.resize(c.bid_count());
+  deficit_ = scored_reset(c, remaining_.data(), util_.data());
   touched_.assign(c.bid_count(), 0);
 }
 
@@ -225,24 +253,7 @@ units scored_state::apply(const compiled_instance& c, std::size_t w,
 }
 
 units scored_state::apply(const compiled_instance& c, std::size_t w) {
-  const units amount = c.amount(w);
-  units gain = 0;
-  for (const demander_id* kp = c.coverage_begin(w); kp != c.coverage_end(w);
-       ++kp) {
-    const demander_id k = *kp;
-    const units before = remaining_[k];
-    const units used = std::min(amount, before);
-    if (used == 0) continue;
-    const units after = before - used;
-    remaining_[k] = after;
-    gain += used;
-    for (const std::uint32_t* it = c.covering_begin(k);
-         it != c.covering_end(k); ++it) {
-      const std::uint32_t b = *it;
-      const units a = c.amount(b);
-      util_[b] -= std::min(a, before) - std::min(a, after);
-    }
-  }
+  const units gain = scored_apply(c, remaining_.data(), util_.data(), w);
   deficit_ -= gain;
   return gain;
 }

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "auction/bid.h"
+#include "common/simd.h"
 
 namespace ecrs::auction {
 
@@ -102,6 +103,10 @@ class compiled_instance {
   [[nodiscard]] double price(std::size_t i) const { return price_[i]; }
   [[nodiscard]] units amount(std::size_t i) const { return amount_[i]; }
   [[nodiscard]] seller_id seller(std::size_t i) const { return seller_[i]; }
+  // Contiguous SoA rows, for the vector kernels (common/simd.h).
+  [[nodiscard]] const double* price_data() const { return price_.data(); }
+  [[nodiscard]] const units* amount_data() const { return amount_.data(); }
+  [[nodiscard]] const seller_id* seller_data() const { return seller_.data(); }
   [[nodiscard]] std::size_t coverage_size(std::size_t i) const {
     return cov_off_[i + 1] - cov_off_[i];
   }
@@ -187,9 +192,18 @@ class compiled_state {
 
   // U_ij(E): walks the bid's CSR coverage slice. Defined inline — this is
   // the per-pop recompute of the lazy selection loop and the probe replays.
+  // Rows below simd::kIndexedThreshold stay on the inlined scalar loop (the
+  // kernel dispatch costs more than a handful of iterations); longer rows
+  // go through the vectorized indexed-min kernel. Integer sums reorder
+  // exactly, so the split is invisible in the result.
   [[nodiscard]] units marginal_utility(const compiled_instance& c,
                                        std::size_t i) const {
     const units amount = c.amount(i);
+    const std::size_t len = c.coverage_size(i);
+    if (len >= simd::kIndexedThreshold) {
+      return simd::sum_min_indexed(remaining_.data(), c.coverage_begin(i),
+                                   len, amount);
+    }
     units gain = 0;
     for (const demander_id* k = c.coverage_begin(i); k != c.coverage_end(i);
          ++k) {
@@ -198,16 +212,24 @@ class compiled_state {
     return gain;
   }
 
-  // Apply a winning bid; returns its marginal utility.
+  // Apply a winning bid; returns its marginal utility. Same short-row split
+  // as marginal_utility; the coverage ids are distinct (CSR contract), which
+  // the consume kernel's gather/scatter requires.
   // ecrs-lint: allow(nodiscard)
   units apply(const compiled_instance& c, std::size_t i) {
     const units amount = c.amount(i);
+    const std::size_t len = c.coverage_size(i);
     units gain = 0;
-    for (const demander_id* k = c.coverage_begin(i); k != c.coverage_end(i);
-         ++k) {
-      const units used = std::min(amount, remaining_[*k]);
-      remaining_[*k] -= used;
-      gain += used;
+    if (len >= simd::kIndexedThreshold) {
+      gain = simd::consume_min_indexed(remaining_.data(), c.coverage_begin(i),
+                                       len, amount);
+    } else {
+      for (const demander_id* k = c.coverage_begin(i); k != c.coverage_end(i);
+           ++k) {
+        const units used = std::min(amount, remaining_[*k]);
+        remaining_[*k] -= used;
+        gain += used;
+      }
     }
     deficit_ -= gain;
     return gain;
@@ -233,6 +255,8 @@ class scored_state {
   [[nodiscard]] units remaining(demander_id k) const { return remaining_[k]; }
   // Exact current U_ij(E) of bid i.
   [[nodiscard]] units utility(std::size_t i) const { return util_[i]; }
+  // Contiguous utility row, for the ratio_argmin kernel (common/simd.h).
+  [[nodiscard]] const units* utilities_data() const { return util_.data(); }
 
   // Apply winner w. Every bid whose utility changed is appended to `dirty`
   // exactly once (w itself included). Returns w's marginal utility.
@@ -251,5 +275,20 @@ class scored_state {
   std::vector<char> touched_;
   units deficit_ = 0;
 };
+
+// Raw-array flavour of the scored update, for callers whose buffers live in
+// an arena (the per-winner probe slots, auction/ssam.cc) rather than in a
+// scored_state. `remaining` has demander_count() slots, `util` bid_count();
+// scored_reset fills them with the requirements / initial utilities and
+// returns the total requirement (the starting deficit). scored_apply is
+// scored_state::apply without dirty reporting: it consumes winner w's
+// coverage, maintains every exact utility through the inverted index, and
+// returns w's marginal utility. scored_state delegates to these, so both
+// paths are one implementation.
+// Neither maintains a deficit — the caller tracks it from the returns.
+[[nodiscard]] units scored_reset(const compiled_instance& c, units* remaining,
+                                 units* util);
+[[nodiscard]] units scored_apply(const compiled_instance& c, units* remaining,
+                                 units* util, std::size_t w);
 
 }  // namespace ecrs::auction

@@ -73,6 +73,21 @@ double msoa_session::competitive_bound() const {
 }
 
 msoa_round_outcome msoa_session::run_round(const single_stage_instance& round) {
+  msoa_round_outcome outcome;
+  run_round(round, outcome);
+  return outcome;
+}
+
+void msoa_session::run_round(const single_stage_instance& round,
+                             msoa_round_outcome& outcome) {
+  outcome.round = 0;
+  outcome.winner_bids.clear();
+  outcome.true_prices.clear();
+  outcome.payments.clear();
+  outcome.social_cost = 0.0;
+  outcome.feasible = false;
+  outcome.admitted_bids = 0;
+
   round.validate();
   const std::uint32_t t = ++round_;
 
@@ -105,7 +120,6 @@ msoa_round_outcome msoa_session::run_round(const single_stage_instance& round) {
                     round.requirements.size() == compiled_.demander_count() &&
                     topology_matches(compiled_, round, original_index_);
 
-  msoa_round_outcome outcome;
   outcome.round = t;
   outcome.admitted_bids = original_index_.size();
   if (warm) {
@@ -125,7 +139,7 @@ msoa_round_outcome msoa_session::run_round(const single_stage_instance& round) {
     }
     compiled_.refresh_order();
     ++warm_rounds_;
-    outcome.stage = run_ssam(compiled_, options_.stage, &scratch_);
+    run_ssam(compiled_, options_.stage, &scratch_, outcome.stage);
   } else {
     // Cold round: materialize the scaled candidate instance in the session
     // (`scaled_`) so steady-state rounds reuse its buffers — admitted bids
@@ -146,12 +160,12 @@ msoa_round_outcome msoa_session::run_round(const single_stage_instance& round) {
     }
     scaled_.bids.resize(admitted);
     if (reference) {
-      outcome.stage = run_ssam(scaled_, options_.stage, &scratch_);
+      run_ssam(scaled_, options_.stage, &scratch_, outcome.stage);
     } else {
       scaled_.validate();
       compiled_.compile(scaled_);
       cache_valid_ = true;
-      outcome.stage = run_ssam(compiled_, options_.stage, &scratch_);
+      run_ssam(compiled_, options_.stage, &scratch_, outcome.stage);
     }
   }
   outcome.feasible = outcome.stage.feasible;
@@ -192,7 +206,6 @@ msoa_round_outcome msoa_session::run_round(const single_stage_instance& round) {
         b.price * static_cast<double>(weight) / (a * theta * theta);
     used_[b.seller] += weight;
   }
-  return outcome;
 }
 
 msoa_result run_msoa(const online_instance& instance,

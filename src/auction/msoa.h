@@ -98,6 +98,12 @@ class msoa_session {
   [[nodiscard]] msoa_round_outcome run_round(
       const single_stage_instance& round);
 
+  // Allocation-free flavour: run the round INTO a caller-owned outcome,
+  // reusing its vectors' capacity (cleared, not shrunk). With warm-start
+  // rounds and stage.payment_threads == 1 this keeps the whole round off
+  // the allocator at steady state. Bit-identical to the value overload.
+  void run_round(const single_stage_instance& round, msoa_round_outcome& out);
+
  private:
   std::vector<seller_profile> profiles_;
   msoa_options options_;

@@ -8,7 +8,9 @@
 
 #include "auction/compiled.h"
 #include "auction/properties.h"
+#include "common/arena.h"
 #include "common/check.h"
+#include "common/simd.h"
 #include "common/statistics.h"
 #include "common/thread_pool.h"
 
@@ -95,25 +97,52 @@ struct probe_step {
   bool collision = false;    // competitor shares the probed bid's seller
 };
 
-// Mutable per-probe workspace for the compiled probes.
+// Mutable workspace for a full compiled probe replay (wins_with_price).
 struct compiled_probe_scratch {
   compiled_state state;
   std::vector<char> seller_active;
   std::vector<compiled_entry> requeued;  // min-heap storage
-  // Critical-value trajectory precompute (one per winner, reused across
-  // every probe of that winner's bisection).
-  scored_state scored;
-  std::vector<probe_step> steps;
+};
+
+// Per-winner critical-value workspace, carved from the calling thread's
+// bump arena (common/arena.h) instead of owning vectors: one trajectory
+// precompute per winner, reused across every probe of that winner's
+// bisection. All buffers are plain trivially-destructible arrays, so a
+// whole fan-out's slots are reclaimed by one arena rewind. The slots are
+// carved serially on the calling thread BEFORE the parallel payment
+// fan-out; workers only touch their own slot's disjoint memory and never
+// call into the arena, which keeps the fan-out race-free.
+struct probe_slot {
+  units* remaining = nullptr;     // demander_count — scored remaining
+  units* util = nullptr;          // bid_count — exact utilities
+  char* seller_active = nullptr;  // seller_slots — per-seller liveness
+  probe_step* steps = nullptr;    // capacity seller_count + 1 (see below)
+  std::size_t step_count = 0;
   units end_probed_utility = 0;  // U_i when the trajectory ran out of bids
   bool end_satisfied = false;    // trajectory ended with demand met
 };
+
+// The step capacity is exact, not a guess: every recorded non-terminal step
+// deactivates a distinct seller, and a terminal step ends the recording —
+// so at most seller_count + 1 steps exist for any probed bid.
+probe_slot carve_probe_slot(arena& a, const compiled_instance& c) {
+  probe_slot slot;
+  slot.remaining = a.alloc_array<units>(c.demander_count());
+  slot.util = a.alloc_array<units>(c.bid_count());
+  slot.seller_active = a.alloc_array<char>(c.seller_slots());
+  slot.steps = a.alloc_array<probe_step>(c.seller_count() + 1);
+  return slot;
+}
 
 }  // namespace
 
 // Every buffer the selection loops and payment probes touch, grown on
 // demand and reused across calls. The per-winner probe slots make the
 // parallel payment fan-out safe with a single scratch: worker `pos` only
-// touches probes[pos] / cprobes[pos].
+// touches probes[pos] (reference paths) or its arena-carved probe_slot
+// (compiled path — see probe_slot above; those buffers live in the calling
+// thread's bump arena, not here, so a scratch that migrates between
+// threads never drags another thread's arena memory along).
 struct ssam_scratch::impl {
   // Bid-vector reference paths.
   coverage_state state;             // selection loops
@@ -130,9 +159,9 @@ struct ssam_scratch::impl {
   std::vector<compiled_entry> cheap;     // compiled lazy-loop heap storage
   std::vector<char> cseller_active;      // per-seller liveness
   compiled_state creplay;                // feasibility re-check
-  std::vector<compiled_probe_scratch> cprobes;  // one slot per winner
 };
 
+// ecrs-lint: allow(auction-hot-alloc) — one-time workspace construction.
 ssam_scratch::ssam_scratch() : impl_(std::make_unique<impl>()) {}
 ssam_scratch::~ssam_scratch() = default;
 ssam_scratch::ssam_scratch(ssam_scratch&&) noexcept = default;
@@ -510,39 +539,37 @@ bool eager_selection_of(const ssam_options& options) {
 // Compiled selection loops. Same callback contract as the reference loops
 // except the coverage view passed to `on_win` is a `utility_of` callable
 // returning the bid's exact current U_ij(E) (O(1) from the eager loop's
-// scored state, O(|coverage|) from the lazy loop's compiled state).
+// scored state, O(|coverage|) from the lazy loop's compiled state), plus a
+// `util_data` pointer to the contiguous exact-utility row when the loop
+// maintains one (the eager loop's scored state; nullptr from the lazy
+// loop), which lets the runner-up scan use the vector argmin kernel.
 
-// Eager: full O(n) argmin scan per pick over the exact utilities, which the
-// scored state serves in O(1) per candidate (the apply that keeps them
-// exact walks only the inverted-index rows of the covered demanders).
+// Eager: full O(n) argmin scan per pick over the exact utilities, served
+// by the ratio_argmin kernel over the contiguous price/utility/seller rows
+// (the scored apply that keeps the utilities exact walks only the
+// inverted-index rows of the covered demanders). The kernel returns the
+// (ratio, index)-lexicographic minimum — exactly what the scalar ascending
+// strict-< scan selected.
 template <typename OnWin>
 void compiled_eager_loop(const compiled_instance& c, ssam_scratch::impl& ws,
                          OnWin&& on_win) {
-  const std::size_t nbids = c.bid_count();
   scored_state& scored = ws.scored;
   scored.reset(c);
   ws.cseller_active.assign(c.seller_slots(), 1);
   auto utility_of = [&](std::size_t j) { return scored.utility(j); };
 
   while (!scored.satisfied()) {
-    std::size_t best = nbids;
-    units best_utility = 0;
-    double best_ratio = kInf;
-    for (std::size_t idx = 0; idx < nbids; ++idx) {
-      if (!ws.cseller_active[c.seller(idx)]) continue;
-      const units utility = scored.utility(idx);
-      if (utility <= 0) continue;
-      const double ratio = c.price(idx) / static_cast<double>(utility);
-      if (ratio < best_ratio) {
-        best_ratio = ratio;
-        best = idx;
-        best_utility = utility;
-      }
+    const simd::ratio_best pick = simd::ratio_argmin(
+        c.price_data(), scored.utilities_data(), c.seller_data(),
+        ws.cseller_active.data(), c.bid_count(), simd::kNoIndex,
+        simd::kNoSeller);
+    if (pick.index == simd::kNoIndex) {
+      break;  // nothing helps: requirements unsatisfiable
     }
-    if (best == nbids) break;  // nothing helps: requirements unsatisfiable
+    const std::size_t best = pick.index;
 
-    if (!on_win(best, best_utility, best_ratio, utility_of,
-                ws.cseller_active)) {
+    if (!on_win(best, scored.utility(best), pick.ratio, utility_of,
+                scored.utilities_data(), ws.cseller_active)) {
       break;
     }
 
@@ -624,7 +651,8 @@ void compiled_lazy_loop(const compiled_instance& c, ssam_scratch::impl& ws,
       continue;
     }
 
-    if (!on_win(head.idx, utility, ratio, utility_of, ws.cseller_active)) {
+    if (!on_win(head.idx, utility, ratio, utility_of, nullptr,
+                ws.cseller_active)) {
       break;
     }
 
@@ -748,65 +776,56 @@ bool compiled_probe_wins(const compiled_instance& c,
 // competitors with demand unmet, the probed bid is the last resort and wins
 // at any price. The recording stops at the first terminal step, so |steps|
 // is at most the winner count.
-void build_probe_trajectory(const compiled_instance& c,
-                            compiled_probe_scratch& ws,
+void build_probe_trajectory(const compiled_instance& c, probe_slot& slot,
                             std::size_t bid_index) {
-  scored_state& scored = ws.scored;
-  scored.reset(c);
-  ws.seller_active.assign(c.seller_slots(), 1);
-  ws.steps.clear();
-  ws.end_probed_utility = 0;
-  ws.end_satisfied = false;
+  units deficit = scored_reset(c, slot.remaining, slot.util);
+  std::fill_n(slot.seller_active, c.seller_slots(), char{1});
+  slot.step_count = 0;
+  slot.end_probed_utility = 0;
+  slot.end_satisfied = false;
   const seller_id probed_seller = c.seller(bid_index);
 
-  while (!scored.satisfied()) {
-    // Exact argmin over the active competitors (the eager scan; the scored
-    // state serves every utility in O(1)).
-    double best_ratio = kInf;
-    std::size_t best = c.bid_count();
-    for (std::size_t j = 0; j < c.bid_count(); ++j) {
-      if (j == bid_index || !ws.seller_active[c.seller(j)]) continue;
-      const units u = scored.utility(j);
-      if (u <= 0) continue;
-      const double r = c.price(j) / static_cast<double>(u);
-      if (r < best_ratio || (r == best_ratio && j < best)) {
-        best_ratio = r;
-        best = j;
-      }
-    }
-    const units probed_u = scored.utility(bid_index);
-    if (best == c.bid_count()) {
-      ws.end_probed_utility = probed_u;  // last resort; end_satisfied false
+  while (deficit > 0) {
+    // Exact (ratio, idx)-lexicographic argmin over the active competitors
+    // (the vector kernel over the slot's contiguous exact utilities).
+    const simd::ratio_best pick = simd::ratio_argmin(
+        c.price_data(), slot.util, c.seller_data(), slot.seller_active,
+        c.bid_count(), static_cast<std::uint32_t>(bid_index),
+        simd::kNoSeller);
+    const units probed_u = slot.util[bid_index];
+    if (pick.index == simd::kNoIndex) {
+      slot.end_probed_utility = probed_u;  // last resort; end_satisfied false
       return;
     }
     probe_step step;
-    step.ratio = best_ratio;
-    step.idx = static_cast<std::uint32_t>(best);
+    step.ratio = pick.ratio;
+    step.idx = pick.index;
     step.probed_utility = probed_u;
-    step.collision = c.seller(best) == probed_seller;
-    ws.steps.push_back(step);
+    step.collision = c.seller(pick.index) == probed_seller;
+    slot.steps[slot.step_count++] = step;
     if (step.collision || probed_u <= 0) return;  // terminal for every probe
-    scored.apply(c, best);
-    ws.seller_active[c.seller(best)] = 0;
+    deficit -= scored_apply(c, slot.remaining, slot.util, pick.index);
+    slot.seller_active[c.seller(pick.index)] = 0;
   }
-  ws.end_satisfied = true;
+  slot.end_satisfied = true;
 }
 
 // Does the probed bid win at report p, resolved against the precomputed
 // trajectory? Identical verdicts to a full replay (compiled_probe_wins):
 // both decide "is the bid ever selected by the exact greedy", this one in
 // O(|steps|).
-bool trajectory_probe_wins(const compiled_probe_scratch& ws,
-                           std::size_t bid_index, double report) {
+bool trajectory_probe_wins(const probe_slot& slot, std::size_t bid_index,
+                           double report) {
   const auto probed_idx = static_cast<std::uint32_t>(bid_index);
-  for (const probe_step& s : ws.steps) {
+  for (std::size_t i = 0; i < slot.step_count; ++i) {
+    const probe_step& s = slot.steps[i];
     if (s.probed_utility <= 0) return false;  // can never contribute again
     const double key = report / static_cast<double>(s.probed_utility);
     if (key < s.ratio || (key == s.ratio && probed_idx < s.idx)) return true;
     if (s.collision) return false;  // seller slot taken (constraint (9))
   }
-  if (ws.end_satisfied) return false;  // demand met without the bid
-  return ws.end_probed_utility > 0;    // last useful bid wins at any price
+  if (slot.end_satisfied) return false;  // demand met without the bid
+  return slot.end_probed_utility > 0;    // last useful bid wins at any price
 }
 
 // Compiled critical-value bisection: same bounds, same probe sequence, same
@@ -817,13 +836,13 @@ bool trajectory_probe_wins(const compiled_probe_scratch& ws,
 // payments).
 double compiled_critical_value(const compiled_instance& c,
                                std::size_t bid_index, double relative_eps,
-                               compiled_probe_scratch& ws) {
+                               probe_slot& slot) {
   ECRS_CHECK(bid_index < c.bid_count());
   ECRS_CHECK_MSG(relative_eps > 0.0 && relative_eps < 1.0,
                  "bisection tolerance must be in (0, 1)");
-  build_probe_trajectory(c, ws, bid_index);
+  build_probe_trajectory(c, slot, bid_index);
   auto probe = [&](double report) {
-    return trajectory_probe_wins(ws, bid_index, report);
+    return trajectory_probe_wins(slot, bid_index, report);
   };
   const double own_price = c.price(bid_index);
   ECRS_CHECK_MSG(probe(own_price),
@@ -855,15 +874,30 @@ double compiled_critical_value(const compiled_instance& c,
   return lo;
 }
 
+// Reset a (possibly reused) result to its default state, keeping the
+// vectors' capacity — the into-API overloads rely on this for their
+// 0-allocation steady state.
+void reset_result(ssam_result& out) {
+  out.winners.clear();
+  out.feasible = false;
+  out.social_cost = 0.0;
+  out.total_payment = 0.0;
+  out.budget_dropped = 0;
+  out.unit_shares.clear();
+  out.xi = 1.0;
+  out.harmonic = 0.0;
+  out.ratio_bound = 1.0;
+  out.dual_objective = 0.0;
+}
+
 // The production mechanism body, running entirely on the compiled view.
-ssam_result run_ssam_compiled(const compiled_instance& c,
-                              const ssam_options& options,
-                              ssam_scratch::impl& ws) {
-  ssam_result result;
+void run_ssam_compiled(const compiled_instance& c, const ssam_options& options,
+                       ssam_scratch::impl& ws, ssam_result& result) {
+  reset_result(result);
   double budget_spent = 0.0;  // runner-up payment estimates
 
   auto on_win = [&](std::size_t idx, units utility, double ratio,
-                    auto&& utility_of,
+                    auto&& utility_of, const units* util_data,
                     const std::vector<char>& seller_active) {
     winning_bid w;
     w.bid_index = idx;
@@ -876,19 +910,32 @@ ssam_result run_ssam_compiled(const compiled_instance& c,
     if (need_estimate) {
       // Best competing ratio among bids of *other* sellers still active
       // (Algorithm 1 line 6; see DESIGN.md for why same-seller
-      // alternatives are excluded). `utility_of` serves each candidate's
-      // exact utility against the loop's own coverage view.
+      // alternatives are excluded). When the loop maintains a contiguous
+      // exact-utility row (eager/scored), the scan is the vector argmin
+      // kernel with the winner's seller excluded — the winner itself has
+      // that seller, so skip_seller subsumes the other == idx skip; the
+      // lexicographic minimum's ratio is the same minimum the scalar value
+      // scan found. The lazy loop serves utilities through `utility_of`
+      // (no contiguous row), so it keeps the scalar scan.
       const seller_id self = c.seller(idx);
       double runner_ratio = kInf;
-      for (std::size_t other = 0; other < c.bid_count(); ++other) {
-        if (other == idx) continue;
-        const seller_id other_seller = c.seller(other);
-        if (other_seller == self) continue;
-        if (!seller_active[other_seller]) continue;
-        const units u = utility_of(other);
-        if (u <= 0) continue;  // ratio would be infinite
-        runner_ratio = std::min(runner_ratio,
-                                c.price(other) / static_cast<double>(u));
+      if (util_data != nullptr) {
+        runner_ratio = simd::ratio_argmin(c.price_data(), util_data,
+                                          c.seller_data(),
+                                          seller_active.data(), c.bid_count(),
+                                          simd::kNoIndex, self)
+                           .ratio;
+      } else {
+        for (std::size_t other = 0; other < c.bid_count(); ++other) {
+          if (other == idx) continue;
+          const seller_id other_seller = c.seller(other);
+          if (other_seller == self) continue;
+          if (!seller_active[other_seller]) continue;
+          const units u = utility_of(other);
+          if (u <= 0) continue;  // ratio would be infinite
+          runner_ratio = std::min(runner_ratio,
+                                  c.price(other) / static_cast<double>(u));
+        }
       }
       if (runner_ratio != kInf) {
         estimate = static_cast<double>(utility) * runner_ratio;
@@ -923,24 +970,29 @@ ssam_result run_ssam_compiled(const compiled_instance& c,
 
   if (options.rule == payment_rule::critical_value) {
     // Every payment is an independent pure probe of the instance, so they
-    // run concurrently; each worker writes only its own winner's slot and
-    // uses its own probe workspace, so the outcome is identical for any
-    // thread count. The pre-sorted probe seed is the compiled order(),
-    // shared read-only across every probe of every winner.
-    if (ws.cprobes.size() < result.winners.size()) {
-      ws.cprobes.resize(result.winners.size());
+    // run concurrently; each worker writes only its own winner's
+    // arena-carved probe slot, so the outcome is identical for any thread
+    // count. All slots are carved serially on the calling thread before
+    // the fan-out (workers never touch the arena — see probe_slot), and
+    // one scope rewind reclaims the whole fan-out's memory on exit.
+    arena& slab = arena::for_thread();
+    const arena::scope payment_scope(slab);
+    const std::size_t nwinners = result.winners.size();
+    probe_slot* slots = slab.alloc_array<probe_slot>(nwinners);
+    for (std::size_t pos = 0; pos < nwinners; ++pos) {
+      slots[pos] = carve_probe_slot(slab, c);
     }
     auto pay_one = [&](std::size_t pos) {
       result.winners[pos].payment = compiled_critical_value(
           c, result.winners[pos].bid_index, options.critical_value_eps,
-          ws.cprobes[pos]);
+          slots[pos]);
     };
-    if (options.payment_threads == 1 || result.winners.size() < 2) {
-      for (std::size_t pos = 0; pos < result.winners.size(); ++pos) {
+    if (options.payment_threads == 1 || nwinners < 2) {
+      for (std::size_t pos = 0; pos < nwinners; ++pos) {
         pay_one(pos);
       }
     } else {
-      thread_pool::shared().parallel_for(result.winners.size(), pay_one,
+      thread_pool::shared().parallel_for(nwinners, pay_one,
                                          options.payment_threads);
     }
 
@@ -997,16 +1049,15 @@ ssam_result run_ssam_compiled(const compiled_instance& c,
     audit.payment_budget = options.payment_budget;
     audit_or_throw(c, result, audit);
   }
-  return result;
 }
 
 // The bid-vector reference body (eager_reference / legacy_reference): the
 // pre-compiled-view mechanism, kept verbatim as the equivalence and
 // benchmark baseline.
-ssam_result run_ssam_reference(const single_stage_instance& instance,
-                               const ssam_options& options,
-                               ssam_scratch::impl& ws) {
-  ssam_result result;
+void run_ssam_reference(const single_stage_instance& instance,
+                        const ssam_options& options, ssam_scratch::impl& ws,
+                        ssam_result& result) {
+  reset_result(result);
   double budget_spent = 0.0;  // runner-up payment estimates
 
   greedy_loop(
@@ -1143,7 +1194,6 @@ ssam_result run_ssam_reference(const single_stage_instance& instance,
     audit.payment_budget = options.payment_budget;
     audit_or_throw(instance, result, audit);
   }
-  return result;
 }
 
 void check_run_options(const ssam_options& options) {
@@ -1165,7 +1215,7 @@ std::vector<std::size_t> greedy_selection(const single_stage_instance& instance,
   std::vector<std::size_t> winners;
   compiled_lazy_loop(ws.compiled, ws,
                      [&](std::size_t idx, units, double, auto&&,
-                         const std::vector<char>&) {
+                         const units*, const std::vector<char>&) {
                        winners.push_back(idx);
                        return true;
                      });
@@ -1199,9 +1249,8 @@ bool wins_with_price(const single_stage_instance& instance,
   ssam_scratch local;
   ssam_scratch::impl& ws = local.buffers();
   ws.compiled.compile(instance);
-  if (ws.cprobes.empty()) ws.cprobes.resize(1);
-  return compiled_probe_wins(ws.compiled, ws.cprobes[0], bid_index,
-                             price_report);
+  compiled_probe_scratch probe_ws;
+  return compiled_probe_wins(ws.compiled, probe_ws, bid_index, price_report);
 }
 
 double critical_value_payment(const single_stage_instance& instance,
@@ -1210,13 +1259,15 @@ double critical_value_payment(const single_stage_instance& instance,
   ssam_scratch local;
   ssam_scratch::impl& ws = local.buffers();
   ws.compiled.compile(instance);
-  if (ws.cprobes.empty()) ws.cprobes.resize(1);
-  return compiled_critical_value(ws.compiled, bid_index, relative_eps,
-                                 ws.cprobes[0]);
+  arena& slab = arena::for_thread();
+  const arena::scope probe_scope(slab);
+  probe_slot slot = carve_probe_slot(slab, ws.compiled);
+  return compiled_critical_value(ws.compiled, bid_index, relative_eps, slot);
 }
 
-ssam_result run_ssam(const single_stage_instance& instance,
-                     const ssam_options& options, ssam_scratch* scratch) {
+void run_ssam(const single_stage_instance& instance,
+              const ssam_options& options, ssam_scratch* scratch,
+              ssam_result& out) {
   instance.validate();
   check_run_options(options);
   ECRS_CHECK_MSG(!(options.eager_reference && options.legacy_reference),
@@ -1225,21 +1276,36 @@ ssam_result run_ssam(const single_stage_instance& instance,
   if (scratch == nullptr) scratch = &local.emplace();
   ssam_scratch::impl& ws = scratch->buffers();
   if (options.eager_reference || options.legacy_reference) {
-    return run_ssam_reference(instance, options, ws);
+    run_ssam_reference(instance, options, ws, out);
+    return;
   }
   ws.compiled.compile(instance);
-  return run_ssam_compiled(ws.compiled, options, ws);
+  run_ssam_compiled(ws.compiled, options, ws, out);
 }
 
-ssam_result run_ssam(const compiled_instance& compiled,
-                     const ssam_options& options, ssam_scratch* scratch) {
+void run_ssam(const compiled_instance& compiled, const ssam_options& options,
+              ssam_scratch* scratch, ssam_result& out) {
   ECRS_CHECK_MSG(!options.eager_reference && !options.legacy_reference,
                  "the bid-vector reference paths need the original instance; "
                  "call run_ssam(single_stage_instance) instead");
   check_run_options(options);
   std::optional<ssam_scratch> local;
   if (scratch == nullptr) scratch = &local.emplace();
-  return run_ssam_compiled(compiled, options, scratch->buffers());
+  run_ssam_compiled(compiled, options, scratch->buffers(), out);
+}
+
+ssam_result run_ssam(const single_stage_instance& instance,
+                     const ssam_options& options, ssam_scratch* scratch) {
+  ssam_result result;
+  run_ssam(instance, options, scratch, result);
+  return result;
+}
+
+ssam_result run_ssam(const compiled_instance& compiled,
+                     const ssam_options& options, ssam_scratch* scratch) {
+  ssam_result result;
+  run_ssam(compiled, options, scratch, result);
+  return result;
 }
 
 }  // namespace ecrs::auction

@@ -68,10 +68,14 @@ enum class selection_mode { automatic, eager, lazy };
 // Reusable workspace for the SSAM hot path. run_ssam and the selection
 // entry points accept an optional scratch; when provided, every internal
 // buffer (coverage state, seller/bid masks, the lazy heap, the pre-sorted
-// probe seed, per-winner probe workspaces) is borrowed from it instead of
-// allocated per call, so repeated rounds and sweep trials stop hitting the
-// allocator once the buffers have grown to the largest instance seen.
-// Results are bit-identical with and without a scratch.
+// probe seed) is borrowed from it instead of allocated per call, so
+// repeated rounds and sweep trials stop hitting the allocator once the
+// buffers have grown to the largest instance seen. The compiled path's
+// per-winner critical-value probe slots are NOT stored here: they are
+// carved from the calling thread's bump arena (common/arena.h) for the
+// duration of the call, so a scratch that migrates between worker threads
+// (sweep cells) never shares arena memory across threads. Results are
+// bit-identical with and without a scratch.
 //
 // NOT thread-safe: a scratch serves one call at a time — use one per
 // worker. The parallel payment fan-out inside a single run_ssam call is
@@ -188,6 +192,19 @@ struct ssam_result {
 [[nodiscard]] ssam_result run_ssam(const compiled_instance& compiled,
                                    const ssam_options& options = {},
                                    ssam_scratch* scratch = nullptr);
+
+// Allocation-free flavours: run the mechanism INTO a caller-owned result,
+// reusing its vectors' capacity (they are cleared, not shrunk). Combined
+// with a warm scratch and payment_threads == 1 this is the 0-allocation
+// steady-state path (the value-returning overloads above cost one fresh
+// ssam_result worth of vectors per call); the parallel fan-out delegates
+// its chunking to the shared thread pool, which allocates per parallel_for.
+// Results are bit-identical to the value-returning overloads.
+void run_ssam(const single_stage_instance& instance,
+              const ssam_options& options, ssam_scratch* scratch,
+              ssam_result& out);
+void run_ssam(const compiled_instance& compiled, const ssam_options& options,
+              ssam_scratch* scratch, ssam_result& out);
 
 // Selection only (no payments): the greedy winner set in selection order,
 // computed with the lazy-greedy heap.

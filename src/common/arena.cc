@@ -1,0 +1,65 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace ecrs {
+namespace {
+
+// First block size: big enough that small-instance auction calls fit in one
+// block, small enough that idle threads don't hoard memory.
+constexpr std::size_t kMinBlockBytes = 4096;
+
+}  // namespace
+
+void* arena::allocate(std::size_t bytes, std::size_t alignment) {
+  ECRS_CHECK_MSG(alignment != 0 && (alignment & (alignment - 1)) == 0,
+                 "arena alignment must be a power of two");
+  if (bytes == 0) bytes = 1;
+
+  // Walk forward through existing blocks (bump semantics: a block the
+  // cursor passes is not revisited until the next rewind).
+  while (block_ < blocks_.size()) {
+    const block& b = blocks_[block_];
+    const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::uintptr_t aligned =
+        (base + offset_ + alignment - 1) & ~(static_cast<std::uintptr_t>(alignment) - 1);
+    const std::size_t start = static_cast<std::size_t>(aligned - base);
+    if (start + bytes <= b.size) {
+      offset_ = start + bytes;
+      return reinterpret_cast<void*>(aligned);
+    }
+    ++block_;
+    offset_ = 0;
+  }
+
+  // Exhausted: append a geometrically grown block that certainly fits.
+  const std::size_t last = blocks_.empty() ? 0 : blocks_.back().size;
+  const std::size_t size =
+      std::max({bytes + alignment, last * 2, kMinBlockBytes});
+  blocks_.push_back({std::make_unique<std::byte[]>(size), size});
+  block_ = blocks_.size() - 1;
+  offset_ = 0;
+
+  const block& b = blocks_[block_];
+  const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+  const std::uintptr_t aligned =
+      (base + alignment - 1) & ~(static_cast<std::uintptr_t>(alignment) - 1);
+  offset_ = static_cast<std::size_t>(aligned - base) + bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+std::size_t arena::capacity() const {
+  std::size_t total = 0;
+  for (const block& b : blocks_) total += b.size;
+  return total;
+}
+
+arena& arena::for_thread() {
+  thread_local arena instance;
+  return instance;
+}
+
+}  // namespace ecrs

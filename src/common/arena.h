@@ -1,0 +1,102 @@
+// Chunked bump-pointer arena for hot-path scratch memory.
+//
+// The SSAM critical-value fan-out needs one block of per-winner probe
+// buffers per call (auction/ssam.cc probe_slot): short-lived, trivially
+// destructible, all freed together when the call returns. A bump allocator
+// serves that pattern with a pointer increment per allocation and zero
+// per-object bookkeeping:
+//
+//  - allocate() bumps a cursor through a list of malloc'd blocks, appending
+//    a geometrically grown block only when the existing ones are exhausted
+//    — so once an arena has seen its largest call, later calls never touch
+//    the system allocator again (0 steady-state allocations);
+//  - scope (RAII over save()/rewind()) frees everything allocated since its
+//    construction by moving the cursor back. Scopes must nest LIFO — the
+//    natural shape of call-scoped scratch. Blocks are never returned to the
+//    system until the arena is destroyed;
+//  - for_thread() returns the calling thread's private arena. Hot paths
+//    carve from it at call entry instead of owning buffers, which keeps
+//    workspaces usable from any thread: memory carved by thread A may be
+//    READ/WRITTEN by other threads (it is plain memory), but allocate()/
+//    rewind() on one arena must stay on its owning thread.
+//
+// Objects placed in an arena are never destroyed, only abandoned —
+// alloc_array therefore requires trivially destructible element types and
+// returns UNINITIALIZED storage.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace ecrs {
+
+class arena {
+ public:
+  arena() = default;
+  arena(const arena&) = delete;
+  arena& operator=(const arena&) = delete;
+  arena(arena&&) noexcept = default;
+  arena& operator=(arena&&) noexcept = default;
+
+  // Raw bytes, aligned to `alignment` (a power of two). Never returns
+  // nullptr; grows the arena when the current blocks are exhausted.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t alignment);
+
+  // `count` default-uninitialized T slots. T must be trivially destructible
+  // (arena storage is abandoned, never destroyed).
+  template <typename T>
+  [[nodiscard]] T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is never destroyed");
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  // Cursor checkpointing. rewind() abandons everything allocated after the
+  // matching save(); marks must be rewound in LIFO order.
+  struct mark {
+    std::size_t block = 0;
+    std::size_t offset = 0;
+  };
+  [[nodiscard]] mark save() const { return {block_, offset_}; }
+  void rewind(mark m) {
+    block_ = m.block;
+    offset_ = m.offset;
+  }
+
+  // RAII rewind: everything allocated inside the scope is freed (abandoned)
+  // when it closes.
+  class scope {
+   public:
+    explicit scope(arena& a) : arena_(a), mark_(a.save()) {}
+    ~scope() { arena_.rewind(mark_); }
+    scope(const scope&) = delete;
+    scope& operator=(const scope&) = delete;
+
+   private:
+    arena& arena_;
+    mark mark_;
+  };
+
+  // Abandon everything; keeps all blocks for reuse.
+  void reset() { rewind(mark{}); }
+
+  [[nodiscard]] std::size_t capacity() const;        // bytes across blocks
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+
+  // The calling thread's private arena (thread_local). See the header
+  // banner for the cross-thread rules.
+  [[nodiscard]] static arena& for_thread();
+
+ private:
+  struct block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+  std::vector<block> blocks_;
+  std::size_t block_ = 0;   // cursor: block index
+  std::size_t offset_ = 0;  // cursor: byte offset within blocks_[block_]
+};
+
+}  // namespace ecrs

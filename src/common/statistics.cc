@@ -20,6 +20,11 @@ void running_stats::add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
+  // Welford's update is non-negative in exact arithmetic, but cancellation
+  // in delta * (x - mean_) can push m2_ a few ulps below zero on
+  // near-constant streams, and sqrt of that is NaN. Clamp at the source so
+  // variance()/stddev() never see a negative second moment.
+  if (m2_ < 0.0) m2_ = 0.0;
 }
 
 void running_stats::merge(const running_stats& other) {
@@ -33,6 +38,7 @@ void running_stats::merge(const running_stats& other) {
   const double delta = other.mean_ - mean_;
   mean_ += delta * n2 / (n1 + n2);
   m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  if (m2_ < 0.0) m2_ = 0.0;  // same cancellation guard as add()
   count_ += other.count_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);

@@ -66,16 +66,16 @@ double mmc_sojourn_time(double lambda, double mu, std::size_t servers) {
   return mmc_waiting_time(lambda, mu, servers) + 1.0 / mu;
 }
 
-std::size_t servers_for_waiting_time(double lambda, double mu,
-                                     double max_waiting_time,
-                                     std::size_t max_servers) {
+std::optional<std::size_t> servers_for_waiting_time(double lambda, double mu,
+                                                    double max_waiting_time,
+                                                    std::size_t max_servers) {
   ECRS_CHECK_MSG(max_waiting_time > 0.0, "waiting-time target must be positive");
   const auto min_servers = static_cast<std::size_t>(
       std::floor(lambda / mu)) + 1;  // stability requires c > λ/μ
   for (std::size_t c = min_servers; c <= max_servers; ++c) {
     if (mmc_waiting_time(lambda, mu, c) <= max_waiting_time) return c;
   }
-  return 0;
+  return std::nullopt;
 }
 
 }  // namespace ecrs::edge

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
 namespace ecrs::edge {
 
@@ -34,9 +35,12 @@ namespace ecrs::edge {
 
 // Smallest server count keeping the Erlang-C waiting time below
 // `max_waiting_time` (capacity planning); searches up to `max_servers` and
-// returns 0 if even that is not enough.
-[[nodiscard]] std::size_t servers_for_waiting_time(double lambda, double mu,
-                                                   double max_waiting_time,
-                                                   std::size_t max_servers = 4096);
+// returns std::nullopt if even that many servers cannot meet the target.
+// (Earlier revisions returned 0 as an in-band "infeasible" sentinel, which
+// silently flowed into arithmetic at call sites; the optional makes the
+// infeasible case impossible to ignore.)
+[[nodiscard]] std::optional<std::size_t> servers_for_waiting_time(
+    double lambda, double mu, double max_waiting_time,
+    std::size_t max_servers = 4096);
 
 }  // namespace ecrs::edge

@@ -1,15 +1,21 @@
-// Unit tests for ecrs::common (rng, statistics, table, flags, check).
+// Unit tests for ecrs::common (rng, statistics, table, flags, check,
+// arena, simd).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <thread>
+#include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/flags.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/statistics.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
@@ -284,6 +290,65 @@ TEST(RunningStats, SampleVarianceNeedsTwo) {
   EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
 }
 
+TEST(RunningStats, StddevNeverNaNOnNearConstantStreams) {
+  // Streams of (nearly) identical large values drive Welford's
+  // delta * (x - mean) term through heavy cancellation; before the m2_
+  // clamp this could leave m2_ a few ulps negative and stddev() NaN.
+  const double values[] = {1e15 + 0.1, 1e15 + 0.1, 1e15 + 0.2, 1e15 + 0.1,
+                           1e15 + 0.3, 1e15 + 0.1, 1e15 + 0.2, 1e15 + 0.1};
+  running_stats s;
+  for (const double v : values) {
+    s.add(v);
+    EXPECT_FALSE(std::isnan(s.stddev())) << "after adding " << v;
+    EXPECT_GE(s.variance(), 0.0);
+  }
+  // Constant stream: variance is exactly zero, never negative.
+  running_stats c;
+  for (int i = 0; i < 1000; ++i) c.add(3.14159);
+  EXPECT_GE(c.variance(), 0.0);
+  EXPECT_FALSE(std::isnan(c.stddev()));
+}
+
+TEST(RunningStats, MergeOrderInvariance) {
+  // The same sample pushed serially, merged from two shards, and merged
+  // pairwise from four shards must agree (within FP tolerance) and must
+  // never yield a NaN stddev, whatever the merge tree looks like.
+  rng gen(0x57A75u);
+  std::vector<double> sample;
+  for (int i = 0; i < 4000; ++i) {
+    sample.push_back(1e9 + gen.uniform_real(0.0, 1e-3));
+  }
+
+  running_stats serial;
+  for (const double v : sample) serial.add(v);
+
+  running_stats halves[2];
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    halves[i % 2].add(sample[i]);
+  }
+  running_stats two_way = halves[0];
+  two_way.merge(halves[1]);
+
+  running_stats quarters[4];
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    quarters[i % 4].add(sample[i]);
+  }
+  running_stats left = quarters[0], right = quarters[2];
+  left.merge(quarters[1]);
+  right.merge(quarters[3]);
+  running_stats pairwise = left;
+  pairwise.merge(right);
+
+  for (const running_stats* s : {&two_way, &pairwise}) {
+    EXPECT_EQ(s->count(), serial.count());
+    EXPECT_NEAR(s->mean(), serial.mean(), 1e-6 * std::abs(serial.mean()));
+    EXPECT_NEAR(s->variance(), serial.variance(),
+                1e-6 + 1e-6 * serial.variance());
+    EXPECT_FALSE(std::isnan(s->stddev()));
+    EXPECT_GE(s->variance(), 0.0);
+  }
+}
+
 TEST(Histogram, BinningAndClamping) {
   histogram h(0.0, 10.0, 5);
   h.add(1.0);    // bin 0
@@ -509,6 +574,198 @@ TEST(ParallelForFreeFunction, NullPoolRunsInline) {
   std::vector<std::size_t> order;
   parallel_for(nullptr, 5, [&](std::size_t i) { order.push_back(i); });
   EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+// ------------------------------------------------------------------- arena
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  arena a;
+  auto* p8 = a.alloc_array<std::int64_t>(7);
+  auto* p4 = a.alloc_array<std::uint32_t>(3);
+  auto* p1 = a.alloc_array<char>(5);
+  auto* q8 = a.alloc_array<std::int64_t>(2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p8) % alignof(std::int64_t), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p4) % alignof(std::uint32_t), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q8) % alignof(std::int64_t), 0u);
+  // Writes through one pointer must not clobber another's range.
+  for (int i = 0; i < 7; ++i) p8[i] = 0x1111111111111111;
+  for (int i = 0; i < 3; ++i) p4[i] = 0x22222222u;
+  for (int i = 0; i < 5; ++i) p1[i] = 'x';
+  for (int i = 0; i < 2; ++i) q8[i] = -1;
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(p8[i], 0x1111111111111111);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(p4[i], 0x22222222u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(p1[i], 'x');
+}
+
+TEST(Arena, SteadyStateNeverGrows) {
+  arena a;
+  {
+    const arena::scope s(a);
+    (void)a.alloc_array<std::int64_t>(10000);
+    (void)a.alloc_array<char>(300);
+  }
+  const std::size_t blocks = a.block_count();
+  const std::size_t bytes = a.capacity();
+  // Replaying the same (or a smaller) allocation pattern reuses the blocks.
+  for (int round = 0; round < 50; ++round) {
+    const arena::scope s(a);
+    (void)a.alloc_array<std::int64_t>(10000);
+    (void)a.alloc_array<char>(100 + round);
+    EXPECT_EQ(a.block_count(), blocks) << "round " << round;
+    EXPECT_EQ(a.capacity(), bytes) << "round " << round;
+  }
+}
+
+TEST(Arena, ScopesNestLifo) {
+  arena a;
+  const arena::mark start = a.save();
+  {
+    const arena::scope outer(a);
+    auto* x = a.alloc_array<int>(4);
+    x[0] = 42;
+    {
+      const arena::scope inner(a);
+      (void)a.alloc_array<int>(1000);
+    }
+    // Inner rewind must not disturb outer allocations.
+    auto* y = a.alloc_array<int>(4);
+    EXPECT_EQ(x[0], 42);
+    EXPECT_NE(x, y);
+  }
+  const arena::mark end = a.save();
+  EXPECT_EQ(start.block, end.block);
+  EXPECT_EQ(start.offset, end.offset);
+}
+
+TEST(Arena, ForThreadIsPerThread) {
+  arena& mine = arena::for_thread();
+  arena* other = nullptr;
+  std::thread t([&] { other = &arena::for_thread(); });
+  t.join();
+  EXPECT_NE(&mine, other);
+  // Same thread, same arena.
+  EXPECT_EQ(&arena::for_thread(), &mine);
+}
+
+// -------------------------------------------------------------------- simd
+
+// Restores the dispatched tier on destruction so tests compose.
+struct tier_restore {
+  simd::level prev = simd::active_level();
+  ~tier_restore() { simd::force(prev); }
+};
+
+std::vector<simd::level> supported_tiers() {
+  std::vector<simd::level> tiers = {simd::level::scalar};
+  for (const simd::level l : {simd::level::sse2, simd::level::avx2}) {
+    if (static_cast<int>(l) <= static_cast<int>(simd::max_supported())) {
+      tiers.push_back(l);
+    }
+  }
+  return tiers;
+}
+
+TEST(Simd, ForceClampsToSupport) {
+  const tier_restore restore;
+  EXPECT_EQ(simd::force(simd::level::scalar), simd::level::scalar);
+  const simd::level got = simd::force(simd::level::avx2);
+  EXPECT_LE(static_cast<int>(got), static_cast<int>(simd::max_supported()));
+  EXPECT_EQ(simd::active_level(), got);
+}
+
+TEST(Simd, SumAndConsumeMatchScalarOnAllLengths) {
+  const tier_restore restore;
+  rng gen(0x5EEDBEEFu);
+  // Every length through 3 vector widths + tails, plus a long row.
+  for (std::size_t n = 0; n <= 24; n += (n < 13 ? 1 : 3)) {
+    std::vector<std::int64_t> vals(64);
+    for (auto& v : vals) v = gen.uniform_int(0, 100);
+    std::vector<std::uint32_t> idx(n);
+    // Distinct, non-contiguous, unsorted-ish indices (stride walk).
+    for (std::size_t j = 0; j < n; ++j) {
+      idx[j] = static_cast<std::uint32_t>((j * 5 + 3) % 64);
+    }
+    const std::int64_t bound = gen.uniform_int(0, 50);
+
+    simd::force(simd::level::scalar);
+    const std::int64_t want_sum =
+        simd::sum_min_indexed(vals.data(), idx.data(), n, bound);
+    std::vector<std::int64_t> want_vals = vals;
+    const std::int64_t want_used =
+        simd::consume_min_indexed(want_vals.data(), idx.data(), n, bound);
+
+    for (const simd::level tier : supported_tiers()) {
+      simd::force(tier);
+      EXPECT_EQ(simd::sum_min_indexed(vals.data(), idx.data(), n, bound),
+                want_sum)
+          << simd::to_string(tier) << " n=" << n;
+      std::vector<std::int64_t> got_vals = vals;
+      EXPECT_EQ(
+          simd::consume_min_indexed(got_vals.data(), idx.data(), n, bound),
+          want_used)
+          << simd::to_string(tier) << " n=" << n;
+      EXPECT_EQ(got_vals, want_vals) << simd::to_string(tier) << " n=" << n;
+    }
+  }
+}
+
+TEST(Simd, RatioArgminMatchesScalarWithSkipsAndHugeUtils) {
+  const tier_restore restore;
+  rng gen(0xA5A5A5u);
+  const std::int64_t huge = (std::int64_t{1} << 52) + 7;  // beyond exact range
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(gen.uniform_int(0, 21));
+    std::vector<double> price(n);
+    std::vector<std::int64_t> util(n);
+    std::vector<std::uint32_t> seller(n);
+    std::vector<char> active(8, 1);
+    active[3] = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      price[j] = gen.uniform_real(0.0, 40.0);
+      util[j] = gen.uniform_int(0, 30);       // zeros → dead lanes
+      if (gen.uniform_int(0, 9) == 0) util[j] = huge;
+      seller[j] = static_cast<std::uint32_t>(gen.uniform_int(0, 7));
+    }
+    const std::uint32_t skip_index =
+        gen.uniform_int(0, 1) ? static_cast<std::uint32_t>(
+                                    gen.uniform_int(0, static_cast<int>(n) - 1))
+                              : simd::kNoIndex;
+    const std::uint32_t skip_seller =
+        gen.uniform_int(0, 1) ? static_cast<std::uint32_t>(gen.uniform_int(0, 7))
+                              : simd::kNoSeller;
+
+    simd::force(simd::level::scalar);
+    const simd::ratio_best want =
+        simd::ratio_argmin(price.data(), util.data(), seller.data(),
+                           active.data(), n, skip_index, skip_seller);
+    for (const simd::level tier : supported_tiers()) {
+      simd::force(tier);
+      const simd::ratio_best got =
+          simd::ratio_argmin(price.data(), util.data(), seller.data(),
+                             active.data(), n, skip_index, skip_seller);
+      EXPECT_EQ(got.index, want.index)
+          << simd::to_string(tier) << " trial " << trial;
+      EXPECT_EQ(got.ratio, want.ratio)
+          << simd::to_string(tier) << " trial " << trial;
+    }
+  }
+}
+
+TEST(Simd, RatioArgminEmptyCandidateSet) {
+  const tier_restore restore;
+  const double price[] = {1.0, 2.0};
+  const std::int64_t util[] = {0, 0};  // all dead
+  const std::uint32_t seller[] = {0u, 1u};
+  const char active[] = {1, 1};
+  for (const simd::level tier : supported_tiers()) {
+    simd::force(tier);
+    const simd::ratio_best got =
+        simd::ratio_argmin(price, util, seller, active, 2, simd::kNoIndex,
+                           simd::kNoSeller);
+    EXPECT_EQ(got.index, simd::kNoIndex) << simd::to_string(tier);
+    EXPECT_EQ(got.ratio, std::numeric_limits<double>::infinity())
+        << simd::to_string(tier);
+  }
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "auction/instance_gen.h"
@@ -19,9 +21,26 @@
 #include "auction/properties.h"
 #include "auction/ssam.h"
 #include "common/rng.h"
+#include "common/simd.h"
 
 namespace ecrs::auction {
 namespace {
+
+// Pins a SIMD tier for one scope, restoring the previous tier on exit.
+class simd_tier_guard {
+ public:
+  explicit simd_tier_guard(simd::level l) : prev_(simd::active_level()) {
+    installed_ = simd::force(l);
+  }
+  ~simd_tier_guard() { simd::force(prev_); }
+  simd_tier_guard(const simd_tier_guard&) = delete;
+  simd_tier_guard& operator=(const simd_tier_guard&) = delete;
+  [[nodiscard]] simd::level installed() const { return installed_; }
+
+ private:
+  simd::level prev_;
+  simd::level installed_;
+};
 
 // Bit-level equality of two full mechanism results (EXPECT_EQ on doubles
 // is exact comparison — that is the point).
@@ -226,6 +245,122 @@ TEST(CompiledFuzz, WarmStartSessionMatchesColdAndLegacy) {
     EXPECT_EQ(warm.warm_rounds(), rounds - 1) << "trial " << trial;
     EXPECT_EQ(cold.warm_rounds(), 0u);
     EXPECT_EQ(legacy.warm_rounds(), 0u);
+  }
+}
+
+// ------------------------------------------------------- SIMD tier sweeps
+
+// When CI pins ECRS_SIMD=off (the forced-scalar lane), the dispatcher must
+// actually be on the scalar tier. Registered before any test that calls
+// simd::force(), so the lazily-initialized env decision is still in effect.
+TEST(CompiledFuzz, SimdEnvOverrideRespected) {
+  const char* env = std::getenv("ECRS_SIMD");
+  if (env == nullptr) GTEST_SKIP() << "ECRS_SIMD not set";
+  if (std::strcmp(env, "off") == 0 || std::strcmp(env, "scalar") == 0 ||
+      std::strcmp(env, "0") == 0) {
+    EXPECT_EQ(simd::active_level(), simd::level::scalar);
+  } else if (std::strcmp(env, "sse2") == 0) {
+    EXPECT_LE(static_cast<int>(simd::active_level()),
+              static_cast<int>(simd::level::sse2));
+  }
+}
+
+// Every vector tier the CPU supports must reproduce the forced-scalar run
+// bit for bit — winners, payments, audit verdicts, certificate — across
+// selection modes and payment rules. Instances are drawn so the kernels see
+// every interesting shape:
+//  - demander counts 8..16 make coverage-row lengths cross
+//    simd::kIndexedThreshold and cover every residue of n mod 4 (the widest
+//    int64 vector width), so every tail-loop length is exercised;
+//  - coverage sizes are uniform in [1, demanders], so CSR row starts land
+//    on arbitrary (misaligned) offsets into the coverage arena;
+//  - growing seller counts sweep the bid count over every residue mod 4
+//    for the ratio_argmin scans.
+TEST(CompiledFuzz, SimdTiersBitwiseIdenticalAcrossModes) {
+  std::vector<simd::level> tiers;
+  for (const simd::level l : {simd::level::sse2, simd::level::avx2}) {
+    if (static_cast<int>(l) <= static_cast<int>(simd::max_supported())) {
+      tiers.push_back(l);
+    }
+  }
+  if (tiers.empty()) GTEST_SKIP() << "no vector tier on this CPU";
+
+  rng gen(0x51D0CAFEu);
+  ssam_scratch scratch;
+  for (int trial = 0; trial < 36; ++trial) {
+    instance_config cfg = fuzz_config(gen);
+    cfg.demanders = 8 + static_cast<std::size_t>(trial % 9);
+    cfg.sellers = 5 + static_cast<std::size_t>(trial);
+    cfg.coverage_fraction = 1.0;
+    const auto inst = random_instance(cfg, gen);
+
+    for (const payment_rule rule :
+         {payment_rule::runner_up, payment_rule::critical_value}) {
+      ssam_options opts;
+      opts.rule = rule;
+      opts.payment_threads = 1;
+      opts.self_audit = true;
+
+      ssam_result scalar_eager, scalar_lazy;
+      {
+        const simd_tier_guard pin(simd::level::scalar);
+        ASSERT_EQ(pin.installed(), simd::level::scalar);
+        ssam_options mode_opts = opts;
+        mode_opts.selection = selection_mode::eager;
+        scalar_eager = run_ssam(inst, mode_opts, &scratch);
+        mode_opts.selection = selection_mode::lazy;
+        scalar_lazy = run_ssam(inst, mode_opts, &scratch);
+      }
+      expect_same_result(scalar_eager, scalar_lazy, "scalar eager/lazy");
+
+      for (const simd::level tier : tiers) {
+        const simd_tier_guard pin(tier);
+        ASSERT_EQ(pin.installed(), tier);
+        ssam_options mode_opts = opts;
+        mode_opts.selection = selection_mode::eager;
+        expect_same_result(scalar_eager, run_ssam(inst, mode_opts, &scratch),
+                           simd::to_string(tier));
+        mode_opts.selection = selection_mode::lazy;
+        expect_same_result(scalar_lazy, run_ssam(inst, mode_opts, &scratch),
+                           simd::to_string(tier));
+      }
+    }
+  }
+}
+
+// Misaligned CSR rows, explicitly: a leading 1-wide bid shifts every later
+// row start to an odd uint32 offset, so no vector load in the wide rows is
+// naturally aligned. All tiers must still agree with scalar bitwise.
+TEST(CompiledFuzz, SimdTiersAgreeOnMisalignedRows) {
+  if (simd::max_supported() == simd::level::scalar) {
+    GTEST_SKIP() << "no vector tier on this CPU";
+  }
+  rng gen(0x0DDA117Eu);
+  ssam_scratch scratch;
+  for (int trial = 0; trial < 12; ++trial) {
+    instance_config cfg;
+    cfg.sellers = 9 + static_cast<std::size_t>(trial);
+    cfg.demanders = 11 + static_cast<std::size_t>(trial % 5);
+    cfg.bids_per_seller = 2;
+    cfg.coverage_fraction = 1.0;
+    single_stage_instance inst = random_instance(cfg, gen);
+    // Force odd row starts: shrink bid 0's coverage to a single demander.
+    inst.bids[0].coverage.resize(1);
+    inst.validate();
+
+    ssam_options opts;
+    opts.rule = payment_rule::critical_value;
+    opts.payment_threads = 1;
+    opts.self_audit = true;
+
+    ssam_result scalar_out;
+    {
+      const simd_tier_guard pin(simd::level::scalar);
+      scalar_out = run_ssam(inst, opts, &scratch);
+    }
+    const simd_tier_guard pin(simd::max_supported());
+    expect_same_result(scalar_out, run_ssam(inst, opts, &scratch),
+                       "misaligned rows");
   }
 }
 

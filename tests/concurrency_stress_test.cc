@@ -282,6 +282,53 @@ TEST(SsamConcurrencyStress, ConcurrentAuctionsOnSharedPool) {
   }
 }
 
+TEST(SsamConcurrencyStress, ThreadArenaReusedAcrossConcurrentAuctions) {
+  // The per-winner probe slots are carved from each calling thread's bump
+  // arena (common/arena.h). Several threads each running MANY back-to-back
+  // auctions stress the arena scope rewind/reuse cycle and — under TSan —
+  // confirm no arena state is shared across threads. Each thread also
+  // interleaves two scratches, the sweep-runner pattern where a workspace
+  // migrates between cells while the arena stays thread-local.
+  constexpr std::size_t kCallers = 4;
+  const auto instance = stress_instance(0xa12e);
+
+  auction::ssam_options serial;
+  serial.rule = auction::payment_rule::critical_value;
+  serial.payment_threads = 1;
+  const auto reference = run_ssam(instance, serial);
+  ASSERT_FALSE(reference.winners.empty());
+
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  std::atomic<bool> mismatch{false};
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&instance, &reference, &mismatch] {
+      auction::ssam_scratch scratch_a, scratch_b;
+      auction::ssam_options options;
+      options.rule = auction::payment_rule::critical_value;
+      options.payment_threads = 1;
+      auction::ssam_result out;
+      for (int repeat = 0; repeat < 12; ++repeat) {
+        auction::ssam_scratch* scratch =
+            (repeat % 2 == 0) ? &scratch_a : &scratch_b;
+        run_ssam(instance, options, scratch, out);
+        if (out.winners.size() != reference.winners.size()) {
+          mismatch.store(true, std::memory_order_relaxed);
+          continue;
+        }
+        for (std::size_t pos = 0; pos < out.winners.size(); ++pos) {
+          if (out.winners[pos].bid_index != reference.winners[pos].bid_index ||
+              out.winners[pos].payment != reference.winners[pos].payment) {
+            mismatch.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_FALSE(mismatch.load());
+}
+
 TEST(SsamConcurrencyStress, BudgetedParallelPaymentsStayAudited) {
   // The budget re-verification path (drop trailing winners) runs after the
   // parallel fan-out; under TSan this exercises the join edge between the

@@ -162,14 +162,28 @@ TEST(Queueing, MoreServersShortenWaits) {
 }
 
 TEST(Queueing, ServersForWaitingTimePlansCapacity) {
-  const std::size_t c = edge::servers_for_waiting_time(15.0, 1.0, 0.05);
+  const auto plan = edge::servers_for_waiting_time(15.0, 1.0, 0.05);
+  ASSERT_TRUE(plan.has_value());
+  const std::size_t c = *plan;
   ASSERT_GT(c, 15u);
   EXPECT_LE(edge::mmc_waiting_time(15.0, 1.0, c), 0.05);
   if (c > 16) {
     EXPECT_GT(edge::mmc_waiting_time(15.0, 1.0, c - 1), 0.05);
   }
-  // Impossible target within the cap returns 0.
-  EXPECT_EQ(edge::servers_for_waiting_time(1000.0, 1.0, 1e-9, 1001), 0u);
+}
+
+TEST(Queueing, ServersForWaitingTimeInfeasibleTargetIsNullopt) {
+  // An impossible target within the server cap must be reported out of band,
+  // not as a 0 that silently flows into downstream arithmetic.
+  EXPECT_FALSE(edge::servers_for_waiting_time(1000.0, 1.0, 1e-9, 1001)
+                   .has_value());
+  // A queue needing more servers than the cap allows is likewise infeasible:
+  // λ = 50 needs at least 51 servers for stability alone.
+  EXPECT_FALSE(edge::servers_for_waiting_time(50.0, 1.0, 10.0, 40)
+                   .has_value());
+  // The same target with room to spare is feasible again.
+  EXPECT_TRUE(edge::servers_for_waiting_time(50.0, 1.0, 10.0, 60)
+                  .has_value());
 }
 
 // -------------------------------------------------- confidence intervals

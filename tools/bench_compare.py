@@ -16,12 +16,16 @@ Accepted input formats (auto-detected, both sides):
 
 Usage:
   bench_compare.py --baseline BENCH_pr4.json --fresh fresh.json \
-      [--threshold 0.25] [--only name1,name2,...]
+      [--threshold 0.25] [--only name1,name2,...] [--allow name1,name2,...]
 
 Exit status: 0 within threshold, 1 regression found, 2 usage/parse error.
-Intended to run as a non-blocking CI step (continue-on-error): shared
-runners are too noisy for a hard wall-clock gate, but the report makes
-regressions visible in the job log.
+
+Lanes named in --allow may regress without failing the comparison (they are
+reported as "allowed regression" warnings instead). This is the escape
+hatch for wall-clock-noisy lanes (end-to-end workloads on shared runners)
+while the deterministic micro-kernel lanes stay blocking: CI runs this
+script as a hard gate with the noisy lanes allowlisted, instead of
+continue-on-error for the whole step.
 """
 
 from __future__ import annotations
@@ -74,6 +78,9 @@ def main() -> int:
                         help="allowed relative slowdown (default 0.25 = 25%%)")
     parser.add_argument("--only", default="",
                         help="comma-separated subset of names to compare")
+    parser.add_argument("--allow", default="",
+                        help="comma-separated names whose regressions only "
+                             "warn (noisy lanes; the rest stay blocking)")
     args = parser.parse_args()
     if not 0.0 < args.threshold < 10.0:
         print("bench_compare: --threshold out of range", file=sys.stderr)
@@ -90,7 +97,15 @@ def main() -> int:
                   f"{', '.join(sorted(missing))}", file=sys.stderr)
             return 2
 
+    allowed = {n.strip() for n in args.allow.split(",") if n.strip()}
+    unknown_allowed = allowed - set(baseline)
+    if unknown_allowed:
+        print(f"bench_compare: --allow names not in baseline: "
+              f"{', '.join(sorted(unknown_allowed))}", file=sys.stderr)
+        return 2
+
     regressions = 0
+    allowed_regressions = 0
     width = max((len(n) for n in baseline), default=4)
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  ratio")
     for name in sorted(baseline):
@@ -103,11 +118,18 @@ def main() -> int:
         ratio = fresh_ns / base_ns if base_ns > 0 else float("inf")
         verdict = ""
         if ratio > 1.0 + args.threshold:
-            verdict = f"  REGRESSION (> +{args.threshold:.0%})"
-            regressions += 1
+            if name in allowed:
+                verdict = f"  allowed regression (> +{args.threshold:.0%})"
+                allowed_regressions += 1
+            else:
+                verdict = f"  REGRESSION (> +{args.threshold:.0%})"
+                regressions += 1
         print(f"{name:<{width}}  {base_ns:>10.0f}ns  {fresh_ns:>10.0f}ns  "
               f"{ratio:5.2f}x{verdict}")
 
+    if allowed_regressions:
+        print(f"bench_compare: {allowed_regressions} allowed regression(s) "
+              "on allowlisted lanes (not counted)", file=sys.stderr)
     if regressions:
         print(f"bench_compare: {regressions} regression(s) beyond "
               f"+{args.threshold:.0%}", file=sys.stderr)

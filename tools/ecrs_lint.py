@@ -24,6 +24,13 @@ tools/verify.sh in the lint stage. Rules (docs/ANALYSIS.md has the rationale):
                    goes through the compiled CSR view (auction/compiled.h);
                    bid::coverage_size() and coverage_state (which walk it
                    outside ssam.cc) remain fine.
+  auction-hot-alloc direct `new` / `std::make_unique` in the auction
+                   hot-path files (src/auction/ssam.cc, compiled.h,
+                   compiled.cc, msoa.cc). The critical-value path is
+                   allocation-free at steady state: per-call scratch comes
+                   from the reusable ssam_scratch buffers and the thread's
+                   bump arena (common/arena.h), never the global allocator.
+                   One-time workspace construction may be allowlisted.
   des-std-function std::function in src/des/ headers. The DES hot path
                    stores callbacks inline (des/callback.h basic_callback);
                    a std::function member re-introduces a heap allocation
@@ -54,6 +61,15 @@ EXTRA_WHITESPACE_DIRS = ("tests", "tools", "bench", "examples")
 CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
 
 ALLOW_RE = re.compile(r"ecrs-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# Auction files on the mechanism's critical path: selection, payments and
+# the per-round MSOA driver. Kept allocation-free at steady state.
+AUCTION_HOT_FILES = {
+    "src/auction/ssam.cc",
+    "src/auction/compiled.h",
+    "src/auction/compiled.cc",
+    "src/auction/msoa.cc",
+}
 
 # Function-declaration head: optional specifiers, a return type, a
 # snake_case name, an opening paren — at class-member or namespace-scope
@@ -250,6 +266,16 @@ def lint_file(path: Path, rel: Path, findings: list[Finding]) -> None:
                     "(one heap allocation per scheduled event); only the "
                     "reference engine's public `using callback = ...` "
                     "alias is exempt"))
+        if (rel.as_posix() in AUCTION_HOT_FILES
+                and re.search(r"\bnew\b|\bmake_unique\b", line)):
+            if not allow("auction-hot-alloc"):
+                findings.append(Finding(
+                    path, idx + 1, "auction-hot-alloc",
+                    "auction hot-path files must not hit the global "
+                    "allocator: use ssam_scratch buffers or the thread's "
+                    "bump arena (common/arena.h); allowlist one-time "
+                    "workspace construction with "
+                    "'// ecrs-lint: allow(auction-hot-alloc)'"))
         if (rel.as_posix() == "src/auction/ssam.cc"
                 and re.search(r"(\.|->)coverage\b", line)):
             if not allow("coverage-hot-loop"):
