@@ -51,6 +51,8 @@ bool single_stage_instance::coverable() const {
     }
   }
   std::vector<units> supply(requirements.size(), 0);
+  // Integer sums reorder exactly, so iteration order cannot change `supply`.
+  // ecrs-analyze: allow(unordered-iter)
   for (const auto& [seller, per_demander] : best) {
     (void)seller;
     for (const auto& [k, amount] : per_demander) supply[k] += amount;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/annotations.h"
 #include "common/check.h"
 
 namespace ecrs::auction {
@@ -97,14 +98,14 @@ void compiled_instance::compile(const single_stage_instance& instance) {
   dirty_flag_.assign(nbids, 0);
 }
 
-void compiled_instance::mark_dirty(std::uint32_t i) {
+ECRS_HOT void compiled_instance::mark_dirty(std::uint32_t i) {
   if (!dirty_flag_[i]) {
     dirty_flag_[i] = 1;
     dirty_.push_back(i);
   }
 }
 
-void compiled_instance::set_price(std::size_t i, double p) {
+ECRS_HOT void compiled_instance::set_price(std::size_t i, double p) {
   ECRS_CHECK(i < price_.size());
   ECRS_CHECK_MSG(p >= 0.0, "set_price: negative price");
   if (price_[i] == p) return;
@@ -112,7 +113,8 @@ void compiled_instance::set_price(std::size_t i, double p) {
   mark_dirty(static_cast<std::uint32_t>(i));
 }
 
-void compiled_instance::set_requirement(demander_id k, units x) {
+ECRS_HOT void compiled_instance::set_requirement(demander_id k,
+                                               units x) {
   ECRS_CHECK(k < requirements_.size());
   ECRS_CHECK_MSG(x >= 0, "set_requirement: negative requirement");
   const units old = requirements_[k];
@@ -130,7 +132,7 @@ void compiled_instance::set_requirement(demander_id k, units x) {
   }
 }
 
-void compiled_instance::refresh_order() {
+ECRS_HOT void compiled_instance::refresh_order() {
   if (dirty_.empty()) return;
 
   // Stable compaction: drop the dirty bids' (now stale) entries while
@@ -178,7 +180,8 @@ void compiled_state::reset(const compiled_instance& c) {
 
 // ------------------------------------------------------------- scored_state
 
-units scored_reset(const compiled_instance& c, units* remaining, units* util) {
+ECRS_HOT units scored_reset(const compiled_instance& c, units* remaining,
+                            units* util) {
   const std::vector<units>& req = c.requirements();
   std::copy(req.begin(), req.end(), remaining);
   for (std::size_t i = 0; i < c.bid_count(); ++i) {
@@ -187,8 +190,8 @@ units scored_reset(const compiled_instance& c, units* remaining, units* util) {
   return c.total_requirement();
 }
 
-units scored_apply(const compiled_instance& c, units* remaining, units* util,
-                   std::size_t w) {
+ECRS_HOT units scored_apply(const compiled_instance& c, units* remaining,
+                            units* util, std::size_t w) {
   const units amount = c.amount(w);
   units gain = 0;
   for (const demander_id* kp = c.coverage_begin(w); kp != c.coverage_end(w);
@@ -217,8 +220,8 @@ void scored_state::reset(const compiled_instance& c) {
   touched_.assign(c.bid_count(), 0);
 }
 
-units scored_state::apply(const compiled_instance& c, std::size_t w,
-                          std::vector<std::uint32_t>& dirty) {
+ECRS_HOT units scored_state::apply(const compiled_instance& c, std::size_t w,
+                                   std::vector<std::uint32_t>& dirty) {
   const std::size_t dirty_base = dirty.size();
   const units amount = c.amount(w);
   units gain = 0;
@@ -252,7 +255,8 @@ units scored_state::apply(const compiled_instance& c, std::size_t w,
   return gain;
 }
 
-units scored_state::apply(const compiled_instance& c, std::size_t w) {
+ECRS_HOT units scored_state::apply(const compiled_instance& c,
+                                   std::size_t w) {
   const units gain = scored_apply(c, remaining_.data(), util_.data(), w);
   deficit_ -= gain;
   return gain;

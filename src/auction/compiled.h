@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "auction/bid.h"
+#include "common/annotations.h"
 #include "common/simd.h"
 
 namespace ecrs::auction {
@@ -52,15 +53,15 @@ struct compiled_entry {
 
 // (key, idx)-lexicographic order — the deterministic tie-break every
 // selection loop shares (seller is payload, never compared).
-[[nodiscard]] inline bool entry_less(const compiled_entry& a,
-                                     const compiled_entry& b) {
+[[nodiscard]] ECRS_HOT inline bool entry_less(const compiled_entry& a,
+                                              const compiled_entry& b) {
   return a.key < b.key || (a.key == b.key && a.idx < b.idx);
 }
 
 // Comparator adapter for std::*_heap (min-heap on (key, idx)).
 struct entry_greater {
-  [[nodiscard]] bool operator()(const compiled_entry& a,
-                                const compiled_entry& b) const {
+  [[nodiscard]] ECRS_HOT bool operator()(const compiled_entry& a,
+                                         const compiled_entry& b) const {
     return entry_less(b, a);
   }
 };
@@ -69,8 +70,8 @@ struct entry_greater {
 // name hands the algorithm a function pointer and blocks comparator
 // inlining, which roughly doubles compile()'s sort cost.
 struct entry_ascending {
-  [[nodiscard]] bool operator()(const compiled_entry& a,
-                                const compiled_entry& b) const {
+  [[nodiscard]] ECRS_HOT bool operator()(const compiled_entry& a,
+                                         const compiled_entry& b) const {
     return entry_less(a, b);
   }
 };
@@ -145,12 +146,12 @@ class compiled_instance {
   // the affected bids dirty; call refresh_order() before running any
   // auction on the patched view. set_requirement re-derives the initial
   // utilities of the covering bids through the inverted index.
-  void set_price(std::size_t i, double p);
-  void set_requirement(demander_id k, units x);
+  ECRS_HOT void set_price(std::size_t i, double p);
+  ECRS_HOT void set_requirement(demander_id k, units x);
   // Re-key the dirty bids and restore order() with a stable partial
   // re-sort; O(dirty·log dirty + |order|) and allocation-free at steady
   // state. The result is bit-identical to a cold compile().
-  void refresh_order();
+  ECRS_HOT void refresh_order();
 
  private:
   void mark_dirty(std::uint32_t i);
@@ -196,8 +197,8 @@ class compiled_state {
   // kernel dispatch costs more than a handful of iterations); longer rows
   // go through the vectorized indexed-min kernel. Integer sums reorder
   // exactly, so the split is invisible in the result.
-  [[nodiscard]] units marginal_utility(const compiled_instance& c,
-                                       std::size_t i) const {
+  [[nodiscard]] ECRS_HOT units marginal_utility(const compiled_instance& c,
+                                                std::size_t i) const {
     const units amount = c.amount(i);
     const std::size_t len = c.coverage_size(i);
     if (len >= simd::kIndexedThreshold) {
@@ -216,7 +217,7 @@ class compiled_state {
   // as marginal_utility; the coverage ids are distinct (CSR contract), which
   // the consume kernel's gather/scatter requires.
   // ecrs-lint: allow(nodiscard)
-  units apply(const compiled_instance& c, std::size_t i) {
+  ECRS_HOT units apply(const compiled_instance& c, std::size_t i) {
     const units amount = c.amount(i);
     const std::size_t len = c.coverage_size(i);
     units gain = 0;
@@ -261,13 +262,13 @@ class scored_state {
   // Apply winner w. Every bid whose utility changed is appended to `dirty`
   // exactly once (w itself included). Returns w's marginal utility.
   // ecrs-lint: allow(nodiscard)
-  units apply(const compiled_instance& c, std::size_t w,
-              std::vector<std::uint32_t>& dirty);
+  ECRS_HOT units apply(const compiled_instance& c, std::size_t w,
+                       std::vector<std::uint32_t>& dirty);
 
   // Same update without reporting which bids changed — skips the
   // touched-flag bookkeeping for callers that re-read utilities directly.
   // ecrs-lint: allow(nodiscard)
-  units apply(const compiled_instance& c, std::size_t w);
+  ECRS_HOT units apply(const compiled_instance& c, std::size_t w);
 
  private:
   std::vector<units> remaining_;
@@ -286,9 +287,10 @@ class scored_state {
 // returns w's marginal utility. scored_state delegates to these, so both
 // paths are one implementation.
 // Neither maintains a deficit — the caller tracks it from the returns.
-[[nodiscard]] units scored_reset(const compiled_instance& c, units* remaining,
-                                 units* util);
-[[nodiscard]] units scored_apply(const compiled_instance& c, units* remaining,
-                                 units* util, std::size_t w);
+[[nodiscard]] ECRS_HOT units scored_reset(const compiled_instance& c,
+                                          units* remaining, units* util);
+[[nodiscard]] ECRS_HOT units scored_apply(const compiled_instance& c,
+                                          units* remaining, units* util,
+                                          std::size_t w);
 
 }  // namespace ecrs::auction

@@ -1,6 +1,8 @@
 #include "auction/dual_certificate.h"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/statistics.h"
@@ -71,7 +73,12 @@ dual_certificate build_dual_certificate(const single_stage_instance& instance,
     cert.objective +=
         static_cast<double>(instance.requirements[k]) * cert.y[k];
   }
-  for (const auto& [seller, zs] : cert.z) {
+  // FP accumulation is order-dependent; drain the unordered map through a
+  // seller-sorted copy so the objective is bit-identical across runs.
+  std::vector<std::pair<seller_id, double>> z_sorted(cert.z.begin(),
+                                                     cert.z.end());
+  std::sort(z_sorted.begin(), z_sorted.end());
+  for (const auto& [seller, zs] : z_sorted) {
     (void)seller;
     cert.objective -= zs;
   }
@@ -84,6 +91,8 @@ bool dual_feasible(const single_stage_instance& instance,
   for (double yk : cert.y) {
     if (yk < -tol) return false;
   }
+  // Pure per-element predicate: iteration order cannot change the result.
+  // ecrs-analyze: allow(unordered-iter)
   for (const auto& [seller, zs] : cert.z) {
     (void)seller;
     if (zs < -tol) return false;

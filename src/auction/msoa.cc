@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "auction/properties.h"
+#include "common/annotations.h"
 #include "common/check.h"
 
 namespace ecrs::auction {
@@ -13,9 +14,9 @@ namespace {
 // warm-start cache was built from? Prices are NOT compared — the warm path
 // re-patches every price from the current round, so only the structure the
 // patch API cannot change (seller, amount, coverage) must match.
-bool topology_matches(const compiled_instance& compiled,
-                      const single_stage_instance& round,
-                      const std::vector<std::size_t>& admitted) {
+ECRS_HOT bool topology_matches(const compiled_instance& compiled,
+                               const single_stage_instance& round,
+                               const std::vector<std::size_t>& admitted) {
   if (compiled.bid_count() != admitted.size()) return false;
   for (std::size_t j = 0; j < admitted.size(); ++j) {
     const bid& b = round.bids[admitted[j]];

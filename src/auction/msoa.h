@@ -27,6 +27,7 @@
 #include "auction/compiled.h"
 #include "auction/online.h"
 #include "auction/ssam.h"
+#include "common/annotations.h"
 #include "common/rng.h"
 
 namespace ecrs::auction {
@@ -116,17 +117,18 @@ class msoa_session {
   // rounds stay off the allocator: the scaled-price candidate instance, its
   // admitted-bid -> original-bid map, and the SSAM workspace. Makes the
   // session move-only (and, like the ψ/χ state, not thread-safe).
-  single_stage_instance scaled_;
-  std::vector<std::size_t> original_index_;
-  ssam_scratch scratch_;
+  ECRS_THREAD_OWNED("session thread") single_stage_instance scaled_;
+  ECRS_THREAD_OWNED("session thread") std::vector<std::size_t> original_index_;
+  ECRS_THREAD_OWNED("session thread") ssam_scratch scratch_;
   // Warm-start cache: the compiled view of the last cold-compiled round's
   // admitted scaled instance. The compiled rows double as the topology
   // snapshot the warm check compares against; the warm path then re-patches
   // every price and requirement (no-ops when unchanged), so the view always
   // represents the CURRENT round exactly, whatever happened in between.
-  compiled_instance compiled_;
-  bool cache_valid_ = false;  // compiled_ holds a compiled topology
-  std::size_t warm_rounds_ = 0;
+  ECRS_THREAD_OWNED("session thread") compiled_instance compiled_;
+  // compiled_ holds a compiled topology
+  ECRS_THREAD_OWNED("session thread") bool cache_valid_ = false;
+  ECRS_THREAD_OWNED("session thread") std::size_t warm_rounds_ = 0;
 };
 
 // Run a complete online instance through a fresh session.

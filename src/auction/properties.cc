@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "auction/compiled.h"
+#include "common/annotations.h"
 #include "common/check.h"
 
 namespace ecrs::auction {
@@ -48,8 +49,12 @@ void audit_or_throw(const single_stage_instance& instance,
   audit_or_throw(compiled, result, options);
 }
 
-void audit_or_throw(const compiled_instance& instance,
-                    const ssam_result& result, const audit_options& options) {
+// ECRS_HOT_ESCAPE: run_ssam's optional self-audit calls this from the hot
+// path, but auditing is a debug/verification mode — it allocates scratch and
+// throws on violation by design, so the purity walk must not traverse it.
+ECRS_HOT_ESCAPE void audit_or_throw(const compiled_instance& instance,
+                                    const ssam_result& result,
+                                    const audit_options& options) {
   const double tol = options.tolerance;
 
   // Structural validity: every winner names a real bid, one bid per seller.

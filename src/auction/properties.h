@@ -11,6 +11,7 @@
 #include "auction/msoa.h"
 #include "auction/online.h"
 #include "auction/ssam.h"
+#include "common/annotations.h"
 #include "common/rng.h"
 
 namespace ecrs::auction {

@@ -8,6 +8,7 @@
 
 #include "auction/compiled.h"
 #include "auction/properties.h"
+#include "common/annotations.h"
 #include "common/arena.h"
 #include "common/check.h"
 #include "common/simd.h"
@@ -30,12 +31,12 @@ using entry = std::pair<double, std::size_t>;  // (ratio, bid index)
 // Manual min-heap over (ratio, bid index) entries, operating on a borrowed
 // vector so the storage survives across calls. std::priority_queue would
 // force a fresh container per auction.
-void heap_push(std::vector<entry>& heap, entry e) {
+ECRS_HOT void heap_push(std::vector<entry>& heap, entry e) {
   heap.push_back(e);
   std::push_heap(heap.begin(), heap.end(), std::greater<>{});
 }
 
-entry heap_pop(std::vector<entry>& heap) {
+ECRS_HOT entry heap_pop(std::vector<entry>& heap) {
   std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
   const entry top = heap.back();
   heap.pop_back();
@@ -44,7 +45,8 @@ entry heap_pop(std::vector<entry>& heap) {
 
 // Cost-effectiveness of a bid given the current coverage state; infinite
 // when the bid adds nothing.
-double ratio_of(const bid& b, double price, const coverage_state& state,
+ECRS_HOT double ratio_of(const bid& b, double price,
+                         const coverage_state& state,
                 units& utility_out) {
   utility_out = state.marginal_utility(b);
   if (utility_out <= 0) return kInf;
@@ -125,7 +127,7 @@ struct probe_slot {
 // The step capacity is exact, not a guess: every recorded non-terminal step
 // deactivates a distinct seller, and a terminal step ends the recording —
 // so at most seller_count + 1 steps exist for any probed bid.
-probe_slot carve_probe_slot(arena& a, const compiled_instance& c) {
+ECRS_HOT probe_slot carve_probe_slot(arena& a, const compiled_instance& c) {
   probe_slot slot;
   slot.remaining = a.alloc_array<units>(c.demander_count());
   slot.util = a.alloc_array<units>(c.bid_count());
@@ -185,7 +187,7 @@ namespace {
 // selection, with the original per-bid deactivation sweep. Its cost profile
 // IS the eager baseline the benchmarks compare against.
 template <typename OnWin>
-void eager_greedy_loop(const single_stage_instance& instance,
+ECRS_HOT void eager_greedy_loop(const single_stage_instance& instance,
                        ssam_scratch::impl& ws, std::size_t override_index,
                        double override_price, OnWin&& on_win) {
   const std::size_t nbids = instance.bids.size();
@@ -240,7 +242,7 @@ void eager_greedy_loop(const single_stage_instance& instance,
 // next stale key is therefore a true minimum; the index tie-break
 // reproduces the eager scan's deterministic ordering bit-for-bit.
 template <typename OnWin>
-void lazy_greedy_loop(const single_stage_instance& instance,
+ECRS_HOT void lazy_greedy_loop(const single_stage_instance& instance,
                       ssam_scratch::impl& ws, std::size_t override_index,
                       double override_price, OnWin&& on_win) {
   const std::size_t nbids = instance.bids.size();
@@ -287,7 +289,8 @@ void lazy_greedy_loop(const single_stage_instance& instance,
 }
 
 template <typename OnWin>
-void greedy_loop(const single_stage_instance& instance, ssam_scratch::impl& ws,
+ECRS_HOT void greedy_loop(const single_stage_instance& instance,
+                          ssam_scratch::impl& ws,
                  bool eager, std::size_t override_index, double override_price,
                  OnWin&& on_win) {
   if (eager) {
@@ -303,8 +306,8 @@ void greedy_loop(const single_stage_instance& instance, ssam_scratch::impl& ws,
 // empty-state marginal utility is evaluated against a freshly reset
 // coverage state (borrowed from the caller), where U_ij(∅) is exactly the
 // marginal utility.
-void build_probe_seed(const single_stage_instance& instance, probe_seed& seed,
-                      coverage_state& state) {
+ECRS_HOT void build_probe_seed(const single_stage_instance& instance,
+                               probe_seed& seed, coverage_state& state) {
   state.reset(instance.requirements);
   seed.initial_utilities.clear();
   seed.initial_utilities.reserve(instance.bids.size());
@@ -337,9 +340,9 @@ void build_probe_seed(const single_stage_instance& instance, probe_seed& seed,
 // probed bid is selected (win), its marginal utility hits zero (it can
 // never be selected later — loss), or its seller wins through another bid
 // (constraint (9) — loss).
-bool lazy_probe_wins(const single_stage_instance& instance,
-                     const probe_seed& seed, probe_scratch& ws,
-                     std::size_t bid_index, double price_report) {
+ECRS_HOT bool lazy_probe_wins(const single_stage_instance& instance,
+                              const probe_seed& seed, probe_scratch& ws,
+                              std::size_t bid_index, double price_report) {
   const units probed_utility = seed.initial_utilities[bid_index];
   if (probed_utility <= 0) return false;  // contributes nothing, never wins
   const seller_id probed_seller = instance.bids[bid_index].seller;
@@ -551,8 +554,8 @@ bool eager_selection_of(const ssam_options& options) {
 // (ratio, index)-lexicographic minimum — exactly what the scalar ascending
 // strict-< scan selected.
 template <typename OnWin>
-void compiled_eager_loop(const compiled_instance& c, ssam_scratch::impl& ws,
-                         OnWin&& on_win) {
+ECRS_HOT void compiled_eager_loop(const compiled_instance& c,
+                                  ssam_scratch::impl& ws, OnWin&& on_win) {
   scored_state& scored = ws.scored;
   scored.reset(c);
   ws.cseller_active.assign(c.seller_slots(), 1);
@@ -588,8 +591,8 @@ void compiled_eager_loop(const compiled_instance& c, ssam_scratch::impl& ws,
 // equivalent to popping one heap holding all entries, so the selection
 // sequence matches the eager scan bit for bit.
 template <typename OnWin>
-void compiled_lazy_loop(const compiled_instance& c, ssam_scratch::impl& ws,
-                        OnWin&& on_win) {
+ECRS_HOT void compiled_lazy_loop(const compiled_instance& c,
+                                 ssam_scratch::impl& ws, OnWin&& on_win) {
   compiled_state& state = ws.cstate;
   state.reset(c);
   ws.cseller_active.assign(c.seller_slots(), 1);
@@ -665,9 +668,9 @@ void compiled_lazy_loop(const compiled_instance& c, ssam_scratch::impl& ws,
 // and early exits, with the shared seed and all per-bid lookups served by
 // the compiled view (no per-call seed build, no pointer chasing into the
 // bid table).
-bool compiled_probe_wins(const compiled_instance& c,
-                         compiled_probe_scratch& ws, std::size_t bid_index,
-                         double price_report) {
+ECRS_HOT bool compiled_probe_wins(const compiled_instance& c,
+                                  compiled_probe_scratch& ws,
+                                  std::size_t bid_index, double price_report) {
   const units probed_utility = c.initial_utility(bid_index);
   if (probed_utility <= 0) return false;  // contributes nothing, never wins
   const seller_id probed_seller = c.seller(bid_index);
@@ -776,8 +779,9 @@ bool compiled_probe_wins(const compiled_instance& c,
 // competitors with demand unmet, the probed bid is the last resort and wins
 // at any price. The recording stops at the first terminal step, so |steps|
 // is at most the winner count.
-void build_probe_trajectory(const compiled_instance& c, probe_slot& slot,
-                            std::size_t bid_index) {
+ECRS_HOT void build_probe_trajectory(const compiled_instance& c,
+                                     probe_slot& slot,
+                                     std::size_t bid_index) {
   units deficit = scored_reset(c, slot.remaining, slot.util);
   std::fill_n(slot.seller_active, c.seller_slots(), char{1});
   slot.step_count = 0;
@@ -814,8 +818,8 @@ void build_probe_trajectory(const compiled_instance& c, probe_slot& slot,
 // trajectory? Identical verdicts to a full replay (compiled_probe_wins):
 // both decide "is the bid ever selected by the exact greedy", this one in
 // O(|steps|).
-bool trajectory_probe_wins(const probe_slot& slot, std::size_t bid_index,
-                           double report) {
+ECRS_HOT bool trajectory_probe_wins(const probe_slot& slot,
+                                    std::size_t bid_index, double report) {
   const auto probed_idx = static_cast<std::uint32_t>(bid_index);
   for (std::size_t i = 0; i < slot.step_count; ++i) {
     const probe_step& s = slot.steps[i];
@@ -834,9 +838,10 @@ bool trajectory_probe_wins(const probe_slot& slot, std::size_t bid_index,
 // probe resolves against the winner's precomputed trajectory instead of
 // replaying the auction (bit-identical verdicts, so bit-identical
 // payments).
-double compiled_critical_value(const compiled_instance& c,
-                               std::size_t bid_index, double relative_eps,
-                               probe_slot& slot) {
+ECRS_HOT double compiled_critical_value(const compiled_instance& c,
+                                        std::size_t bid_index,
+                                        double relative_eps,
+                                        probe_slot& slot) {
   ECRS_CHECK(bid_index < c.bid_count());
   ECRS_CHECK_MSG(relative_eps > 0.0 && relative_eps < 1.0,
                  "bisection tolerance must be in (0, 1)");

@@ -14,7 +14,7 @@ constexpr std::size_t kMinBlockBytes = 4096;
 
 }  // namespace
 
-void* arena::allocate(std::size_t bytes, std::size_t alignment) {
+ECRS_HOT void* arena::allocate(std::size_t bytes, std::size_t alignment) {
   ECRS_CHECK_MSG(alignment != 0 && (alignment & (alignment - 1)) == 0,
                  "arena alignment must be a power of two");
   if (bytes == 0) bytes = 1;
@@ -35,7 +35,13 @@ void* arena::allocate(std::size_t bytes, std::size_t alignment) {
     offset_ = 0;
   }
 
-  // Exhausted: append a geometrically grown block that certainly fits.
+  return grow(bytes, alignment);
+}
+
+// ECRS_HOT_ESCAPE (declared in the header): the one place the arena touches
+// the system allocator. Geometric growth makes it amortized-zero — after the
+// largest call has been seen once, allocate() never gets here again.
+ECRS_HOT_ESCAPE void* arena::grow(std::size_t bytes, std::size_t alignment) {
   const std::size_t last = blocks_.empty() ? 0 : blocks_.back().size;
   const std::size_t size =
       std::max({bytes + alignment, last * 2, kMinBlockBytes});

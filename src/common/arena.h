@@ -30,6 +30,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/annotations.h"
+
 namespace ecrs {
 
 class arena {
@@ -41,13 +43,15 @@ class arena {
   arena& operator=(arena&&) noexcept = default;
 
   // Raw bytes, aligned to `alignment` (a power of two). Never returns
-  // nullptr; grows the arena when the current blocks are exhausted.
-  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t alignment);
+  // nullptr; grows the arena when the current blocks are exhausted. The
+  // fast path is a bump; growth lives in grow(), an audited cold branch.
+  [[nodiscard]] ECRS_HOT void* allocate(std::size_t bytes,
+                                        std::size_t alignment);
 
   // `count` default-uninitialized T slots. T must be trivially destructible
   // (arena storage is abandoned, never destroyed).
   template <typename T>
-  [[nodiscard]] T* alloc_array(std::size_t count) {
+  [[nodiscard]] ECRS_HOT T* alloc_array(std::size_t count) {
     static_assert(std::is_trivially_destructible_v<T>,
                   "arena storage is never destroyed");
     return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
@@ -59,8 +63,8 @@ class arena {
     std::size_t block = 0;
     std::size_t offset = 0;
   };
-  [[nodiscard]] mark save() const { return {block_, offset_}; }
-  void rewind(mark m) {
+  [[nodiscard]] ECRS_HOT mark save() const { return {block_, offset_}; }
+  ECRS_HOT void rewind(mark m) {
     block_ = m.block;
     offset_ = m.offset;
   }
@@ -90,13 +94,20 @@ class arena {
   [[nodiscard]] static arena& for_thread();
 
  private:
+  // ECRS_HOT_ESCAPE: appends a geometrically grown block. Amortized away —
+  // once the arena has seen its largest call this branch never runs again,
+  // so allocate() stays steady-state allocation-free.
+  ECRS_HOT_ESCAPE void* grow(std::size_t bytes, std::size_t alignment);
+
   struct block {
     std::unique_ptr<std::byte[]> data;
     std::size_t size = 0;
   };
-  std::vector<block> blocks_;
-  std::size_t block_ = 0;   // cursor: block index
-  std::size_t offset_ = 0;  // cursor: byte offset within blocks_[block_]
+  // The cursor and block list are confined to the owning thread (see the
+  // banner: carved memory may cross threads, allocate()/rewind() may not).
+  ECRS_THREAD_OWNED("arena owner thread") std::vector<block> blocks_;
+  ECRS_THREAD_OWNED("arena owner thread") std::size_t block_ = 0;
+  ECRS_THREAD_OWNED("arena owner thread") std::size_t offset_ = 0;
 };
 
 }  // namespace ecrs

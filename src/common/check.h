@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/annotations.h"
+
 namespace ecrs {
 
 // Error thrown when a runtime check fails.
@@ -19,8 +21,11 @@ class check_error : public std::logic_error {
 
 namespace detail {
 
-[[noreturn]] inline void check_failed(const char* expr, const char* file,
-                                      int line, const std::string& msg) {
+// ECRS_HOT_ESCAPE: the failure path of ECRS_CHECK. It streams a message
+// and throws, but only ever runs when an invariant is already violated —
+// cold by construction, so hot paths may ECRS_CHECK freely.
+[[noreturn]] ECRS_HOT_ESCAPE inline void check_failed(
+    const char* expr, const char* file, int line, const std::string& msg) {
   std::ostringstream os;
   os << "ECRS_CHECK failed: " << expr << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;

@@ -1,0 +1,91 @@
+// Capability-annotated wrappers over std::mutex / std::condition_variable.
+//
+// Clang's -Wthread-safety analysis tracks capabilities through attribute
+// annotations; std::mutex carries none, so code locking it directly is
+// invisible to the analysis. ecrs::mutex is a zero-overhead wrapper that
+// IS a capability, ecrs::mutex_lock the matching RAII scope, and
+// ecrs::condition_variable a std::condition_variable that waits on a
+// mutex_lock (atomically unlocking the wrapped std::mutex underneath).
+// Everything inlines to the std calls; the only addition is the attribute
+// surface the analysis needs. See docs/ANALYSIS.md for the annotation
+// conventions (which members get ECRS_GUARDED_BY, when to use
+// ECRS_REQUIRES vs ECRS_EXCLUDES).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace ecrs {
+
+// A std::mutex that is a thread-safety capability.
+class ECRS_CAPABILITY("mutex") mutex {
+ public:
+  mutex() = default;
+  mutex(const mutex&) = delete;
+  mutex& operator=(const mutex&) = delete;
+
+  void lock() ECRS_ACQUIRE() { m_.lock(); }
+  void unlock() ECRS_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() ECRS_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+  // The wrapped mutex, for interop (condition_variable::wait). Touching it
+  // directly bypasses the capability tracking — keep it inside this header.
+  [[nodiscard]] std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+// RAII lock scope over ecrs::mutex (the lock_guard/unique_lock of this
+// header). Not movable: a scope acquires in its constructor and releases in
+// its destructor, full stop — the analysis models exactly that.
+class ECRS_SCOPED_CAPABILITY mutex_lock {
+ public:
+  explicit mutex_lock(mutex& m) ECRS_ACQUIRE(m) : mutex_(m) { mutex_.lock(); }
+  ~mutex_lock() ECRS_RELEASE() { mutex_.unlock(); }
+  mutex_lock(const mutex_lock&) = delete;
+  mutex_lock& operator=(const mutex_lock&) = delete;
+
+  [[nodiscard]] mutex& held() { return mutex_; }
+
+ private:
+  mutex& mutex_;
+};
+
+// Condition variable waiting on a mutex_lock. wait() atomically releases
+// the wrapped std::mutex while sleeping and reacquires before returning,
+// so from the analysis' point of view the capability is held across the
+// call — which is exactly the guarantee the caller observes.
+class condition_variable {
+ public:
+  condition_variable() = default;
+  condition_variable(const condition_variable&) = delete;
+  condition_variable& operator=(const condition_variable&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  // The std wait dance happens on the wrapped mutex: adopt the held lock,
+  // wait, then release the std::unique_lock's ownership claim so the
+  // mutex_lock destructor stays the one true unlocker.
+  void wait(mutex_lock& lock) ECRS_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(lock.held().native(),
+                                        std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with `lock`
+  }
+
+  template <typename Predicate>
+  void wait(mutex_lock& lock, Predicate pred) {
+    while (!pred()) wait(lock);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ecrs

@@ -11,13 +11,17 @@
 #include <limits>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/check.h"
 
 namespace ecrs {
 
 // splitmix64: used to expand a single seed into engine state, and useful on
 // its own for hashing stream ids into independent seeds.
-constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+// ECRS_NO_SANITIZE_INTEGER: the multiply-xor-shift mixing wraps mod 2^64 by
+// design; -fsanitize=integer would flag every unsigned overflow here.
+ECRS_NO_SANITIZE_INTEGER constexpr std::uint64_t splitmix64(
+    std::uint64_t& state) {
   state += 0x9e3779b97f4a7c15ULL;
   std::uint64_t z = state;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -39,7 +43,8 @@ class rng {
 
   // Derive an independent generator for a named substream; generators for
   // different (seed, stream) pairs are statistically independent.
-  [[nodiscard]] rng fork(std::uint64_t stream) const {
+  // ECRS_NO_SANITIZE_INTEGER: stream-id hashing wraps by design.
+  ECRS_NO_SANITIZE_INTEGER [[nodiscard]] rng fork(std::uint64_t stream) const {
     std::uint64_t mix = state_[0] ^ (stream * 0x9e3779b97f4a7c15ULL);
     return rng(splitmix64(mix));
   }
@@ -49,7 +54,9 @@ class rng {
     return std::numeric_limits<result_type>::max();
   }
 
-  result_type operator()() {
+  // ECRS_NO_SANITIZE_INTEGER: xoshiro256** state transitions wrap mod 2^64
+  // by design.
+  ECRS_NO_SANITIZE_INTEGER result_type operator()() {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;
     state_[2] ^= state_[0];
@@ -62,7 +69,10 @@ class rng {
   }
 
   // Uniform integer in [lo, hi] (inclusive). Unbiased via rejection.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+  // ECRS_NO_SANITIZE_INTEGER: the [lo,hi] span is computed in uint64 with
+  // intentional wrapping to cover the full-range case.
+  ECRS_NO_SANITIZE_INTEGER std::int64_t uniform_int(std::int64_t lo,
+                                                    std::int64_t hi) {
     ECRS_CHECK_MSG(lo <= hi, "uniform_int range [" << lo << "," << hi << "]");
     const std::uint64_t span =
         static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <limits>
 
+#include "common/annotations.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #define ECRS_SIMD_X86 1
 #include <immintrin.h>
@@ -22,7 +24,8 @@ constexpr std::int64_t kMaxExactUtil = (std::int64_t{1} << 52) - 1;
 
 // ------------------------------------------------------------------ scalar
 
-std::int64_t sum_min_scalar(const std::int64_t* vals, const std::uint32_t* idx,
+ECRS_HOT std::int64_t sum_min_scalar(const std::int64_t* vals,
+                                     const std::uint32_t* idx,
                             std::size_t n, std::int64_t bound) {
   std::int64_t acc = 0;
   for (std::size_t j = 0; j < n; ++j) {
@@ -31,7 +34,8 @@ std::int64_t sum_min_scalar(const std::int64_t* vals, const std::uint32_t* idx,
   return acc;
 }
 
-std::int64_t consume_min_scalar(std::int64_t* vals, const std::uint32_t* idx,
+ECRS_HOT std::int64_t consume_min_scalar(std::int64_t* vals,
+                                         const std::uint32_t* idx,
                                 std::size_t n, std::int64_t bound) {
   std::int64_t acc = 0;
   for (std::size_t j = 0; j < n; ++j) {
@@ -45,7 +49,8 @@ std::int64_t consume_min_scalar(std::int64_t* vals, const std::uint32_t* idx,
 // Fold rows [lo, hi) into `best` with the shared lexicographic update —
 // also the tail/fallback path of the vector tiers, so every tier runs the
 // identical per-element arithmetic.
-void ratio_scan_scalar(const double* price, const std::int64_t* util,
+ECRS_HOT void ratio_scan_scalar(const double* price,
+                                const std::int64_t* util,
                        const std::uint32_t* seller, const char* seller_active,
                        std::size_t lo, std::size_t hi, std::uint32_t skip_index,
                        std::uint32_t skip_seller, ratio_best& best) {
@@ -64,7 +69,8 @@ void ratio_scan_scalar(const double* price, const std::int64_t* util,
   }
 }
 
-ratio_best ratio_argmin_scalar(const double* price, const std::int64_t* util,
+ECRS_HOT ratio_best ratio_argmin_scalar(const double* price,
+                                        const std::int64_t* util,
                                const std::uint32_t* seller,
                                const char* seller_active, std::size_t n,
                                std::uint32_t skip_index,
@@ -97,7 +103,8 @@ inline std::int64_t hsum_epi64_sse2(__m128i v) {
   return lanes[0] + lanes[1];
 }
 
-std::int64_t sum_min_sse2(const std::int64_t* vals, const std::uint32_t* idx,
+ECRS_HOT std::int64_t sum_min_sse2(const std::int64_t* vals,
+                                   const std::uint32_t* idx,
                           std::size_t n, std::int64_t bound) {
   const __m128i b = _mm_set1_epi64x(bound);
   __m128i acc = _mm_setzero_si128();
@@ -111,7 +118,8 @@ std::int64_t sum_min_sse2(const std::int64_t* vals, const std::uint32_t* idx,
   return total;
 }
 
-std::int64_t consume_min_sse2(std::int64_t* vals, const std::uint32_t* idx,
+ECRS_HOT std::int64_t consume_min_sse2(std::int64_t* vals,
+                                       const std::uint32_t* idx,
                               std::size_t n, std::int64_t bound) {
   const __m128i b = _mm_set1_epi64x(bound);
   __m128i acc = _mm_setzero_si128();
@@ -137,7 +145,12 @@ std::int64_t consume_min_sse2(std::int64_t* vals, const std::uint32_t* idx,
   return total;
 }
 
-ratio_best ratio_argmin_sse2(const double* price, const std::int64_t* util,
+// ECRS_NO_SANITIZE_INTEGER: the 2^52 magic-bias int64->double conversion
+// and the int64 lane-index -> uint32 narrowing are exact by construction
+// (guarded by kMaxExactUtil), but look like implicit-conversion findings to
+// -fsanitize=integer.
+ECRS_HOT ECRS_NO_SANITIZE_INTEGER ratio_best ratio_argmin_sse2(
+    const double* price, const std::int64_t* util,
                              const std::uint32_t* seller,
                              const char* seller_active, std::size_t n,
                              std::uint32_t skip_index,
@@ -209,19 +222,19 @@ ratio_best ratio_argmin_sse2(const double* price, const std::int64_t* util,
 // stays at the baseline ISA; only reached when detection says the CPU has
 // AVX2.
 
-__attribute__((target("avx2"))) inline __m256i min_epi64_avx2(__m256i a,
-                                                              __m256i b) {
+__attribute__((target("avx2"))) ECRS_HOT inline __m256i min_epi64_avx2(
+    __m256i a, __m256i b) {
   return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b));
 }
 
-__attribute__((target("avx2"))) inline std::int64_t hsum_epi64_avx2(
+__attribute__((target("avx2"))) ECRS_HOT inline std::int64_t hsum_epi64_avx2(
     __m256i v) {
   alignas(32) std::int64_t lanes[4];
   _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
   return lanes[0] + lanes[1] + lanes[2] + lanes[3];
 }
 
-__attribute__((target("avx2"))) std::int64_t sum_min_avx2(
+__attribute__((target("avx2"))) ECRS_HOT std::int64_t sum_min_avx2(
     const std::int64_t* vals, const std::uint32_t* idx, std::size_t n,
     std::int64_t bound) {
   const __m256i b = _mm256_set1_epi64x(bound);
@@ -239,7 +252,7 @@ __attribute__((target("avx2"))) std::int64_t sum_min_avx2(
   return total;
 }
 
-__attribute__((target("avx2"))) std::int64_t consume_min_avx2(
+__attribute__((target("avx2"))) ECRS_HOT std::int64_t consume_min_avx2(
     std::int64_t* vals, const std::uint32_t* idx, std::size_t n,
     std::int64_t bound) {
   const __m256i b = _mm256_set1_epi64x(bound);
@@ -271,7 +284,10 @@ __attribute__((target("avx2"))) std::int64_t consume_min_avx2(
   return total;
 }
 
-__attribute__((target("avx2"))) ratio_best ratio_argmin_avx2(
+// ECRS_NO_SANITIZE_INTEGER: same exact-by-construction 2^52 bias
+// conversions as the SSE2 kernel.
+__attribute__((target("avx2"))) ECRS_HOT ECRS_NO_SANITIZE_INTEGER ratio_best
+ratio_argmin_avx2(
     const double* price, const std::int64_t* util, const std::uint32_t* seller,
     const char* seller_active, std::size_t n, std::uint32_t skip_index,
     std::uint32_t skip_seller) {

@@ -38,6 +38,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/annotations.h"
+
 namespace ecrs::simd {
 
 // Instruction-set tier of a kernel table. scalar is always available; on
@@ -89,18 +91,18 @@ struct kernel_table {
 level force(level l);
 
 // Σ_j min(bound, vals[idx[j]]) for j in [0, n). Indices must be distinct.
-[[nodiscard]] inline std::int64_t sum_min_indexed(const std::int64_t* vals,
-                                                  const std::uint32_t* idx,
-                                                  std::size_t n,
-                                                  std::int64_t bound) {
+[[nodiscard]] ECRS_HOT inline std::int64_t sum_min_indexed(
+    const std::int64_t* vals, const std::uint32_t* idx, std::size_t n,
+    std::int64_t bound) {
   return active().sum_min_indexed(vals, idx, n, bound);
 }
 
 // For each j: used = min(bound, vals[idx[j]]); vals[idx[j]] -= used.
 // Returns Σ used. Indices must be distinct.
-inline std::int64_t consume_min_indexed(std::int64_t* vals,
-                                        const std::uint32_t* idx,
-                                        std::size_t n, std::int64_t bound) {
+ECRS_HOT inline std::int64_t consume_min_indexed(std::int64_t* vals,
+                                                 const std::uint32_t* idx,
+                                                 std::size_t n,
+                                                 std::int64_t bound) {
   return active().consume_min_indexed(vals, idx, n, bound);
 }
 
@@ -108,7 +110,7 @@ inline std::int64_t consume_min_indexed(std::int64_t* vals,
 // j in [0, n) with util[j] > 0, seller_active[seller[j]] != 0,
 // j != skip_index and seller[j] != skip_seller. Returns
 // {+inf, kNoIndex} when no row qualifies.
-[[nodiscard]] inline ratio_best ratio_argmin(
+[[nodiscard]] ECRS_HOT inline ratio_best ratio_argmin(
     const double* price, const std::int64_t* util, const std::uint32_t* seller,
     const char* seller_active, std::size_t n, std::uint32_t skip_index,
     std::uint32_t skip_seller) {

@@ -12,18 +12,18 @@ namespace {
 struct drain_state {
   std::function<void(std::size_t)> fn;
   std::size_t n = 0;
-  std::mutex m;
-  std::condition_variable done;
-  std::size_t next = 0;       // first unclaimed index
-  std::size_t in_flight = 0;  // claimed but not yet finished
-  std::exception_ptr err;
+  mutex m;
+  condition_variable done;
+  std::size_t next ECRS_GUARDED_BY(m) = 0;       // first unclaimed index
+  std::size_t in_flight ECRS_GUARDED_BY(m) = 0;  // claimed but not finished
+  std::exception_ptr err ECRS_GUARDED_BY(m);
 };
 
 void drain(const std::shared_ptr<drain_state>& s) {
   for (;;) {
     std::size_t index;
     {
-      std::lock_guard<std::mutex> lock(s->m);
+      mutex_lock lock(s->m);
       if (s->next >= s->n) return;
       index = s->next++;
       ++s->in_flight;
@@ -31,12 +31,12 @@ void drain(const std::shared_ptr<drain_state>& s) {
     try {
       s->fn(index);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(s->m);
+      mutex_lock lock(s->m);
       if (!s->err) s->err = std::current_exception();
       s->next = s->n;  // abandon the rest of the range
     }
     {
-      std::lock_guard<std::mutex> lock(s->m);
+      mutex_lock lock(s->m);
       --s->in_flight;
       if (s->next >= s->n && s->in_flight == 0) s->done.notify_all();
     }
@@ -57,7 +57,7 @@ thread_pool::thread_pool(std::size_t threads) {
 
 thread_pool::~thread_pool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    mutex_lock lock(mutex_);
     stopping_ = true;
   }
   work_ready_.notify_all();
@@ -68,8 +68,8 @@ void thread_pool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      mutex_lock lock(mutex_);
+      while (!stopping_ && tasks_.empty()) work_ready_.wait(lock);
       if (tasks_.empty()) return;  // stopping, queue drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -92,7 +92,7 @@ void thread_pool::parallel_for(std::size_t n,
   std::size_t helpers = n > 1 ? std::min(size(), n) : 0;
   if (max_workers > 0) helpers = std::min(helpers, max_workers - 1);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    mutex_lock lock(mutex_);
     for (std::size_t h = 0; h < helpers; ++h) {
       tasks_.emplace_back([state] { drain(state); });
     }
@@ -100,10 +100,10 @@ void thread_pool::parallel_for(std::size_t n,
   if (helpers > 0) work_ready_.notify_all();
 
   drain(state);
-  std::unique_lock<std::mutex> lock(state->m);
-  state->done.wait(lock, [&state] {
-    return state->next >= state->n && state->in_flight == 0;
-  });
+  mutex_lock lock(state->m);
+  while (!(state->next >= state->n && state->in_flight == 0)) {
+    state->done.wait(lock);
+  }
   if (state->err) std::rethrow_exception(state->err);
 }
 

@@ -13,13 +13,14 @@
 // payments) instead of spawning threads per call.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace ecrs {
 
@@ -40,19 +41,19 @@ class thread_pool {
   // then abandoned (already-started ones still finish). `max_workers` caps
   // the total concurrency including the calling thread (0 = pool size + 1).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                    std::size_t max_workers = 0);
+                    std::size_t max_workers = 0) ECRS_EXCLUDES(mutex_);
 
   // Process-wide pool, created on first use.
   static thread_pool& shared();
 
  private:
-  void worker_loop();
+  void worker_loop() ECRS_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::deque<std::function<void()>> tasks_;
-  bool stopping_ = false;
+  mutex mutex_;
+  condition_variable work_ready_;
+  std::deque<std::function<void()>> tasks_ ECRS_GUARDED_BY(mutex_);
+  bool stopping_ ECRS_GUARDED_BY(mutex_) = false;
 };
 
 // Convenience: `pool == nullptr` runs the loop inline on the calling thread.

@@ -5,15 +5,13 @@
 
 namespace ecrs::des {
 
-std::uint32_t simulator::acquire_slot() {
+ECRS_HOT std::uint32_t simulator::acquire_slot() {
   std::uint32_t s;
   if (free_head_ != npos) {
     s = free_head_;
     free_head_ = slot(s).next_free;
   } else {
-    if ((slots_in_use_ >> chunk_shift) >= chunks_.size()) {
-      chunks_.push_back(std::make_unique<record[]>(chunk_size));
-    }
+    if ((slots_in_use_ >> chunk_shift) >= chunks_.size()) grow_chunk();
     s = slots_in_use_++;
   }
   record& rec = slot(s);
@@ -23,7 +21,14 @@ std::uint32_t simulator::acquire_slot() {
   return s;
 }
 
-void simulator::release_slot(std::uint32_t s) {
+// ECRS_HOT_ESCAPE (declared in the header): the one place the event slab
+// touches the system allocator; amortized away once the simulation's
+// high-water event count has been seen.
+ECRS_HOT_ESCAPE void simulator::grow_chunk() {
+  chunks_.push_back(std::make_unique<record[]>(chunk_size));
+}
+
+ECRS_HOT void simulator::release_slot(std::uint32_t s) {
   record& rec = slot(s);
   rec.live = false;
   ++rec.generation;  // stale handles to this slot stop resolving
@@ -36,7 +41,7 @@ void simulator::release_slot(std::uint32_t s) {
   free_head_ = s;
 }
 
-std::uint32_t simulator::resolve(event_id id) const {
+ECRS_HOT std::uint32_t simulator::resolve(event_id id) const {
   const auto s = static_cast<std::uint32_t>(id & 0xffffffffULL);
   const auto generation = static_cast<std::uint32_t>(id >> 32);
   if (generation == 0 || s >= slots_in_use_) return npos;
@@ -45,7 +50,7 @@ std::uint32_t simulator::resolve(event_id id) const {
   return s;
 }
 
-void simulator::sift_up(std::uint32_t pos) {
+ECRS_HOT void simulator::sift_up(std::uint32_t pos) {
   const heap_entry e = heap_[pos];
   while (pos > 0) {
     const std::uint32_t parent = (pos - 1) >> 2;
@@ -59,7 +64,7 @@ void simulator::sift_up(std::uint32_t pos) {
   slot(e.slot).heap_pos = pos;
 }
 
-void simulator::sift_down(std::uint32_t pos) {
+ECRS_HOT void simulator::sift_down(std::uint32_t pos) {
   const std::size_t n = heap_.size();
   const heap_entry e = heap_[pos];
   while (true) {
@@ -79,7 +84,7 @@ void simulator::sift_down(std::uint32_t pos) {
   slot(e.slot).heap_pos = pos;
 }
 
-void simulator::heap_push(std::uint32_t s) {
+ECRS_HOT void simulator::heap_push(std::uint32_t s) {
   const record& rec = slot(s);
   const auto pos = static_cast<std::uint32_t>(heap_.size());
   heap_.push_back(heap_entry{rec.when, rec.seq, s});
@@ -87,7 +92,7 @@ void simulator::heap_push(std::uint32_t s) {
   sift_up(pos);
 }
 
-void simulator::heap_remove(std::uint32_t pos) {
+ECRS_HOT void simulator::heap_remove(std::uint32_t pos) {
   ECRS_DCHECK(pos < heap_.size());
   slot(heap_[pos].slot).heap_pos = npos;
   const auto last = static_cast<std::uint32_t>(heap_.size()) - 1;
@@ -102,13 +107,13 @@ void simulator::heap_remove(std::uint32_t pos) {
   }
 }
 
-void simulator::rekey_top(sim_time when, std::uint64_t seq) {
+ECRS_HOT void simulator::rekey_top(sim_time when, std::uint64_t seq) {
   heap_[0].when = when;
   heap_[0].seq = seq;
   sift_down(0);
 }
 
-event_id simulator::schedule_at(sim_time when, callback fn) {
+ECRS_HOT event_id simulator::schedule_at(sim_time when, callback fn) {
   ECRS_CHECK_MSG(when >= now_,
                  "cannot schedule in the past: " << when << " < " << now_);
   ECRS_CHECK_MSG(fn != nullptr, "null event callback");
@@ -122,12 +127,13 @@ event_id simulator::schedule_at(sim_time when, callback fn) {
   return encode(rec.generation, s);
 }
 
-event_id simulator::schedule_in(sim_time delay, callback fn) {
+ECRS_HOT event_id simulator::schedule_in(sim_time delay, callback fn) {
   ECRS_CHECK_MSG(delay >= 0.0, "negative delay: " << delay);
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-event_id simulator::schedule_periodic(sim_time period, callback fn) {
+ECRS_HOT event_id simulator::schedule_periodic(sim_time period,
+                                       callback fn) {
   ECRS_CHECK_MSG(period > 0.0, "periodic events need a positive period");
   ECRS_CHECK_MSG(fn != nullptr, "null event callback");
   const std::uint32_t s = acquire_slot();
@@ -143,8 +149,8 @@ event_id simulator::schedule_periodic(sim_time period, callback fn) {
   return encode(rec.generation, s);
 }
 
-event_id simulator::schedule_stream(std::span<const sim_time> times,
-                                    drain_callback on_item) {
+ECRS_HOT event_id simulator::schedule_stream(std::span<const sim_time> times,
+                                             drain_callback on_item) {
   if (times.empty()) return 0;
   ECRS_CHECK_MSG(on_item != nullptr, "null stream callback");
   ECRS_CHECK_MSG(times.front() >= now_,
@@ -172,7 +178,7 @@ event_id simulator::schedule_stream(std::span<const sim_time> times,
   return encode(rec.generation, s);
 }
 
-bool simulator::cancel(event_id id) {
+ECRS_HOT bool simulator::cancel(event_id id) {
   const std::uint32_t s = resolve(id);
   if (s == npos) return false;
   record& rec = slot(s);
@@ -189,7 +195,7 @@ bool simulator::cancel(event_id id) {
   return true;
 }
 
-bool simulator::step() {
+ECRS_HOT bool simulator::step() {
   if (heap_.empty()) return false;
   const std::uint32_t s = heap_[0].slot;
   record& rec = slot(s);  // chunked slab: stays valid across scheduling
@@ -250,13 +256,13 @@ bool simulator::step() {
   return true;
 }
 
-void simulator::run_until(sim_time horizon) {
+ECRS_HOT void simulator::run_until(sim_time horizon) {
   ECRS_CHECK_MSG(horizon >= now_, "horizon is in the past");
   while (!heap_.empty() && heap_[0].when <= horizon) step();
   now_ = std::max(now_, horizon);
 }
 
-void simulator::run() {
+ECRS_HOT void simulator::run() {
   while (step()) {
   }
 }

@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/check.h"
 #include "des/callback.h"
 
@@ -52,17 +53,17 @@ class simulator {
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
   // Schedule `fn` at absolute time `when` (must be >= now()).
-  event_id schedule_at(sim_time when, callback fn);
+  ECRS_HOT event_id schedule_at(sim_time when, callback fn);
 
   // Schedule `fn` after `delay` (must be >= 0).
-  event_id schedule_in(sim_time delay, callback fn);
+  ECRS_HOT event_id schedule_in(sim_time delay, callback fn);
 
   // Schedule `fn` every `period`, starting at now() + period. The returned
   // id identifies the whole series; cancel(id) stops it (including from
   // within the callback itself). Firing k lands exactly on
   // schedule_time + k * period — no floating-point drift accumulates
   // across firings.
-  event_id schedule_periodic(sim_time period, callback fn);
+  ECRS_HOT event_id schedule_periodic(sim_time period, callback fn);
 
   // Register a time-sorted batch of events as ONE pending record: on_item(i)
   // fires at times[i], interleaved with heap events exactly as if each entry
@@ -72,25 +73,25 @@ class simulator {
   // with times.front() >= now(), and the span must stay valid until the
   // stream drains or is cancelled. The returned id cancels the remainder of
   // the stream. An empty span is a no-op returning 0 (never a valid id).
-  event_id schedule_stream(std::span<const sim_time> times,
+  ECRS_HOT event_id schedule_stream(std::span<const sim_time> times,
                            drain_callback on_item);
 
   // Cancel a pending event, periodic series, or stream remainder. Returns
   // false if the event already ran or does not exist (cancelling twice is
   // harmless).
-  bool cancel(event_id id);
+  ECRS_HOT bool cancel(event_id id);
 
   // Run events with timestamp <= horizon, then advance the clock to at
   // least `horizon` (events beyond it stay pending).
-  void run_until(sim_time horizon);
+  ECRS_HOT void run_until(sim_time horizon);
 
   // Run all pending events (including those scheduled while running).
   // Periodic series must be cancelled first or this never returns; prefer
   // run_until for simulations containing periodic processes.
-  void run();
+  ECRS_HOT void run();
 
   // Execute at most one event; returns false if none was pending.
-  bool step();
+  ECRS_HOT bool step();
 
  private:
   enum class event_kind : std::uint8_t { one_shot, periodic, stream };
@@ -129,34 +130,39 @@ class simulator {
     std::uint32_t slot = npos;
   };
 
-  [[nodiscard]] record& slot(std::uint32_t s) {
+  [[nodiscard]] ECRS_HOT record& slot(std::uint32_t s) {
     return chunks_[s >> chunk_shift][s & (chunk_size - 1)];
   }
-  [[nodiscard]] const record& slot(std::uint32_t s) const {
+  [[nodiscard]] ECRS_HOT const record& slot(std::uint32_t s) const {
     return chunks_[s >> chunk_shift][s & (chunk_size - 1)];
   }
 
   // (timestamp, sequence) lexicographic heap order.
-  [[nodiscard]] static bool before(const heap_entry& a, const heap_entry& b) {
+  [[nodiscard]] ECRS_HOT static bool before(const heap_entry& a,
+                                            const heap_entry& b) {
     if (a.when != b.when) return a.when < b.when;
     return a.seq < b.seq;
   }
 
-  std::uint32_t acquire_slot();
-  void release_slot(std::uint32_t s);
-  static event_id encode(std::uint32_t generation, std::uint32_t s) {
+  ECRS_HOT std::uint32_t acquire_slot();
+  ECRS_HOT void release_slot(std::uint32_t s);
+  // ECRS_HOT_ESCAPE: appends one slab chunk. Chunks are never returned, so
+  // after the high-water slot count has been reached acquire_slot() never
+  // gets here again — steady-state scheduling stays allocation-free.
+  ECRS_HOT_ESCAPE void grow_chunk();
+  ECRS_HOT static event_id encode(std::uint32_t generation, std::uint32_t s) {
     return (static_cast<event_id>(generation) << 32) | s;
   }
   // Returns the slot if `id` names a live record, npos otherwise.
-  [[nodiscard]] std::uint32_t resolve(event_id id) const;
+  [[nodiscard]] ECRS_HOT std::uint32_t resolve(event_id id) const;
 
-  void heap_push(std::uint32_t s);
-  void heap_remove(std::uint32_t pos);
-  void sift_up(std::uint32_t pos);
-  void sift_down(std::uint32_t pos);
+  ECRS_HOT void heap_push(std::uint32_t s);
+  ECRS_HOT void heap_remove(std::uint32_t pos);
+  ECRS_HOT void sift_up(std::uint32_t pos);
+  ECRS_HOT void sift_down(std::uint32_t pos);
   // Re-key the heap top (periodic re-arm / stream cursor advance: the key
   // only grows) and restore heap order with one in-place sift-down.
-  void rekey_top(sim_time when, std::uint64_t seq);
+  ECRS_HOT void rekey_top(sim_time when, std::uint64_t seq);
 
   sim_time now_ = 0.0;
   std::uint64_t next_seq_ = 0;

@@ -1,12 +1,46 @@
 #include "harness/sweep.h"
 
 #include <memory>
-#include <mutex>
 
+#include "common/annotations.h"
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/thread_pool.h"
 
 namespace ecrs::harness {
+namespace {
+
+// Workspace pool for one dispatch() call: grows to the number of cells
+// actually in flight at once (bounded by the worker count), and every
+// workspace is reused for many cells. The handout order is
+// scheduling-dependent, but a scratch only ever affects performance, never
+// results.
+class scratch_pool {
+ public:
+  [[nodiscard]] auction::ssam_scratch* acquire() ECRS_EXCLUDES(mu_) {
+    mutex_lock lock(mu_);
+    if (idle_.empty()) {
+      owned_.push_back(std::make_unique<auction::ssam_scratch>());
+      return owned_.back().get();
+    }
+    auction::ssam_scratch* scratch = idle_.back();
+    idle_.pop_back();
+    return scratch;
+  }
+
+  void release(auction::ssam_scratch* scratch) ECRS_EXCLUDES(mu_) {
+    mutex_lock lock(mu_);
+    idle_.push_back(scratch);
+  }
+
+ private:
+  mutex mu_;
+  std::vector<std::unique_ptr<auction::ssam_scratch>> owned_
+      ECRS_GUARDED_BY(mu_);
+  std::vector<auction::ssam_scratch*> idle_ ECRS_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 void sweep_runner::dispatch(
     std::size_t cells,
@@ -19,30 +53,13 @@ void sweep_runner::dispatch(
     return;
   }
 
-  // Workspace pool: grows to the number of cells actually in flight at
-  // once (bounded by the worker count), and every workspace is reused for
-  // many cells. The handout order is scheduling-dependent, but a scratch
-  // only ever affects performance, never results.
-  std::mutex mu;
-  std::vector<std::unique_ptr<auction::ssam_scratch>> owned;
-  std::vector<auction::ssam_scratch*> idle;
+  scratch_pool pool;
   thread_pool::shared().parallel_for(
       cells,
       [&](std::size_t c) {
-        auction::ssam_scratch* scratch = nullptr;
-        {
-          const std::lock_guard<std::mutex> lock(mu);
-          if (idle.empty()) {
-            owned.push_back(std::make_unique<auction::ssam_scratch>());
-            scratch = owned.back().get();
-          } else {
-            scratch = idle.back();
-            idle.pop_back();
-          }
-        }
+        auction::ssam_scratch* scratch = pool.acquire();
         fn(c, *scratch);
-        const std::lock_guard<std::mutex> lock(mu);
-        idle.push_back(scratch);
+        pool.release(scratch);
       },
       threads_);
 }

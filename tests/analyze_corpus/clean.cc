@@ -1,0 +1,16 @@
+// A pure hot function over caller-owned buffers: nothing to report.
+#include <cstddef>
+#include <cstdint>
+
+#include "common/annotations.h"
+
+namespace corpus {
+
+ECRS_HOT std::int64_t dot(const std::int64_t* a, const std::int64_t* b,
+                          std::size_t n) {
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace corpus

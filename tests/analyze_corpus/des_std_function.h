@@ -1,0 +1,16 @@
+// A DES-layer header storing std::function directly: every schedule copies
+// a type-erased callable (possible heap allocation per event). The engine's
+// callback type in src/des/callback.h is the sanctioned alias.
+// expect: des-std-function
+#pragma once
+
+#include <functional>
+
+namespace corpus {
+
+struct bad_event {
+  double when = 0.0;
+  std::function<void()> fire;
+};
+
+}  // namespace corpus

@@ -1,0 +1,14 @@
+// Containers keyed by float/double make membership depend on rounding.
+// expect: float-key
+#include <map>
+#include <string>
+
+namespace corpus {
+
+std::map<double, std::string> g_by_price;
+
+void remember(double price, const std::string& label) {
+  g_by_price[price] = label;
+}
+
+}  // namespace corpus

@@ -1,0 +1,21 @@
+// Transitive allocation: the allocator call is two hops below the hot root,
+// so only a call-graph walk (not a per-line grep) can find it.
+// expect: hot-alloc
+#include <cstddef>
+
+#include "common/annotations.h"
+
+namespace corpus {
+
+int* helper2(std::size_t n) { return new int[n]; }
+
+int* helper1(std::size_t n) { return helper2(n + 1); }
+
+ECRS_HOT int hot_root(std::size_t n) {
+  int* p = helper1(n);
+  int v = p[0];
+  delete[] p;
+  return v;
+}
+
+}  // namespace corpus

@@ -1,0 +1,17 @@
+// A hot function must not reach a blocking pool call.
+// expect: hot-block
+#include <cstddef>
+
+#include "common/annotations.h"
+
+namespace corpus {
+
+void parallel_for(std::size_t n, void (*fn)(std::size_t));
+
+void store(std::size_t i);
+
+void fan_out() { parallel_for(8, store); }
+
+ECRS_HOT void hot_root() { fan_out(); }
+
+}  // namespace corpus

@@ -1,0 +1,23 @@
+// ECRS_HOT_ESCAPE hatch: the growth branch allocates, but it is an audited
+// cold branch — the purity walk must not traverse into it. No findings.
+#include <cstddef>
+
+#include "common/annotations.h"
+
+namespace corpus {
+
+int* g_buf = nullptr;
+std::size_t g_cap = 0;
+
+ECRS_HOT_ESCAPE void grow(std::size_t need) {
+  delete[] g_buf;
+  g_buf = new int[need * 2];
+  g_cap = need * 2;
+}
+
+ECRS_HOT int* hot_root(std::size_t need) {
+  if (need > g_cap) grow(need);
+  return g_buf;
+}
+
+}  // namespace corpus

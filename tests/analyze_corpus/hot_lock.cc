@@ -1,0 +1,19 @@
+// A hot function must not take a mutex, even through a helper.
+// expect: hot-lock
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace corpus {
+
+int g_value = 0;
+std::mutex g_mu;
+
+int guarded_read() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_value;
+}
+
+ECRS_HOT int hot_root() { return guarded_read(); }
+
+}  // namespace corpus

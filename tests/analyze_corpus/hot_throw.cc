@@ -1,0 +1,16 @@
+// A hot function must not reach a throw expression.
+// expect: hot-throw
+#include <stdexcept>
+
+#include "common/annotations.h"
+
+namespace corpus {
+
+int checked_div(int a, int b) {
+  if (b == 0) throw std::runtime_error("division by zero");
+  return a / b;
+}
+
+ECRS_HOT int hot_root(int a, int b) { return checked_div(a, b); }
+
+}  // namespace corpus

@@ -1,0 +1,19 @@
+// Regression for member-call resolution: `rec.drain(...)` is a call through
+// a member callback, NOT a call to the free function `drain()` below — the
+// analyzer must not attribute the free function's allocation to the hot
+// path. No findings.
+#include <cstddef>
+
+#include "common/annotations.h"
+
+namespace corpus {
+
+int* drain(std::size_t n) { return new int[n]; }
+
+struct record {
+  void (*drain)(std::size_t) = nullptr;
+};
+
+ECRS_HOT void hot_root(record& rec, std::size_t item) { rec.drain(item); }
+
+}  // namespace corpus

@@ -1,0 +1,10 @@
+// rand()/time()/random_device are unseeded nondeterminism sources; all
+// randomness must flow through ecrs::rng.
+// expect: nondet-source
+#include <cstdlib>
+
+namespace corpus {
+
+int noisy_pick(int n) { return std::rand() % n; }
+
+}  // namespace corpus

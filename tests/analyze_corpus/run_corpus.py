@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Corpus test for tools/ecrs_analyze.
+
+Every .cc/.h in this directory is a tiny TU carrying `// expect: rule-id`
+markers. The analyzer (textual front-end, --force-scope so the scope
+filters don't hide corpus files) must report, per file, exactly the
+expected multiset of rule ids — each diagnostic fires exactly once, with a
+stable id, and the clean/escape/suppression files stay silent.
+
+Additionally each .cc must be valid C++ (g++ -fsyntax-only against the
+repo's src/ include root), so the corpus can't rot into pseudo-code the
+analyzer happens to accept. When libclang is importable the whole corpus
+is re-run through the clang front-end (against a synthesized
+compile_commands.json) and must produce the identical per-file rule
+multisets — the two front-ends are contractually aligned.
+
+Exit 0 on success; prints a diff and exits 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+CORPUS = Path(__file__).resolve().parent
+REPO = CORPUS.parent.parent
+ANALYZER = REPO / "tools" / "ecrs_analyze"
+
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z0-9-]+)")
+FINDING_RE = re.compile(r"^(.+?):(\d+): \[([a-z0-9-]+)\]")
+
+
+def expected_by_file() -> dict[str, collections.Counter]:
+    table: dict[str, collections.Counter] = {}
+    for path in sorted(CORPUS.iterdir()):
+        if path.suffix not in (".cc", ".h"):
+            continue
+        rules = EXPECT_RE.findall(path.read_text(encoding="utf-8"))
+        table[path.name] = collections.Counter(rules)
+    return table
+
+
+def run_analyzer(extra: list[str]) -> tuple[dict[str, collections.Counter], int]:
+    cmd = [sys.executable, str(ANALYZER), "--root", str(CORPUS),
+           "--force-scope", *extra, str(CORPUS)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    actual: dict[str, collections.Counter] = collections.defaultdict(
+        collections.Counter)
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            actual[Path(m.group(1)).name][m.group(3)] += 1
+    if proc.returncode not in (0, 1):
+        print(proc.stdout, end="")
+        print(proc.stderr, end="", file=sys.stderr)
+        raise SystemExit(f"analyzer crashed (exit {proc.returncode})")
+    return dict(actual), proc.returncode
+
+
+def check_frontend(label: str, extra: list[str],
+                   expected: dict[str, collections.Counter]) -> bool:
+    actual, exit_code = run_analyzer(extra)
+    ok = True
+    for name, want in sorted(expected.items()):
+        got = actual.get(name, collections.Counter())
+        if got != want:
+            ok = False
+            print(f"FAIL [{label}] {name}: expected {dict(want) or 'no '}"
+                  f" finding(s), got {dict(got) or 'none'}")
+    for name in sorted(set(actual) - set(expected)):
+        ok = False
+        print(f"FAIL [{label}] {name}: unexpected findings "
+              f"{dict(actual[name])}")
+    any_expected = any(expected.values())
+    if any_expected and exit_code != 1:
+        ok = False
+        print(f"FAIL [{label}] exit code {exit_code}, expected 1 "
+              "(findings present)")
+    if ok:
+        total = sum(sum(c.values()) for c in expected.values())
+        print(f"ok [{label}]: {len(expected)} files, "
+              f"{total} expected diagnostics, all exactly once")
+    return ok
+
+
+def check_compiles() -> bool:
+    cxx = shutil.which("g++") or shutil.which("c++") or shutil.which("clang++")
+    if cxx is None:
+        print("skip: no C++ compiler on PATH, corpus validity not checked")
+        return True
+    ok = True
+    for path in sorted(CORPUS.glob("*.cc")) + sorted(CORPUS.glob("*.h")):
+        cmd = [cxx, "-std=c++20", "-fsyntax-only",
+               "-I", str(REPO / "src"), str(path)]
+        if path.suffix == ".h":
+            cmd[1:1] = ["-x", "c++"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            ok = False
+            print(f"FAIL {path.name}: not valid C++:\n{proc.stderr}")
+    if ok:
+        print(f"ok [syntax]: corpus compiles with {Path(cxx).name}")
+    return ok
+
+
+def clang_available() -> bool:
+    try:
+        from clang import cindex  # noqa: F401
+        cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def check_clang(expected: dict[str, collections.Counter]) -> bool:
+    if not clang_available():
+        print("skip: libclang not importable, clang front-end not exercised")
+        return True
+    with tempfile.TemporaryDirectory() as tmp:
+        compdb = Path(tmp) / "compile_commands.json"
+        entries = [{
+            "directory": str(CORPUS),
+            "file": str(path),
+            "arguments": ["clang++", "-std=c++20", "-I", str(REPO / "src"),
+                          "-c", str(path)],
+        } for path in sorted(CORPUS.glob("*.cc"))]
+        compdb.write_text(json.dumps(entries))
+        return check_frontend(
+            "clang", ["--frontend", "clang", "--compdb", str(compdb)],
+            expected)
+
+
+def main() -> int:
+    expected = expected_by_file()
+    if not expected:
+        print("FAIL: corpus directory holds no .cc/.h files")
+        return 1
+    ok = check_frontend("text", ["--frontend", "text"], expected)
+    ok = check_compiles() and ok
+    ok = check_clang(expected) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+// Comparing a 64-bit index against the 32-bit kNoIndex sentinel truncates
+// or sign-extends; the compare can never be true for values above 2^32.
+// expect: sentinel-width
+#include <cstdint>
+
+namespace corpus {
+
+inline constexpr std::uint32_t kNoIndex = 0xFFFFFFFFu;
+
+bool is_missing(std::int64_t idx) { return idx == kNoIndex; }
+
+}  // namespace corpus

@@ -1,0 +1,14 @@
+// An allow comment at the hot root suppresses a chain finding. No findings.
+#include <cstddef>
+
+#include "common/annotations.h"
+
+namespace corpus {
+
+int* make_buffer(std::size_t n) { return new int[n]; }
+
+// Bootstrap-only allocation, audited by hand.
+// ecrs-analyze: allow(hot-alloc)
+ECRS_HOT int* hot_root(std::size_t n) { return make_buffer(n); }
+
+}  // namespace corpus

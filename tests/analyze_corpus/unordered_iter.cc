@@ -1,0 +1,17 @@
+// Iterating an unordered container into an order-dependent accumulation is
+// run-to-run nondeterministic.
+// expect: unordered-iter
+#include <unordered_map>
+
+namespace corpus {
+
+double sum_values(const std::unordered_map<int, double>& m) {
+  double total = 0.0;
+  for (const auto& [key, value] : m) {
+    (void)key;
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace corpus

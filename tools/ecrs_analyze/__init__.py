@@ -1,0 +1,5 @@
+"""ecrs-analyze: call-graph static analysis for the ECRS C++ tree.
+
+Run as a directory (`python3 tools/ecrs_analyze --root .`) or as a module.
+See docs/ANALYSIS.md for the rule catalogue and escape-hatch policy.
+"""

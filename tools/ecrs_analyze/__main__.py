@@ -1,0 +1,16 @@
+"""Entry point: `python3 tools/ecrs_analyze [args]`.
+
+The package directory goes on sys.path so the sibling modules import as
+top-level names — this makes `python3 tools/ecrs_analyze` (directory
+execution) and `python3 -m tools.ecrs_analyze` behave identically.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from engine import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

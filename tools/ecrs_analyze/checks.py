@@ -1,0 +1,171 @@
+"""Rule evaluation over the front-end-neutral IR.
+
+Two families:
+
+  * Graph rules (hot-alloc / hot-lock / hot-throw / hot-block): DFS from
+    every ECRS_HOT function through call edges resolved by simple name
+    within the analyzed set. Traversal stops at ECRS_HOT_ESCAPE functions
+    and ignores their facts. At most one finding per (hot function, rule):
+    the first offending chain in source order, reported at the hot
+    function's definition with the full chain in the message.
+
+  * File rules (nondet-source / unordered-iter / float-key /
+    sentinel-width / des-std-function): per-line facts, filtered by scope —
+    determinism rules only fire in result-affecting directories,
+    des-std-function only in DES headers. --force-scope lifts the filters
+    (used by the corpus tests).
+
+Suppression: `// ecrs-analyze: allow(rule)` on the finding line or the line
+above. Chain findings accept the suppression at either end of the chain
+(the hot root or the offending site).
+"""
+
+from __future__ import annotations
+
+from model import Finding, Function, Module, GRAPH_FACT_RULES
+
+# Directories whose code feeds auction results, sweep tables or DES
+# trajectories; determinism rules apply here.
+RESULT_SCOPE = ("src/auction", "src/harness", "src/des", "src/demand",
+                "src/workload")
+DES_HEADER_SCOPE = "src/des"
+
+
+def _norm(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _in_result_scope(path: str) -> bool:
+    p = _norm(path)
+    return any(p.startswith(scope + "/") or ("/" + scope + "/") in p
+               for scope in RESULT_SCOPE)
+
+
+def _is_des_header(path: str) -> bool:
+    p = _norm(path)
+    in_des = p.startswith(DES_HEADER_SCOPE + "/") or \
+        ("/" + DES_HEADER_SCOPE + "/") in p
+    return in_des and p.endswith(".h")
+
+
+class _Index:
+    """Key -> functions, with declaration attributes merged into
+    definitions (an ECRS_HOT_ESCAPE on a header prototype marks the
+    out-of-line definition too). Keys are `Record::name` for members, so
+    the merge never crosses between two classes' identically named
+    methods. Call resolution goes through the simple name — a call site
+    only carries the unqualified spelling — and over-approximates when
+    several entities share it, except that `.`/`->` calls are restricted
+    to member functions."""
+
+    def __init__(self, modules: list[Module]):
+        self.by_key: dict[str, list[Function]] = {}
+        self.by_simple: dict[str, list[Function]] = {}
+        for mod in modules:
+            for fn in mod.functions:
+                self.by_key.setdefault(fn.key, []).append(fn)
+                simple = fn.key.split("::")[-1]
+                self.by_simple.setdefault(simple, []).append(fn)
+        for fns in self.by_key.values():
+            hot = any(f.hot for f in fns)
+            escape = any(f.escape for f in fns)
+            if escape:
+                for f in fns:
+                    f.escape = True
+            elif hot:
+                for f in fns:
+                    f.hot = True
+
+    def definitions(self, callee: str,
+                    member: bool = False) -> list[Function]:
+        fns = self.by_simple.get(callee, [])
+        return [f for f in fns
+                if f.is_definition and (f.member or not member)]
+
+    def hot_roots(self) -> list[Function]:
+        roots = [f for fns in self.by_key.values() for f in fns
+                 if f.hot and not f.escape and f.is_definition]
+        return sorted(roots, key=lambda f: (f.file, f.line))
+
+
+def _suppressed(rule: str, file: str, line: int,
+                allows_by_file: dict[str, dict[int, set[str]]]) -> bool:
+    table = allows_by_file.get(_norm(file), {})
+    for look in (line, line - 1):
+        rules = table.get(look)
+        if rules and (rule in rules or "all" in rules):
+            return True
+    return False
+
+
+def _check_hot_function(root: Function, index: _Index,
+                        findings_out: list[Finding]) -> None:
+    reported: set[str] = set()  # rule ids already reported for this root
+
+    def visit(fn: Function, chain: list[Function],
+              visited: set[int]) -> None:
+        if len(reported) == len(GRAPH_FACT_RULES):
+            return
+        if id(fn) in visited:
+            return
+        visited.add(id(fn))
+        if not fn.escape:
+            for fact in fn.facts:
+                rule = GRAPH_FACT_RULES.get(fact.kind)
+                if rule is None or rule in reported:
+                    continue
+                reported.add(rule)
+                names = " -> ".join(f.name for f in chain + [fn])
+                site = f"{fact.file}:{fact.line}"
+                findings_out.append(Finding(
+                    rule, root.file, root.line,
+                    f"ECRS_HOT '{root.name}' reaches {fact.detail} at "
+                    f"{site} (chain: {names}); hoist the work out of the "
+                    "hot path or mark an audited cold branch "
+                    "ECRS_HOT_ESCAPE", ))
+                findings_out[-1].site_file = fact.file  # type: ignore
+                findings_out[-1].site_line = fact.line  # type: ignore
+        for call in fn.calls:
+            for callee in index.definitions(call.callee, call.member):
+                if callee.escape:
+                    continue
+                visit(callee, chain + [fn], visited)
+
+    visit(root, [], set())
+
+
+def run_checks(modules: list[Module], force_scope: bool = False,
+               rules: set[str] | None = None) -> list[Finding]:
+    index = _Index(modules)
+    allows_by_file = {_norm(m.path): m.allows for m in modules}
+
+    findings: list[Finding] = []
+    for root in index.hot_roots():
+        _check_hot_function(root, index, findings)
+
+    for mod in modules:
+        for fact in mod.file_facts:
+            if fact.kind == "des-std-function":
+                if not force_scope and not _is_des_header(mod.path):
+                    continue
+            elif fact.kind == "sentinel-width":
+                pass  # sentinel hygiene applies everywhere
+            elif not force_scope and not _in_result_scope(mod.path):
+                continue
+            findings.append(Finding(fact.kind, fact.file, fact.line,
+                                    fact.detail))
+
+    kept = []
+    for f in findings:
+        if _suppressed(f.rule, f.file, f.line, allows_by_file):
+            continue
+        site_file = getattr(f, "site_file", None)
+        if site_file is not None and _suppressed(
+                f.rule, site_file, getattr(f, "site_line", 0),
+                allows_by_file):
+            continue
+        if rules and f.rule not in rules:
+            continue
+        kept.append(f)
+    kept.sort(key=lambda f: (f.file, f.line, f.rule))
+    return kept

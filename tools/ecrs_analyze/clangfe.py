@@ -1,0 +1,342 @@
+"""libclang front-end (preferred when `clang.cindex` is importable).
+
+Parses each TU from compile_commands.json and lowers real AST nodes to the
+same IR the textual front-end produces:
+
+  * ECRS_HOT / ECRS_HOT_ESCAPE arrive as `annotate("ecrs::hot")` /
+    `annotate("ecrs::hot_escape")` attributes (annotations.h expands the
+    macros to __attribute__((annotate(...))) under Clang);
+  * CXX_NEW_EXPR (minus placement forms), malloc-family calls and
+    make_unique/make_shared become `alloc` facts;
+  * mutex lock calls and RAII lock construction become `lock` facts;
+  * CXX_THROW_EXPR becomes `throw`; parallel_for / wait / join / sleep
+    calls become `block`;
+  * CXX_FOR_RANGE_STMT whose range type names an unordered container
+    becomes `unordered-iter`; rand/time/random_device calls become
+    `nondet-source`; float-keyed associative declarations become
+    `float-key`; ==/!= against kNoIndex/kNoSeller where the other operand's
+    canonical type is not `unsigned int` becomes `sentinel-width`.
+
+Semantics intentionally match textfe.py (std:: is opaque except for the
+explicit token sets above) so a repo that scans clean under one front-end
+scans clean under the other.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shlex
+from pathlib import Path
+
+from model import CallSite, Fact, Function, Module
+from textfe import collect_allows
+
+try:
+    from clang import cindex
+    _HAVE_CINDEX = True
+except Exception:  # pragma: no cover - exercised only without libclang
+    cindex = None
+    _HAVE_CINDEX = False
+
+
+def available() -> bool:
+    if not _HAVE_CINDEX:
+        return False
+    try:
+        cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+ALLOC_CALLS = {"malloc", "calloc", "realloc", "strdup", "make_unique",
+               "make_shared", "operator new", "operator new[]"}
+LOCK_CALLS = {"lock"}
+LOCK_TYPES = ("lock_guard", "unique_lock", "scoped_lock", "mutex_lock")
+BLOCK_CALLS = {"parallel_for", "wait", "wait_for", "wait_until", "join",
+               "sleep_for", "sleep_until"}
+NONDET_CALLS = {"rand", "srand", "time"}
+UNORDERED_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+FLOAT_KEY_RE = re.compile(
+    r"\b(?:unordered_)?(?:map|multimap|set|multiset)\s*<\s*"
+    r"(?:const\s+)?(?:float|double|long\s+double)\b")
+SENTINELS = {"kNoIndex", "kNoSeller"}
+U32_CANON = {"unsigned int", "const unsigned int", "uint32_t",
+             "std::uint32_t"}
+
+
+def _annotations(cursor) -> set[str]:
+    out = set()
+    for child in cursor.get_children():
+        if child.kind == cindex.CursorKind.ANNOTATE_ATTR:
+            out.add(child.spelling)
+    return out
+
+
+def _is_placement_new(cursor) -> bool:
+    toks = [t.spelling for t in cursor.get_tokens()][:4]
+    for i, tok in enumerate(toks):
+        if tok == "new":
+            return i + 1 < len(toks) and toks[i + 1] == "("
+    return False
+
+
+def _callee_name(cursor) -> str:
+    ref = cursor.referenced
+    if ref is not None and ref.spelling:
+        return ref.spelling
+    return cursor.spelling or ""
+
+
+def _callee_class(cursor) -> str:
+    ref = cursor.referenced
+    if ref is not None and ref.semantic_parent is not None:
+        return ref.semantic_parent.spelling or ""
+    return ""
+
+
+class _ModuleSet:
+    """One Module per distinct repo file, shared across TUs. Headers are
+    lowered once per including TU; functions and facts are deduplicated by
+    location so a header-declared inline function reports once, and allow
+    comments are honoured in the file that actually carries the finding."""
+
+    def __init__(self, root: Path):
+        self.root = root
+        self.by_rel: dict[str, Module] = {}
+        self._seen_functions: set[tuple[str, int, str]] = set()
+        self._seen_facts: set[tuple[str, str, int]] = set()
+
+    def module_for(self, rel: str) -> Module:
+        mod = self.by_rel.get(rel)
+        if mod is None:
+            try:
+                raw = (self.root / rel).read_text(encoding="utf-8",
+                                                  errors="replace")
+            except OSError:
+                raw = ""
+            mod = Module(path=rel, allows=collect_allows(raw))
+            self.by_rel[rel] = mod
+        return mod
+
+    def add_function(self, fn: Function) -> bool:
+        key = (fn.file, fn.line, fn.name)
+        if key in self._seen_functions:
+            return False
+        self._seen_functions.add(key)
+        self.module_for(fn.file).functions.append(fn)
+        return True
+
+    def add_file_fact(self, fact: Fact) -> None:
+        key = (fact.kind, fact.file, fact.line)
+        if key in self._seen_facts:
+            return
+        self._seen_facts.add(key)
+        self.module_for(fact.file).file_facts.append(fact)
+
+    def modules(self) -> list[Module]:
+        return sorted(self.by_rel.values(), key=lambda m: m.path)
+
+
+class _TuLowerer:
+    def __init__(self, modules: _ModuleSet, root: Path):
+        self.modules = modules
+        self.root = root
+
+    def lower(self, tu) -> None:
+        self._walk_top(tu.cursor)
+
+    def _in_tree(self, cursor) -> bool:
+        loc = cursor.location
+        if loc is None or loc.file is None:
+            return False
+        try:
+            return Path(loc.file.name).resolve().is_relative_to(self.root)
+        except (OSError, ValueError):
+            return False
+
+    def _relpath(self, cursor) -> str:
+        p = Path(cursor.location.file.name).resolve()
+        try:
+            return str(p.relative_to(self.root))
+        except ValueError:
+            return str(p)
+
+    def _walk_top(self, cursor) -> None:
+        fn_kinds = (cindex.CursorKind.FUNCTION_DECL,
+                    cindex.CursorKind.CXX_METHOD,
+                    cindex.CursorKind.CONSTRUCTOR,
+                    cindex.CursorKind.DESTRUCTOR,
+                    cindex.CursorKind.FUNCTION_TEMPLATE)
+        for child in cursor.walk_preorder():
+            if not self._in_tree(child):
+                continue
+            if child.kind in fn_kinds:
+                self._lower_function(child)
+            elif child.kind in (cindex.CursorKind.VAR_DECL,
+                                cindex.CursorKind.FIELD_DECL):
+                self._check_decl(child)
+
+    def _check_decl(self, cursor) -> None:
+        type_text = cursor.type.spelling if cursor.type else ""
+        if FLOAT_KEY_RE.search(type_text):
+            self.modules.add_file_fact(Fact(
+                "float-key", self._relpath(cursor), cursor.location.line,
+                f"'{cursor.spelling}' is keyed by a floating-point type — "
+                "float keys make membership depend on rounding"))
+
+    def _lower_function(self, cursor) -> None:
+        annots = _annotations(cursor)
+        hot = "ecrs::hot" in annots
+        escape = "ecrs::hot_escape" in annots
+        is_def = cursor.is_definition()
+        if not is_def and not (hot or escape):
+            return
+        fn = Function(
+            name=cursor.spelling,
+            key=cursor.spelling,
+            file=self._relpath(cursor),
+            line=cursor.location.line,
+            hot=hot,
+            escape=escape,
+            is_definition=is_def,
+        )
+        if not self.modules.add_function(fn):
+            return  # header function already lowered via another TU
+        if is_def:
+            self._lower_body(cursor, fn)
+
+    def _lower_body(self, cursor, fn: Function) -> None:
+        for node in cursor.walk_preorder():
+            if node == cursor:
+                continue
+            loc_file = fn.file
+            line = node.location.line if node.location else fn.line
+            kind = node.kind
+            if kind == cindex.CursorKind.CXX_NEW_EXPR:
+                if not _is_placement_new(node):
+                    fn.facts.append(Fact("alloc", loc_file, line,
+                                         "allocator call (new)"))
+            elif kind == cindex.CursorKind.CXX_THROW_EXPR:
+                fn.facts.append(Fact("throw", loc_file, line,
+                                     "throw expression"))
+            elif kind == cindex.CursorKind.CALL_EXPR:
+                self._lower_call(node, fn, loc_file, line)
+            elif kind == cindex.CursorKind.CXX_FOR_RANGE_STMT:
+                self._lower_range_for(node, loc_file, line)
+            elif kind == cindex.CursorKind.VAR_DECL:
+                type_text = node.type.spelling if node.type else ""
+                if any(t in type_text for t in LOCK_TYPES):
+                    fn.facts.append(Fact("lock", loc_file, line,
+                                         "mutex acquisition (RAII lock)"))
+                self._check_decl(node)
+            elif kind == cindex.CursorKind.BINARY_OPERATOR:
+                self._lower_comparison(node, loc_file, line)
+
+    def _lower_call(self, node, fn: Function, loc_file: str,
+                    line: int) -> None:
+        name = _callee_name(node)
+        if not name:
+            return
+        if name in ALLOC_CALLS:
+            fn.facts.append(Fact("alloc", loc_file, line,
+                                 f"allocator call ({name})"))
+            return
+        if name in LOCK_CALLS and _callee_class(node) in (
+                "mutex", "timed_mutex", "recursive_mutex", "shared_mutex"):
+            fn.facts.append(Fact("lock", loc_file, line,
+                                 "mutex acquisition"))
+            return
+        if name in BLOCK_CALLS:
+            fn.facts.append(Fact("block", loc_file, line,
+                                 f"blocking call ({name})"))
+            return
+        if name in NONDET_CALLS or name == "random_device":
+            self.modules.add_file_fact(Fact(
+                "nondet-source", loc_file, line,
+                f"{name} — route randomness through ecrs::rng so runs "
+                "replay from one seed"))
+        fn.calls.append(CallSite(name, loc_file, line))
+
+    def _lower_range_for(self, node, loc_file: str, line: int) -> None:
+        for child in node.get_children():
+            type_text = child.type.spelling if child.type else ""
+            if UNORDERED_RE.search(type_text):
+                self.modules.add_file_fact(Fact(
+                    "unordered-iter", loc_file, line,
+                    "range-for over an unordered container — copy to a "
+                    "sorted vector first (or justify order-independence "
+                    "with an allow comment)"))
+                return
+
+    def _lower_comparison(self, node, loc_file: str, line: int) -> None:
+        toks = [t.spelling for t in node.get_tokens()]
+        if "==" not in toks and "!=" not in toks:
+            return
+        if not (SENTINELS & set(toks)):
+            return
+        children = list(node.get_children())
+        if len(children) != 2:
+            return
+        refs = []
+        for child in children:
+            text = " ".join(t.spelling for t in child.get_tokens())
+            is_sentinel = any(s in text for s in SENTINELS)
+            canon = child.type.get_canonical().spelling if child.type else ""
+            refs.append((is_sentinel, canon))
+        sentinel_sides = [r for r in refs if r[0]]
+        other_sides = [r for r in refs if not r[0]]
+        if not sentinel_sides or not other_sides:
+            return
+        canon = other_sides[0][1]
+        if canon and canon not in U32_CANON:
+            self.modules.add_file_fact(Fact(
+                "sentinel-width", loc_file, line,
+                f"sentinel compared against '{canon}' — compare at "
+                "std::uint32_t width instead"))
+
+
+def _tu_args(entry: dict) -> list[str]:
+    if "arguments" in entry:
+        args = list(entry["arguments"])
+    else:
+        args = shlex.split(entry.get("command", ""))
+    args = args[1:]  # drop the compiler
+    cleaned = []
+    skip = 0
+    for a in args:
+        if skip:
+            skip -= 1
+            continue
+        if a in ("-c", "-o"):
+            skip = 1 if a == "-o" else 0
+            continue
+        if a.endswith((".cc", ".cpp", ".o")):
+            continue
+        cleaned.append(a)
+    return cleaned
+
+
+def load_modules(compdb_path: Path, root: Path,
+                 paths: list[Path] | None = None) -> list[Module]:
+    entries = json.loads(compdb_path.read_text(encoding="utf-8"))
+    index = cindex.Index.create()
+    wanted = {p.resolve() for p in paths} if paths else None
+    modules = _ModuleSet(root)
+    seen: set[Path] = set()
+    for entry in entries:
+        src = Path(entry["file"])
+        if not src.is_absolute():
+            src = Path(entry.get("directory", ".")) / src
+        src = src.resolve()
+        if src in seen or not src.is_relative_to(root):
+            continue
+        if wanted is not None and not any(
+                src == w or (w.is_dir() and src.is_relative_to(w))
+                for w in wanted):
+            continue
+        seen.add(src)
+        tu = index.parse(str(src), args=_tu_args(entry))
+        _TuLowerer(modules, root).lower(tu)
+    return modules.modules()

@@ -1,0 +1,144 @@
+"""CLI driver: front-end selection, file collection, reporting.
+
+Usage:
+  python3 tools/ecrs_analyze --root . [paths...]
+      [--frontend auto|clang|text] [--compdb build/compile_commands.json]
+      [--rules r1,r2] [--force-scope] [--list-rules]
+
+Front-end selection (`auto`, the default): the libclang front-end when
+`clang.cindex` imports AND the compilation database exists; the built-in
+textual front-end otherwise (a notice goes to stderr so CI logs show which
+one ran). `--frontend clang` hard-fails with an actionable message when
+either prerequisite is missing — tools/verify.sh relies on that for its
+skip-vs-fail gating.
+
+Exit status: 0 clean, 1 findings, 2 usage/infrastructure error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from model import ALL_RULES
+import checks
+import clangfe
+import textfe
+
+CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+
+
+def _collect_files(root: Path, paths: list[str]) -> list[Path]:
+    out: list[Path] = []
+    for spec in paths or ["src"]:
+        p = Path(spec)
+        if not p.is_absolute():
+            p = root / spec
+        if p.is_dir():
+            out.extend(sorted(
+                f for f in p.rglob("*")
+                if f.suffix in CXX_SUFFIXES and f.is_file()))
+        elif p.is_file():
+            out.append(p)
+        else:
+            print(f"ecrs-analyze: no such path: {spec}", file=sys.stderr)
+            return []
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ecrs-analyze",
+        description="call-graph static analysis for the ECRS C++ tree")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src/)")
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument("--frontend", choices=("auto", "clang", "text"),
+                        default="auto")
+    parser.add_argument("--compdb", default=None,
+                        help="compile_commands.json (default: "
+                             "<root>/build/compile_commands.json)")
+    parser.add_argument("--rules", default="",
+                        help="comma-separated subset of rules to report")
+    parser.add_argument("--force-scope", action="store_true",
+                        help="treat every analyzed file as result-affecting "
+                             "(corpus tests)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        width = max(len(r) for r in ALL_RULES)
+        for rule, text in sorted(ALL_RULES.items()):
+            print(f"{rule:<{width}}  {text}")
+        return 0
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"ecrs-analyze: --root {args.root} is not a directory",
+              file=sys.stderr)
+        return 2
+
+    compdb = Path(args.compdb) if args.compdb \
+        else root / "build" / "compile_commands.json"
+
+    frontend = args.frontend
+    if frontend == "auto":
+        if clangfe.available() and compdb.is_file():
+            frontend = "clang"
+        else:
+            if clangfe.available():
+                print(f"ecrs-analyze: {compdb} not found — configure with "
+                      "CMAKE_EXPORT_COMPILE_COMMANDS=ON (every CMake preset "
+                      "sets it); falling back to the textual front-end",
+                      file=sys.stderr)
+            frontend = "text"
+    elif frontend == "clang":
+        if not clangfe.available():
+            print("ecrs-analyze: --frontend clang requested but "
+                  "clang.cindex / libclang is unavailable (pip install "
+                  "libclang, or use --frontend text)", file=sys.stderr)
+            return 2
+        if not compdb.is_file():
+            print(f"ecrs-analyze: --frontend clang requested but {compdb} "
+                  "does not exist — configure the build with "
+                  "CMAKE_EXPORT_COMPILE_COMMANDS=ON (every CMake preset "
+                  "sets it) or pass --compdb", file=sys.stderr)
+            return 2
+
+    files = _collect_files(root, args.paths)
+    if not files:
+        return 2
+
+    if frontend == "clang":
+        modules = clangfe.load_modules(compdb, root, files)
+        # Headers only reachable through TUs outside the path filter (or
+        # header-only corpus inputs) still need the textual pass.
+        covered = {m.path for m in modules}
+        leftovers = [f for f in files
+                     if str(f.relative_to(root)) not in covered
+                     and f.suffix in (".h", ".hpp")]
+        if leftovers:
+            modules.extend(textfe.load_modules(leftovers, root))
+    else:
+        modules = textfe.load_modules(files, root)
+
+    wanted = {r.strip() for r in args.rules.split(",") if r.strip()} or None
+    if wanted:
+        unknown = wanted - set(ALL_RULES)
+        if unknown:
+            print(f"ecrs-analyze: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    findings = checks.run_checks(modules, force_scope=args.force_scope,
+                                 rules=wanted)
+    for finding in findings:
+        print(finding)
+
+    n_funcs = sum(len(m.functions) for m in modules)
+    n_hot = sum(1 for m in modules for f in m.functions if f.hot)
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"ecrs-analyze[{frontend}]: {len(modules)} files, "
+          f"{n_funcs} functions ({n_hot} hot), {status}")
+    return 0 if not findings else 1

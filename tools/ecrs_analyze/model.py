@@ -1,0 +1,112 @@
+"""Shared IR between the front-ends and the checks.
+
+Both front-ends (textfe, clangfe) lower a C++ file to the same three-part
+view so checks.py never knows which one produced it:
+
+  Function   — a definition (or an attributed declaration) with its purity
+               markers, the facts observed in its body, and its call sites.
+  Fact       — one observation at a source line. Graph facts (alloc / lock /
+               throw / block) only matter when reachable from an ECRS_HOT
+               root; file facts (nondet / unordered-iter / ...) are findings
+               by themselves when the file is in a result-affecting scope.
+  Module     — one parsed file: functions, file facts, and the
+               `// ecrs-analyze: allow(rule)` suppression table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Graph fact kinds: forbidden transitively below an ECRS_HOT root.
+GRAPH_FACT_RULES = {
+    "alloc": "hot-alloc",
+    "lock": "hot-lock",
+    "throw": "hot-throw",
+    "block": "hot-block",
+}
+
+# File fact kinds: the fact kind doubles as the rule id.
+FILE_FACT_RULES = (
+    "nondet-source",
+    "unordered-iter",
+    "float-key",
+    "sentinel-width",
+    "des-std-function",
+)
+
+ALL_RULES = {
+    "hot-alloc": "ECRS_HOT function transitively reaches the global "
+                 "allocator (new / malloc / make_unique / make_shared)",
+    "hot-lock": "ECRS_HOT function transitively acquires a mutex",
+    "hot-throw": "ECRS_HOT function transitively throws",
+    "hot-block": "ECRS_HOT function transitively blocks "
+                 "(parallel_for / wait / join / sleep)",
+    "nondet-source": "result-affecting code calls rand / time / "
+                     "std::random_device (use ecrs::rng)",
+    "unordered-iter": "range-for over an unordered container in "
+                      "result-affecting code (iteration order is not "
+                      "deterministic)",
+    "float-key": "map/set keyed by float or double in result-affecting code",
+    "sentinel-width": "kNoIndex / kNoSeller compared against a value whose "
+                      "declared type is not a 32-bit unsigned integer",
+    "des-std-function": "std::function in a DES header (des/callback.h "
+                        "stores callbacks inline; std::function heap-"
+                        "allocates per event)",
+}
+
+
+@dataclass
+class Fact:
+    kind: str
+    file: str
+    line: int
+    detail: str
+
+
+@dataclass
+class CallSite:
+    callee: str  # simple (unqualified) name used for in-graph resolution
+    file: str
+    line: int
+    # True when the call went through `.` or `->` — such calls only resolve
+    # to member functions (a free function of the same name is a different
+    # entity).
+    member: bool = False
+
+
+@dataclass
+class Function:
+    name: str  # display name, possibly qualified
+    # Resolution / attribute-merge key: `Record::name` for member functions
+    # (both in-class bodies and out-of-line `Record::f` definitions), the
+    # bare name for free functions. Keeps an ECRS_HOT on one class's method
+    # from leaking onto an unrelated class's identically named method.
+    key: str
+    file: str
+    line: int
+    hot: bool = False
+    escape: bool = False
+    is_definition: bool = True
+    member: bool = False
+    facts: list[Fact] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+
+
+@dataclass
+class Module:
+    path: str  # path as reported in findings (relative to --root)
+    functions: list[Function] = field(default_factory=list)
+    file_facts: list[Fact] = field(default_factory=list)
+    # line number (1-based) -> set of rule ids allowed on that line
+    allows: dict[int, set[str]] = field(default_factory=dict)
+
+
+@dataclass
+class Finding:
+    rule: str
+    file: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
