@@ -1,0 +1,235 @@
+// Shard-scaling numbers for BENCH_pr8.json: wall-clock of whole marketplace
+// horizons run sharded-serial vs sharded-parallel, the spillover stage's
+// approximate marginal cost (demand over-scaled vs locally satisfiable),
+// and a mailbox churn micro-lane (the one lane stable enough to gate in
+// CI; the end-to-end lanes ride along via bench_compare --allow).
+//
+// The binary is also the byte-identity cross-check: every serial round is
+// digested (winners, payments bit patterns, spillover awards, grants) and
+// compared against the parallel run; a mismatch exits nonzero BEFORE any
+// timing is reported, so the determinism acceptance gate holds on any
+// host, including single-core runners where the speedup itself is ~1x.
+//
+// Flags:
+//   --regions=N   edge cloud regions / shards (default 100)
+//   --rounds=N    marketplace rounds per horizon (default 3)
+//   --sellers=N   sellers per region (default 8)
+//   --demanders=N demanding microservices per region (default 4)
+//   --scale=F     post-clamp demand multiplier x100, e.g. 125 = 1.25
+//                 (default 125; > 100 leaves work for spillover)
+//   --threads=N   parallel-lane worker cap (default 0 = hardware width)
+//   --repeats=N   timing repeats per lane, mean reported (default 3)
+//   --seed=N      master seed (default 1)
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "auction/instance_gen.h"
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "edge/topology.h"
+#include "harness/internal.h"
+#include "market/marketplace.h"
+
+namespace {
+
+using ecrs::market::marketplace;
+using ecrs::market::marketplace_options;
+using ecrs::market::marketplace_round;
+
+struct market_setup {
+  ecrs::auction::regional_online_instance input;
+  std::vector<ecrs::auction::regional_instance> rounds;  // by round index
+};
+
+market_setup build_setup(std::size_t regions, std::size_t rounds,
+                         std::size_t sellers, std::size_t demanders,
+                         double scale, std::uint64_t seed) {
+  ecrs::auction::online_config stage;
+  stage.stage = ecrs::harness::internal::paper_stage(sellers, demanders, 2);
+  stage.rounds = rounds;
+  ecrs::auction::regional_config regional;
+  regional.regions = regions;
+  regional.demand_scale = scale;
+  ecrs::rng gen = ecrs::harness::internal::point_rng(seed, 12, 0, 0);
+  market_setup setup;
+  setup.input =
+      ecrs::auction::random_regional_online_instance(stage, regional, gen);
+  setup.rounds.resize(rounds);
+  for (std::size_t t = 0; t < rounds; ++t) {
+    setup.rounds[t].regions.resize(regions);
+    for (std::size_t r = 0; r < regions; ++r) {
+      setup.rounds[t].regions[r] = setup.input.regions[r].rounds[t];
+    }
+  }
+  return setup;
+}
+
+std::vector<std::vector<ecrs::auction::seller_profile>> sellers_of(
+    const market_setup& setup) {
+  std::vector<std::vector<ecrs::auction::seller_profile>> sellers;
+  sellers.reserve(setup.input.region_count());
+  for (const auto& region : setup.input.regions) {
+    sellers.push_back(region.sellers);
+  }
+  return sellers;
+}
+
+// Exact byte-level digest of everything a round decided: winner indices,
+// payment/price bit patterns, spillover awards and accounting. Two digests
+// are equal iff the runs are byte-identical in market terms.
+void digest_round(const marketplace_round& round,
+                  std::vector<std::uint64_t>& out) {
+  const auto push_double = [&](double v) {
+    out.push_back(std::bit_cast<std::uint64_t>(v));
+  };
+  out.push_back(round.round);
+  for (const auto& shard : round.shards) {
+    out.push_back(shard.outcome.winner_bids.size());
+    for (const std::size_t w : shard.outcome.winner_bids) out.push_back(w);
+    for (const double p : shard.outcome.payments) push_double(p);
+    for (const double p : shard.outcome.true_prices) push_double(p);
+    push_double(shard.outcome.social_cost);
+    out.push_back(static_cast<std::uint64_t>(shard.deficit));
+  }
+  out.push_back(round.spillover.awards.size());
+  for (const auto& award : round.spillover.awards) {
+    out.push_back(award.demand_region);
+    out.push_back(award.helper_region);
+    out.push_back(award.seller);
+    out.push_back(award.bid_index);
+    for (const auto k : award.covered) out.push_back(k);
+    out.push_back(static_cast<std::uint64_t>(award.amount));
+    push_double(award.ask);
+    push_double(award.payment);
+  }
+  out.push_back(static_cast<std::uint64_t>(round.unmet_units));
+  push_double(round.social_cost);
+  push_double(round.total_payment);
+}
+
+// Run a whole horizon; returns wall-clock ms and appends the digest.
+double run_horizon(const market_setup& setup, const ecrs::edge::topology& topo,
+                   std::size_t threads, std::vector<std::uint64_t>* digest) {
+  marketplace_options options;
+  options.threads = threads;
+  options.shard.session.stage.payment_threads = 1;
+  options.spillover.stage.payment_threads = 1;
+  ecrs::stopwatch clock;
+  marketplace mkt(topo, sellers_of(setup), options);
+  marketplace_round result;
+  for (const auto& round : setup.rounds) {
+    mkt.run_round(round, result);
+    if (digest != nullptr) digest_round(result, *digest);
+  }
+  return clock.elapsed_ms();
+}
+
+template <typename Fn>
+double mean_ms(std::size_t repeats, Fn&& fn) {
+  double total = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) total += fn();
+  return total / static_cast<double>(repeats);
+}
+
+void print_lane(const char* name, double ms, bool trailing_comma) {
+  std::printf("    \"%s\": {\"mean_ns\": %.0f}%s\n", name, ms * 1e6,
+              trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto regions = static_cast<std::size_t>(f.get_int("regions", 100));
+  const auto rounds = static_cast<std::size_t>(f.get_int("rounds", 3));
+  const auto sellers = static_cast<std::size_t>(f.get_int("sellers", 8));
+  const auto demanders = static_cast<std::size_t>(f.get_int("demanders", 4));
+  const double scale =
+      static_cast<double>(f.get_int("scale", 125)) / 100.0;
+  const auto threads = static_cast<std::size_t>(f.get_int("threads", 0));
+  const auto repeats = static_cast<std::size_t>(f.get_int("repeats", 3));
+  const auto seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
+
+  const market_setup setup =
+      build_setup(regions, rounds, sellers, demanders, scale, seed);
+  ecrs::edge::topology topo =
+      ecrs::edge::topology::ring(static_cast<std::uint32_t>(regions));
+
+  // ---- byte-identity gate (before any timing) -----------------------------
+  std::vector<std::uint64_t> serial_digest;
+  std::vector<std::uint64_t> parallel_digest;
+  (void)run_horizon(setup, topo, 1, &serial_digest);
+  (void)run_horizon(setup, topo, threads, &parallel_digest);
+  const bool identical = serial_digest == parallel_digest;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "shard_scaling: serial and parallel digests differ "
+                 "(%zu vs %zu words) — determinism broken\n",
+                 serial_digest.size(), parallel_digest.size());
+    return 1;
+  }
+
+  // ---- wall clock ---------------------------------------------------------
+  const double serial_ms = mean_ms(
+      repeats, [&] { return run_horizon(setup, topo, 1, nullptr); });
+  const double parallel_ms = mean_ms(
+      repeats, [&] { return run_horizon(setup, topo, threads, nullptr); });
+
+  // Spillover marginal cost (approximate): the same market with demand
+  // clamped to local supply (scale 1.0) never posts a spill request, so
+  // the wall-clock delta against the over-scaled serial lane is the cost
+  // of the re-auctions plus the slightly heavier local rounds.
+  const market_setup no_spill =
+      build_setup(regions, rounds, sellers, demanders, 1.0, seed);
+  const double no_spill_ms = mean_ms(
+      repeats, [&] { return run_horizon(no_spill, topo, 1, nullptr); });
+
+  // ---- mailbox churn micro-lane (the CI-stable lane) ----------------------
+  constexpr std::size_t kChurnMessages = 200000;
+  const double churn_ms = mean_ms(repeats, [&] {
+    ecrs::market::post_office po(static_cast<std::uint32_t>(regions));
+    ecrs::stopwatch clock;
+    std::size_t delivered = 0;
+    for (std::size_t batch = 0; batch < 4; ++batch) {
+      for (std::size_t i = 0; i < kChurnMessages / 4; ++i) {
+        ecrs::market::message m;
+        m.type = ecrs::market::message::kind::spill_grant;
+        m.from = static_cast<std::uint32_t>(i % regions);
+        m.to = static_cast<std::uint32_t>((i * 7) % regions);
+        m.seller = static_cast<std::uint32_t>(i);
+        m.weight = 1;
+        po.post(std::move(m));
+      }
+      po.drain([&](const ecrs::market::message&) { ++delivered; });
+    }
+    if (delivered != kChurnMessages) std::abort();
+    return clock.elapsed_ms();
+  });
+
+  std::printf("{\n");
+  std::printf("  \"config\": {\"regions\": %zu, \"rounds\": %zu, "
+              "\"sellers_per_region\": %zu, \"demanders_per_region\": %zu, "
+              "\"demand_scale\": %.2f, \"threads\": %zu, \"repeats\": %zu, "
+              "\"seed\": %llu, \"hardware_concurrency\": %u},\n",
+              regions, rounds, sellers, demanders, scale, threads, repeats,
+              static_cast<unsigned long long>(seed),
+              std::thread::hardware_concurrency());
+  std::printf("  \"bit_identical\": %s,\n", identical ? "true" : "false");
+  std::printf("  \"results_ns_mean\": {\n");
+  print_lane("MarketHorizonShardedSerial", serial_ms, true);
+  print_lane("MarketHorizonShardedParallel", parallel_ms, true);
+  print_lane("MarketHorizonNoSpillSerial", no_spill_ms, true);
+  print_lane("MailboxChurn", churn_ms, false);
+  std::printf("  },\n");
+  std::printf("  \"speedups\": {\"parallel_over_serial\": %.2f},\n",
+              parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+  std::printf("  \"spillover_marginal_ms\": %.2f\n",
+              serial_ms - no_spill_ms);
+  std::printf("}\n");
+  return 0;
+}

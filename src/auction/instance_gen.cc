@@ -223,4 +223,105 @@ online_instance random_online_instance(const online_config& config, rng& gen) {
   return instance;
 }
 
+namespace {
+
+void validate_regional_config(const regional_config& config) {
+  ECRS_CHECK_MSG(config.regions >= 1, "need at least one region");
+  ECRS_CHECK_MSG(config.sellers_per_region.empty() ||
+                     config.sellers_per_region.size() == config.regions,
+                 "sellers_per_region must be empty or one entry per region");
+  ECRS_CHECK_MSG(
+      config.demanders_per_region.empty() ||
+          config.demanders_per_region.size() == config.regions,
+      "demanders_per_region must be empty or one entry per region");
+  ECRS_CHECK_MSG(
+      config.demand_scale_per_region.empty() ||
+          config.demand_scale_per_region.size() == config.regions,
+      "demand_scale_per_region must be empty or one entry per region");
+  ECRS_CHECK_MSG(config.demand_scale >= 0.0,
+                 "demand scale must be non-negative");
+  for (const double s : config.demand_scale_per_region) {
+    ECRS_CHECK_MSG(s >= 0.0, "demand scale must be non-negative");
+  }
+}
+
+double region_scale(const regional_config& config, std::size_t r) {
+  return config.demand_scale_per_region.empty()
+             ? config.demand_scale
+             : config.demand_scale_per_region[r];
+}
+
+// Re-inflate requirements past the satisfiability clamp (see
+// regional_config::demand_scale); identity at scale 1.
+void scale_requirements(single_stage_instance& instance, double scale) {
+  if (scale == 1.0) return;
+  for (units& x : instance.requirements) {
+    x = static_cast<units>(
+        std::ceil(static_cast<double>(x) * scale));
+  }
+}
+
+instance_config region_stage(const instance_config& stage,
+                             const regional_config& config, std::size_t r) {
+  instance_config local = stage;
+  if (!config.sellers_per_region.empty()) {
+    local.sellers = config.sellers_per_region[r];
+  }
+  if (!config.demanders_per_region.empty()) {
+    local.demanders = config.demanders_per_region[r];
+  }
+  return local;
+}
+
+}  // namespace
+
+void regional_instance::validate() const {
+  for (const single_stage_instance& local : regions) local.validate();
+}
+
+void regional_online_instance::validate() const {
+  for (const online_instance& local : regions) {
+    local.validate();
+    ECRS_CHECK_MSG(local.horizon() == horizon(),
+                   "all regions must share one horizon");
+  }
+}
+
+regional_instance random_regional_instance(const instance_config& stage,
+                                           const regional_config& config,
+                                           rng& gen) {
+  validate_regional_config(config);
+  regional_instance instance;
+  instance.regions.reserve(config.regions);
+  for (std::size_t r = 0; r < config.regions; ++r) {
+    rng sub = gen.fork(static_cast<std::uint64_t>(r));
+    single_stage_instance local =
+        random_instance(region_stage(stage, config, r), sub);
+    scale_requirements(local, region_scale(config, r));
+    local.validate();
+    instance.regions.push_back(std::move(local));
+  }
+  return instance;
+}
+
+regional_online_instance random_regional_online_instance(
+    const online_config& stage, const regional_config& config, rng& gen) {
+  validate_regional_config(config);
+  regional_online_instance instance;
+  instance.regions.reserve(config.regions);
+  for (std::size_t r = 0; r < config.regions; ++r) {
+    rng sub = gen.fork(static_cast<std::uint64_t>(r));
+    online_config local_cfg = stage;
+    local_cfg.stage = region_stage(stage.stage, config, r);
+    online_instance local = random_online_instance(local_cfg, sub);
+    const double scale = region_scale(config, r);
+    for (single_stage_instance& round : local.rounds) {
+      scale_requirements(round, scale);
+    }
+    local.validate();
+    instance.regions.push_back(std::move(local));
+  }
+  return instance;
+}
+
 }  // namespace ecrs::auction

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "auction/bid.h"
 #include "auction/online.h"
@@ -60,5 +61,54 @@ struct online_config {
 
 [[nodiscard]] online_instance random_online_instance(
     const online_config& config, rng& gen);
+
+// ---------------------------------------------------------------------------
+// Region-aware generation (the sharded marketplace's input shape): one
+// local auction per edge::topology region, each drawn from an independent
+// per-region substream (gen.fork(region)), so a regional instance is
+// byte-identical whether regions are generated serially or by concurrent
+// shards, and adding a region never perturbs the others.
+
+struct regional_config {
+  std::size_t regions = 10;
+  // Per-region overrides of the stage's seller/demander counts; empty = use
+  // the stage config for every region, otherwise size must equal `regions`.
+  std::vector<std::size_t> sellers_per_region;
+  std::vector<std::size_t> demanders_per_region;
+  // Post-clamp demand multiplier: the base generators clamp requirements to
+  // the local guaranteed supply, so every region is locally satisfiable;
+  // a scale > 1 re-inflates requirements past local supply, leaving
+  // deficits only cross-region spillover can cover. Per-region overrides
+  // (empty = scale everywhere) let tests overload a single region.
+  double demand_scale = 1.0;
+  std::vector<double> demand_scale_per_region;
+};
+
+// One local winner-selection problem per region; seller and demander ids
+// are region-local (the marketplace's region_map assigns global ids).
+struct regional_instance {
+  std::vector<single_stage_instance> regions;
+
+  [[nodiscard]] std::size_t region_count() const { return regions.size(); }
+  void validate() const;  // validates every local instance
+};
+
+// Multi-round flavour: one online_instance (rounds + seller profiles) per
+// region, for marketplaces that keep a warm msoa_session per shard.
+struct regional_online_instance {
+  std::vector<online_instance> regions;
+
+  [[nodiscard]] std::size_t region_count() const { return regions.size(); }
+  [[nodiscard]] std::size_t horizon() const {
+    return regions.empty() ? 0 : regions.front().horizon();
+  }
+  void validate() const;
+};
+
+[[nodiscard]] regional_instance random_regional_instance(
+    const instance_config& stage, const regional_config& config, rng& gen);
+
+[[nodiscard]] regional_online_instance random_regional_online_instance(
+    const online_config& stage, const regional_config& config, rng& gen);
 
 }  // namespace ecrs::auction

@@ -209,6 +209,23 @@ void msoa_session::run_round(const single_stage_instance& round,
   }
 }
 
+void msoa_session::consume_external(seller_id s, units weight, double price) {
+  ECRS_CHECK_MSG(s < profiles_.size(), "unknown seller " << s);
+  ECRS_CHECK_MSG(weight >= 1, "external consumption needs positive weight");
+  ECRS_CHECK_MSG(price >= 0.0, "external price must be non-negative");
+  ECRS_CHECK_MSG(used_[s] + weight <= profiles_[s].capacity,
+                 "seller " << s << " lacks capacity for external sale of "
+                           << weight << " units");
+  // Same update as a local win (Algorithm 2 lines 11-12): the seller's
+  // future bids are scaled as if it had won a coverage-|weight| bid at
+  // `price` this round.
+  const double theta = static_cast<double>(profiles_[s].capacity);
+  const double a = alpha();
+  psi_[s] = psi_[s] * (1.0 + static_cast<double>(weight) / (a * theta)) +
+            price * static_cast<double>(weight) / (a * theta * theta);
+  used_[s] += weight;
+}
+
 msoa_result run_msoa(const online_instance& instance,
                      const msoa_options& options) {
   instance.validate();

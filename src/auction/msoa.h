@@ -105,6 +105,15 @@ class msoa_session {
   // the allocator at steady state. Bit-identical to the value overload.
   void run_round(const single_stage_instance& round, msoa_round_outcome& out);
 
+  // Record a sale made OUTSIDE the session's own rounds — the sharded
+  // marketplace's spillover stage sells a seller's spare capacity into a
+  // neighboring region between local rounds. Consumes `weight`
+  // participation units of lifetime capacity and applies the same line-11
+  // ψ update as a local win at asking price `price`, so externally sold
+  // capacity is protected in subsequent local rounds exactly like locally
+  // sold capacity. Throws if the seller lacks the remaining capacity.
+  void consume_external(seller_id s, units weight, double price);
+
  private:
   std::vector<seller_profile> profiles_;
   msoa_options options_;

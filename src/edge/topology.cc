@@ -16,6 +16,7 @@ topology::topology(std::uint32_t clouds)
     : size_(clouds), dist_(static_cast<std::size_t>(clouds) * clouds, kInf) {
   ECRS_CHECK_MSG(clouds >= 1, "topology needs at least one cloud");
   for (std::uint32_t i = 0; i < size_; ++i) at(i, i) = 0.0;
+  rebuild_neighbors();  // a linkless graph has empty rows but valid offsets
 }
 
 double& topology::at(std::uint32_t a, std::uint32_t b) {
@@ -48,6 +49,44 @@ void topology::finalize() {
     }
   }
   finalized_ = true;
+  rebuild_neighbors();
+}
+
+void topology::rebuild_neighbors() {
+  neighbors_.clear();
+  neighbor_offset_.assign(static_cast<std::size_t>(size_) + 1, 0);
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    neighbor_offset_[i] = neighbors_.size();
+    const std::size_t row_start = neighbors_.size();
+    for (std::uint32_t j = 0; j < size_; ++j) {
+      if (j == i || at(i, j) == kInf) continue;
+      neighbors_.push_back({j, at(i, j)});
+    }
+    std::sort(neighbors_.begin() + static_cast<std::ptrdiff_t>(row_start),
+              neighbors_.end(), [](const neighbor& a, const neighbor& b) {
+                if (a.latency != b.latency) return a.latency < b.latency;
+                return a.region < b.region;
+              });
+  }
+  neighbor_offset_[size_] = neighbors_.size();
+}
+
+std::span<const neighbor> topology::neighbors_by_latency(
+    std::uint32_t region) const {
+  ECRS_CHECK_MSG(finalized_, "call finalize() after add_link()");
+  ECRS_CHECK(region < size_);
+  return {neighbors_.data() + neighbor_offset_[region],
+          neighbor_offset_[region + 1] - neighbor_offset_[region]};
+}
+
+std::span<const neighbor> topology::neighbors_by_latency(
+    std::uint32_t region, double max_latency) const {
+  const std::span<const neighbor> row = neighbors_by_latency(region);
+  ECRS_CHECK_MSG(max_latency >= 0.0, "latency budget must be non-negative");
+  const auto end = std::upper_bound(
+      row.begin(), row.end(), max_latency,
+      [](double budget, const neighbor& n) { return budget < n.latency; });
+  return row.first(static_cast<std::size_t>(end - row.begin()));
 }
 
 double topology::latency(std::uint32_t a, std::uint32_t b) const {

@@ -9,11 +9,19 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
 
 namespace ecrs::edge {
+
+// One reachable peer cloud, as seen from a fixed origin cloud: the peer's id
+// and the shortest-path latency to it.
+struct neighbor {
+  std::uint32_t region = 0;
+  double latency = 0.0;
+};
 
 class topology {
  public:
@@ -41,6 +49,19 @@ class topology {
   [[nodiscard]] double transfer_cost(std::uint32_t a, std::uint32_t b,
                                      double cost_per_ms) const;
 
+  // All clouds reachable from `region` (itself excluded), ascending by
+  // (latency, region id). Precomputed once by finalize(), so per-round
+  // consumers (the marketplace spillover stage) never rescan the
+  // Floyd–Warshall row.
+  [[nodiscard]] std::span<const neighbor> neighbors_by_latency(
+      std::uint32_t region) const;
+
+  // The prefix of neighbors_by_latency(region) with latency <= max_latency
+  // (a binary search over the precomputed row; the full row when
+  // max_latency is infinite).
+  [[nodiscard]] std::span<const neighbor> neighbors_by_latency(
+      std::uint32_t region, double max_latency) const;
+
   // --- Factories -----------------------------------------------------------
   // Ring: cloud i links to i+1 (mod n) with the given per-hop latency.
   [[nodiscard]] static topology ring(std::uint32_t clouds,
@@ -63,9 +84,14 @@ class topology {
   std::uint32_t size_;
   std::vector<double> dist_;  // row-major size_ x size_
   bool finalized_ = true;     // a linkless graph is trivially final
+  // CSR rows of reachable peers per cloud, each row ascending by
+  // (latency, region id); rebuilt by finalize().
+  std::vector<neighbor> neighbors_;
+  std::vector<std::size_t> neighbor_offset_;  // size_ + 1 entries
 
   [[nodiscard]] double& at(std::uint32_t a, std::uint32_t b);
   [[nodiscard]] double at(std::uint32_t a, std::uint32_t b) const;
+  void rebuild_neighbors();
 };
 
 }  // namespace ecrs::edge

@@ -131,4 +131,25 @@ struct sweep_config {
     const std::vector<double>& price_multipliers = {0.5, 0.75, 1.0, 1.5, 2.0,
                                                     3.0});
 
+// --- Sharded multi-region marketplace (DESIGN.md §12): one SSAM/MSOA shard
+// per edge cloud region on a ring backhaul, demand over-scaled past local
+// supply so the spillover stage has cross-region work every round. One row
+// per round: totals, spillover traffic and unmet demand. The table is
+// byte-identical at any `threads` setting (tests/market_test enforces it).
+struct marketplace_config {
+  std::size_t regions = 10;
+  std::size_t rounds = 5;
+  std::size_t sellers_per_region = 8;
+  std::size_t demanders_per_region = 4;
+  // Post-clamp demand multiplier (> 1 leaves deficits only neighboring
+  // regions can cover; see auction::regional_config::demand_scale).
+  double demand_scale = 1.25;
+  std::uint64_t seed = 1;
+  // Shard fan-out width: 0 = shared pool at hardware width, 1 = serial,
+  // k = at most k workers.
+  std::size_t threads = 0;
+};
+
+[[nodiscard]] table marketplace_rounds(const marketplace_config& cfg = {});
+
 }  // namespace ecrs::harness

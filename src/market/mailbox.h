@@ -1,0 +1,104 @@
+// In-process inter-shard mail for the sharded marketplace.
+//
+// Shards never call each other: everything that crosses a region boundary
+// is a message, so a later PR can swap the post_office for real transport
+// without touching shard logic. Two kinds exist today:
+//
+//  - spill_request: a shard reports the demand its local round left
+//    uncovered (to the coordinator slot);
+//  - spill_grant: the coordinator tells a helper shard that its seller sold
+//    spare capacity into another region (the shard charges the sale
+//    against the seller's session capacity via consume_external).
+//
+// Concurrency and determinism contract:
+//  - the slot array is pre-sized at construction (one outbox per region
+//    plus the coordinator slot) — enqueue during the parallel shard stage
+//    is each shard appending to ITS OWN slot, so no lock is taken and no
+//    two threads touch one slot;
+//  - drain() delivers strictly ordered by (to, from, post sequence) —
+//    never by completion or scheduling order — so every marketplace round
+//    processes mail in the same order at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "auction/bid.h"
+#include "common/annotations.h"
+#include "common/check.h"
+
+namespace ecrs::market {
+
+// One demander's unmet demand after a local round.
+struct spill_deficit {
+  auction::demander_id demander = 0;  // region-local id
+  auction::units missing = 0;         // > 0
+};
+
+struct message {
+  enum class kind : std::uint8_t { spill_request, spill_grant };
+
+  kind type = kind::spill_request;
+  std::uint32_t from = 0;  // origin slot (a region, or the coordinator)
+  std::uint32_t to = 0;    // destination slot
+  // spill_request payload: uncovered demand, ascending local demander id.
+  std::vector<spill_deficit> deficits;
+  // spill_grant payload: the destination shard's local seller `seller`
+  // sold `weight` participation units at asking price `price` into region
+  // `buyer`.
+  auction::seller_id seller = 0;
+  auction::units weight = 0;
+  double price = 0.0;
+  std::uint32_t buyer = 0;
+};
+
+// Pre-sized per-region slot mail. Slot ids 0..regions-1 belong to the
+// shards; slot `regions` is the coordinator (the marketplace driver).
+class post_office {
+ public:
+  explicit post_office(std::uint32_t regions)
+      : outbox_(static_cast<std::size_t>(regions) + 1) {
+    ECRS_CHECK_MSG(regions >= 1, "need at least one region");
+  }
+
+  [[nodiscard]] std::uint32_t regions() const {
+    return static_cast<std::uint32_t>(outbox_.size() - 1);
+  }
+  [[nodiscard]] std::uint32_t coordinator() const { return regions(); }
+
+  // Append to slot `m.from`. During the parallel shard stage each shard
+  // posts only with from == its own region, so writes are disjoint by
+  // construction and no lock exists to contend on. The slot vector itself
+  // is never resized after construction.
+  ECRS_HOT void post(message m) {
+    ECRS_CHECK(m.from < outbox_.size() && m.to < outbox_.size());
+    outbox_[m.from].push_back(std::move(m));
+  }
+
+  [[nodiscard]] std::size_t pending() const {
+    std::size_t n = 0;
+    for (const auto& slot : outbox_) n += slot.size();
+    return n;
+  }
+
+  // Deliver every pending message ordered by (to, from, post sequence),
+  // then clear all slots (capacity kept for the next round). The ordering
+  // is a pure function of what was posted where — never of which shard
+  // finished first.
+  template <typename Deliver>
+  ECRS_HOT void drain(Deliver&& deliver) {
+    for (std::size_t to = 0; to < outbox_.size(); ++to) {
+      for (std::size_t from = 0; from < outbox_.size(); ++from) {
+        for (message& m : outbox_[from]) {
+          if (m.to == to) deliver(m);
+        }
+      }
+    }
+    for (auto& slot : outbox_) slot.clear();
+  }
+
+ private:
+  std::vector<std::vector<message>> outbox_;  // slot per origin, pre-sized
+};
+
+}  // namespace ecrs::market

@@ -1,0 +1,108 @@
+#include "market/marketplace.h"
+
+#include <span>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace ecrs::market {
+
+marketplace::marketplace(
+    const edge::topology& topo,
+    std::vector<std::vector<auction::seller_profile>> sellers_per_region,
+    marketplace_options options)
+    : topo_(&topo),
+      options_(options),
+      po_(static_cast<std::uint32_t>(sellers_per_region.size())) {
+  ECRS_CHECK_MSG(!sellers_per_region.empty(), "need at least one region");
+  ECRS_CHECK_MSG(topo.clouds() >= sellers_per_region.size(),
+                 "topology must cover every region");
+  shards_.reserve(sellers_per_region.size());
+  for (std::size_t r = 0; r < sellers_per_region.size(); ++r) {
+    shards_.emplace_back(static_cast<std::uint32_t>(r),
+                         std::move(sellers_per_region[r]), options_.shard);
+  }
+}
+
+const shard& marketplace::region(std::uint32_t r) const {
+  ECRS_CHECK(r < shards_.size());
+  return shards_[r];
+}
+
+marketplace_round marketplace::run_round(
+    const auction::regional_instance& round) {
+  marketplace_round out;
+  run_round(round, out);
+  return out;
+}
+
+void marketplace::run_round(const auction::regional_instance& round,
+                            marketplace_round& out) {
+  const std::size_t n = shards_.size();
+  ECRS_CHECK_MSG(round.regions.size() == n,
+                 "round carries " << round.regions.size()
+                                  << " regional instances for " << n
+                                  << " shards");
+  ECRS_CHECK_MSG(po_.pending() == 0, "mailbox not drained");
+
+  out.round = ++round_;
+  out.shards.resize(n);
+  out.social_cost = 0.0;
+  out.total_payment = 0.0;
+  out.unmet_units = 0;
+
+  // 1. Fan out the local rounds. Each shard writes only its own result
+  // slot and its own mailbox slot, so the stage is lock-free and the
+  // outcome is independent of scheduling.
+  if (options_.threads == 1 || n == 1) {
+    for (std::size_t r = 0; r < n; ++r) {
+      shards_[r].run_round(round.regions[r], po_, out.shards[r]);
+    }
+  } else {
+    thread_pool::shared().parallel_for(
+        n,
+        [&](std::size_t r) {
+          shards_[r].run_round(round.regions[r], po_, out.shards[r]);
+        },
+        options_.threads);
+  }
+
+  // 2. Coordinator drain: spill requests arrive ordered by origin region.
+  requests_.clear();
+  po_.drain([&](message& m) {
+    ECRS_CHECK_MSG(m.to == po_.coordinator() &&
+                       m.type == message::kind::spill_request,
+                   "only spill requests may be in flight after the fan-out");
+    requests_.push_back(std::move(m));
+  });
+
+  // 3. Serial spillover re-auctions; grants go back into the mailbox.
+  run_spillover(*topo_, std::span<const auction::single_stage_instance>(
+                            round.regions),
+                std::span<const shard>(shards_),
+                std::span<const shard_round>(out.shards),
+                std::span<const message>(requests_), options_.spillover, po_,
+                out.spillover);
+
+  // 4. Helper shards charge the sales against their sellers.
+  po_.drain([&](message& m) {
+    ECRS_CHECK_MSG(m.type == message::kind::spill_grant,
+                   "only grants may be in flight after spillover");
+    shards_[m.to].apply_grant(m);
+  });
+
+  // 5. Serial reduction, ascending region id.
+  for (std::size_t r = 0; r < n; ++r) {
+    out.social_cost += out.shards[r].outcome.social_cost;
+    for (const double p : out.shards[r].outcome.payments) {
+      out.total_payment += p;
+    }
+  }
+  out.social_cost += out.spillover.social_cost;
+  out.total_payment += out.spillover.total_payment;
+  out.unmet_units = out.spillover.unmet_units;
+  out.feasible = out.unmet_units == 0;
+}
+
+}  // namespace ecrs::market

@@ -1,0 +1,197 @@
+#include "market/spillover.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ecrs::market {
+namespace {
+
+// A helper bid eligible for one uncovered region's re-auction.
+struct candidate {
+  std::uint32_t helper_region = 0;
+  auction::seller_id seller = 0;  // helper-local
+  std::size_t bid_index = 0;      // into the helper's round instance
+  double latency = 0.0;
+};
+
+// Lazily computed per-helper-region state: the round's spare offers and a
+// claimed mask (a seller sells into at most one foreign region per round).
+struct helper_state {
+  bool offers_ready = false;
+  std::vector<spare_offer> offers;   // ascending bid index
+  std::vector<char> claimed;         // by helper-local seller id
+};
+
+// Cheapest unclaimed spare bid per seller of `helper`, ties broken by bid
+// index. Appends to `out` in ascending seller id order.
+void pick_per_seller(const auction::single_stage_instance& local,
+                     const helper_state& helper, std::uint32_t region,
+                     double latency, std::vector<candidate>& out) {
+  // Offers arrive grouped by nothing in particular (ascending bid index),
+  // so scan for each seller's best; offer lists are small (<= bids of one
+  // region's round).
+  std::vector<std::pair<auction::seller_id, std::size_t>> best;
+  for (const spare_offer& offer : helper.offers) {
+    if (helper.claimed[offer.seller] != 0) continue;
+    const double price = local.bids[offer.bid_index].price;
+    auto it = std::find_if(best.begin(), best.end(), [&](const auto& e) {
+      return e.first == offer.seller;
+    });
+    if (it == best.end()) {
+      best.emplace_back(offer.seller, offer.bid_index);
+    } else if (price < local.bids[it->second].price) {
+      it->second = offer.bid_index;
+    }
+  }
+  std::sort(best.begin(), best.end());
+  for (const auto& [seller, bid_index] : best) {
+    out.push_back({region, seller, bid_index, latency});
+  }
+}
+
+}  // namespace
+
+void run_spillover(const edge::topology& topo,
+                   std::span<const auction::single_stage_instance> locals,
+                   std::span<const shard> shards,
+                   std::span<const shard_round> rounds,
+                   std::span<const message> requests,
+                   const spillover_options& options, post_office& po,
+                   spillover_outcome& out) {
+  ECRS_CHECK_MSG(shards.size() == locals.size() &&
+                     shards.size() == rounds.size(),
+                 "one shard, local instance and round outcome per region");
+  ECRS_CHECK_MSG(topo.clouds() >= shards.size(),
+                 "topology must cover every region");
+  ECRS_CHECK_MSG(options.cost_per_ms >= 0.0 && options.max_latency >= 0.0,
+                 "spillover surcharge and latency budget must be >= 0");
+
+  out.awards.clear();
+  out.regions.clear();
+  out.unmet_units = 0;
+  out.social_cost = 0.0;
+  out.total_payment = 0.0;
+  if (requests.empty()) return;
+
+  std::vector<helper_state> helpers(shards.size());
+  std::vector<candidate> candidates;
+  auction::single_stage_instance spill;
+  auction::coverage_state remaining;
+
+  for (const message& req : requests) {
+    ECRS_CHECK_MSG(req.type == message::kind::spill_request,
+                   "spillover expects only spill_request mail");
+    const std::uint32_t r = req.from;
+    ECRS_CHECK_MSG(r < shards.size(), "spill request from unknown region");
+    ECRS_CHECK_MSG(out.regions.empty() || out.regions.back().region < r,
+                   "spill requests must arrive in ascending region order");
+    const std::size_t deficits = req.deficits.size();
+    ECRS_CHECK_MSG(deficits > 0, "empty spill request");
+
+    region_spill tally;
+    tally.region = r;
+    for (const spill_deficit& d : req.deficits) tally.requested += d.missing;
+
+    // Assemble candidates: closest helper regions first, at most
+    // options.max_regions of them, one bid per (still unclaimed) seller.
+    candidates.clear();
+    std::size_t helper_regions = 0;
+    for (const edge::neighbor& nb :
+         topo.neighbors_by_latency(r, options.max_latency)) {
+      if (helper_regions == options.max_regions) break;
+      if (nb.region >= shards.size()) continue;  // topology may be wider
+      helper_state& h = helpers[nb.region];
+      if (!h.offers_ready) {
+        h.offers_ready = true;
+        h.claimed.assign(shards[nb.region].session().sellers(), 0);
+        shards[nb.region].spare_offers(locals[nb.region], rounds[nb.region],
+                                       h.offers);
+      }
+      const std::size_t before = candidates.size();
+      pick_per_seller(locals[nb.region], h, nb.region, nb.latency,
+                      candidates);
+      if (candidates.size() > before) ++helper_regions;
+    }
+
+    // Build the re-auction: one demander per deficit entry, one bid per
+    // candidate. A candidate keeps its home bid's amount and coverage
+    // SIZE, but covers deficit slots rotated by its own index — spreading
+    // coverage across the deficit deterministically instead of every
+    // candidate piling onto slot 0. Seller ids are candidate indices
+    // (each candidate is a distinct real seller, so constraint (9) is
+    // vacuous here by construction).
+    spill.requirements.clear();
+    for (const spill_deficit& d : req.deficits) {
+      spill.requirements.push_back(d.missing);
+    }
+    spill.bids.clear();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const candidate& c = candidates[i];
+      const auction::bid& home = locals[c.helper_region].bids[c.bid_index];
+      const std::size_t cover = std::min(home.coverage_size(), deficits);
+      auction::bid b;
+      b.seller = static_cast<auction::seller_id>(i);
+      b.index = 0;
+      b.amount = home.amount;
+      for (std::size_t k = 0; k < cover; ++k) {
+        b.coverage.push_back(
+            static_cast<auction::demander_id>((i + k) % deficits));
+      }
+      std::sort(b.coverage.begin(), b.coverage.end());
+      b.price = home.price +
+                topo.transfer_cost(r, c.helper_region, options.cost_per_ms) *
+                    static_cast<double>(home.amount *
+                                        static_cast<auction::units>(cover));
+      spill.bids.push_back(std::move(b));
+    }
+
+    const auction::ssam_result result =
+        auction::run_ssam(spill, options.stage);
+
+    remaining.reset(spill.requirements);
+    for (const auction::winning_bid& w : result.winners) {
+      const auction::bid& sb = spill.bids[w.bid_index];
+      remaining.apply(sb);
+      const candidate& c = candidates[sb.seller];
+      const auto weight = static_cast<auction::units>(sb.coverage.size());
+      helpers[c.helper_region].claimed[c.seller] = 1;
+
+      spill_award award;
+      award.demand_region = r;
+      award.helper_region = c.helper_region;
+      award.seller = c.seller;
+      award.bid_index = c.bid_index;
+      // Map deficit-slot indices back to the demand region's local
+      // demander ids so awards read in market terms.
+      award.covered = sb.coverage;
+      for (auction::demander_id& k : award.covered) {
+        k = req.deficits[k].demander;
+      }
+      award.amount = sb.amount;
+      award.latency = c.latency;
+      award.ask = sb.price;
+      award.payment = w.payment;
+      out.social_cost += award.ask;
+      out.total_payment += award.payment;
+      out.awards.push_back(std::move(award));
+
+      message grant;
+      grant.type = message::kind::spill_grant;
+      grant.from = po.coordinator();
+      grant.to = c.helper_region;
+      grant.seller = c.seller;
+      grant.weight = weight;
+      grant.price = sb.price;
+      grant.buyer = r;
+      po.post(std::move(grant));
+    }
+
+    tally.granted = tally.requested - remaining.deficit();
+    out.unmet_units += remaining.deficit();
+    out.regions.push_back(tally);
+  }
+}
+
+}  // namespace ecrs::market

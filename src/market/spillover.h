@@ -1,0 +1,92 @@
+// Cross-region spillover re-auctions (the marketplace's second stage).
+//
+// After every region's local round, demand the local auctions left
+// uncovered is re-auctioned against the spare capacity of NEIGHBORING
+// regions: for each uncovered region, candidate offers are assembled by
+// walking edge::topology::neighbors_by_latency(region, max_latency) — so
+// closer helpers are considered first — capped at `max_regions` helper
+// regions, and priced at the original asking price plus the
+// topology::transfer_cost surcharge for hauling the units across the
+// backhaul. One SSAM re-auction per uncovered region then picks the
+// cheapest feasible helper set; its winners become spill_grant mail for
+// the helper shards (which charge the sale against seller capacity via
+// msoa_session::consume_external).
+//
+// The stage is serial and deterministic by construction: uncovered regions
+// are processed in ascending region id (the post office's drain order for
+// coordinator mail), candidates are enumerated in ascending
+// (latency, helper region id, seller id) order, and a seller sells into at
+// most one foreign region per marketplace round.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "auction/bid.h"
+#include "auction/ssam.h"
+#include "edge/topology.h"
+#include "market/mailbox.h"
+#include "market/shard.h"
+
+namespace ecrs::market {
+
+struct spillover_options {
+  // Per-unit-per-ms backhaul surcharge (edge::topology::transfer_cost).
+  double cost_per_ms = 0.05;
+  // Latency budget: helpers further than this (shortest path, ms) are never
+  // considered. Infinity = any reachable region.
+  double max_latency = std::numeric_limits<double>::infinity();
+  // At most this many helper regions per uncovered region (closest first).
+  std::size_t max_regions = 4;
+  // Configuration of the per-region SSAM re-auction.
+  auction::ssam_options stage;
+};
+
+// One spillover sale: helper region's seller covers part of the demand
+// region's deficit.
+struct spill_award {
+  std::uint32_t demand_region = 0;
+  std::uint32_t helper_region = 0;
+  auction::seller_id seller = 0;  // helper-region-local id
+  std::size_t bid_index = 0;      // into the helper region's round instance
+  // Covered demanders, demand-region-local ids (sorted unique).
+  std::vector<auction::demander_id> covered;
+  auction::units amount = 0;   // units per covered demander
+  double latency = 0.0;        // shortest-path ms between the two regions
+  double ask = 0.0;            // surcharged asking price (social cost share)
+  double payment = 0.0;        // what the platform pays the helper
+};
+
+// Per-uncovered-region accounting of what spillover achieved.
+struct region_spill {
+  std::uint32_t region = 0;
+  auction::units requested = 0;  // units the local round left uncovered
+  auction::units granted = 0;    // units spillover covered
+};
+
+struct spillover_outcome {
+  std::vector<spill_award> awards;      // ascending demand region id
+  std::vector<region_spill> regions;    // one per spill request, ascending
+  auction::units unmet_units = 0;       // requested - granted, summed
+  double social_cost = 0.0;             // sum of award asks
+  double total_payment = 0.0;           // sum of award payments
+};
+
+// Run the spillover stage for one marketplace round. `locals` are the
+// regions' round instances (true prices), `shards`/`rounds` the per-region
+// shard state and local outcomes, `requests` the coordinator's drained
+// spill_request mail in ascending origin-region order. Posts one
+// spill_grant per award to `po` (from the coordinator slot); the caller
+// drains and applies them. `out` is cleared and refilled (vector capacity
+// reused).
+void run_spillover(const edge::topology& topo,
+                   std::span<const auction::single_stage_instance> locals,
+                   std::span<const shard> shards,
+                   std::span<const shard_round> rounds,
+                   std::span<const message> requests,
+                   const spillover_options& options, post_office& po,
+                   spillover_outcome& out);
+
+}  // namespace ecrs::market

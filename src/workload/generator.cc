@@ -20,6 +20,7 @@ generator::generator(generator_config config)
   ECRS_CHECK_MSG(config_.sensitive_mean_demand >= 0.0 &&
                      config_.tolerant_mean_demand >= 0.0,
                  "per-class demand overrides must be non-negative");
+  ECRS_CHECK_MSG(config_.regions > 0, "need at least one region");
 
   const auto sensitive_count = static_cast<std::uint32_t>(
       config_.delay_sensitive_fraction *
@@ -35,6 +36,11 @@ generator::generator(generator_config config)
 qos_class generator::class_of(std::uint32_t microservice) const {
   ECRS_CHECK(microservice < class_by_service_.size());
   return class_by_service_[microservice];
+}
+
+std::uint32_t generator::region_of(std::uint32_t microservice) const {
+  ECRS_CHECK(microservice < config_.microservices);
+  return microservice % config_.regions;
 }
 
 double generator::mean_demand_of(qos_class cls) const {
@@ -95,6 +101,7 @@ void generator::round_into(double round_start, double duration,
         r.id = next_request_id_++;
         r.user = user;
         r.microservice = target;
+        r.region = region_of(target);
         r.qos = class_by_service_[target];
         r.arrival_time = round_start + gen_.uniform_real(0.0, duration);
         r.service_demand = gen_.exponential(1.0 / mean_demand_of(r.qos));

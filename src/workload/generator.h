@@ -30,6 +30,11 @@ struct generator_config {
   // time of each task"). 0 = use mean_service_demand.
   double sensitive_mean_demand = 0.0;
   double tolerant_mean_demand = 0.0;
+  // Edge cloud regions hosting the microservices (sharded marketplace).
+  // Microservice m is hosted on region m % regions, so every request is
+  // tagged with the region that must serve it. 1 = the single-market
+  // setups of PRs 1-7 (every request tagged region 0; streams unchanged).
+  std::uint32_t regions = 1;
   std::uint64_t seed = 42;
 };
 
@@ -47,6 +52,10 @@ class generator final : public round_source {
 
   // QoS class assigned to each microservice (index = microservice id).
   [[nodiscard]] qos_class class_of(std::uint32_t microservice) const;
+
+  // Edge cloud region hosting a microservice (round-robin over
+  // config.regions; deterministic, no rng involved).
+  [[nodiscard]] std::uint32_t region_of(std::uint32_t microservice) const;
 
   // Generate all requests arriving in [round_start, round_start + duration).
   [[nodiscard]] std::vector<request> round(double round_start,

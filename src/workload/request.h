@@ -22,6 +22,7 @@ struct request {
   std::uint64_t id = 0;
   std::uint32_t user = 0;           // issuing end user
   std::uint32_t microservice = 0;   // target microservice
+  std::uint32_t region = 0;         // edge cloud hosting the microservice
   qos_class qos = qos_class::delay_sensitive;
   double arrival_time = 0.0;        // simulated seconds
   double service_demand = 1.0;      // resource-seconds of work

@@ -17,7 +17,10 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "edge/topology.h"
 #include "harness/experiments.h"
+#include "market/mailbox.h"
+#include "market/marketplace.h"
 
 namespace ecrs {
 namespace {
@@ -346,6 +349,103 @@ TEST(SsamConcurrencyStress, BudgetedParallelPaymentsStayAudited) {
   auction::audit_options audit;
   audit.payment_budget = bounded.payment_budget;
   EXPECT_NO_THROW(audit_or_throw(instance, result, audit));
+}
+
+// ------------------------------------------------- marketplace + mailbox
+
+// Shard/mailbox churn: many regions post into their own pre-sized mailbox
+// slots from pool workers while the driver drains between phases. The
+// mailbox's safety claim is exactly this pattern (disjoint slot writes
+// under the fan-out, serial drain after the join), so this is the case
+// TSan must see; the assertions double as the determinism check — the
+// drain order is a pure function of what was posted where.
+TEST(MarketStress, MailboxChurnUnderShardFanOut) {
+  constexpr std::uint32_t kRegions = 12;
+  constexpr std::size_t kMessagesPerRegion = 64;
+  for (const std::size_t pool_size : stress_pool_sizes()) {
+    thread_pool pool(pool_size);
+    market::post_office po(kRegions);
+    for (int round = 0; round < 4; ++round) {
+      pool.parallel_for(kRegions, [&po](std::size_t r) {
+        for (std::size_t i = 0; i < kMessagesPerRegion; ++i) {
+          market::message m;
+          m.type = market::message::kind::spill_request;
+          m.from = static_cast<std::uint32_t>(r);  // own slot only
+          m.to = po.coordinator();
+          m.seller = static_cast<std::uint32_t>(i);
+          po.post(std::move(m));
+        }
+      });
+      std::uint32_t expect_from = 0;
+      std::uint32_t expect_seq = 0;
+      std::size_t delivered = 0;
+      po.drain([&](const market::message& m) {
+        EXPECT_EQ(m.from, expect_from);
+        EXPECT_EQ(m.seller, expect_seq);
+        ++delivered;
+        if (++expect_seq == kMessagesPerRegion) {
+          expect_seq = 0;
+          ++expect_from;
+        }
+      });
+      EXPECT_EQ(delivered, kRegions * kMessagesPerRegion);
+      EXPECT_EQ(po.pending(), 0u);
+    }
+  }
+}
+
+// Whole marketplace horizons raced across pool sizes: every run must
+// produce the same winner/payment stream the serial shard composition
+// does. Gives TSan the real shard fan-out (sessions, mailbox, spillover)
+// instead of a synthetic loop.
+TEST(MarketStress, MarketplaceHorizonDeterministicAcrossPools) {
+  auction::online_config stage;
+  stage.stage.sellers = 5;
+  stage.stage.demanders = 3;
+  stage.rounds = 3;
+  auction::regional_config regional;
+  regional.regions = 6;
+  regional.demand_scale = 1.3;
+  rng gen(0xc0de);
+  const auto input =
+      auction::random_regional_online_instance(stage, regional, gen);
+
+  const auto run = [&](std::size_t threads) {
+    market::marketplace_options options;
+    options.threads = threads;
+    options.shard.session.stage.payment_threads = 1;
+    std::vector<std::vector<auction::seller_profile>> sellers;
+    for (const auto& region : input.regions) sellers.push_back(region.sellers);
+    edge::topology topo =
+        edge::topology::ring(static_cast<std::uint32_t>(regional.regions));
+    market::marketplace mkt(topo, std::move(sellers), options);
+    std::vector<std::pair<std::size_t, double>> stream;
+    market::marketplace_round result;
+    auction::regional_instance round;
+    round.regions.resize(regional.regions);
+    for (std::size_t t = 0; t < stage.rounds; ++t) {
+      for (std::size_t r = 0; r < regional.regions; ++r) {
+        round.regions[r] = input.regions[r].rounds[t];
+      }
+      mkt.run_round(round, result);
+      for (const auto& shard : result.shards) {
+        for (std::size_t w = 0; w < shard.outcome.winner_bids.size(); ++w) {
+          stream.emplace_back(shard.outcome.winner_bids[w],
+                              shard.outcome.payments[w]);
+        }
+      }
+      for (const auto& award : result.spillover.awards) {
+        stream.emplace_back(award.bid_index, award.payment);
+      }
+    }
+    return stream;
+  };
+
+  const auto reference = run(1);
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t pool_size : stress_pool_sizes()) {
+    EXPECT_EQ(run(pool_size), reference) << "pool size " << pool_size;
+  }
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 // microservice simulation (M/M/1).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -109,6 +111,84 @@ TEST(Topology, TransferAcrossDisconnectedThrows) {
   topology t(2);
   t.finalize();
   EXPECT_THROW((void)t.transfer_cost(0, 1, 1.0), check_error);
+}
+
+// ------------------------------------------------ neighbors_by_latency
+
+// Brute force reference: scan the Floyd–Warshall row and sort by
+// (latency, region id).
+std::vector<neighbor> brute_force_neighbors(const topology& t,
+                                            std::uint32_t region,
+                                            double max_latency) {
+  std::vector<neighbor> out;
+  for (std::uint32_t j = 0; j < t.clouds(); ++j) {
+    if (j == region) continue;
+    const double l = t.latency(region, j);
+    if (l == kInf || l > max_latency) continue;
+    out.push_back({j, l});
+  }
+  std::sort(out.begin(), out.end(), [](const neighbor& a, const neighbor& b) {
+    if (a.latency != b.latency) return a.latency < b.latency;
+    return a.region < b.region;
+  });
+  return out;
+}
+
+void expect_neighbors_match(const topology& t, double max_latency) {
+  for (std::uint32_t r = 0; r < t.clouds(); ++r) {
+    const auto expected = brute_force_neighbors(t, r, max_latency);
+    const auto got = t.neighbors_by_latency(r, max_latency);
+    ASSERT_EQ(got.size(), expected.size()) << "region " << r;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got[i].region, expected[i].region) << "region " << r;
+      EXPECT_DOUBLE_EQ(got[i].latency, expected[i].latency) << "region " << r;
+    }
+  }
+}
+
+TEST(TopologyNeighbors, MatchesBruteForceOnFactories) {
+  expect_neighbors_match(topology::ring(7, 1.5), kInf);
+  expect_neighbors_match(topology::star(6, 2.0), kInf);
+  expect_neighbors_match(topology::mesh(5, 1.0), kInf);
+  rng gen(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    expect_neighbors_match(topology::random_geometric(15, 0.3, 8.0, gen),
+                           kInf);
+  }
+}
+
+TEST(TopologyNeighbors, LatencyBudgetTruncatesTheRow) {
+  const topology t = topology::ring(8, 1.0);  // latencies 1..4 around
+  rng gen(23);
+  for (int trial = 0; trial < 5; ++trial) {
+    const topology g = topology::random_geometric(12, 0.25, 10.0, gen);
+    for (const double budget : {0.0, 0.5, 1.0, 2.5, 6.0}) {
+      expect_neighbors_match(g, budget);
+    }
+  }
+  expect_neighbors_match(t, 2.0);
+  // Ascending prefix property: every budgeted row is a prefix of the
+  // unbudgeted one.
+  const auto full = t.neighbors_by_latency(0);
+  const auto capped = t.neighbors_by_latency(0, 2.0);
+  ASSERT_LE(capped.size(), full.size());
+  for (std::size_t i = 0; i < capped.size(); ++i) {
+    EXPECT_EQ(capped[i].region, full[i].region);
+    EXPECT_LE(capped[i].latency, 2.0);
+  }
+}
+
+TEST(TopologyNeighbors, LinklessAndUnfinalizedBehaviour) {
+  topology t(3);
+  EXPECT_TRUE(t.neighbors_by_latency(0).empty());  // linkless: empty rows
+  t.add_link(0, 1, 1.0);
+  EXPECT_THROW((void)t.neighbors_by_latency(0), check_error);  // stale
+  t.finalize();
+  ASSERT_EQ(t.neighbors_by_latency(0).size(), 1u);
+  EXPECT_EQ(t.neighbors_by_latency(0)[0].region, 1u);
+  EXPECT_TRUE(t.neighbors_by_latency(2).empty());  // still isolated
+  EXPECT_THROW((void)t.neighbors_by_latency(3), check_error);
+  EXPECT_THROW((void)t.neighbors_by_latency(0, -1.0), check_error);
 }
 
 // ----------------------------------------------------- weighted fair share
