@@ -1,45 +1,120 @@
-// Shard-scaling numbers for BENCH_pr8.json: wall-clock of whole marketplace
-// horizons run sharded-serial vs sharded-parallel, the spillover stage's
-// approximate marginal cost (demand over-scaled vs locally satisfiable),
-// and a mailbox churn micro-lane (the one lane stable enough to gate in
-// CI; the end-to-end lanes ride along via bench_compare --allow).
+// Shard-scaling numbers for BENCH_pr9.json: wall-clock of whole marketplace
+// horizons run sharded-serial vs sharded-parallel (batch and streaming
+// demand paths), the spillover stage's approximate marginal cost, the
+// streaming-vs-PR-8 ingestion comparison, and a mailbox churn micro-lane.
 //
-// The binary is also the byte-identity cross-check: every serial round is
-// digested (winners, payments bit patterns, spillover awards, grants) and
-// compared against the parallel run; a mismatch exits nonzero BEFORE any
-// timing is reported, so the determinism acceptance gate holds on any
-// host, including single-core runners where the speedup itself is ~1x.
+// The binary is also the byte-identity cross-check, run BEFORE any timing:
+//  - batch path: serial vs parallel digests (winners, payment bit
+//    patterns, spillover awards, grants) must match;
+//  - streaming path: serial vs parallel digests must match, AND the
+//    streamed horizon must digest identically to the same request stream
+//    pushed through the PR 8 ingestion path (materialize the global
+//    instance, region_map::partition it) — proving the round_ingestor is
+//    a pure optimization.
+// Any mismatch exits nonzero, so the determinism acceptance gate holds on
+// any host, including single-core runners where the speedup itself is ~1x.
+//
+// Streaming lanes time accumulate + finalize + marketplace rounds; request
+// generation is excluded (it is the workload model, not the market).
+// IngestStreamRound / IngestPartitionRound isolate the path-specific
+// per-round "accumulated demand -> per-region instances" step — in-place
+// quantization into standing instances vs PR 8's materialize-the-global-
+// instance-and-partition; DemandAccumulateRound is the demand-model cost
+// (batch summation) identical on both paths. When the stream carries >= 1M total
+// demanders the MarketHorizon1M lane is emitted (same value as
+// MarketHorizonStreamParallel) together with allocations-per-round and
+// RSS columns.
 //
 // Flags:
-//   --regions=N   edge cloud regions / shards (default 100)
-//   --rounds=N    marketplace rounds per horizon (default 3)
-//   --sellers=N   sellers per region (default 8)
-//   --demanders=N demanding microservices per region (default 4)
-//   --scale=F     post-clamp demand multiplier x100, e.g. 125 = 1.25
-//                 (default 125; > 100 leaves work for spillover)
-//   --threads=N   parallel-lane worker cap (default 0 = hardware width)
-//   --repeats=N   timing repeats per lane, mean reported (default 3)
-//   --seed=N      master seed (default 1)
+//   --regions=N     edge cloud regions / shards (default 100)
+//   --rounds=N      marketplace rounds per horizon (default 3)
+//   --sellers=N     sellers per region (default 8)
+//   --demanders=N   demanding microservices per region, batch path
+//                   (default 4)
+//   --scale=F       post-clamp demand multiplier x100, e.g. 125 = 1.25
+//                   (default 125; > 100 leaves work for spillover)
+//   --stream_demanders=N  demanders per region on the streaming path
+//                   (default = --demanders; 100 regions x 10000 = the 1M
+//                   lane)
+//   --users=N       workload stream width (default 0 = one expected
+//                   request per demander)
+//   --unit_demand=F accumulated resource-seconds per requirement unit,
+//                   x100 (default 400 = 4.0)
+//   --threads=N     parallel-lane worker cap (default 0 = hardware width)
+//   --repeats=N     timing repeats per lane, mean reported (default 3)
+//   --seed=N        master seed (default 1)
+#include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__)
+#include <sys/resource.h>
+#endif
 
 #include "auction/instance_gen.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
 #include "edge/topology.h"
 #include "harness/internal.h"
+#include "market/ingest.h"
 #include "market/marketplace.h"
+#include "market/region_map.h"
+#include "workload/generator.h"
+
+namespace {
+
+// Process-wide allocation counter: every operator new in the binary bumps
+// it. Counter reads around a round give allocations per round.
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace {
 
 using ecrs::market::marketplace;
 using ecrs::market::marketplace_options;
 using ecrs::market::marketplace_round;
+
+std::uint64_t allocations_now() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+// Process peak RSS (MB); 0 when the platform has no getrusage.
+double peak_rss_mb() {
+#if defined(__unix__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // Linux reports ru_maxrss in KiB.
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+  }
+#endif
+  return 0.0;
+}
 
 struct market_setup {
   ecrs::auction::regional_online_instance input;
@@ -70,10 +145,10 @@ market_setup build_setup(std::size_t regions, std::size_t rounds,
 }
 
 std::vector<std::vector<ecrs::auction::seller_profile>> sellers_of(
-    const market_setup& setup) {
+    const ecrs::auction::regional_online_instance& input) {
   std::vector<std::vector<ecrs::auction::seller_profile>> sellers;
-  sellers.reserve(setup.input.region_count());
-  for (const auto& region : setup.input.regions) {
+  sellers.reserve(input.region_count());
+  for (const auto& region : input.regions) {
     sellers.push_back(region.sellers);
   }
   return sellers;
@@ -112,21 +187,224 @@ void digest_round(const marketplace_round& round,
   push_double(round.total_payment);
 }
 
-// Run a whole horizon; returns wall-clock ms and appends the digest.
-double run_horizon(const market_setup& setup, const ecrs::edge::topology& topo,
-                   std::size_t threads, std::vector<std::uint64_t>* digest) {
+marketplace_options market_options(std::size_t threads) {
   marketplace_options options;
   options.threads = threads;
   options.shard.session.stage.payment_threads = 1;
   options.spillover.stage.payment_threads = 1;
+  return options;
+}
+
+// Run a whole batch-path horizon; returns wall-clock ms, appends digest.
+double run_horizon(const market_setup& setup, const ecrs::edge::topology& topo,
+                   std::size_t threads, std::vector<std::uint64_t>* digest) {
   ecrs::stopwatch clock;
-  marketplace mkt(topo, sellers_of(setup), options);
+  marketplace mkt(topo, sellers_of(setup.input), market_options(threads));
   marketplace_round result;
   for (const auto& round : setup.rounds) {
     mkt.run_round(round, result);
     if (digest != nullptr) digest_round(result, *digest);
   }
   return clock.elapsed_ms();
+}
+
+// ---- streaming path -------------------------------------------------------
+
+struct stream_setup {
+  ecrs::auction::regional_online_instance input;  // sellers + round-1 bids
+  ecrs::market::ingest_config icfg;               // threads set per run
+  ecrs::workload::generator_config wcfg;
+  std::size_t rounds = 0;
+};
+
+ecrs::auction::regional_instance standing_of(const stream_setup& setup) {
+  ecrs::auction::regional_instance standing;
+  standing.regions.reserve(setup.input.region_count());
+  for (const auto& region : setup.input.regions) {
+    standing.regions.push_back(region.rounds.front());
+  }
+  return standing;
+}
+
+stream_setup build_stream_setup(std::size_t regions, std::size_t rounds,
+                                std::size_t sellers, std::size_t demanders,
+                                std::size_t users, double unit_demand,
+                                double scale, std::uint64_t seed) {
+  ecrs::auction::online_config stage;
+  stage.stage = ecrs::harness::internal::paper_stage(sellers, demanders, 2);
+  // Large regions: cap per-bid coverage at an absolute count so bid sizes
+  // (and per-bid supply) stay comparable across scales.
+  if (demanders > 100) stage.stage.max_coverage = 50;
+  stage.rounds = 1;  // only the standing (round 1) bid sets are used
+  ecrs::auction::regional_config regional;
+  regional.regions = regions;
+  ecrs::rng gen = ecrs::harness::internal::point_rng(seed, 12, 1, 0);
+
+  stream_setup setup;
+  setup.rounds = rounds;
+  setup.input =
+      ecrs::auction::random_regional_online_instance(stage, regional, gen);
+  setup.icfg.regions = static_cast<std::uint32_t>(regions);
+  setup.icfg.microservices = static_cast<std::uint32_t>(regions * demanders);
+  setup.icfg.unit_demand = unit_demand;
+  setup.icfg.max_requirement = stage.stage.requirement_hi;
+  setup.icfg.supply_margin = stage.stage.supply_margin;
+  setup.icfg.demand_scale = scale;
+  setup.wcfg.users = static_cast<std::uint32_t>(
+      users > 0 ? users : regions * demanders / 15 + 1);
+  setup.wcfg.microservices = setup.icfg.microservices;
+  setup.wcfg.regions = setup.icfg.regions;
+  setup.wcfg.seed = seed;
+  return setup;
+}
+
+struct stream_run {
+  // Per-horizon sums. accumulate_ms is the demand-model cost (summing the
+  // request batch into per-microservice accumulators) — identical work on
+  // both ingestion paths; ingest_ms is the path-specific "accumulated
+  // demand -> per-region instances" step the PR swapped out.
+  double accumulate_ms = 0.0;
+  double ingest_ms = 0.0;
+  double market_ms = 0.0;  // summed run_round wall time
+  std::uint64_t first_round_allocs = 0;
+  std::uint64_t min_warm_allocs = 0;  // min allocs/round after round 1
+  [[nodiscard]] double total_ms() const {
+    return accumulate_ms + ingest_ms + market_ms;
+  }
+};
+
+// Run a streamed horizon: per round, generate the request batch (untimed),
+// accumulate it (accumulate_ms), finalize the per-region instances
+// (ingest_ms) and run the marketplace round (market_ms). Allocation counts
+// bracket accumulate + finalize + round.
+stream_run run_stream_horizon(const stream_setup& setup,
+                              const ecrs::edge::topology& topo,
+                              std::size_t threads,
+                              std::vector<std::uint64_t>* digest) {
+  marketplace mkt(topo, sellers_of(setup.input), market_options(threads));
+  ecrs::market::ingest_config icfg = setup.icfg;
+  icfg.threads = threads;
+  ecrs::market::round_ingestor ingestor(icfg, standing_of(setup));
+  ecrs::workload::generator gen(setup.wcfg);
+  std::vector<ecrs::workload::request> batch;
+  marketplace_round result;
+  stream_run run;
+  run.min_warm_allocs = ~std::uint64_t{0};
+  for (std::size_t t = 0; t < setup.rounds; ++t) {
+    gen.round_into(static_cast<double>(t), 1.0, batch);
+    const std::uint64_t allocs_before = allocations_now();
+    ecrs::stopwatch accumulate_clock;
+    ingestor.accumulate(batch);
+    run.accumulate_ms += accumulate_clock.elapsed_ms();
+    ecrs::stopwatch ingest_clock;
+    const ecrs::auction::regional_instance& round = ingestor.finalize();
+    run.ingest_ms += ingest_clock.elapsed_ms();
+    ecrs::stopwatch market_clock;
+    mkt.run_round(round, result);
+    run.market_ms += market_clock.elapsed_ms();
+    const std::uint64_t allocs = allocations_now() - allocs_before;
+    if (t == 0) {
+      run.first_round_allocs = allocs;
+    } else {
+      run.min_warm_allocs = std::min(run.min_warm_allocs, allocs);
+    }
+    if (digest != nullptr) digest_round(result, *digest);
+  }
+  if (setup.rounds < 2) run.min_warm_allocs = 0;
+  return run;
+}
+
+// The PR 8 ingestion path over the same request stream: accumulate and
+// quantize into a GLOBAL instance, materialize its bid set, then
+// region_map::partition it — per round. Digests must match the streamed
+// horizon exactly.
+struct partition_path {
+  ecrs::auction::single_stage_instance global_bids;  // template, M reqs
+  std::vector<std::uint32_t> seller_region;
+  std::vector<std::uint32_t> demander_region;
+  std::vector<ecrs::auction::units> caps;  // global demander id
+};
+
+partition_path build_partition_path(const stream_setup& setup) {
+  const std::uint32_t regions = setup.icfg.regions;
+  const std::uint32_t services = setup.icfg.microservices;
+  partition_path path;
+  path.global_bids.requirements.assign(services, 0);
+  path.demander_region.resize(services);
+  for (std::uint32_t m = 0; m < services; ++m) {
+    path.demander_region[m] = m % regions;
+  }
+  path.caps.assign(services, ecrs::market::kNoSupplyCap);
+  const ecrs::auction::regional_instance standing = standing_of(setup);
+  std::uint32_t seller_base = 0;
+  for (std::uint32_t r = 0; r < regions; ++r) {
+    const auto& local = standing.regions[r];
+    if (setup.icfg.supply_margin > 0.0) {
+      const std::vector<ecrs::auction::units> supply =
+          ecrs::auction::guaranteed_supply(local);
+      for (std::size_t k = 0; k < supply.size(); ++k) {
+        // Same floor expression as the round_ingestor's cap build.
+        path.caps[k * regions + r] =
+            static_cast<ecrs::auction::units>(std::floor(
+                setup.icfg.supply_margin * static_cast<double>(supply[k])));
+      }
+    }
+    std::uint32_t sellers_here = 0;
+    for (const ecrs::auction::bid& b : local.bids) {
+      sellers_here = std::max(sellers_here, b.seller + 1);
+      ecrs::auction::bid global = b;
+      global.seller = seller_base + b.seller;
+      for (ecrs::auction::demander_id& k : global.coverage) {
+        k = k * regions + r;
+      }
+      path.global_bids.bids.push_back(std::move(global));
+    }
+    path.seller_region.insert(path.seller_region.end(), sellers_here, r);
+    seller_base += sellers_here;
+  }
+  return path;
+}
+
+stream_run run_partition_horizon(const stream_setup& setup,
+                                 const partition_path& path,
+                                 const ecrs::edge::topology& topo,
+                                 std::vector<std::uint64_t>* digest) {
+  const std::uint32_t regions = setup.icfg.regions;
+  marketplace mkt(topo, sellers_of(setup.input), market_options(1));
+  ecrs::workload::generator gen(setup.wcfg);
+  std::vector<ecrs::workload::request> batch;
+  std::vector<double> acc(setup.icfg.microservices, 0.0);
+  marketplace_round result;
+  stream_run run;
+  for (std::size_t t = 0; t < setup.rounds; ++t) {
+    gen.round_into(static_cast<double>(t), 1.0, batch);
+    ecrs::stopwatch accumulate_clock;
+    for (const ecrs::workload::request& q : batch) {
+      acc[q.microservice] += q.service_demand;
+    }
+    run.accumulate_ms += accumulate_clock.elapsed_ms();
+    ecrs::stopwatch ingest_clock;
+    // Materialize the global round instance from scratch — quantized
+    // requirements plus a fresh copy of every standing bid — then
+    // partition it, exactly the per-round cost streaming ingestion
+    // eliminates.
+    ecrs::auction::single_stage_instance global;
+    global.requirements.resize(setup.icfg.microservices);
+    for (std::uint32_t m = 0; m < setup.icfg.microservices; ++m) {
+      global.requirements[m] =
+          ecrs::market::quantize_demand(acc[m], setup.icfg, path.caps[m]);
+      acc[m] = 0.0;
+    }
+    global.bids = path.global_bids.bids;
+    const ecrs::market::partitioned_instance part = ecrs::market::partition(
+        global, regions, path.seller_region, path.demander_region);
+    run.ingest_ms += ingest_clock.elapsed_ms();
+    ecrs::stopwatch market_clock;
+    mkt.run_round(part.shards, result);
+    run.market_ms += market_clock.elapsed_ms();
+    if (digest != nullptr) digest_round(result, *digest);
+  }
+  return run;
 }
 
 template <typename Fn>
@@ -151,16 +429,24 @@ int main(int argc, char** argv) {
   const auto demanders = static_cast<std::size_t>(f.get_int("demanders", 4));
   const double scale =
       static_cast<double>(f.get_int("scale", 125)) / 100.0;
+  const auto stream_demanders = static_cast<std::size_t>(
+      f.get_int("stream_demanders", static_cast<long long>(demanders)));
+  const auto users = static_cast<std::size_t>(f.get_int("users", 0));
+  const double unit_demand =
+      static_cast<double>(f.get_int("unit_demand", 400)) / 100.0;
   const auto threads = static_cast<std::size_t>(f.get_int("threads", 0));
   const auto repeats = static_cast<std::size_t>(f.get_int("repeats", 3));
   const auto seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
 
   const market_setup setup =
       build_setup(regions, rounds, sellers, demanders, scale, seed);
+  const stream_setup streaming =
+      build_stream_setup(regions, rounds, sellers, stream_demanders, users,
+                         unit_demand, scale, seed);
   ecrs::edge::topology topo =
       ecrs::edge::topology::ring(static_cast<std::uint32_t>(regions));
 
-  // ---- byte-identity gate (before any timing) -----------------------------
+  // ---- byte-identity gates (before any timing) ----------------------------
   std::vector<std::uint64_t> serial_digest;
   std::vector<std::uint64_t> parallel_digest;
   (void)run_horizon(setup, topo, 1, &serial_digest);
@@ -171,6 +457,35 @@ int main(int argc, char** argv) {
                  "shard_scaling: serial and parallel digests differ "
                  "(%zu vs %zu words) — determinism broken\n",
                  serial_digest.size(), parallel_digest.size());
+    return 1;
+  }
+
+  std::vector<std::uint64_t> stream_serial_digest;
+  std::vector<std::uint64_t> stream_parallel_digest;
+  std::vector<std::uint64_t> partition_digest;
+  (void)run_stream_horizon(streaming, topo, 1, &stream_serial_digest);
+  (void)run_stream_horizon(streaming, topo, threads,
+                           &stream_parallel_digest);
+  const bool stream_identical =
+      stream_serial_digest == stream_parallel_digest;
+  if (!stream_identical) {
+    std::fprintf(stderr,
+                 "shard_scaling: streaming serial and parallel digests "
+                 "differ (%zu vs %zu words) — determinism broken\n",
+                 stream_serial_digest.size(), stream_parallel_digest.size());
+    return 1;
+  }
+  {
+    const partition_path path = build_partition_path(streaming);
+    (void)run_partition_horizon(streaming, path, topo, &partition_digest);
+  }
+  const bool partition_matches = partition_digest == stream_serial_digest;
+  if (!partition_matches) {
+    std::fprintf(stderr,
+                 "shard_scaling: streamed horizon differs from the "
+                 "partitioned (PR 8 path) horizon (%zu vs %zu words) — "
+                 "ingestion equivalence broken\n",
+                 stream_serial_digest.size(), partition_digest.size());
     return 1;
   }
 
@@ -188,6 +503,40 @@ int main(int argc, char** argv) {
       build_setup(regions, rounds, sellers, demanders, 1.0, seed);
   const double no_spill_ms = mean_ms(
       repeats, [&] { return run_horizon(no_spill, topo, 1, nullptr); });
+
+  // Streaming lanes (+ allocation telemetry from the parallel run).
+  stream_run stream_parallel_last;
+  double stream_serial_ms = 0.0;
+  double stream_parallel_ms = 0.0;
+  double ingest_stream_round_ms = 0.0;
+  double accumulate_round_ms = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    stream_serial_ms += run_stream_horizon(streaming, topo, 1, nullptr)
+                            .total_ms();
+    stream_parallel_last =
+        run_stream_horizon(streaming, topo, threads, nullptr);
+    stream_parallel_ms += stream_parallel_last.total_ms();
+    ingest_stream_round_ms += stream_parallel_last.ingest_ms /
+                              static_cast<double>(rounds);
+    accumulate_round_ms += stream_parallel_last.accumulate_ms /
+                           static_cast<double>(rounds);
+  }
+  stream_serial_ms /= static_cast<double>(repeats);
+  stream_parallel_ms /= static_cast<double>(repeats);
+  ingest_stream_round_ms /= static_cast<double>(repeats);
+  accumulate_round_ms /= static_cast<double>(repeats);
+  // Streaming-path resident set before the partition path re-runs (the
+  // PR 8 path's materialization would dominate the process peak).
+  const double stream_peak_rss = peak_rss_mb();
+
+  const partition_path path = build_partition_path(streaming);
+  double ingest_partition_round_ms = 0.0;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    ingest_partition_round_ms +=
+        run_partition_horizon(streaming, path, topo, nullptr).ingest_ms /
+        static_cast<double>(rounds);
+  }
+  ingest_partition_round_ms /= static_cast<double>(repeats);
 
   // ---- mailbox churn micro-lane (the CI-stable lane) ----------------------
   constexpr std::size_t kChurnMessages = 200000;
@@ -211,23 +560,57 @@ int main(int argc, char** argv) {
     return clock.elapsed_ms();
   });
 
+  const std::size_t stream_total = regions * stream_demanders;
+  const bool million_lane = stream_total >= 1000000;
+
   std::printf("{\n");
   std::printf("  \"config\": {\"regions\": %zu, \"rounds\": %zu, "
               "\"sellers_per_region\": %zu, \"demanders_per_region\": %zu, "
+              "\"stream_demanders_per_region\": %zu, \"stream_users\": %u, "
+              "\"unit_demand\": %.2f, "
               "\"demand_scale\": %.2f, \"threads\": %zu, \"repeats\": %zu, "
               "\"seed\": %llu, \"hardware_concurrency\": %u},\n",
-              regions, rounds, sellers, demanders, scale, threads, repeats,
+              regions, rounds, sellers, demanders, stream_demanders,
+              streaming.wcfg.users, unit_demand, scale, threads, repeats,
               static_cast<unsigned long long>(seed),
               std::thread::hardware_concurrency());
   std::printf("  \"bit_identical\": %s,\n", identical ? "true" : "false");
+  std::printf("  \"stream_bit_identical\": %s,\n",
+              stream_identical ? "true" : "false");
+  std::printf("  \"stream_matches_partition_path\": %s,\n",
+              partition_matches ? "true" : "false");
   std::printf("  \"results_ns_mean\": {\n");
   print_lane("MarketHorizonShardedSerial", serial_ms, true);
   print_lane("MarketHorizonShardedParallel", parallel_ms, true);
   print_lane("MarketHorizonNoSpillSerial", no_spill_ms, true);
+  print_lane("MarketHorizonStreamSerial", stream_serial_ms, true);
+  print_lane("MarketHorizonStreamParallel", stream_parallel_ms, true);
+  print_lane("IngestStreamRound", ingest_stream_round_ms, true);
+  print_lane("IngestPartitionRound", ingest_partition_round_ms, true);
+  print_lane("DemandAccumulateRound", accumulate_round_ms, true);
+  if (million_lane) {
+    print_lane("MarketHorizon1M", stream_parallel_ms, true);
+  }
   print_lane("MailboxChurn", churn_ms, false);
   std::printf("  },\n");
-  std::printf("  \"speedups\": {\"parallel_over_serial\": %.2f},\n",
-              parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+  std::printf("  \"speedups\": {\"parallel_over_serial\": %.2f, "
+              "\"stream_parallel_over_serial\": %.2f, "
+              "\"ingest_stream_over_partition\": %.2f},\n",
+              parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0,
+              stream_parallel_ms > 0.0
+                  ? stream_serial_ms / stream_parallel_ms
+                  : 0.0,
+              ingest_stream_round_ms > 0.0
+                  ? ingest_partition_round_ms / ingest_stream_round_ms
+                  : 0.0);
+  std::printf("  \"allocations_per_round\": {\"stream_first\": %llu, "
+              "\"stream_warm_min\": %llu},\n",
+              static_cast<unsigned long long>(
+                  stream_parallel_last.first_round_allocs),
+              static_cast<unsigned long long>(
+                  stream_parallel_last.min_warm_allocs));
+  std::printf("  \"stream_peak_rss_mb\": %.1f,\n", stream_peak_rss);
+  std::printf("  \"peak_rss_mb\": %.1f,\n", peak_rss_mb());
   std::printf("  \"spillover_marginal_ms\": %.2f\n",
               serial_ms - no_spill_ms);
   std::printf("}\n");

@@ -15,14 +15,16 @@ namespace {
 // least that much). See DESIGN.md §2: all bids of a seller share one
 // coverage set, so the instance stays satisfiable no matter which
 // alternative bid is selected.
-void clamp_to_guaranteed_supply(single_stage_instance& instance,
-                                double margin,
-                                const std::vector<bool>* seller_present) {
+// guaranteed_supply restricted to the sellers flagged in `seller_present`
+// (absent sellers contribute nothing — the online generator's windowed
+// sellers).
+std::vector<units> guaranteed_supply_of_present(
+    const single_stage_instance& instance,
+    const std::vector<bool>& seller_present) {
   std::map<seller_id, units> min_amount;
   std::map<seller_id, const std::vector<demander_id>*> coverage_of;
   for (const bid& b : instance.bids) {
-    if (seller_present != nullptr &&
-        (b.seller >= seller_present->size() || !(*seller_present)[b.seller])) {
+    if (b.seller >= seller_present.size() || !seller_present[b.seller]) {
       continue;
     }
     auto [it, inserted] = min_amount.emplace(b.seller, b.amount);
@@ -33,6 +35,16 @@ void clamp_to_guaranteed_supply(single_stage_instance& instance,
   for (const auto& [seller, amount] : min_amount) {
     for (demander_id k : *coverage_of[seller]) supply[k] += amount;
   }
+  return supply;
+}
+
+void clamp_to_guaranteed_supply(single_stage_instance& instance,
+                                double margin,
+                                const std::vector<bool>* seller_present) {
+  const std::vector<units> supply =
+      seller_present == nullptr
+          ? guaranteed_supply(instance)
+          : guaranteed_supply_of_present(instance, *seller_present);
   for (std::size_t k = 0; k < instance.requirements.size(); ++k) {
     const auto cap = static_cast<units>(
         std::floor(margin * static_cast<double>(supply[k])));
@@ -42,6 +54,21 @@ void clamp_to_guaranteed_supply(single_stage_instance& instance,
 }
 
 }  // namespace
+
+std::vector<units> guaranteed_supply(const single_stage_instance& instance) {
+  std::map<seller_id, units> min_amount;
+  std::map<seller_id, const std::vector<demander_id>*> coverage_of;
+  for (const bid& b : instance.bids) {
+    auto [it, inserted] = min_amount.emplace(b.seller, b.amount);
+    if (!inserted) it->second = std::min(it->second, b.amount);
+    coverage_of[b.seller] = &b.coverage;
+  }
+  std::vector<units> supply(instance.requirements.size(), 0);
+  for (const auto& [seller, amount] : min_amount) {
+    for (demander_id k : *coverage_of[seller]) supply[k] += amount;
+  }
+  return supply;
+}
 
 single_stage_instance random_instance(const instance_config& config,
                                       rng& gen) {

@@ -40,6 +40,15 @@ struct instance_config {
 [[nodiscard]] single_stage_instance random_instance(
     const instance_config& config, rng& gen);
 
+// Per-demander guaranteed supply of `instance`'s bid set: the sum over
+// covering sellers of the seller's MINIMUM bid amount — whatever
+// alternative bid of a seller wins contributes at least that much (all
+// bids of a seller share one coverage set; DESIGN.md §2). This is the
+// satisfiability bound the generators clamp against and the streaming
+// ingestor (market/ingest.h) caps quantized demand with.
+[[nodiscard]] std::vector<units> guaranteed_supply(
+    const single_stage_instance& instance);
+
 struct online_config {
   instance_config stage;
   std::size_t rounds = 10;  // T (paper default 10, swept 1..15)

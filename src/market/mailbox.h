@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "auction/bid.h"
@@ -42,7 +43,12 @@ struct message {
   std::uint32_t from = 0;  // origin slot (a region, or the coordinator)
   std::uint32_t to = 0;    // destination slot
   // spill_request payload: uncovered demand, ascending local demander id.
-  std::vector<spill_deficit> deficits;
+  // A VIEW into the posting shard's round record (shard_round::uncovered),
+  // not a copy — messages are consumed within the round that posted them,
+  // while the round record outlives the drain, so the view is always valid
+  // and a spill request costs zero allocations however large the deficit
+  // list is. A transport-backed post office would serialize it here.
+  std::span<const spill_deficit> deficits;
   // spill_grant payload: the destination shard's local seller `seller`
   // sold `weight` participation units at asking price `price` into region
   // `buyer`.
@@ -51,6 +57,9 @@ struct message {
   double price = 0.0;
   std::uint32_t buyer = 0;
 };
+static_assert(std::is_trivially_destructible_v<message>,
+              "messages must recycle in the pre-sized slots without freeing "
+              "payload storage (the steady-state round allocates nothing)");
 
 // Pre-sized per-region slot mail. Slot ids 0..regions-1 belong to the
 // shards; slot `regions` is the coordinator (the marketplace driver).

@@ -1,5 +1,6 @@
 #include "market/marketplace.h"
 
+#include <chrono>
 #include <span>
 #include <utility>
 
@@ -7,6 +8,15 @@
 #include "common/thread_pool.h"
 
 namespace ecrs::market {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 marketplace::marketplace(
     const edge::topology& topo,
@@ -55,6 +65,7 @@ void marketplace::run_round(const auction::regional_instance& round,
   // 1. Fan out the local rounds. Each shard writes only its own result
   // slot and its own mailbox slot, so the stage is lock-free and the
   // outcome is independent of scheduling.
+  const auto shard_start = std::chrono::steady_clock::now();
   if (options_.threads == 1 || n == 1) {
     for (std::size_t r = 0; r < n; ++r) {
       shards_[r].run_round(round.regions[r], po_, out.shards[r]);
@@ -67,6 +78,7 @@ void marketplace::run_round(const auction::regional_instance& round,
         },
         options_.threads);
   }
+  timing_.shard_ms = ms_since(shard_start);
 
   // 2. Coordinator drain: spill requests arrive ordered by origin region.
   requests_.clear();
@@ -77,13 +89,18 @@ void marketplace::run_round(const auction::regional_instance& round,
     requests_.push_back(std::move(m));
   });
 
-  // 3. Serial spillover re-auctions; grants go back into the mailbox.
-  run_spillover(*topo_, std::span<const auction::single_stage_instance>(
-                            round.regions),
-                std::span<const shard>(shards_),
-                std::span<const shard_round>(out.shards),
-                std::span<const message>(requests_), options_.spillover, po_,
-                out.spillover);
+  // 3. Spillover re-auctions (parallel assembly, serial reduction);
+  // grants go back into the mailbox.
+  const auto spill_start = std::chrono::steady_clock::now();
+  spill_stage_.run(*topo_,
+                   std::span<const auction::single_stage_instance>(
+                       round.regions),
+                   std::span<const shard>(shards_),
+                   std::span<const shard_round>(out.shards),
+                   std::span<const message>(requests_), options_.spillover,
+                   options_.threads, po_, out.spillover);
+  timing_.spill_ms = ms_since(spill_start);
+  timing_.spill_assembly_ms = spill_stage_.assembly_ms();
 
   // 4. Helper shards charge the sales against their sellers.
   po_.drain([&](message& m) {

@@ -35,10 +35,20 @@ namespace ecrs::market {
 struct marketplace_options {
   shard_options shard;            // per-region session configuration
   spillover_options spillover;    // cross-region re-auction stage
-  // Worker threads for the shard fan-out: 1 = serial on the calling
-  // thread, 0 = the shared pool at hardware width, k = at most k workers.
-  // Results are identical for every setting.
+  // Worker threads for the shard fan-out and the spillover candidate
+  // assembly: 1 = serial on the calling thread, 0 = the shared pool at
+  // hardware width, k = at most k workers. Results are identical for
+  // every setting.
   std::size_t threads = 0;
+};
+
+// Wall-clock telemetry of the last round. Perf reporting only — values
+// depend on the machine and thread count, so they are kept OUT of
+// marketplace_round (whose bytes are thread-count-invariant).
+struct marketplace_timing {
+  double shard_ms = 0.0;           // parallel local-round fan-out
+  double spill_ms = 0.0;           // whole spillover stage
+  double spill_assembly_ms = 0.0;  // candidate assembly within spillover
 };
 
 // One marketplace round, all regions.
@@ -74,9 +84,18 @@ class marketplace {
       const auction::regional_instance& round);
 
   // Allocation-reusing flavour: clears and refills `out`'s vectors keeping
-  // their capacity. Bit-identical to the value overload.
+  // their capacity. Bit-identical to the value overload. With warm shard
+  // sessions (payment_threads == 1) the steady-state round stays off the
+  // allocator end to end: spill requests are spans into the round records,
+  // spillover candidates live in the stage's arena, and every pooled
+  // buffer reuses its capacity.
   void run_round(const auction::regional_instance& round,
                  marketplace_round& out);
+
+  // Timing of the last run_round (see marketplace_timing).
+  [[nodiscard]] const marketplace_timing& last_timing() const {
+    return timing_;
+  }
 
  private:
   const edge::topology* topo_;
@@ -86,6 +105,10 @@ class marketplace {
   std::uint32_t round_ = 0;
   // Coordinator scratch: requests drained from the mailbox each round.
   std::vector<message> requests_;
+  // Persistent spillover stage: candidate arena, pooled re-auction
+  // storage, SSAM scratch — reused across rounds.
+  spillover_stage spill_stage_;
+  marketplace_timing timing_;
 };
 
 }  // namespace ecrs::market

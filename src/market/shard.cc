@@ -58,13 +58,16 @@ void shard::run_round(const auction::single_stage_instance& local,
 
 void shard::spare_offers(const auction::single_stage_instance& local,
                          const shard_round& result,
+                         std::vector<char>& won_scratch,
                          std::vector<spare_offer>& out) const {
   // Sellers that won this round are ineligible: constraint (9) allows at
   // most one accepted bid per seller per round, and a spillover sale
   // happens in the same round as the local auction it follows.
-  std::vector<bool> won(profiles_.size(), false);
+  out.clear();
+  won_scratch.assign(profiles_.size(), 0);
+  std::vector<char>& won = won_scratch;
   for (const std::size_t idx : result.outcome.winner_bids) {
-    won[local.bids[idx].seller] = true;
+    won[local.bids[idx].seller] = 1;
   }
   const std::uint32_t t = session_.rounds_run();
   for (std::size_t idx = 0; idx < local.bids.size(); ++idx) {

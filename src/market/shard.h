@@ -66,10 +66,15 @@ class shard {
 
   // Spare offers of the round just run: bids of `local` whose seller won
   // nothing in `result` and has capacity for the bid's participation
-  // weight. Appended in ascending bid-index order (deterministic).
-  void spare_offers(const auction::single_stage_instance& local,
-                    const shard_round& result,
-                    std::vector<spare_offer>& out) const;
+  // weight. Replaces the contents of `out` in ascending bid-index order
+  // (deterministic). `won_scratch` is caller-owned per-seller scratch so
+  // repeated rounds stay off the allocator once warm; const because the
+  // spillover stage calls this from the parallel fan-out — only the
+  // caller-owned scratch is written.
+  ECRS_HOT void spare_offers(const auction::single_stage_instance& local,
+                             const shard_round& result,
+                             std::vector<char>& won_scratch,
+                             std::vector<spare_offer>& out) const;
 
   // Apply a spill_grant addressed to this shard: charge the sale against
   // the seller's session capacity (and ψ).

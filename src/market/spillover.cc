@@ -1,65 +1,101 @@
 #include "market/spillover.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace ecrs::market {
 namespace {
 
-// A helper bid eligible for one uncovered region's re-auction.
-struct candidate {
-  std::uint32_t helper_region = 0;
-  auction::seller_id seller = 0;  // helper-local
-  std::size_t bid_index = 0;      // into the helper's round instance
-  double latency = 0.0;
-};
-
-// Lazily computed per-helper-region state: the round's spare offers and a
-// claimed mask (a seller sells into at most one foreign region per round).
-struct helper_state {
-  bool offers_ready = false;
-  std::vector<spare_offer> offers;   // ascending bid index
-  std::vector<char> claimed;         // by helper-local seller id
-};
-
-// Cheapest unclaimed spare bid per seller of `helper`, ties broken by bid
-// index. Appends to `out` in ascending seller id order.
-void pick_per_seller(const auction::single_stage_instance& local,
-                     const helper_state& helper, std::uint32_t region,
-                     double latency, std::vector<candidate>& out) {
-  // Offers arrive grouped by nothing in particular (ascending bid index),
-  // so scan for each seller's best; offer lists are small (<= bids of one
-  // region's round).
-  std::vector<std::pair<auction::seller_id, std::size_t>> best;
-  for (const spare_offer& offer : helper.offers) {
-    if (helper.claimed[offer.seller] != 0) continue;
-    const double price = local.bids[offer.bid_index].price;
-    auto it = std::find_if(best.begin(), best.end(), [&](const auto& e) {
-      return e.first == offer.seller;
-    });
-    if (it == best.end()) {
-      best.emplace_back(offer.seller, offer.bid_index);
-    } else if (price < local.bids[it->second].price) {
-      it->second = offer.bid_index;
-    }
-  }
-  std::sort(best.begin(), best.end());
-  for (const auto& [seller, bid_index] : best) {
-    out.push_back({region, seller, bid_index, latency});
-  }
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
 
-void run_spillover(const edge::topology& topo,
-                   std::span<const auction::single_stage_instance> locals,
-                   std::span<const shard> shards,
-                   std::span<const shard_round> rounds,
-                   std::span<const message> requests,
-                   const spillover_options& options, post_office& po,
-                   spillover_outcome& out) {
+void seller_best_index::build(const auction::single_stage_instance& local,
+                              std::span<const spare_offer> offers,
+                              std::size_t sellers) {
+  best_.assign(sellers, kNoSpareBid);
+  sellers_.clear();
+  for (const spare_offer& offer : offers) {
+    const std::size_t incumbent = best_[offer.seller];
+    if (incumbent == kNoSpareBid) {
+      best_[offer.seller] = offer.bid_index;
+      sellers_.push_back(offer.seller);
+    } else if (local.bids[offer.bid_index].price <
+               local.bids[incumbent].price) {
+      // Strict <: ties keep the earlier (lower) bid index, exactly like
+      // the old per-offer scan over the ascending offer list.
+      best_[offer.seller] = offer.bid_index;
+    }
+  }
+  // First-seen order is ascending bid index; candidates must enumerate in
+  // ascending seller id.
+  std::sort(sellers_.begin(), sellers_.end());
+}
+
+void spillover_stage::fill_request_rows(
+    const edge::topology& topo,
+    std::span<const auction::single_stage_instance> locals,
+    const spillover_options& options, request_slot& slot,
+    std::size_t deficits) const {
+  candidate* row = slot.rows;
+  for (std::uint32_t si = slot.seg_begin; si < slot.seg_end; ++si) {
+    const segment& seg = segments_[si];
+    const helper_slot& h = helpers_[seg.helper];
+    const auction::single_stage_instance& local = locals[seg.helper];
+    const double transfer =
+        topo.transfer_cost(slot.region, seg.helper, options.cost_per_ms);
+    for (const auction::seller_id s : h.best.sellers()) {
+      const std::size_t bi = h.best.best_bid(s);
+      const auction::bid& home = local.bids[bi];
+      const std::size_t cover = std::min(home.coverage_size(), deficits);
+      candidate& c = *row++;
+      c.helper_region = seg.helper;
+      c.seller = s;
+      c.bid_index = bi;
+      c.latency = seg.latency;
+      c.price = home.price +
+                transfer * static_cast<double>(
+                               home.amount *
+                               static_cast<auction::units>(cover));
+      c.amount = home.amount;
+      c.cover = static_cast<std::uint32_t>(cover);
+    }
+  }
+  ECRS_CHECK(row == slot.rows + slot.row_count);
+}
+
+void spillover_stage::resize_spill_bids(std::size_t n) {
+  // Shrunk-off bids park in the pool so their coverage vectors keep their
+  // capacity; growing takes them back (a vector move swaps pointers — no
+  // allocation once the pool is warm).
+  while (spill_.bids.size() > n) {
+    bid_pool_.push_back(std::move(spill_.bids.back()));
+    spill_.bids.pop_back();
+  }
+  while (spill_.bids.size() < n) {
+    if (!bid_pool_.empty()) {
+      spill_.bids.push_back(std::move(bid_pool_.back()));
+      bid_pool_.pop_back();
+    } else {
+      spill_.bids.emplace_back();
+    }
+  }
+}
+
+void spillover_stage::run(
+    const edge::topology& topo,
+    std::span<const auction::single_stage_instance> locals,
+    std::span<const shard> shards, std::span<const shard_round> rounds,
+    std::span<const message> requests, const spillover_options& options,
+    std::size_t threads, post_office& po, spillover_outcome& out) {
   ECRS_CHECK_MSG(shards.size() == locals.size() &&
                      shards.size() == rounds.size(),
                  "one shard, local instance and round outcome per region");
@@ -70,49 +106,108 @@ void run_spillover(const edge::topology& topo,
 
   out.awards.clear();
   out.regions.clear();
+  out.covered_pool.clear();
   out.unmet_units = 0;
   out.social_cost = 0.0;
   out.total_payment = 0.0;
+  assembly_ms_ = 0.0;
   if (requests.empty()) return;
 
-  std::vector<helper_state> helpers(shards.size());
-  std::vector<candidate> candidates;
-  auction::single_stage_instance spill;
-  auction::coverage_state remaining;
+  const auto assembly_start = std::chrono::steady_clock::now();
+  const std::size_t n = shards.size();
+  const bool serial = threads == 1 || n == 1;
+  helpers_.resize(n);
 
-  for (const message& req : requests) {
+  // A0: every region's spare offers and per-seller best index, in
+  // parallel. Disjoint slots; claims are reset here and only written by
+  // the serial phase B. (PR 8 computed offers lazily per visited helper —
+  // at scale every region is a potential helper anyway, and the build is
+  // one O(bids) pass per region.)
+  const auto prepare_helper = [&](std::size_t r) {
+    helper_slot& h = helpers_[r];
+    shards[r].spare_offers(locals[r], rounds[r], h.won_scratch, h.offers);
+    h.best.build(locals[r], h.offers, shards[r].session().sellers());
+    h.claimed.assign(shards[r].session().sellers(), 0);
+  };
+  if (serial) {
+    for (std::size_t r = 0; r < n; ++r) prepare_helper(r);
+  } else {
+    thread_pool::shared().parallel_for(n, prepare_helper, threads);
+  }
+
+  // Serial pre-pass: size each request's candidate row block (every
+  // neighbor in budget with at least one spare seller — the max_regions
+  // cap is claim-dependent and applied in phase B) and carve the rows
+  // from the round arena.
+  arena_.reset();
+  segments_.clear();
+  slots_.clear();
+  slots_.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const message& req = requests[i];
     ECRS_CHECK_MSG(req.type == message::kind::spill_request,
                    "spillover expects only spill_request mail");
-    const std::uint32_t r = req.from;
-    ECRS_CHECK_MSG(r < shards.size(), "spill request from unknown region");
-    ECRS_CHECK_MSG(out.regions.empty() || out.regions.back().region < r,
+    ECRS_CHECK_MSG(req.from < n, "spill request from unknown region");
+    ECRS_CHECK_MSG(i == 0 || requests[i - 1].from < req.from,
                    "spill requests must arrive in ascending region order");
+    ECRS_CHECK_MSG(!req.deficits.empty(), "empty spill request");
+    request_slot& slot = slots_[i];
+    slot.region = req.from;
+    slot.seg_begin = static_cast<std::uint32_t>(segments_.size());
+    std::uint32_t rows = 0;
+    for (const edge::neighbor& nb :
+         topo.neighbors_by_latency(req.from, options.max_latency)) {
+      if (nb.region >= n) continue;  // topology may be wider
+      const std::size_t count = helpers_[nb.region].best.sellers().size();
+      if (count == 0) continue;
+      segments_.push_back({nb.region, nb.latency, rows,
+                           static_cast<std::uint32_t>(count)});
+      rows += static_cast<std::uint32_t>(count);
+    }
+    slot.seg_end = static_cast<std::uint32_t>(segments_.size());
+    slot.row_count = rows;
+    slot.rows = rows > 0 ? arena_.alloc_array<candidate>(rows) : nullptr;
+  }
+
+  // A1: fill every request's candidate rows in parallel. Pure function of
+  // A0 output and the topology; each request writes only its own block.
+  const auto fill = [&](std::size_t i) {
+    fill_request_rows(topo, locals, options, slots_[i],
+                      requests[i].deficits.size());
+  };
+  if (serial || requests.size() == 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i) fill(i);
+  } else {
+    thread_pool::shared().parallel_for(requests.size(), fill, threads);
+  }
+  assembly_ms_ = ms_since(assembly_start);
+
+  // B: serial reduction in ascending requesting region order.
+  covered_offsets_.clear();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const message& req = requests[i];
+    const request_slot& slot = slots_[i];
     const std::size_t deficits = req.deficits.size();
-    ECRS_CHECK_MSG(deficits > 0, "empty spill request");
 
     region_spill tally;
-    tally.region = r;
+    tally.region = slot.region;
     for (const spill_deficit& d : req.deficits) tally.requested += d.missing;
 
-    // Assemble candidates: closest helper regions first, at most
-    // options.max_regions of them, one bid per (still unclaimed) seller.
-    candidates.clear();
+    // Closest helper regions first, at most options.max_regions of them
+    // that still contribute a candidate, one bid per unclaimed seller —
+    // the same walk PR 8 did, minus the per-offer rescans.
+    active_.clear();
     std::size_t helper_regions = 0;
-    for (const edge::neighbor& nb :
-         topo.neighbors_by_latency(r, options.max_latency)) {
+    for (std::uint32_t si = slot.seg_begin; si < slot.seg_end; ++si) {
       if (helper_regions == options.max_regions) break;
-      if (nb.region >= shards.size()) continue;  // topology may be wider
-      helper_state& h = helpers[nb.region];
-      if (!h.offers_ready) {
-        h.offers_ready = true;
-        h.claimed.assign(shards[nb.region].session().sellers(), 0);
-        shards[nb.region].spare_offers(locals[nb.region], rounds[nb.region],
-                                       h.offers);
+      const segment& seg = segments_[si];
+      const std::vector<char>& claimed = helpers_[seg.helper].claimed;
+      const std::size_t before = active_.size();
+      for (std::uint32_t k = seg.begin; k < seg.begin + seg.count; ++k) {
+        if (claimed[slot.rows[k].seller] != 0) continue;
+        active_.push_back(k);
       }
-      const std::size_t before = candidates.size();
-      pick_per_seller(locals[nb.region], h, nb.region, nb.latency,
-                      candidates);
-      if (candidates.size() > before) ++helper_regions;
+      if (active_.size() > before) ++helper_regions;
     }
 
     // Build the re-auction: one demander per deficit entry, one bid per
@@ -122,52 +217,49 @@ void run_spillover(const edge::topology& topo,
     // candidate piling onto slot 0. Seller ids are candidate indices
     // (each candidate is a distinct real seller, so constraint (9) is
     // vacuous here by construction).
-    spill.requirements.clear();
+    spill_.requirements.clear();
     for (const spill_deficit& d : req.deficits) {
-      spill.requirements.push_back(d.missing);
+      spill_.requirements.push_back(d.missing);
     }
-    spill.bids.clear();
-    for (std::size_t i = 0; i < candidates.size(); ++i) {
-      const candidate& c = candidates[i];
-      const auction::bid& home = locals[c.helper_region].bids[c.bid_index];
-      const std::size_t cover = std::min(home.coverage_size(), deficits);
-      auction::bid b;
-      b.seller = static_cast<auction::seller_id>(i);
+    resize_spill_bids(active_.size());
+    for (std::size_t a = 0; a < active_.size(); ++a) {
+      const candidate& c = slot.rows[active_[a]];
+      auction::bid& b = spill_.bids[a];
+      b.seller = static_cast<auction::seller_id>(a);
       b.index = 0;
-      b.amount = home.amount;
-      for (std::size_t k = 0; k < cover; ++k) {
+      b.amount = c.amount;
+      b.price = c.price;
+      b.coverage.clear();
+      for (std::size_t k = 0; k < c.cover; ++k) {
         b.coverage.push_back(
-            static_cast<auction::demander_id>((i + k) % deficits));
+            static_cast<auction::demander_id>((a + k) % deficits));
       }
       std::sort(b.coverage.begin(), b.coverage.end());
-      b.price = home.price +
-                topo.transfer_cost(r, c.helper_region, options.cost_per_ms) *
-                    static_cast<double>(home.amount *
-                                        static_cast<auction::units>(cover));
-      spill.bids.push_back(std::move(b));
     }
 
-    const auction::ssam_result result =
-        auction::run_ssam(spill, options.stage);
+    auction::run_ssam(spill_, options.stage, &scratch_, result_);
 
-    remaining.reset(spill.requirements);
-    for (const auction::winning_bid& w : result.winners) {
-      const auction::bid& sb = spill.bids[w.bid_index];
-      remaining.apply(sb);
-      const candidate& c = candidates[sb.seller];
+    remaining_.reset(spill_.requirements);
+    for (const auction::winning_bid& w : result_.winners) {
+      const auction::bid& sb = spill_.bids[w.bid_index];
+      remaining_.apply(sb);
+      const candidate& c = slot.rows[active_[sb.seller]];
       const auto weight = static_cast<auction::units>(sb.coverage.size());
-      helpers[c.helper_region].claimed[c.seller] = 1;
+      helpers_[c.helper_region].claimed[c.seller] = 1;
 
       spill_award award;
-      award.demand_region = r;
+      award.demand_region = slot.region;
       award.helper_region = c.helper_region;
       award.seller = c.seller;
       award.bid_index = c.bid_index;
       // Map deficit-slot indices back to the demand region's local
-      // demander ids so awards read in market terms.
-      award.covered = sb.coverage;
-      for (auction::demander_id& k : award.covered) {
-        k = req.deficits[k].demander;
+      // demander ids so awards read in market terms. The ids append to
+      // the outcome's pool; spans are patched in once the pool stops
+      // growing (below).
+      covered_offsets_.emplace_back(out.covered_pool.size(),
+                                    sb.coverage.size());
+      for (const auction::demander_id k : sb.coverage) {
+        out.covered_pool.push_back(req.deficits[k].demander);
       }
       award.amount = sb.amount;
       award.latency = c.latency;
@@ -175,7 +267,7 @@ void run_spillover(const edge::topology& topo,
       award.payment = w.payment;
       out.social_cost += award.ask;
       out.total_payment += award.payment;
-      out.awards.push_back(std::move(award));
+      out.awards.push_back(award);
 
       message grant;
       grant.type = message::kind::spill_grant;
@@ -184,14 +276,32 @@ void run_spillover(const edge::topology& topo,
       grant.seller = c.seller;
       grant.weight = weight;
       grant.price = sb.price;
-      grant.buyer = r;
-      po.post(std::move(grant));
+      grant.buyer = slot.region;
+      po.post(grant);
     }
 
-    tally.granted = tally.requested - remaining.deficit();
-    out.unmet_units += remaining.deficit();
+    tally.granted = tally.requested - remaining_.deficit();
+    out.unmet_units += remaining_.deficit();
     out.regions.push_back(tally);
   }
+
+  // covered_pool is stable now — point every award at its slice.
+  for (std::size_t a = 0; a < out.awards.size(); ++a) {
+    const auto [offset, count] = covered_offsets_[a];
+    out.awards[a].covered = {out.covered_pool.data() + offset, count};
+  }
+}
+
+void run_spillover(const edge::topology& topo,
+                   std::span<const auction::single_stage_instance> locals,
+                   std::span<const shard> shards,
+                   std::span<const shard_round> rounds,
+                   std::span<const message> requests,
+                   const spillover_options& options, post_office& po,
+                   spillover_outcome& out) {
+  spillover_stage stage;
+  stage.run(topo, locals, shards, rounds, requests, options, /*threads=*/1,
+            po, out);
 }
 
 }  // namespace ecrs::market

@@ -12,11 +12,33 @@
 // the helper shards (which charge the sale against seller capacity via
 // msoa_session::consume_external).
 //
-// The stage is serial and deterministic by construction: uncovered regions
-// are processed in ascending region id (the post office's drain order for
-// coordinator mail), candidates are enumerated in ascending
-// (latency, helper region id, seller id) order, and a seller sells into at
-// most one foreign region per marketplace round.
+// Determinism contract (unchanged from the all-serial PR 8 stage, which
+// this reproduces bit for bit): uncovered regions are processed in
+// ascending region id (the post office's drain order for coordinator
+// mail), candidates are enumerated in ascending (latency, helper region
+// id, seller id) order, and a seller sells into at most one foreign region
+// per marketplace round.
+//
+// Scale structure (PR 9): the stage is split into claim-independent
+// assembly and a serial reduction.
+//
+//   A0  per HELPER region, parallel, disjoint slots: collect the round's
+//       spare offers and build a seller_best_index (cheapest spare bid per
+//       seller — the old per-offer find_if scan was O(offers · sellers)).
+//   A1  per REQUESTING region, parallel, disjoint arena rows: walk the
+//       neighbor list and materialize every potential candidate (helper,
+//       seller, best bid, latency, surcharged price) into rows carved from
+//       a common/arena. Claims are NOT consulted here — a claim only ever
+//       removes a whole seller, so the per-seller best is claim-invariant.
+//   B   serial reduction, ascending requesting region: filter claimed
+//       sellers, apply the max_regions cap (a helper whose sellers are all
+//       claimed does not count, exactly like the lazy PR 8 walk), build
+//       the re-auction from pooled storage, award, claim, post grants.
+//
+// The steady-state round allocates nothing here: candidate rows live in
+// the stage's arena (rewound every round, chunks kept), the re-auction
+// instance/bids/result/scratch are pooled across rounds, and awards write
+// covered ids into one pool per outcome.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +48,8 @@
 
 #include "auction/bid.h"
 #include "auction/ssam.h"
+#include "common/annotations.h"
+#include "common/arena.h"
 #include "edge/topology.h"
 #include "market/mailbox.h"
 #include "market/shard.h"
@@ -51,8 +75,12 @@ struct spill_award {
   std::uint32_t helper_region = 0;
   auction::seller_id seller = 0;  // helper-region-local id
   std::size_t bid_index = 0;      // into the helper region's round instance
-  // Covered demanders, demand-region-local ids (sorted unique).
-  std::vector<auction::demander_id> covered;
+  // Covered demanders, demand-region-local ids (sorted unique). A view
+  // into the owning spillover_outcome's covered_pool: valid as long as
+  // that outcome lives, and survives MOVES of the outcome (the pool's heap
+  // buffer moves with it) — but not copies, which leave the spans viewing
+  // the source. Move outcomes or read them in place.
+  std::span<const auction::demander_id> covered;
   auction::units amount = 0;   // units per covered demander
   double latency = 0.0;        // shortest-path ms between the two regions
   double ask = 0.0;            // surcharged asking price (social cost share)
@@ -69,18 +97,133 @@ struct region_spill {
 struct spillover_outcome {
   std::vector<spill_award> awards;      // ascending demand region id
   std::vector<region_spill> regions;    // one per spill request, ascending
+  // Backing store for every award's `covered` span, in award order.
+  std::vector<auction::demander_id> covered_pool;
   auction::units unmet_units = 0;       // requested - granted, summed
   double social_cost = 0.0;             // sum of award asks
   double total_payment = 0.0;           // sum of award payments
 };
 
-// Run the spillover stage for one marketplace round. `locals` are the
-// regions' round instances (true prices), `shards`/`rounds` the per-region
-// shard state and local outcomes, `requests` the coordinator's drained
-// spill_request mail in ascending origin-region order. Posts one
-// spill_grant per award to `po` (from the coordinator slot); the caller
-// drains and applies them. `out` is cleared and refilled (vector capacity
-// reused).
+// Sentinel of seller_best_index::best_bid: the seller offered nothing.
+inline constexpr std::size_t kNoSpareBid =
+    std::numeric_limits<std::size_t>::max();
+
+// Per-helper-region index of one round's spare offers: for every seller
+// the cheapest spare bid (ties to the lowest bid index — the order
+// spare_offers emits). Replaces the old O(offers · sellers) per-offer
+// find_if scan with one O(sellers + offers · log) build consumed by every
+// requesting region. Exposed for the regression test that fuzzes it
+// against the old scan (tests/market_test.cc).
+class seller_best_index {
+ public:
+  // Rebuild from one region's spare offers (ascending bid index). `local`
+  // supplies bid prices; `sellers` is the region's seller count. Reuses
+  // capacity — warm rebuilds never allocate.
+  ECRS_HOT void build(const auction::single_stage_instance& local,
+                      std::span<const spare_offer> offers,
+                      std::size_t sellers);
+
+  // Sellers with at least one spare offer, ascending id.
+  [[nodiscard]] std::span<const auction::seller_id> sellers() const {
+    return sellers_;
+  }
+  // The cheapest spare bid of `seller`, or kNoSpareBid.
+  [[nodiscard]] std::size_t best_bid(auction::seller_id seller) const {
+    return best_[seller];
+  }
+
+ private:
+  std::vector<std::size_t> best_;              // per seller id
+  std::vector<auction::seller_id> sellers_;    // ascending, offers only
+};
+
+// The spillover stage with persistent cross-round storage. One instance
+// serves one marketplace (or test harness); rounds reuse every buffer, so
+// the steady state allocates nothing. run() is bit-identical to the PR 8
+// serial stage at every `threads` value.
+class spillover_stage {
+ public:
+  // `locals`/`shards`/`rounds` are the regions' round instances, shard
+  // state and local outcomes; `requests` the coordinator's drained
+  // spill_request mail in ascending origin-region order. `threads` follows
+  // marketplace_options::threads (1 = serial on the calling thread, 0 =
+  // shared pool at hardware width, k = at most k workers). Posts one
+  // spill_grant per award to `po`; refills `out` (capacity reused).
+  void run(const edge::topology& topo,
+           std::span<const auction::single_stage_instance> locals,
+           std::span<const shard> shards, std::span<const shard_round> rounds,
+           std::span<const message> requests, const spillover_options& options,
+           std::size_t threads, post_office& po, spillover_outcome& out);
+
+  // Wall time the last run() spent in candidate assembly (phases A0 + A1),
+  // milliseconds. Perf telemetry only — never part of the outcome.
+  [[nodiscard]] double assembly_ms() const { return assembly_ms_; }
+
+ private:
+  // One potential candidate, fully priced. Claim-independent: phase B
+  // drops rows of claimed sellers without re-deriving anything.
+  struct candidate {
+    std::uint32_t helper_region = 0;
+    auction::seller_id seller = 0;  // helper-local
+    std::size_t bid_index = 0;      // into the helper's round instance
+    double latency = 0.0;
+    double price = 0.0;             // home ask + backhaul surcharge
+    auction::units amount = 0;      // units per covered deficit slot
+    std::uint32_t cover = 0;        // deficit slots the bid spans
+  };
+  // One helper region's contribution to one request: a run of `count`
+  // candidate rows starting at `begin` in the request's row block.
+  struct segment {
+    std::uint32_t helper = 0;
+    double latency = 0.0;
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;
+  };
+  // Per-request assembly product: the arena row block plus its segments.
+  struct request_slot {
+    std::uint32_t region = 0;
+    candidate* rows = nullptr;  // arena-carved, row_count entries
+    std::uint32_t row_count = 0;
+    std::uint32_t seg_begin = 0;  // into segments_
+    std::uint32_t seg_end = 0;
+  };
+  // Per-helper-region round state (disjoint parallel slots in A0).
+  struct helper_slot {
+    std::vector<spare_offer> offers;
+    seller_best_index best;
+    std::vector<char> claimed;      // serial phase B only
+    std::vector<char> won_scratch;  // shard::spare_offers scratch
+  };
+
+  ECRS_HOT void fill_request_rows(
+      const edge::topology& topo,
+      std::span<const auction::single_stage_instance> locals,
+      const spillover_options& options, request_slot& slot,
+      std::size_t deficits) const;
+  // Grow/shrink the pooled re-auction bid vector without destroying bids
+  // (shrunk-off bids park in bid_pool_ keeping their coverage capacity).
+  void resize_spill_bids(std::size_t n);
+
+  std::vector<helper_slot> helpers_;
+  std::vector<request_slot> slots_;
+  std::vector<segment> segments_;
+  arena arena_;  // candidate rows; rewound every round, chunks kept
+  // Pooled re-auction storage.
+  auction::single_stage_instance spill_;
+  std::vector<auction::bid> bid_pool_;
+  std::vector<std::uint32_t> active_;  // unclaimed row indices, one request
+  auction::coverage_state remaining_;
+  auction::ssam_scratch scratch_;
+  auction::ssam_result result_;
+  // Award covered spans are recorded as offsets while covered_pool grows,
+  // then patched to spans once it is stable.
+  std::vector<std::pair<std::size_t, std::size_t>> covered_offsets_;
+  double assembly_ms_ = 0.0;
+};
+
+// Run the spillover stage for one marketplace round on a throwaway
+// spillover_stage (serial assembly). Kept for tests and one-shot callers;
+// the marketplace owns a persistent stage instead so rounds reuse storage.
 void run_spillover(const edge::topology& topo,
                    std::span<const auction::single_stage_instance> locals,
                    std::span<const shard> shards,

@@ -31,6 +31,17 @@ generator::generator(generator_config config)
   }
   // Shuffle so classes are not correlated with microservice ids.
   gen_.shuffle(class_by_service_);
+
+  // Per-class target lists: one uniform draw picks a matching microservice
+  // directly. (The first cut rejection-sampled up to 16 candidate ids per
+  // request — a measurable cost once rounds carry ~1M requests.) A class
+  // with no microservices falls back to the full id space, preserving the
+  // old "fall back to any microservice" behaviour.
+  for (std::uint32_t m = 0; m < config_.microservices; ++m) {
+    (class_by_service_[m] == qos_class::delay_sensitive ? sensitive_ids_
+                                                        : tolerant_ids_)
+        .push_back(m);
+  }
 }
 
 qos_class generator::class_of(std::uint32_t microservice) const {
@@ -87,15 +98,18 @@ void generator::round_into(double round_start, double duration,
                               ? config_.sensitive_mean
                               : config_.tolerant_mean;
       const std::int64_t count = gen_.poisson(mean);
+      const std::vector<std::uint32_t>& ids =
+          cls == qos_class::delay_sensitive ? sensitive_ids_ : tolerant_ids_;
       for (std::int64_t k = 0; k < count; ++k) {
-        // Pick a target microservice of the matching class; fall back to any
-        // microservice if the class is empty.
-        std::uint32_t target = 0;
-        bool found = false;
-        for (int attempt = 0; attempt < 16 && !found; ++attempt) {
+        // Pick a target microservice of the matching class in one draw;
+        // an empty class falls back to any microservice.
+        std::uint32_t target;
+        if (!ids.empty()) {
+          target = ids[static_cast<std::size_t>(gen_.uniform_int(
+              0, static_cast<std::int64_t>(ids.size()) - 1))];
+        } else {
           target = static_cast<std::uint32_t>(gen_.uniform_int(
               0, static_cast<std::int64_t>(config_.microservices) - 1));
-          found = class_by_service_[target] == cls;
         }
         request r;
         r.id = next_request_id_++;

@@ -78,6 +78,10 @@ class generator final : public round_source {
   rng gen_;
   std::uint64_t next_request_id_ = 1;
   std::vector<qos_class> class_by_service_;
+  // Microservice ids by class, ascending: round_into targets a class with
+  // one uniform draw instead of rejection sampling the full id space.
+  std::vector<std::uint32_t> sensitive_ids_;
+  std::vector<std::uint32_t> tolerant_ids_;
 };
 
 }  // namespace ecrs::workload

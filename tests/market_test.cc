@@ -6,9 +6,12 @@
 // msoa_sessions serially.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "auction/instance_gen.h"
@@ -17,9 +20,12 @@
 #include "common/rng.h"
 #include "edge/topology.h"
 #include "harness/experiments.h"
+#include "market/ingest.h"
 #include "market/mailbox.h"
 #include "market/marketplace.h"
 #include "market/region_map.h"
+#include "market/spillover.h"
+#include "workload/request.h"
 
 namespace ecrs {
 namespace {
@@ -219,7 +225,9 @@ TEST(Spillover, CoversForeignDeficitAtSurchargedPrice) {
   EXPECT_EQ(award.demand_region, 1u);
   EXPECT_EQ(award.helper_region, 0u);
   EXPECT_EQ(award.seller, 0u);
-  EXPECT_EQ(award.covered, (std::vector<auction::demander_id>{0}));
+  EXPECT_EQ(std::vector<auction::demander_id>(award.covered.begin(),
+                                              award.covered.end()),
+            (std::vector<auction::demander_id>{0}));
   EXPECT_DOUBLE_EQ(award.latency, 1.0);
   // ask = 4.0 + transfer_cost(1ms * 0.05/unit/ms) * 10 units * 1 demander.
   EXPECT_DOUBLE_EQ(award.ask, 4.5);
@@ -430,6 +438,301 @@ TEST(MarketplaceDriver, TableIsThreadCountInvariant) {
   const auto parallel = harness::marketplace_rounds(cfg);
   EXPECT_EQ(serial.to_csv(), parallel.to_csv());
   ASSERT_EQ(serial.rows(), 3u);
+}
+
+TEST(MarketplaceDriver, StreamingTableIsThreadCountInvariant) {
+  harness::marketplace_config cfg;
+  cfg.regions = 5;
+  cfg.rounds = 4;
+  cfg.streaming = true;
+  cfg.users = 40;
+  cfg.threads = 1;
+  const auto serial = harness::marketplace_rounds(cfg);
+  cfg.threads = 0;
+  const auto parallel = harness::marketplace_rounds(cfg);
+  EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+  ASSERT_EQ(serial.rows(), 4u);
+}
+
+// ------------------------------------------------ seller_best_index (PR 9)
+
+// The old pick_per_seller scan, verbatim semantics: walk the offers in
+// emission order, linear-search the picked list for the offer's seller,
+// keep the strictly cheaper bid; candidates were then enumerated per
+// seller in ascending id order. The indexed rebuild must reproduce both
+// the picked set and that order exactly.
+TEST(Spillover, SellerBestIndexMatchesLinearScanOnFuzzedOffers) {
+  rng gen(20240908);
+  market::seller_best_index index;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto sellers =
+        static_cast<std::size_t>(gen.uniform_int(1, 12));
+    const auto bids = static_cast<std::size_t>(gen.uniform_int(0, 40));
+    auction::single_stage_instance local;
+    local.requirements = {1};
+    std::vector<market::spare_offer> offers;
+    for (std::size_t i = 0; i < bids; ++i) {
+      auction::bid b;
+      b.seller = static_cast<auction::seller_id>(
+          gen.uniform_int(0, static_cast<std::int64_t>(sellers) - 1));
+      b.index = i;
+      b.coverage = {0};
+      b.amount = 1;
+      // Coarse price grid on purpose: ties must resolve to the lowest bid
+      // index, like the scan's strict-< replacement rule.
+      b.price = static_cast<double>(gen.uniform_int(1, 4));
+      local.bids.push_back(std::move(b));
+      if (gen.uniform_int(0, 9) < 7) {
+        offers.push_back({i, local.bids.back().seller});
+      }
+    }
+
+    std::vector<std::pair<auction::seller_id, std::size_t>> picked;
+    for (const market::spare_offer& offer : offers) {
+      const auto it =
+          std::find_if(picked.begin(), picked.end(), [&](const auto& p) {
+            return p.first == offer.seller;
+          });
+      if (it == picked.end()) {
+        picked.emplace_back(offer.seller, offer.bid_index);
+      } else if (local.bids[offer.bid_index].price <
+                 local.bids[it->second].price) {
+        it->second = offer.bid_index;
+      }
+    }
+    std::sort(picked.begin(), picked.end());
+
+    index.build(local, offers, sellers);
+    ASSERT_EQ(index.sellers().size(), picked.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < picked.size(); ++i) {
+      EXPECT_EQ(index.sellers()[i], picked[i].first) << "trial " << trial;
+      EXPECT_EQ(index.best_bid(picked[i].first), picked[i].second)
+          << "trial " << trial;
+    }
+    for (auction::seller_id s = 0; s < sellers; ++s) {
+      const bool has = std::find_if(picked.begin(), picked.end(),
+                                    [&](const auto& p) {
+                                      return p.first == s;
+                                    }) != picked.end();
+      if (!has) {
+        EXPECT_EQ(index.best_bid(s), market::kNoSpareBid);
+      }
+    }
+  }
+}
+
+// ------------------------------------------- streaming partitioner (PR 9)
+
+TEST(RegionMap, StreamingPartitionerMatchesBatchPartitionOnFuzz) {
+  rng gen(77);
+  market::streaming_partitioner streamer(1);
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto regions =
+        static_cast<std::uint32_t>(gen.uniform_int(1, 5));
+    const auto demanders =
+        static_cast<std::size_t>(gen.uniform_int(0, 12));
+    const auto sellers = static_cast<std::size_t>(gen.uniform_int(1, 6));
+    const auto bids = static_cast<std::size_t>(gen.uniform_int(0, 15));
+
+    auction::single_stage_instance global;
+    std::vector<std::uint32_t> demander_region(demanders);
+    std::vector<std::uint32_t> seller_region(sellers);
+    for (std::size_t k = 0; k < demanders; ++k) {
+      demander_region[k] =
+          static_cast<std::uint32_t>(gen.uniform_int(0, regions - 1));
+      global.requirements.push_back(
+          static_cast<auction::units>(gen.uniform_int(0, 9)));
+    }
+    for (std::size_t s = 0; s < sellers; ++s) {
+      seller_region[s] =
+          static_cast<std::uint32_t>(gen.uniform_int(0, regions - 1));
+    }
+    for (std::size_t i = 0; i < bids && demanders > 0; ++i) {
+      auction::bid b;
+      b.seller = static_cast<auction::seller_id>(
+          gen.uniform_int(0, static_cast<std::int64_t>(sellers) - 1));
+      b.index = i;
+      for (std::size_t k = 0; k < demanders; ++k) {
+        if (gen.uniform_int(0, 2) == 0) {
+          b.coverage.push_back(static_cast<auction::demander_id>(k));
+        }
+      }
+      b.amount = static_cast<auction::units>(gen.uniform_int(1, 8));
+      b.price = static_cast<double>(gen.uniform_int(1, 50)) / 4.0;
+      global.bids.push_back(std::move(b));
+    }
+
+    const market::partitioned_instance batch =
+        market::partition(global, regions, seller_region, demander_region);
+
+    streamer = market::streaming_partitioner(regions);
+    streamer.begin();
+    for (std::size_t k = 0; k < demanders; ++k) {
+      streamer.add_demander(demander_region[k], global.requirements[k]);
+    }
+    for (std::size_t s = 0; s < sellers; ++s) {
+      streamer.add_seller(seller_region[s]);
+    }
+    for (const auction::bid& b : global.bids) streamer.add_bid(b);
+    const market::partitioned_instance streamed = streamer.finish();
+
+    ASSERT_EQ(streamed.shards.region_count(), batch.shards.region_count());
+    EXPECT_EQ(streamed.dropped_coverage, batch.dropped_coverage);
+    EXPECT_EQ(streamed.dropped_bids, batch.dropped_bids);
+    for (std::uint32_t r = 0; r < regions; ++r) {
+      const auto& want = batch.shards.regions[r];
+      const auto& got = streamed.shards.regions[r];
+      EXPECT_EQ(got.requirements, want.requirements) << "trial " << trial;
+      ASSERT_EQ(got.bids.size(), want.bids.size()) << "trial " << trial;
+      for (std::size_t i = 0; i < want.bids.size(); ++i) {
+        EXPECT_EQ(got.bids[i].seller, want.bids[i].seller);
+        EXPECT_EQ(got.bids[i].index, want.bids[i].index);
+        EXPECT_EQ(got.bids[i].coverage, want.bids[i].coverage);
+        EXPECT_EQ(got.bids[i].amount, want.bids[i].amount);
+        EXPECT_EQ(got.bids[i].price, want.bids[i].price);
+      }
+      EXPECT_EQ(streamed.map.sellers_in(r), batch.map.sellers_in(r));
+      EXPECT_EQ(streamed.map.demanders_in(r), batch.map.demanders_in(r));
+    }
+  }
+}
+
+// ------------------------------------------------- round_ingestor (PR 9)
+
+market::ingest_config small_ingest_config() {
+  market::ingest_config icfg;
+  icfg.regions = 2;
+  icfg.microservices = 5;  // region 0 hosts {0, 2, 4}, region 1 hosts {1, 3}
+  icfg.unit_demand = 2.0;
+  return icfg;
+}
+
+// Standing bids for small_ingest_config: one seller per region whose bid
+// covers every local demander with plenty of amount.
+auction::regional_instance small_standing() {
+  auction::regional_instance standing;
+  standing.regions.resize(2);
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    auction::single_stage_instance& local = standing.regions[r];
+    local.requirements.assign(r == 0 ? 3 : 2, 0);
+    auction::bid b;
+    b.seller = 0;
+    for (std::uint32_t k = 0; k < local.requirements.size(); ++k) {
+      b.coverage.push_back(k);
+    }
+    b.amount = 50;
+    b.price = 3.0;
+    local.bids = {b};
+  }
+  return standing;
+}
+
+workload::request request_for(std::uint32_t microservice, double demand) {
+  workload::request q;
+  q.microservice = microservice;
+  q.region = microservice % 2;
+  q.service_demand = demand;
+  return q;
+}
+
+TEST(Ingest, QuantizeDemandClampsThenScales) {
+  market::ingest_config icfg;
+  icfg.unit_demand = 2.0;
+  EXPECT_EQ(market::quantize_demand(0.0, icfg, market::kNoSupplyCap), 0);
+  EXPECT_EQ(market::quantize_demand(-1.0, icfg, market::kNoSupplyCap), 0);
+  EXPECT_EQ(market::quantize_demand(0.1, icfg, market::kNoSupplyCap), 1);
+  EXPECT_EQ(market::quantize_demand(7.9, icfg, market::kNoSupplyCap), 4);
+  icfg.max_requirement = 3;
+  EXPECT_EQ(market::quantize_demand(7.9, icfg, market::kNoSupplyCap), 3);
+  EXPECT_EQ(market::quantize_demand(7.9, icfg, 2), 2);  // supply cap wins
+  icfg.demand_scale = 1.25;  // applied after both clamps, ceil
+  EXPECT_EQ(market::quantize_demand(7.9, icfg, 2), 3);
+  EXPECT_EQ(market::quantize_demand(7.9, icfg, market::kNoSupplyCap), 4);
+}
+
+TEST(Ingest, PlacementAndSupplyCaps) {
+  market::ingest_config icfg = small_ingest_config();
+  icfg.supply_margin = 0.5;
+  const market::round_ingestor ing(icfg, small_standing());
+  EXPECT_EQ(ing.demanders_in(0), 3u);
+  EXPECT_EQ(ing.demanders_in(1), 2u);
+  EXPECT_EQ(ing.region_of(3), 1u);
+  EXPECT_EQ(ing.local_demander(3), 1u);
+  // guaranteed_supply = the seller's min bid amount (50); cap = floor(.5*50).
+  EXPECT_EQ(ing.supply_cap(0, 0), 25);
+  EXPECT_EQ(ing.supply_cap(1, 1), 25);
+}
+
+TEST(Ingest, MatchesManualQuantization) {
+  const market::ingest_config icfg = small_ingest_config();
+  market::round_ingestor ing(icfg, small_standing());
+  const std::vector<workload::request> batch = {
+      request_for(0, 1.5), request_for(3, 4.0), request_for(0, 2.5),
+      request_for(4, 0.2), request_for(1, 6.0)};
+  const auction::regional_instance& round = ing.ingest(batch);
+  ASSERT_EQ(round.region_count(), 2u);
+  // Region 0 hosts microservices 0, 2, 4: ceil(4/2), 0, ceil(0.2/2).
+  EXPECT_EQ(round.regions[0].requirements,
+            (std::vector<auction::units>{2, 0, 1}));
+  // Region 1 hosts microservices 1, 3: ceil(6/2), ceil(4/2).
+  EXPECT_EQ(round.regions[1].requirements,
+            (std::vector<auction::units>{3, 2}));
+  // Accumulators were reset: an empty next round quantizes to zero.
+  ing.accumulate({});
+  const auction::regional_instance& next = ing.finalize();
+  EXPECT_EQ(next.regions[0].requirements,
+            (std::vector<auction::units>{0, 0, 0}));
+}
+
+TEST(Ingest, SubBatchAccumulationMatchesWholeBatch) {
+  const market::ingest_config icfg = small_ingest_config();
+  rng gen(5150);
+  std::vector<workload::request> batch;
+  for (int i = 0; i < 64; ++i) {
+    batch.push_back(request_for(
+        static_cast<std::uint32_t>(gen.uniform_int(0, 4)),
+        static_cast<double>(gen.uniform_int(1, 40)) / 8.0));
+  }
+  market::round_ingestor whole(icfg, small_standing());
+  const auction::regional_instance& expect = whole.ingest(batch);
+
+  market::round_ingestor split(icfg, small_standing());
+  const std::span<const workload::request> view(batch);
+  split.accumulate(view.subspan(0, 20));
+  split.accumulate(view.subspan(20, 30));
+  split.accumulate(view.subspan(50));
+  const auction::regional_instance& got = split.finalize();
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    EXPECT_EQ(got.regions[r].requirements, expect.regions[r].requirements);
+  }
+}
+
+TEST(Ingest, QuantizeIsThreadCountInvariant) {
+  market::ingest_config icfg = small_ingest_config();
+  icfg.regions = 7;
+  icfg.microservices = 61;
+  rng gen(99);
+  auction::regional_instance standing;
+  standing.regions.resize(7);
+  for (std::uint32_t r = 0; r < 7; ++r) {
+    const std::uint32_t n = r < 61 % 7 ? 9 : 8;  // 61 round-robin over 7
+    standing.regions[r].requirements.assign(n, 0);
+  }
+  std::vector<workload::request> batch;
+  for (int i = 0; i < 500; ++i) {
+    batch.push_back(request_for(
+        static_cast<std::uint32_t>(gen.uniform_int(0, 60)),
+        static_cast<double>(gen.uniform_int(1, 80)) / 16.0));
+  }
+  icfg.threads = 1;
+  market::round_ingestor serial(icfg, standing);
+  const auction::regional_instance& a = serial.ingest(batch);
+  icfg.threads = 0;
+  market::round_ingestor parallel(icfg, std::move(standing));
+  const auction::regional_instance& b = parallel.ingest(batch);
+  for (std::uint32_t r = 0; r < 7; ++r) {
+    EXPECT_EQ(a.regions[r].requirements, b.regions[r].requirements);
+  }
 }
 
 }  // namespace

@@ -16,7 +16,13 @@ Accepted input formats (auto-detected, both sides):
 
 Usage:
   bench_compare.py --baseline BENCH_pr4.json --fresh fresh.json \
-      [--threshold 0.25] [--only name1,name2,...] [--allow name1,name2,...]
+      [--threshold 0.25] [--only name1,name2,...] [--allow name1,name2,...] \
+      [--max-rss-mb MB]
+
+--max-rss-mb additionally gates the fresh run's resident-set ceiling: if the
+fresh JSON carries a "peak_rss_mb" (or "stream_peak_rss_mb") field above the
+given bound, the comparison fails even when every timing lane is within
+threshold. Fresh runs without an RSS field only warn (older bench binaries).
 
 Exit status: 0 within threshold, 1 regression found, 2 usage/parse error.
 
@@ -68,6 +74,17 @@ def load_results(path: Path) -> dict[str, float]:
     return results
 
 
+def load_rss_mb(path: Path) -> float | None:
+    """Peak resident set (MB) reported by a repo-schema bench JSON, if any."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    values = [float(doc[key]) for key in ("peak_rss_mb", "stream_peak_rss_mb")
+              if key in doc and isinstance(doc[key], (int, float))]
+    return max(values) if values else None
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -81,6 +98,9 @@ def main() -> int:
     parser.add_argument("--allow", default="",
                         help="comma-separated names whose regressions only "
                              "warn (noisy lanes; the rest stay blocking)")
+    parser.add_argument("--max-rss-mb", type=float, default=0.0,
+                        help="fail if the fresh run's reported peak RSS "
+                             "exceeds this bound in MB (0 = no RSS gate)")
     args = parser.parse_args()
     if not 0.0 < args.threshold < 10.0:
         print("bench_compare: --threshold out of range", file=sys.stderr)
@@ -126,6 +146,19 @@ def main() -> int:
                 regressions += 1
         print(f"{name:<{width}}  {base_ns:>10.0f}ns  {fresh_ns:>10.0f}ns  "
               f"{ratio:5.2f}x{verdict}")
+
+    if args.max_rss_mb > 0.0:
+        rss = load_rss_mb(Path(args.fresh))
+        if rss is None:
+            print("bench_compare: fresh run reports no peak_rss_mb "
+                  "(warn: RSS gate skipped)", file=sys.stderr)
+        elif rss > args.max_rss_mb:
+            print(f"bench_compare: peak RSS {rss:.1f} MB exceeds the "
+                  f"--max-rss-mb {args.max_rss_mb:.1f} MB bound",
+                  file=sys.stderr)
+            regressions += 1
+        else:
+            print(f"peak RSS {rss:.1f} MB within {args.max_rss_mb:.1f} MB")
 
     if allowed_regressions:
         print(f"bench_compare: {allowed_regressions} allowed regression(s) "
