@@ -1,0 +1,455 @@
+// Sustained closed-loop daemon throughput for BENCH_pr10.json: one
+// simrun::daemon horizon wiring workload generation, the batched DES, the
+// streaming demand estimator, the round ingestor and the sharded
+// marketplace into the paper's §V feedback cycle — allocations granted in
+// round t become service rates in round t+1.
+//
+// The binary is also the byte-identity cross-check, run BEFORE any timing:
+//  - thread gate: a serial-market daemon and a parallel-market daemon must
+//    digest every round identically (winners, payment bit patterns,
+//    estimates, grants);
+//  - resume gate: a daemon checkpointed to a file at the gate horizon's
+//    midpoint and restored into a fresh process-state daemon must replay
+//    the remaining rounds byte-identically to the straight-through run,
+//    and reach the identical final checkpoint payload.
+// Any mismatch exits nonzero.
+//
+// The timed horizon brackets the per-round observe -> estimate -> ingest
+// chain with a process-wide operator-new counter (the daemon's chain
+// probe): once warm, the chain must report ZERO allocations — a non-zero
+// warm minimum exits nonzero. Defaults complete a ~1e8-request scenario
+// (mild diurnal cycle plus periodic seller churn); CI smoke runs the same
+// binary at ~1e5 requests.
+//
+// Flags:
+//   --requests=N   target total generated requests (default 100000000)
+//   --rounds=N     daemon rounds in the timed horizon (default 1000);
+//                  users per round are sized as requests/(rounds*15)
+//   --regions=N    edge cloud regions / market shards (default 8)
+//   --sellers=N    sellers per region (default 8)
+//   --demanders=N  demanding microservices per region (default 4)
+//   --threads=N    marketplace worker cap (default 0 = hardware width)
+//   --gate_rounds=N  identity-gate horizon (default 12)
+//   --scenario=0|1 disable/enable the diurnal + churn scenario (default 1)
+//   --seed=N       master seed (default 1)
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__)
+#include <sys/resource.h>
+#endif
+
+#include "auction/instance_gen.h"
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "harness/internal.h"
+#include "simrun/daemon.h"
+
+namespace {
+
+// Process-wide allocation counter: every operator new in the binary bumps
+// it. Counter reads around the daemon's chain probe give allocations per
+// observe -> estimate -> ingest pass.
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using daemon_t = ecrs::simrun::daemon;
+using ecrs::simrun::daemon_setup;
+
+std::uint64_t allocations_now() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+// Process peak RSS (MB); 0 when the platform has no getrusage.
+double peak_rss_mb() {
+#if defined(__unix__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // Linux reports ru_maxrss in KiB.
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+  }
+#endif
+  return 0.0;
+}
+
+struct bench_config {
+  std::size_t regions = 8;
+  std::size_t sellers = 8;
+  std::size_t demanders = 4;
+  std::uint32_t users = 100;
+  std::size_t threads = 0;
+  bool scenario = true;
+  std::uint64_t seed = 1;
+};
+
+daemon_setup build_setup(const bench_config& bc, std::size_t threads) {
+  ecrs::auction::online_config stage;
+  stage.stage =
+      ecrs::harness::internal::paper_stage(bc.sellers, bc.demanders, 2);
+  stage.rounds = 1;  // only the standing (round 1) bid sets are used
+  ecrs::auction::regional_config regional;
+  regional.regions = bc.regions;
+  ecrs::rng gen = ecrs::harness::internal::point_rng(bc.seed, 14, 0, 0);
+  ecrs::auction::regional_online_instance input =
+      ecrs::auction::random_regional_online_instance(stage, regional, gen);
+
+  daemon_setup s;
+  s.topology =
+      ecrs::edge::topology::ring(static_cast<std::uint32_t>(bc.regions));
+  s.standing.regions.reserve(bc.regions);
+  s.sellers.reserve(bc.regions);
+  for (auto& region : input.regions) {
+    s.standing.regions.push_back(region.rounds.front());
+    for (ecrs::auction::seller_profile& p : region.sellers) {
+      // The single-round generator leaves every seller the window [1,1]
+      // and a one-round budget; widen both so the market stays live over
+      // the whole daemon horizon.
+      p.capacity *= 1000000;
+      p.t_arrive = 1;
+      p.t_depart = 0x7fffffffu;
+    }
+    s.sellers.push_back(std::move(region.sellers));
+  }
+  // A demander no standing bid covers has zero guaranteed supply: its
+  // quantized requirement clamps to 0 every round, the loop cannot
+  // self-correct, and its queue grows without bound over a long horizon.
+  // Guarantee every demander at least kMinCover covering sellers (a bid's
+  // coverage set is shared across the seller's bids — keep it that way),
+  // assigned round-robin so the augmentation is deterministic.
+  constexpr std::uint32_t kMinCover = 3;
+  for (auto& inst : s.standing.regions) {
+    const std::size_t nd = inst.requirements.size();
+    const std::size_t ns = bc.sellers;
+    std::vector<std::vector<std::size_t>> bids_of(ns);
+    std::vector<std::vector<char>> covers(ns, std::vector<char>(nd, 0));
+    for (std::size_t b = 0; b < inst.bids.size(); ++b) {
+      const ecrs::auction::bid& bd = inst.bids[b];
+      bids_of[bd.seller].push_back(b);
+      for (const ecrs::auction::demander_id k : bd.coverage) {
+        covers[bd.seller][k] = 1;
+      }
+    }
+    for (std::size_t k = 0; k < nd; ++k) {
+      std::uint32_t have = 0;
+      for (std::size_t i = 0; i < ns; ++i) have += covers[i][k];
+      std::size_t si = k % ns;
+      for (std::size_t tries = 0; have < kMinCover && tries < ns; ++tries) {
+        if (!covers[si][k] && !bids_of[si].empty()) {
+          for (const std::size_t b : bids_of[si]) {
+            auto& cov = inst.bids[b].coverage;
+            cov.insert(std::lower_bound(
+                           cov.begin(), cov.end(),
+                           static_cast<ecrs::auction::demander_id>(k)),
+                       static_cast<ecrs::auction::demander_id>(k));
+          }
+          covers[si][k] = 1;
+          ++have;
+        }
+        si = (si + 1) % ns;
+      }
+    }
+  }
+  const auto services =
+      static_cast<std::uint32_t>(bc.regions * bc.demanders);
+  s.workload.users = bc.users;
+  s.workload.microservices = services;
+  s.workload.regions = static_cast<std::uint32_t>(bc.regions);
+  s.workload.seed = bc.seed;
+  s.cluster.clouds = static_cast<std::uint32_t>(bc.regions);
+  s.cluster.seed = bc.seed ^ 0xc0ffeeULL;
+  s.estimator = ecrs::demand::make_default_config();
+  s.estimator.round_duration = 600.0;
+  s.ingest.regions = static_cast<std::uint32_t>(bc.regions);
+  s.ingest.microservices = services;
+  s.ingest.unit_demand = 4.0;
+  s.ingest.max_requirement = stage.stage.requirement_hi;
+  s.ingest.supply_margin = stage.stage.supply_margin;
+  // Quantization over a handful of regions is trivial; the serial path
+  // keeps the observe -> estimate -> ingest chain off the thread pool
+  // (whose task dispatch allocates) and therefore allocation-free.
+  s.ingest.threads = 1;
+  s.market.threads = threads;
+  s.market.shard.session.stage.payment_threads = 1;
+  s.market.spillover.stage.payment_threads = 1;
+  s.config.round_duration = 600.0;
+  // One granted unit stands for unit_demand resource-seconds/second of
+  // quantized demand; granting it any less service rate under-serves by
+  // construction and the backlog diverges.
+  s.config.resources_per_unit = s.ingest.unit_demand;
+  if (bc.scenario) {
+    s.config.scenario.diurnal_amplitude = 0.25;
+    s.config.scenario.diurnal_period = 96;  // one "day" of 10-min rounds
+    s.config.scenario.churn_every = 97;     // co-prime with the period
+    s.config.scenario.churn_downtime = 23;
+  }
+  return s;
+}
+
+// Exact byte-level digest of everything a daemon round decided.
+void digest_round(const ecrs::market::marketplace_round& round,
+                  std::span<const double> estimates,
+                  std::span<const ecrs::auction::units> grants,
+                  std::vector<std::uint64_t>& out) {
+  const auto push_double = [&](double v) {
+    out.push_back(std::bit_cast<std::uint64_t>(v));
+  };
+  out.push_back(round.round);
+  for (const auto& shard : round.shards) {
+    out.push_back(shard.outcome.winner_bids.size());
+    for (const std::size_t w : shard.outcome.winner_bids) out.push_back(w);
+    for (const double p : shard.outcome.payments) push_double(p);
+    push_double(shard.outcome.social_cost);
+    out.push_back(static_cast<std::uint64_t>(shard.deficit));
+  }
+  out.push_back(round.spillover.awards.size());
+  for (const auto& award : round.spillover.awards) {
+    out.push_back(award.demand_region);
+    out.push_back(award.seller);
+    out.push_back(static_cast<std::uint64_t>(award.amount));
+    push_double(award.payment);
+  }
+  push_double(round.social_cost);
+  push_double(round.total_payment);
+  for (const double e : estimates) push_double(e);
+  for (const ecrs::auction::units g : grants) {
+    out.push_back(static_cast<std::uint64_t>(g));
+  }
+}
+
+void attach_digest(daemon_t& d, std::vector<std::uint64_t>& digest) {
+  d.set_round_callback([&digest, &d](std::uint64_t,
+                                     const ecrs::market::marketplace_round& o,
+                                     std::span<const double> estimates) {
+    digest_round(o, estimates, d.last_grants(), digest);
+  });
+}
+
+std::vector<std::uint8_t> save_bytes(const daemon_t& d) {
+  ecrs::checkpoint_writer w;
+  d.save(w);
+  const std::span<const std::uint8_t> p = w.payload();
+  return {p.begin(), p.end()};
+}
+
+void print_lane(const char* name, double ms, bool trailing_comma) {
+  std::printf("    \"%s\": {\"mean_ns\": %.0f}%s\n", name, ms * 1e6,
+              trailing_comma ? "," : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ecrs::flags f(argc, argv);
+  const auto requests =
+      static_cast<std::uint64_t>(f.get_int("requests", 100000000));
+  const auto rounds = static_cast<std::uint64_t>(f.get_int("rounds", 1000));
+  bench_config bc;
+  bc.regions = static_cast<std::size_t>(f.get_int("regions", 8));
+  bc.sellers = static_cast<std::size_t>(f.get_int("sellers", 8));
+  bc.demanders = static_cast<std::size_t>(f.get_int("demanders", 4));
+  bc.threads = static_cast<std::size_t>(f.get_int("threads", 0));
+  bc.scenario = f.get_int("scenario", 1) != 0;
+  bc.seed = static_cast<std::uint64_t>(f.get_int("seed", 1));
+  const auto gate_rounds =
+      static_cast<std::uint64_t>(f.get_int("gate_rounds", 12));
+  // The generator produces ~15 requests per user per round (Poisson means
+  // 5 + 10); size the user population to hit the request target.
+  bc.users = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, requests / (rounds * 15)));
+
+  // ---- byte-identity gates (before any timing) ----------------------------
+  std::vector<std::uint64_t> serial_digest;
+  std::vector<std::uint64_t> parallel_digest;
+  {
+    daemon_t serial(build_setup(bc, 1));
+    attach_digest(serial, serial_digest);
+    serial.run_rounds(gate_rounds);
+    daemon_t parallel(build_setup(bc, bc.threads));
+    attach_digest(parallel, parallel_digest);
+    parallel.run_rounds(gate_rounds);
+  }
+  const bool identical = serial_digest == parallel_digest;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "daemon_throughput: serial and parallel daemon digests "
+                 "differ (%zu vs %zu words) — determinism broken\n",
+                 serial_digest.size(), parallel_digest.size());
+    return 1;
+  }
+
+  bool resume_identical = false;
+  {
+    const std::uint64_t midpoint = gate_rounds / 2;
+    daemon_t first(build_setup(bc, 1));
+    first.run_rounds(midpoint);
+    const std::string path = "daemon_throughput_ckpt.tmp";
+    first.save_file(path);
+
+    daemon_t straight(build_setup(bc, 1));
+    std::vector<std::uint64_t> straight_digest;
+    attach_digest(straight, straight_digest);
+    straight.run_rounds(gate_rounds);
+
+    daemon_t resumed(build_setup(bc, 1));
+    resumed.load_file(path);
+    std::remove(path.c_str());
+    std::vector<std::uint64_t> resumed_digest;
+    attach_digest(resumed, resumed_digest);
+    // Straight digests cover rounds 1..gate; drop the pre-midpoint words
+    // by re-running them on a scratch daemon for the comparison slice.
+    daemon_t prefix(build_setup(bc, 1));
+    std::vector<std::uint64_t> prefix_digest;
+    attach_digest(prefix, prefix_digest);
+    prefix.run_rounds(midpoint);
+    resumed.run_rounds(gate_rounds - midpoint);
+    std::vector<std::uint64_t> spliced = prefix_digest;
+    spliced.insert(spliced.end(), resumed_digest.begin(),
+                   resumed_digest.end());
+    resume_identical = spliced == straight_digest &&
+                       save_bytes(resumed) == save_bytes(straight);
+  }
+  if (!resume_identical) {
+    std::fprintf(stderr,
+                 "daemon_throughput: checkpoint-resumed horizon differs "
+                 "from the straight-through run — restore broken\n");
+    return 1;
+  }
+
+  // ---- timed closed-loop horizon ------------------------------------------
+  daemon_t timed(build_setup(bc, bc.threads));
+  std::uint64_t chain_begin = 0;
+  std::uint64_t chain_first = 0;
+  std::uint64_t chain_warm_min = ~std::uint64_t{0};
+  std::uint64_t chain_warm_max = 0;
+  timed.set_chain_probe([&](bool entering) {
+    if (entering) {
+      chain_begin = allocations_now();
+      return;
+    }
+    const std::uint64_t used = allocations_now() - chain_begin;
+    if (timed.rounds_completed() == 0) {
+      chain_first = used;
+    } else {
+      chain_warm_min = std::min(chain_warm_min, used);
+      chain_warm_max = std::max(chain_warm_max, used);
+    }
+  });
+  ecrs::stopwatch clock;
+  timed.run_rounds(rounds);
+  const double horizon_ms = clock.elapsed_ms();
+  if (rounds < 2) chain_warm_min = 0;
+  if (chain_warm_min != 0) {
+    std::fprintf(stderr,
+                 "daemon_throughput: warm observe->estimate->ingest chain "
+                 "allocated (min %llu per round) — steady state not "
+                 "allocation-free\n",
+                 static_cast<unsigned long long>(chain_warm_min));
+    return 1;
+  }
+
+  const double horizon_sec = horizon_ms / 1000.0;
+  const double rounds_per_sec =
+      horizon_sec > 0.0 ? static_cast<double>(rounds) / horizon_sec : 0.0;
+  const double requests_per_sec =
+      horizon_sec > 0.0
+          ? static_cast<double>(timed.requests_delivered()) / horizon_sec
+          : 0.0;
+  std::uint64_t final_backlog = 0;
+  std::uint64_t worst_queue = 0;
+  for (std::uint32_t m = 0;
+       m < static_cast<std::uint32_t>(timed.cluster().microservice_count());
+       ++m) {
+    const std::uint64_t q = timed.cluster().service(m).queue_length();
+    final_backlog += q;
+    worst_queue = std::max(worst_queue, q);
+  }
+  // Grant distribution across microservices in the final round: a min
+  // stuck at 0 while the backlog climbs points at a starved service
+  // (supply-cap or coverage bound), not at loop-wide under-allocation.
+  long long grant_min = 0, grant_max = 0, grant_sum = 0;
+  {
+    const std::span<const ecrs::auction::units> g = timed.last_grants();
+    if (!g.empty()) {
+      grant_min = grant_max = g[0];
+      for (const ecrs::auction::units u : g) {
+        grant_min = std::min<long long>(grant_min, u);
+        grant_max = std::max<long long>(grant_max, u);
+        grant_sum += u;
+      }
+    }
+  }
+
+  std::printf("{\n");
+  std::printf(
+      "  \"config\": {\"requests_target\": %llu, \"rounds\": %llu, "
+      "\"regions\": %zu, \"sellers_per_region\": %zu, "
+      "\"demanders_per_region\": %zu, \"users\": %u, \"threads\": %zu, "
+      "\"scenario\": %s, \"gate_rounds\": %llu, \"seed\": %llu, "
+      "\"hardware_concurrency\": %u},\n",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(rounds), bc.regions, bc.sellers,
+      bc.demanders, bc.users, bc.threads, bc.scenario ? "true" : "false",
+      static_cast<unsigned long long>(gate_rounds),
+      static_cast<unsigned long long>(bc.seed),
+      std::thread::hardware_concurrency());
+  std::printf("  \"bit_identical\": %s,\n", identical ? "true" : "false");
+  std::printf("  \"resume_bit_identical\": %s,\n",
+              resume_identical ? "true" : "false");
+  std::printf("  \"results_ns_mean\": {\n");
+  print_lane("DaemonRound", horizon_ms / static_cast<double>(rounds), true);
+  print_lane("DaemonHorizon", horizon_ms, false);
+  std::printf("  },\n");
+  std::printf("  \"throughput\": {\"rounds_per_sec\": %.2f, "
+              "\"requests_per_sec\": %.0f, \"requests_delivered\": %llu, "
+              "\"final_backlog_requests\": %llu, "
+              "\"worst_queue_requests\": %llu},\n",
+              rounds_per_sec, requests_per_sec,
+              static_cast<unsigned long long>(timed.requests_delivered()),
+              static_cast<unsigned long long>(final_backlog),
+              static_cast<unsigned long long>(worst_queue));
+  std::printf("  \"final_grants\": {\"min\": %lld, \"max\": %lld, "
+              "\"mean\": %.2f},\n",
+              grant_min, grant_max,
+              timed.last_grants().empty()
+                  ? 0.0
+                  : static_cast<double>(grant_sum) /
+                        static_cast<double>(timed.last_grants().size()));
+  std::printf("  \"allocations_per_round\": {\"chain_first\": %llu, "
+              "\"chain_warm_min\": %llu, \"chain_warm_max\": %llu},\n",
+              static_cast<unsigned long long>(chain_first),
+              static_cast<unsigned long long>(chain_warm_min),
+              static_cast<unsigned long long>(chain_warm_max));
+  std::printf("  \"peak_rss_mb\": %.1f\n", peak_rss_mb());
+  std::printf("}\n");
+  return 0;
+}

@@ -38,7 +38,8 @@ msoa_session::msoa_session(std::vector<seller_profile> sellers,
       options_(options),
       alpha_(options.alpha),
       psi_(profiles_.size(), 0.0),
-      used_(profiles_.size(), 0) {
+      used_(profiles_.size(), 0),
+      active_(profiles_.size(), 1) {
   ECRS_CHECK_MSG(options_.alpha >= 0.0, "alpha must be non-negative");
   for (std::size_t s = 0; s < profiles_.size(); ++s) {
     ECRS_CHECK_MSG(profiles_[s].capacity >= 0,
@@ -104,6 +105,7 @@ void msoa_session::run_round(const single_stage_instance& round,
     if (t < profiles_[b.seller].t_arrive || t > profiles_[b.seller].t_depart) {
       continue;
     }
+    if (!active_[b.seller]) continue;  // churned out: as if the bid never came
     const auto weight = static_cast<units>(b.coverage_size());
     if (used_[b.seller] + weight > profiles_[b.seller].capacity) {
       continue;  // lines 5-6: exceeds Θ_i, excluded from the candidate set
@@ -224,6 +226,46 @@ void msoa_session::consume_external(seller_id s, units weight, double price) {
   psi_[s] = psi_[s] * (1.0 + static_cast<double>(weight) / (a * theta)) +
             price * static_cast<double>(weight) / (a * theta * theta);
   used_[s] += weight;
+}
+
+void msoa_session::set_seller_active(seller_id s, bool active) {
+  ECRS_CHECK_MSG(s < active_.size(), "unknown seller " << s);
+  active_[s] = active ? 1 : 0;
+}
+
+bool msoa_session::seller_active(seller_id s) const {
+  ECRS_CHECK_MSG(s < active_.size(), "unknown seller " << s);
+  return active_[s] != 0;
+}
+
+void msoa_session::save(checkpoint_writer& w) const {
+  w.u32(round_);
+  w.f64(alpha_);
+  w.f64(beta_);
+  w.size(profiles_.size());
+  for (std::size_t s = 0; s < profiles_.size(); ++s) {
+    w.f64(psi_[s]);
+    w.i64(used_[s]);
+    w.u8(active_[s] ? 1 : 0);
+  }
+}
+
+void msoa_session::load(checkpoint_reader& r) {
+  round_ = r.u32();
+  alpha_ = r.f64();
+  beta_ = r.f64();
+  const std::size_t n = r.size();
+  ECRS_CHECK_MSG(n == profiles_.size(),
+                 "checkpoint holds " << n << " sellers, session has "
+                                     << profiles_.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    psi_[s] = r.f64();
+    used_[s] = r.i64();
+    active_[s] = r.u8() ? 1 : 0;
+  }
+  // The compiled warm-start view is rebuilt lazily on the next cold round;
+  // warm and cold rounds are bit-identical, so resume replays exactly.
+  cache_valid_ = false;
 }
 
 msoa_result run_msoa(const online_instance& instance,

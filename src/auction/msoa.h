@@ -28,6 +28,7 @@
 #include "auction/online.h"
 #include "auction/ssam.h"
 #include "common/annotations.h"
+#include "common/checkpoint.h"
 #include "common/rng.h"
 
 namespace ecrs::auction {
@@ -114,6 +115,19 @@ class msoa_session {
   // sold capacity. Throws if the seller lacks the remaining capacity.
   void consume_external(seller_id s, units weight, double price);
 
+  // Seller churn: an inactive seller's bids are skipped at admission (before
+  // the β update, as if the bid never arrived) until reactivated. ψ/χ state
+  // survives the outage, so a recovered seller resumes with its history.
+  void set_seller_active(seller_id s, bool active);
+  [[nodiscard]] bool seller_active(seller_id s) const;
+
+  // Checkpoint the cross-round mechanism state: round counter, frozen α,
+  // realized β, per-seller ψ/χ and activity flags. The warm-start cache is
+  // NOT serialized — load marks it invalid, and warm/cold rounds are
+  // bit-identical by contract, so a resumed session replays exactly.
+  void save(checkpoint_writer& w) const;
+  void load(checkpoint_reader& r);
+
  private:
   std::vector<seller_profile> profiles_;
   msoa_options options_;
@@ -122,6 +136,7 @@ class msoa_session {
   double beta_ = std::numeric_limits<double>::infinity();
   std::vector<double> psi_;
   std::vector<units> used_;
+  std::vector<char> active_;  // seller churn flags, 1 = participating
   // Per-round working storage, reused across run_round calls so steady-state
   // rounds stay off the allocator: the scaled-price candidate instance, its
   // admitted-bid -> original-bid map, and the SSAM workspace. Makes the

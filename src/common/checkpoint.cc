@@ -1,0 +1,155 @@
+#include "common/checkpoint.h"
+
+#include <bit>
+#include <cstdio>
+#include <memory>
+
+#include "common/check.h"
+
+namespace ecrs {
+namespace {
+
+// Header layout (40 bytes): magic u64, version u32, pad u32 (zero),
+// config_hash u64, payload_size u64, fnv1a64(payload) u64.
+constexpr std::size_t kHeaderBytes = 40;
+
+struct file_closer {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using unique_file = std::unique_ptr<std::FILE, file_closer>;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+ECRS_NO_SANITIZE_INTEGER std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void checkpoint_writer::u32(std::uint32_t v) { put_u32(buf_, v); }
+
+void checkpoint_writer::u64(std::uint64_t v) { put_u64(buf_, v); }
+
+void checkpoint_writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+std::uint8_t checkpoint_reader::u8() {
+  ECRS_CHECK_MSG(pos_ + 1 <= data_.size(), "checkpoint payload overrun");
+  return data_[pos_++];
+}
+
+std::uint32_t checkpoint_reader::u32() {
+  ECRS_CHECK_MSG(pos_ + 4 <= data_.size(), "checkpoint payload overrun");
+  const std::uint32_t v = get_u32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t checkpoint_reader::u64() {
+  ECRS_CHECK_MSG(pos_ + 8 <= data_.size(), "checkpoint payload overrun");
+  const std::uint64_t v = get_u64(data_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double checkpoint_reader::f64() { return std::bit_cast<double>(u64()); }
+
+void save_checkpoint_file(const std::string& path, std::uint64_t config_hash,
+                          std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> header;
+  header.reserve(kHeaderBytes);
+  put_u64(header, kCheckpointMagic);
+  put_u32(header, kCheckpointVersion);
+  put_u32(header, 0);  // pad, keeps every field 8-byte aligned
+  put_u64(header, config_hash);
+  put_u64(header, static_cast<std::uint64_t>(payload.size()));
+  put_u64(header, fnv1a64(payload));
+
+  unique_file f(std::fopen(path.c_str(), "wb"));
+  ECRS_CHECK_MSG(f != nullptr, "cannot open checkpoint file '" << path
+                                                               << "' for writing");
+  const std::size_t wrote_header =
+      std::fwrite(header.data(), 1, header.size(), f.get());
+  const std::size_t wrote_payload =
+      payload.empty() ? 0
+                      : std::fwrite(payload.data(), 1, payload.size(), f.get());
+  ECRS_CHECK_MSG(wrote_header == header.size() &&
+                     wrote_payload == payload.size(),
+                 "short write to checkpoint file '" << path << "'");
+  ECRS_CHECK_MSG(std::fflush(f.get()) == 0,
+                 "cannot flush checkpoint file '" << path << "'");
+}
+
+std::vector<std::uint8_t> load_checkpoint_file(
+    const std::string& path, std::uint64_t expected_config_hash) {
+  unique_file f(std::fopen(path.c_str(), "rb"));
+  ECRS_CHECK_MSG(f != nullptr,
+                 "cannot open checkpoint file '" << path << "'");
+
+  std::uint8_t header[kHeaderBytes];
+  const std::size_t got = std::fread(header, 1, kHeaderBytes, f.get());
+  ECRS_CHECK_MSG(got == kHeaderBytes,
+                 "checkpoint file '" << path << "' truncated: " << got
+                                     << " header bytes of " << kHeaderBytes);
+
+  const std::uint64_t magic = get_u64(header);
+  ECRS_CHECK_MSG(magic == kCheckpointMagic,
+                 "'" << path << "' is not an ECRS checkpoint (bad magic)");
+  const std::uint32_t version = get_u32(header + 8);
+  ECRS_CHECK_MSG(version == kCheckpointVersion,
+                 "checkpoint '" << path << "' has format version " << version
+                                << ", this build reads "
+                                << kCheckpointVersion);
+  const std::uint64_t config_hash = get_u64(header + 16);
+  ECRS_CHECK_MSG(config_hash == expected_config_hash,
+                 "checkpoint '" << path
+                                << "' was written by a daemon with a "
+                                   "different configuration");
+  const std::uint64_t declared = get_u64(header + 24);
+  const std::uint64_t checksum = get_u64(header + 32);
+
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(declared));
+  const std::size_t read =
+      payload.empty() ? 0 : std::fread(payload.data(), 1, payload.size(), f.get());
+  ECRS_CHECK_MSG(read == payload.size(),
+                 "checkpoint '" << path << "' truncated: " << read
+                                << " payload bytes of " << declared);
+  // Trailing garbage would also mean the container is not what save wrote.
+  std::uint8_t extra = 0;
+  ECRS_CHECK_MSG(std::fread(&extra, 1, 1, f.get()) == 0,
+                 "checkpoint '" << path << "' carries trailing bytes");
+  ECRS_CHECK_MSG(fnv1a64(payload) == checksum,
+                 "checkpoint '" << path << "' failed its checksum");
+  return payload;
+}
+
+}  // namespace ecrs

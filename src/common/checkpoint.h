@@ -1,0 +1,104 @@
+// Binary checkpoint primitives for the closed-loop daemon (DESIGN.md
+// section 13).
+//
+// A checkpoint is a flat byte payload assembled by checkpoint_writer and
+// consumed by checkpoint_reader: fixed-width little-endian integers and
+// bit_cast doubles, so a payload restores FP state bit for bit. The file
+// container adds a header — magic, format version, a caller-supplied
+// config hash, payload size and an FNV-1a checksum — so the loader rejects
+// foreign files, version skew, checkpoints from a differently-configured
+// daemon, and truncated or corrupted payloads, all through ecrs::check_error
+// (never by silently resuming from garbage).
+//
+// Components expose `save(checkpoint_writer&)` / `load(checkpoint_reader&)`
+// pairs; the daemon concatenates them in a fixed order. Checkpoints are
+// only valid at round boundaries, where every transient (DES heap, mailbox,
+// ingest accumulators, spillover pools) is provably empty — the contract
+// that keeps the format small and the restore bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+
+namespace ecrs {
+
+// Format identity of the checkpoint container ("ECRSCKPT" little-endian)
+// and the current payload layout version. Bump the version whenever a
+// component's save() byte layout changes.
+inline constexpr std::uint64_t kCheckpointMagic = 0x54504b4353524345ULL;
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+// FNV-1a 64-bit over raw bytes (payload checksum).
+// ECRS_NO_SANITIZE_INTEGER: the multiply wraps mod 2^64 by design.
+ECRS_NO_SANITIZE_INTEGER [[nodiscard]] std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> bytes);
+
+// Append-only typed byte sink. All integers little-endian fixed width;
+// doubles stored as their bit pattern (bit-exact round trip).
+class checkpoint_writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  [[nodiscard]] std::span<const std::uint8_t> payload() const { return buf_; }
+  [[nodiscard]] std::size_t bytes_written() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Typed cursor over a payload. Every read checks the remaining length and
+// raises ecrs::check_error on overrun, so a malformed payload can never
+// read past its buffer.
+class checkpoint_reader {
+ public:
+  explicit checkpoint_reader(std::span<const std::uint8_t> payload)
+      : data_(payload) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int64_t i64() {
+    return static_cast<std::int64_t>(u64());
+  }
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::size_t size() {
+    return static_cast<std::size_t>(u64());
+  }
+
+  [[nodiscard]] std::size_t remaining() const {
+    return data_.size() - pos_;
+  }
+  // True when the whole payload has been consumed (loaders assert this so
+  // a component reading too little fails loudly instead of desyncing the
+  // components behind it).
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// Write `payload` to `path` under the checkpoint header. Raises
+// ecrs::check_error when the file cannot be written.
+void save_checkpoint_file(const std::string& path, std::uint64_t config_hash,
+                          std::span<const std::uint8_t> payload);
+
+// Read a checkpoint container back. Verifies, in order: the file opens and
+// the header is complete, the magic matches, the version matches
+// kCheckpointVersion, the config hash matches `expected_config_hash`, the
+// payload is exactly the declared size, and the FNV-1a checksum matches.
+// Any failure raises ecrs::check_error naming the offending field.
+[[nodiscard]] std::vector<std::uint8_t> load_checkpoint_file(
+    const std::string& path, std::uint64_t expected_config_hash);
+
+}  // namespace ecrs

@@ -127,6 +127,15 @@ class rng {
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k);
 
+  // Raw engine state, for checkpoint/restore (common/checkpoint.h): a
+  // generator restored with set_state() continues the exact draw sequence.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    state_ = state;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -9,12 +9,25 @@
 // The scaling factors 1/w are derived by AHP (DESIGN.md §2). Since "the
 // demands of all microservices at t−1, t−2, … are more important" (§III),
 // estimates are exponentially smoothed over the round history.
+//
+// Streaming contract (DESIGN.md section 13): the per-round path is
+// observe() once per microservice followed by one estimates_into() —
+// Holt level/trend state updates IN PLACE in flat indexed arrays (no
+// per-call map, no fresh result vector), so a closed-loop daemon's
+// steady-state estimation is allocation-free. estimate_round() remains as
+// a thin compatibility wrapper over the same path and is bit-identical to
+// the historical map-based implementation. With forget_after > 0, history
+// entries unseen for that many finalized rounds are dropped, bounding the
+// estimator's footprint by the peak number of concurrently live ids under
+// microservice churn.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/checkpoint.h"
 #include "edge/microservice.h"
 
 namespace ecrs::demand {
@@ -46,6 +59,10 @@ struct estimator_config {
   // finite under saturation.
   double max_utilization = 0.95;
   double round_duration = 600.0;  // paper: 10-minute rounds
+  // Drop history entries unseen for this many finalized rounds (0 = keep
+  // forever). Bounds memory under microservice churn: the footprint tracks
+  // the PEAK concurrently-live id count, not the cumulative id space.
+  std::uint64_t forget_after = 0;
 };
 
 // Config with AHP-derived weights (waiting 2/7, processing 1/7, request
@@ -70,8 +87,26 @@ class estimator {
   // Smoothed estimate for one microservice; updates its history.
   double estimate(const edge::round_stats& s, double a_max);
 
-  // Estimate a whole round at once (computes a_max internally). Result is
-  // indexed like `stats`.
+  // ---- streaming round API -------------------------------------------------
+  // Record one microservice's round observables into the pending round.
+  // The a_max-dependent factor of Eq. (2) is deferred until the round's
+  // maximum allocation is known, so observation order is free and no stats
+  // vector has to be materialized. Allocation-free once the pending
+  // buffers reached their steady-state capacity.
+  ECRS_HOT void observe(const edge::round_stats& s);
+
+  // Close the pending round: compute every observed entry's smoothed
+  // estimate (observe order), commit the Holt updates in place, reset the
+  // pending round, and — with forget_after > 0 — drop stale history.
+  // `out.size()` must equal observed(). Pure arithmetic over flat arrays.
+  ECRS_HOT void estimates_into(std::span<double> out);
+
+  // Entries observed in the pending (not yet finalized) round.
+  [[nodiscard]] std::size_t observed() const { return pending_.size(); }
+
+  // Estimate a whole round at once. Compatibility wrapper over
+  // observe()/estimates_into(): bit-identical to the historical map-based
+  // implementation, but the only allocation left is the returned vector.
   std::vector<double> estimate_round(const std::vector<edge::round_stats>& stats);
 
   // Last smoothed estimate for a microservice (0 if never seen).
@@ -79,15 +114,71 @@ class estimator {
 
   void reset_history();
 
+  // ---- history telemetry (churn regression tests) --------------------------
+  [[nodiscard]] std::size_t history_size() const { return slot_id_.size(); }
+  // Capacity of the flat history storage — the RSS proxy the churn
+  // regression bounds (capacities never shrink, so a flat capacity over a
+  // long churning horizon means a flat resident set).
+  [[nodiscard]] std::size_t history_capacity() const {
+    return slot_id_.capacity() + table_slot_.capacity();
+  }
+  // Rounds finalized through estimates_into()/estimate_round().
+  [[nodiscard]] std::uint64_t rounds_observed() const { return rounds_; }
+
+  // ---- checkpoint/restore (common/checkpoint.h) ----------------------------
+  // Only valid between rounds (nothing observed and not yet finalized);
+  // load restores the Holt state and round counter bit for bit.
+  void save(checkpoint_writer& w) const;
+  void load(checkpoint_reader& r);
+
  private:
-  struct holt_state {
-    double level = 0.0;
-    double trend = 0.0;
-    bool initialized = false;
+  // One observe() record: the indicator components that do not depend on
+  // the round's a_max, plus the deferred allocation.
+  struct pending_entry {
+    std::uint32_t slot = 0;
+    double waiting = 0.0;
+    double processing = 0.0;
+    double q = 0.0;               // (L·t)/V(n̄), the a_max-free Eq. 2 factor
+    double one_minus_util = 0.0;  // 1 − L
+    double allocation = 0.0;      // a_i, divided by a_max at finalize
   };
 
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+
+  // Locate (or append) the flat-history slot of `id`.
+  ECRS_HOT std::uint32_t find_or_create_slot(std::uint32_t id);
+  [[nodiscard]] std::uint32_t find_slot(std::uint32_t id) const;
+  // Commit one raw observation to slot `slot`'s Holt state; returns the
+  // one-step-ahead forecast (the smoothed estimate).
+  ECRS_HOT double advance_holt(std::uint32_t slot, double raw);
+  // Rebuild the id -> slot table over the current slots.
+  // ECRS_HOT_ESCAPE from the hot path's perspective: runs only when the
+  // live id set grows past the table's load factor or shrinks via
+  // forget_stale — both cold at steady state.
+  ECRS_HOT_ESCAPE void rebuild_table(std::size_t min_slots);
+  // Swap-remove every slot unseen for forget_after rounds, then rebuild
+  // the table compactly. O(live) scan; no-op when nothing is stale.
+  void forget_stale();
+
   estimator_config config_;
-  std::unordered_map<std::uint32_t, holt_state> history_;
+  std::uint64_t rounds_ = 0;  // finalized rounds
+
+  // Flat Holt history, struct-of-arrays; slot order is insertion order
+  // (perturbed only by forget_stale's swap-removes).
+  std::vector<std::uint32_t> slot_id_;
+  std::vector<double> slot_level_;
+  std::vector<double> slot_trend_;
+  std::vector<std::uint64_t> slot_seen_;  // rounds_ value at last touch
+  std::vector<char> slot_init_;           // 0 until the first observation
+
+  // Open-addressing id -> slot index (linear probing, power-of-two size,
+  // <= 70% load). table_slot_[i] == kEmptySlot marks an empty cell.
+  std::vector<std::uint32_t> table_key_;
+  std::vector<std::uint32_t> table_slot_;
+
+  // The pending (streamed, not yet finalized) round.
+  std::vector<pending_entry> pending_;
+  double round_a_max_ = 0.0;
 };
 
 }  // namespace ecrs::demand

@@ -119,4 +119,17 @@ std::vector<round_stats> cluster::end_round(std::uint64_t round,
   return stats;
 }
 
+void cluster::save(ecrs::checkpoint_writer& w) const {
+  w.size(services_.size());
+  for (const microservice& svc : services_) svc.save(w);
+}
+
+void cluster::load(ecrs::checkpoint_reader& r) {
+  const std::size_t n = r.size();
+  ECRS_CHECK_MSG(n == services_.size(),
+                 "checkpoint holds " << n << " microservices, cluster has "
+                                     << services_.size());
+  for (microservice& svc : services_) svc.load(r);
+}
+
 }  // namespace ecrs::edge

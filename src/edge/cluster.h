@@ -63,6 +63,13 @@ class cluster {
   [[nodiscard]] std::vector<round_stats> end_round(std::uint64_t round,
                                                    double round_duration);
 
+  // Checkpoint every microservice's runtime state. Placement and cloud
+  // capacities are construction-time (deterministic from config_.seed), so
+  // only the per-service state is serialized; load verifies the service
+  // count matches the constructed topology.
+  void save(ecrs::checkpoint_writer& w) const;
+  void load(ecrs::checkpoint_reader& r);
+
  private:
   cluster_config config_;
   std::vector<edge_cloud> clouds_;

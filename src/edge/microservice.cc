@@ -103,4 +103,73 @@ round_stats microservice::end_round(std::uint64_t round, double round_duration,
   return s;
 }
 
+void microservice::save(ecrs::checkpoint_writer& w) const {
+  w.u32(id_);
+  w.u8(static_cast<std::uint8_t>(qos_));
+  w.f64(allocation_);
+  w.f64(queued_demand_sum_);
+  w.u64(round_received_);
+  w.u64(round_served_);
+  w.f64(round_arrived_work_);
+  w.f64(round_served_work_);
+  w.f64(round_busy_time_);
+  w.f64(round_wait_sum_);
+  w.f64(round_elapsed_);
+  w.u64(total_received_);
+  w.u64(total_served_);
+  w.f64(last_arrived_work_);
+  w.size(queue_.size());
+  for (const queued& q : queue_) {
+    w.u64(q.req.id);
+    w.u32(q.req.user);
+    w.u32(q.req.microservice);
+    w.u32(q.req.region);
+    w.u8(static_cast<std::uint8_t>(q.req.qos));
+    w.f64(q.req.arrival_time);
+    w.f64(q.req.service_demand);
+    w.f64(q.remaining);
+  }
+}
+
+void microservice::load(ecrs::checkpoint_reader& r) {
+  const std::uint32_t id = r.u32();
+  const auto qos = static_cast<workload::qos_class>(r.u8());
+  ECRS_CHECK_MSG(id == id_ && qos == qos_,
+                 "checkpoint holds microservice " << id
+                                                  << ", restoring into "
+                                                  << id_);
+  allocation_ = r.f64();
+  queued_demand_sum_ = r.f64();
+  round_received_ = r.u64();
+  round_served_ = r.u64();
+  round_arrived_work_ = r.f64();
+  round_served_work_ = r.f64();
+  round_busy_time_ = r.f64();
+  round_wait_sum_ = r.f64();
+  round_elapsed_ = r.f64();
+  total_received_ = r.u64();
+  total_served_ = r.u64();
+  last_arrived_work_ = r.f64();
+  const std::size_t n = r.size();
+  // 45 bytes per queued request; bound before any resize.
+  ECRS_CHECK_MSG(n <= r.remaining() / 45,
+                 "microservice checkpoint declares " << n
+                                                     << " queued requests "
+                                                        "but the payload is "
+                                                        "too short");
+  queue_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    queued q;
+    q.req.id = r.u64();
+    q.req.user = r.u32();
+    q.req.microservice = r.u32();
+    q.req.region = r.u32();
+    q.req.qos = static_cast<workload::qos_class>(r.u8());
+    q.req.arrival_time = r.f64();
+    q.req.service_demand = r.f64();
+    q.remaining = r.f64();
+    queue_.push_back(q);
+  }
+}
+
 }  // namespace ecrs::edge

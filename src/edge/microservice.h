@@ -11,6 +11,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/checkpoint.h"
 #include "workload/request.h"
 
 namespace ecrs::edge {
@@ -68,6 +69,14 @@ class microservice {
   // number of microservices co-located on the same edge cloud.
   round_stats end_round(std::uint64_t round, double round_duration,
                         std::uint32_t cloud_population);
+
+  // Checkpoint the full runtime state — allocation, queue contents (with
+  // the head's partial-service progress), the incremental backlog sum at
+  // its EXACT current value (serialized, never recomputed, so restored FP
+  // state matches bit for bit), per-round accumulators and lifetime
+  // counters. id/qos are construction-time identity and verified on load.
+  void save(ecrs::checkpoint_writer& w) const;
+  void load(ecrs::checkpoint_reader& r);
 
  private:
   struct queued {

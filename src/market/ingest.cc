@@ -83,6 +83,29 @@ void round_ingestor::accumulate(std::span<const workload::request> batch) {
   }
 }
 
+void round_ingestor::add_demand(std::uint32_t microservice, double amount) {
+  ECRS_CHECK_MSG(microservice < config_.microservices,
+                 "demand targets microservice "
+                     << microservice << " outside the configured "
+                     << config_.microservices);
+  ECRS_CHECK_MSG(amount >= 0.0, "negative demand");
+  accum_[microservice % config_.regions][microservice / config_.regions] +=
+      amount;
+}
+
+void round_ingestor::add_demands(std::span<const double> by_microservice) {
+  ECRS_CHECK_MSG(by_microservice.size() == config_.microservices,
+                 "dense demand vector carries "
+                     << by_microservice.size() << " entries for "
+                     << config_.microservices << " microservices");
+  const std::uint32_t regions = config_.regions;
+  for (std::uint32_t m = 0; m < config_.microservices; ++m) {
+    const double amount = by_microservice[m];
+    ECRS_CHECK_MSG(amount >= 0.0, "negative demand");
+    accum_[m % regions][m / regions] += amount;
+  }
+}
+
 void round_ingestor::quantize_region(std::uint32_t region) {
   const std::uint32_t n = demanders_in(region);
   double* acc = accum_[region];

@@ -112,6 +112,15 @@ class round_ingestor {
   // accumulating it whole.
   ECRS_HOT void accumulate(std::span<const workload::request> batch);
 
+  // Estimator-driven flavour: add `amount` resource-seconds of estimated
+  // demand directly to one microservice's accumulator — the closed-loop
+  // daemon path, where requirements come from demand::estimator output
+  // rather than raw request sums. Mixable with accumulate() in one round.
+  ECRS_HOT void add_demand(std::uint32_t microservice, double amount);
+
+  // add_demand for a dense per-microservice vector (index = global id).
+  ECRS_HOT void add_demands(std::span<const double> by_microservice);
+
   // Close the round: quantize every accumulator into its region's
   // requirement vector (parallel across regions per config.threads,
   // disjoint writes — byte-identical at any thread count), reset the

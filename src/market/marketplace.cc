@@ -122,4 +122,29 @@ void marketplace::run_round(const auction::regional_instance& round,
   out.feasible = out.unmet_units == 0;
 }
 
+void marketplace::set_seller_active(std::uint32_t region,
+                                    auction::seller_id s, bool active) {
+  ECRS_CHECK(region < shards_.size());
+  shards_[region].set_seller_active(s, active);
+}
+
+void marketplace::save(ecrs::checkpoint_writer& w) const {
+  ECRS_CHECK_MSG(po_.pending() == 0,
+                 "marketplace checkpoint only valid at a round boundary");
+  w.u32(round_);
+  w.size(shards_.size());
+  for (const shard& sh : shards_) sh.save(w);
+}
+
+void marketplace::load(ecrs::checkpoint_reader& r) {
+  ECRS_CHECK_MSG(po_.pending() == 0,
+                 "marketplace restore only valid at a round boundary");
+  round_ = r.u32();
+  const std::size_t n = r.size();
+  ECRS_CHECK_MSG(n == shards_.size(),
+                 "checkpoint holds " << n << " shards, marketplace has "
+                                     << shards_.size());
+  for (shard& sh : shards_) sh.load(r);
+}
+
 }  // namespace ecrs::market

@@ -97,6 +97,18 @@ class marketplace {
     return timing_;
   }
 
+  // Seller churn: deactivate/reactivate one region-local seller. Takes
+  // effect at the next round's admission (and spillover spare-offer) pass.
+  void set_seller_active(std::uint32_t region, auction::seller_id s,
+                         bool active);
+
+  // Checkpoint the marketplace at a round boundary: round counter plus
+  // every shard session's cross-round state. The mailbox must be drained
+  // (it always is between run_round calls) and the spillover stage holds
+  // only per-round scratch, so neither is serialized.
+  void save(ecrs::checkpoint_writer& w) const;
+  void load(ecrs::checkpoint_reader& r);
+
  private:
   const edge::topology* topo_;
   marketplace_options options_;

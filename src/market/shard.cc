@@ -76,6 +76,7 @@ void shard::spare_offers(const auction::single_stage_instance& local,
     if (t < profiles_[b.seller].t_arrive || t > profiles_[b.seller].t_depart) {
       continue;
     }
+    if (!session_.seller_active(b.seller)) continue;
     const auto weight = static_cast<auction::units>(b.coverage_size());
     if (session_.capacity_left(b.seller) < weight) continue;
     out.push_back({idx, b.seller});

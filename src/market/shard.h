@@ -80,6 +80,17 @@ class shard {
   // the seller's session capacity (and ψ).
   void apply_grant(const message& grant);
 
+  // Seller churn passthrough: an inactive seller is skipped both by the
+  // session's admission and by spare_offers (no spillover sales either).
+  void set_seller_active(auction::seller_id s, bool active) {
+    session_.set_seller_active(s, active);
+  }
+
+  // Checkpoint passthrough to the session (coverage replay state is
+  // per-round scratch and not serialized).
+  void save(ecrs::checkpoint_writer& w) const { session_.save(w); }
+  void load(ecrs::checkpoint_reader& r) { session_.load(r); }
+
  private:
   std::uint32_t region_;
   std::vector<auction::seller_profile> profiles_;

@@ -1,0 +1,75 @@
+// Scenario programs for the closed-loop marketplace daemon (DESIGN.md
+// section 13): deterministic per-round modulations layered on top of the
+// stochastic workload::generator.
+//
+//  - diurnal load: a sinusoidal multiplier on the per-class Poisson
+//    arrival means (period in rounds, amplitude as a fraction of the
+//    base rate);
+//  - flash crowds: periodic bursts multiplying the arrival rate for a
+//    few rounds at the start of each period;
+//  - seller churn: periodic seller failures (deactivation) with an
+//    optional fixed downtime before recovery, driven by the daemon
+//    (simrun/daemon.h) through marketplace::set_seller_active;
+//  - mixed SLAs come from the workload config itself (QoS classes with
+//    per-class arrival rates and service-demand means).
+//
+// Everything here is a PURE function of the round index and the config —
+// no hidden state — so a daemon resumed from a checkpoint at any round
+// boundary replays the exact same scenario as a straight-through run.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace ecrs::simrun {
+
+struct scenario_config {
+  // Diurnal cycle: rate multiplier 1 + amplitude * sin(2π·(round−1)/period).
+  // amplitude 0 or period 0 disables it; amplitude must stay below 1 so the
+  // rate never goes negative.
+  double diurnal_amplitude = 0.0;
+  std::uint64_t diurnal_period = 0;  // rounds per cycle
+
+  // Flash crowds: the first `flash_duration` rounds of every
+  // `flash_every`-round window (phase (round−1) % flash_every) multiply
+  // the rate by `flash_factor`. flash_every 0 disables it.
+  std::uint64_t flash_every = 0;
+  std::uint64_t flash_duration = 1;
+  double flash_factor = 3.0;
+
+  // Seller churn: every `churn_every` rounds one seller fails (round-robin
+  // over regions, then over the region's sellers — a pure function of the
+  // failure ordinal). With `churn_downtime` > 0 the seller recovers that
+  // many rounds later; 0 = permanent failure. churn_every 0 disables it.
+  std::uint64_t churn_every = 0;
+  std::uint64_t churn_downtime = 0;
+};
+
+// The arrival-rate multiplier for `round` (1-based). Pure; never negative.
+[[nodiscard]] inline double scenario_rate_scale(const scenario_config& sc,
+                                                std::uint64_t round) {
+  double scale = 1.0;
+  if (sc.diurnal_amplitude != 0.0 && sc.diurnal_period > 0) {
+    const double phase = static_cast<double>((round - 1) % sc.diurnal_period) /
+                         static_cast<double>(sc.diurnal_period);
+    scale *= 1.0 + sc.diurnal_amplitude *
+                       std::sin(2.0 * 3.141592653589793238462643 * phase);
+  }
+  if (sc.flash_every > 0 &&
+      (round - 1) % sc.flash_every < sc.flash_duration) {
+    scale *= sc.flash_factor;
+  }
+  return std::max(0.0, scale);
+}
+
+// The seller that fails at `round` (when one does): failure ordinal
+// round / churn_every, mapped round-robin over regions first, then over
+// the chosen region's sellers. Recovery reuses the same mapping for the
+// ordinal of the original failure round.
+struct churn_event {
+  std::uint32_t region = 0;
+  std::uint32_t seller = 0;
+};
+
+}  // namespace ecrs::simrun

@@ -1,6 +1,7 @@
 #include "workload/generator.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "common/check.h"
@@ -85,7 +86,7 @@ void generator::round_into(double round_start, double duration,
   // Expected count plus ~4 sigma of Poisson headroom: typical rounds fill
   // the reservation without regrowing, so a reused buffer stops allocating
   // after its first round.
-  const double expected = expected_arrivals_per_round();
+  const double expected = expected_arrivals_per_round() * rate_scale_;
   const auto want = static_cast<std::size_t>(
       expected + 4.0 * std::sqrt(std::max(expected, 1.0)) + 16.0);
   if (batch.capacity() < want) batch.reserve(want);
@@ -94,9 +95,10 @@ void generator::round_into(double round_start, double duration,
     // spreads them over microservices of that class uniformly at random.
     for (const qos_class cls :
          {qos_class::delay_sensitive, qos_class::delay_tolerant}) {
-      const double mean = cls == qos_class::delay_sensitive
-                              ? config_.sensitive_mean
-                              : config_.tolerant_mean;
+      const double mean = (cls == qos_class::delay_sensitive
+                               ? config_.sensitive_mean
+                               : config_.tolerant_mean) *
+                          rate_scale_;
       const std::int64_t count = gen_.poisson(mean);
       const std::vector<std::uint32_t>& ids =
           cls == qos_class::delay_sensitive ? sensitive_ids_ : tolerant_ids_;
@@ -129,6 +131,26 @@ void generator::round_into(double round_start, double duration,
     if (a.arrival_time != b.arrival_time) return a.arrival_time < b.arrival_time;
     return static_cast<int>(a.qos) < static_cast<int>(b.qos);
   });
+}
+
+void generator::set_rate_scale(double scale) {
+  ECRS_CHECK_MSG(scale >= 0.0, "rate scale must be non-negative");
+  rate_scale_ = scale;
+}
+
+void generator::save(ecrs::checkpoint_writer& w) const {
+  const std::array<std::uint64_t, 4>& st = gen_.state();
+  for (std::uint64_t word : st) w.u64(word);
+  w.u64(next_request_id_);
+  w.f64(rate_scale_);
+}
+
+void generator::load(ecrs::checkpoint_reader& r) {
+  std::array<std::uint64_t, 4> st;
+  for (std::uint64_t& word : st) word = r.u64();
+  gen_.set_state(st);
+  next_request_id_ = r.u64();
+  rate_scale_ = r.f64();
 }
 
 }  // namespace ecrs::workload

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/checkpoint.h"
 #include "common/rng.h"
 #include "workload/request.h"
 #include "workload/round_source.h"
@@ -73,10 +74,23 @@ class generator final : public round_source {
   // Effective mean service demand of a QoS class (override or global).
   [[nodiscard]] double mean_demand_of(qos_class cls) const;
 
+  // Scale the per-class Poisson arrival means for subsequent rounds
+  // (service demands are untouched). Scenario programs drive this per
+  // round: diurnal cycles, flash crowds. 1.0 = configured rates.
+  void set_rate_scale(double scale);
+  [[nodiscard]] double rate_scale() const { return rate_scale_; }
+
+  // Checkpoint the generator's dynamic state (rng state, next request id,
+  // current rate scale). Class assignment and target lists are
+  // construction-time deterministic from the config and not serialized.
+  void save(ecrs::checkpoint_writer& w) const;
+  void load(ecrs::checkpoint_reader& r);
+
  private:
   generator_config config_;
   rng gen_;
   std::uint64_t next_request_id_ = 1;
+  double rate_scale_ = 1.0;
   std::vector<qos_class> class_by_service_;
   // Microservice ids by class, ascending: round_into targets a class with
   // one uniform draw instead of rejection sampling the full id space.

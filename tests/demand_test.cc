@@ -1,9 +1,14 @@
-// Unit tests for the demand estimator (paper §III, Eq. 1-2).
+// Unit tests for the demand estimator (paper §III, Eq. 1-2) and its
+// streaming round API (observe/estimates_into, DESIGN.md section 13).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "common/check.h"
+#include "common/checkpoint.h"
+#include "common/rng.h"
 #include "demand/estimator.h"
 
 namespace ecrs::demand {
@@ -193,6 +198,197 @@ TEST(Estimator, OverloadedServiceScoresHigherThanIdle) {
   idle.received = 10;
 
   EXPECT_GT(est.raw_demand(overloaded, 1.0), est.raw_demand(idle, 1.0));
+}
+
+// ---- streaming round API --------------------------------------------------
+
+edge::round_stats fuzzed_stats(rng& gen, std::uint32_t id,
+                               std::uint64_t round) {
+  edge::round_stats s;
+  s.microservice = id;
+  s.round = round;
+  s.received = static_cast<std::uint64_t>(gen.uniform_int(0, 40));
+  s.served = static_cast<std::uint64_t>(
+      gen.uniform_int(0, static_cast<long long>(s.received)));
+  s.arrived_work = gen.uniform_real(0.0, 50.0);
+  s.served_work = gen.uniform_real(0.0, s.arrived_work + 1.0);
+  s.backlog_work = gen.uniform_real(0.0, 30.0);
+  s.allocation = gen.uniform_real(0.1, 5.0);
+  s.utilization = gen.uniform_real(0.0, 1.0);
+  s.mean_wait = gen.uniform_real(0.0, 10.0);
+  s.cloud_population = static_cast<std::uint32_t>(gen.uniform_int(1, 8));
+  return s;
+}
+
+estimator_config streaming_config() {
+  estimator_config cfg = make_default_config();
+  cfg.round_duration = 10.0;
+  cfg.trend_smoothing = 0.3;  // exercise the Holt trend path too
+  return cfg;
+}
+
+// The streaming path and the estimate_round wrapper must be bit-identical
+// to the historical per-entry estimate() calls with a precomputed a_max.
+TEST(Estimator, StreamingPathBitIdenticalToPerEntryEstimates) {
+  rng fuzz(0xfeed);
+  for (int trial = 0; trial < 20; ++trial) {
+    estimator per_entry(streaming_config());
+    estimator streamed(streaming_config());
+    estimator wrapped(streaming_config());
+    const auto rounds = static_cast<std::uint64_t>(fuzz.uniform_int(1, 6));
+    for (std::uint64_t t = 1; t <= rounds; ++t) {
+      const auto n = static_cast<std::size_t>(fuzz.uniform_int(1, 12));
+      std::vector<edge::round_stats> stats;
+      stats.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        stats.push_back(fuzzed_stats(fuzz, static_cast<std::uint32_t>(i), t));
+      }
+      double a_max = 0.0;
+      for (const auto& s : stats) a_max = std::max(a_max, s.allocation);
+
+      std::vector<double> expected;
+      expected.reserve(n);
+      for (const auto& s : stats) {
+        expected.push_back(per_entry.estimate(s, a_max));
+      }
+
+      for (const auto& s : stats) streamed.observe(s);
+      EXPECT_EQ(streamed.observed(), n);
+      std::vector<double> out(n, -1.0);
+      streamed.estimates_into(out);
+
+      const std::vector<double> wrapper_out = wrapped.estimate_round(stats);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], expected[i]) << "trial " << trial << " round " << t
+                                       << " entry " << i;
+        EXPECT_EQ(wrapper_out[i], expected[i]);
+      }
+    }
+  }
+}
+
+TEST(Estimator, StreamingRejectsMisuse) {
+  estimator est(streaming_config());
+  edge::round_stats s = base_stats();
+  est.observe(s);
+  std::vector<double> wrong(2);
+  EXPECT_THROW(est.estimates_into(wrong), check_error);  // size mismatch
+  EXPECT_THROW(est.estimate_round({s}), check_error);    // interleaved
+  std::vector<double> right(1);
+  est.estimates_into(right);  // drains cleanly after the failures
+  EXPECT_EQ(est.rounds_observed(), 1u);
+
+  s.round = 0;
+  EXPECT_THROW(est.observe(s), check_error);
+}
+
+TEST(Estimator, ForgetAfterDropsStaleEntries) {
+  estimator_config cfg = streaming_config();
+  cfg.forget_after = 2;
+  estimator est(cfg);
+
+  edge::round_stats a = base_stats();
+  edge::round_stats b = base_stats();
+  b.microservice = 1;
+  est.observe(a);
+  est.observe(b);
+  std::vector<double> two(2);
+  est.estimates_into(two);
+  EXPECT_EQ(est.history_size(), 2u);
+  EXPECT_GT(est.last_estimate(1), 0.0);
+
+  std::vector<double> one(1);
+  for (std::uint64_t t = 2; t <= 3; ++t) {
+    a.round = t;
+    est.observe(a);
+    est.estimates_into(one);
+  }
+  // Id 1 was last seen in round 1; after round 3 it is 2 rounds stale.
+  EXPECT_EQ(est.history_size(), 1u);
+  EXPECT_EQ(est.last_estimate(1), 0.0);
+  EXPECT_GT(est.last_estimate(0), 0.0);
+}
+
+// The churn satellite: over a 1e6-round horizon where the live id set
+// slides every round, the flat history storage must stop growing once the
+// forget window is covered — flat capacity means flat resident set.
+TEST(Estimator, ChurningMillionRoundHorizonHoldsFlatCapacity) {
+  estimator_config cfg = streaming_config();
+  cfg.forget_after = 8;
+  estimator est(cfg);
+
+  constexpr std::uint64_t kRounds = 1000000;
+  constexpr std::uint32_t kLive = 4;  // ids live per round, sliding window
+  edge::round_stats s = base_stats();
+  std::vector<double> out(kLive);
+  std::size_t warm_capacity = 0;
+  for (std::uint64_t t = 1; t <= kRounds; ++t) {
+    s.round = t;
+    for (std::uint32_t j = 0; j < kLive; ++j) {
+      s.microservice = static_cast<std::uint32_t>(t) + j;
+      est.observe(s);
+    }
+    est.estimates_into(out);
+    if (t == 4096) warm_capacity = est.history_capacity();
+  }
+  EXPECT_EQ(est.rounds_observed(), kRounds);
+  // Live window + at most forget_after stale generations of kLive ids.
+  EXPECT_LE(est.history_size(), (cfg.forget_after + 1) * kLive);
+  EXPECT_EQ(est.history_capacity(), warm_capacity);
+}
+
+TEST(Estimator, CheckpointRestoresHoltStateBitForBit) {
+  rng fuzz(0xbeef);
+  estimator source(streaming_config());
+  std::vector<double> out(6);
+  for (std::uint64_t t = 1; t <= 5; ++t) {
+    for (std::uint32_t id = 0; id < 6; ++id) {
+      source.observe(fuzzed_stats(fuzz, id, t));
+    }
+    source.estimates_into(out);
+  }
+
+  checkpoint_writer w;
+  source.save(w);
+  checkpoint_reader r(w.payload());
+  estimator restored(streaming_config());
+  restored.load(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(restored.rounds_observed(), source.rounds_observed());
+  EXPECT_EQ(restored.history_size(), source.history_size());
+
+  // Identical future observations produce identical estimates.
+  rng continue_a(0x1234);
+  rng continue_b(0x1234);
+  std::vector<double> from_source(6);
+  std::vector<double> from_restored(6);
+  for (std::uint64_t t = 6; t <= 8; ++t) {
+    for (std::uint32_t id = 0; id < 6; ++id) {
+      source.observe(fuzzed_stats(continue_a, id, t));
+      restored.observe(fuzzed_stats(continue_b, id, t));
+    }
+    source.estimates_into(from_source);
+    restored.estimates_into(from_restored);
+    for (std::size_t i = 0; i < from_source.size(); ++i) {
+      EXPECT_EQ(from_restored[i], from_source[i]);
+    }
+  }
+}
+
+TEST(Estimator, CheckpointRejectsPendingRoundAndShortPayload) {
+  estimator est(streaming_config());
+  est.observe(base_stats());
+  checkpoint_writer w;
+  EXPECT_THROW(est.save(w), check_error);  // mid-round checkpoint
+  std::vector<double> one(1);
+  est.estimates_into(one);
+
+  w.clear();
+  est.save(w);
+  const std::span<const std::uint8_t> payload = w.payload();
+  checkpoint_reader truncated(payload.subspan(0, payload.size() - 1));
+  estimator fresh(streaming_config());
+  EXPECT_THROW(fresh.load(truncated), check_error);
 }
 
 }  // namespace

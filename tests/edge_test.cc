@@ -297,5 +297,82 @@ TEST(Cluster, RejectsDegenerateConfigs) {
   EXPECT_THROW(cluster(cfg, uniform_qos(1)), check_error);
 }
 
+// ------------------------------------------------------------- checkpoints
+
+// Every field a round report exposes must restore bit for bit.
+void expect_same_stats(const round_stats& a, const round_stats& b) {
+  EXPECT_EQ(a.received, b.received);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.arrived_work, b.arrived_work);
+  EXPECT_EQ(a.served_work, b.served_work);
+  EXPECT_EQ(a.backlog_work, b.backlog_work);
+  EXPECT_EQ(a.allocation, b.allocation);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.mean_wait, b.mean_wait);
+}
+
+TEST(Microservice, CheckpointRestoresQueueMidService) {
+  microservice source(3, workload::qos_class::delay_sensitive);
+  source.set_allocation(0.5);
+  source.enqueue(make_request(3, 0.0, 2.0));
+  source.enqueue(make_request(3, 0.5, 1.5));
+  source.advance(0.0, 1.0);  // head request partially served
+
+  ecrs::checkpoint_writer w;
+  source.save(w);
+  ecrs::checkpoint_reader r(w.payload());
+  microservice restored(3, workload::qos_class::delay_sensitive);
+  restored.load(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(restored.queue_length(), source.queue_length());
+  EXPECT_EQ(restored.backlog_work(), source.backlog_work());
+  EXPECT_EQ(restored.allocation(), source.allocation());
+
+  // Identical futures: serve both to completion and compare the round.
+  source.advance(1.0, 10.0);
+  restored.advance(1.0, 10.0);
+  expect_same_stats(source.end_round(1, 11.0, 2),
+                    restored.end_round(1, 11.0, 2));
+
+  // Identity is construction-time: a different id/qos rejects the payload.
+  ecrs::checkpoint_reader again(w.payload());
+  microservice other(4, workload::qos_class::delay_sensitive);
+  EXPECT_THROW(other.load(again), check_error);
+}
+
+TEST(Cluster, CheckpointRoundTripMatchesStraightRun) {
+  cluster_config cfg;
+  cfg.clouds = 3;
+  cfg.seed = 11;
+  cluster source(cfg, uniform_qos(6));
+  std::vector<workload::request> batch;
+  for (std::uint32_t m = 0; m < 6; ++m) {
+    batch.push_back(make_request(m, 0.25 * m, 1.0 + 0.5 * m));
+  }
+  source.route(batch);
+  source.advance(0.0, 2.0);
+
+  ecrs::checkpoint_writer w;
+  source.save(w);
+  ecrs::checkpoint_reader r(w.payload());
+  cluster restored(cfg, uniform_qos(6));
+  restored.load(r);
+  EXPECT_TRUE(r.exhausted());
+
+  source.advance(2.0, 3.0);
+  restored.advance(2.0, 3.0);
+  const auto source_stats = source.end_round(1, 5.0);
+  const auto restored_stats = restored.end_round(1, 5.0);
+  ASSERT_EQ(source_stats.size(), restored_stats.size());
+  for (std::size_t m = 0; m < source_stats.size(); ++m) {
+    expect_same_stats(source_stats[m], restored_stats[m]);
+  }
+
+  // A differently-shaped cluster rejects the payload.
+  ecrs::checkpoint_reader again(w.payload());
+  cluster smaller(cfg, uniform_qos(5));
+  EXPECT_THROW(smaller.load(again), check_error);
+}
+
 }  // namespace
 }  // namespace ecrs::edge

@@ -209,6 +209,66 @@ TEST(MsoaSession, BoundBeforeAnyRoundIsAlpha) {
   EXPECT_DOUBLE_EQ(session.competitive_bound(), 1.0);  // α defaults to 1
 }
 
+TEST(MsoaSession, InactiveSellerSkipsAdmissionAndRecoversWithState) {
+  const auto inst = two_round_instance();
+  msoa_session session(inst.sellers);
+  EXPECT_TRUE(session.seller_active(0));
+  EXPECT_TRUE(session.seller_active(1));
+
+  // Seller 0 is cheaper and wins while active.
+  const auto first = session.run_round(inst.rounds[0]);
+  ASSERT_EQ(first.winner_bids.size(), 1u);
+  EXPECT_EQ(inst.rounds[0].bids[first.winner_bids[0]].seller, 0u);
+  const double psi_after_win = session.psi(0);
+  EXPECT_GT(psi_after_win, 0.0);
+
+  // Churned out: its bid is skipped as if it never arrived, the rival wins.
+  session.set_seller_active(0, false);
+  EXPECT_FALSE(session.seller_active(0));
+  const auto outage = session.run_round(inst.rounds[1]);
+  ASSERT_EQ(outage.winner_bids.size(), 1u);
+  EXPECT_EQ(inst.rounds[1].bids[outage.winner_bids[0]].seller, 1u);
+
+  // ψ/χ survive the outage; flags are range-checked.
+  session.set_seller_active(0, true);
+  EXPECT_TRUE(session.seller_active(0));
+  EXPECT_DOUBLE_EQ(session.psi(0), psi_after_win);
+  EXPECT_EQ(session.capacity_used(0), 1);
+  EXPECT_THROW(session.set_seller_active(9, false), check_error);
+}
+
+TEST(MsoaSession, CheckpointRoundTripReplaysIdentically) {
+  const auto inst = two_round_instance();
+  msoa_session source(inst.sellers);
+  (void)source.run_round(inst.rounds[0]);
+  source.set_seller_active(1, false);
+
+  checkpoint_writer w;
+  source.save(w);
+  checkpoint_reader r(w.payload());
+  msoa_session restored(inst.sellers);
+  restored.load(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(restored.rounds_run(), source.rounds_run());
+  EXPECT_FALSE(restored.seller_active(1));
+  for (seller_id s = 0; s < inst.sellers.size(); ++s) {
+    EXPECT_EQ(restored.psi(s), source.psi(s));
+    EXPECT_EQ(restored.capacity_used(s), source.capacity_used(s));
+  }
+
+  const auto from_source = source.run_round(inst.rounds[1]);
+  const auto from_restored = restored.run_round(inst.rounds[1]);
+  EXPECT_EQ(from_restored.winner_bids, from_source.winner_bids);
+  EXPECT_EQ(from_restored.payments, from_source.payments);
+  EXPECT_EQ(from_restored.social_cost, from_source.social_cost);
+  EXPECT_EQ(restored.beta(), source.beta());
+
+  // A session over a different seller set rejects the payload.
+  checkpoint_reader again(w.payload());
+  msoa_session mismatched({seller_profile{4, 1, 2}});
+  EXPECT_THROW(mismatched.load(again), check_error);
+}
+
 TEST(MsoaSession, BetaOneMakesBoundInfinite) {
   // Capacity equal to the participation weight: β = 1, bound diverges.
   msoa_session session({seller_profile{1, 1, 5}});

@@ -305,5 +305,59 @@ TEST(QosClass, ToStringNames) {
   EXPECT_STREQ(to_string(qos_class::delay_tolerant), "delay_tolerant");
 }
 
+// ------------------------------------------------- rate scale + checkpoint
+
+generator_config scaled_config(std::uint64_t seed) {
+  generator_config cfg;
+  cfg.users = 40;
+  cfg.microservices = 8;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Generator, RateScaleScalesArrivals) {
+  generator base(scaled_config(21));
+  generator surged(scaled_config(21));
+  surged.set_rate_scale(3.0);
+  const auto quiet = base.round(0.0, 100.0);
+  const auto surge = surged.round(0.0, 100.0);
+  ASSERT_GT(quiet.size(), 0u);
+  EXPECT_GT(surge.size(), quiet.size());
+
+  generator silenced(scaled_config(21));
+  silenced.set_rate_scale(0.0);
+  EXPECT_TRUE(silenced.round(0.0, 100.0).empty());
+
+  EXPECT_THROW(base.set_rate_scale(-0.5), ecrs::check_error);
+}
+
+TEST(Generator, CheckpointRestoresStreamBitForBit) {
+  generator source(scaled_config(22));
+  (void)source.round(0.0, 100.0);  // advance the rng past round 1
+  source.set_rate_scale(1.5);
+
+  ecrs::checkpoint_writer w;
+  source.save(w);
+  ecrs::checkpoint_reader r(w.payload());
+  generator restored(scaled_config(22));
+  restored.load(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_DOUBLE_EQ(restored.rate_scale(), 1.5);
+
+  // The restored generator continues the exact request stream.
+  const auto expected = source.round(100.0, 100.0);
+  const auto replayed = restored.round(100.0, 100.0);
+  ASSERT_EQ(replayed.size(), expected.size());
+  ASSERT_GT(expected.size(), 0u);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(replayed[i].id, expected[i].id);
+    EXPECT_EQ(replayed[i].microservice, expected[i].microservice);
+    EXPECT_EQ(replayed[i].region, expected[i].region);
+    EXPECT_EQ(replayed[i].qos, expected[i].qos);
+    EXPECT_EQ(replayed[i].arrival_time, expected[i].arrival_time);
+    EXPECT_EQ(replayed[i].service_demand, expected[i].service_demand);
+  }
+}
+
 }  // namespace
 }  // namespace ecrs::workload
